@@ -1,0 +1,287 @@
+(* Command-line driver: regenerate every figure and analysis of the
+   paper from the simulator, print ASCII plots / CSV, and check the
+   tracked prose claims. *)
+
+open Cmdliner
+
+let sizes_of ~seed ~prefixes ~days ~small =
+  let base =
+    if small then Beatbgp.Scenario.test_sizes else Beatbgp.Scenario.default_sizes
+  in
+  {
+    base with
+    Beatbgp.Scenario.seed;
+    n_prefixes = (match prefixes with Some n -> n | None -> base.Beatbgp.Scenario.n_prefixes);
+    days = (match days with Some d -> d | None -> base.Beatbgp.Scenario.days);
+  }
+
+let emit ~csv figure =
+  if csv then print_string (Beatbgp.Figure.to_csv figure)
+  else begin
+    print_string (Beatbgp.Figure.render figure);
+    let claims = Beatbgp.Claims.of_figure figure in
+    if claims <> [] then begin
+      print_endline "  paper-claim checks:";
+      print_string (Beatbgp.Claims.render claims)
+    end
+  end;
+  figure
+
+(* ---- common options ---- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let prefixes_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "prefixes" ] ~doc:"Number of client prefixes.")
+
+let days_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "days" ] ~doc:"Simulated measurement horizon in days.")
+
+let small_t =
+  Arg.(value & flag & info [ "small" ] ~doc:"Use the small test topology.")
+
+let csv_t =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a plot.")
+
+let with_sizes f seed prefixes days small csv =
+  let sizes = sizes_of ~seed ~prefixes ~days ~small in
+  f ~sizes ~csv
+
+let run_fig1 ~sizes ~csv =
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  ignore (emit ~csv (Beatbgp.Fig1_pop_egress.run fb).Beatbgp.Fig1_pop_egress.figure)
+
+let run_fig2 ~sizes ~csv =
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  ignore
+    (emit ~csv (Beatbgp.Fig2_route_classes.run fb).Beatbgp.Fig2_route_classes.figure)
+
+let run_fig3 ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  ignore (emit ~csv (Beatbgp.Fig3_anycast_gap.run ms).Beatbgp.Fig3_anycast_gap.figure)
+
+let run_fig4 ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  ignore
+    (emit ~csv (Beatbgp.Fig4_dns_redirection.run ms).Beatbgp.Fig4_dns_redirection.figure)
+
+let run_fig5 ~sizes ~csv =
+  let gc = Beatbgp.Scenario.google ~sizes () in
+  let result = Beatbgp.Fig5_cloud_tiers.run gc in
+  ignore (emit ~csv result.Beatbgp.Fig5_cloud_tiers.figure);
+  if not csv then begin
+    print_endline "";
+    print_string (Beatbgp.Fig5_cloud_tiers.render_map result)
+  end
+
+let run_degrade ~sizes ~csv =
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  let fig1 = Beatbgp.Fig1_pop_egress.run fb in
+  ignore
+    (emit ~csv (Beatbgp.Degrade_together.analyze fig1).Beatbgp.Degrade_together.figure)
+
+let run_peering ~sizes ~csv =
+  ignore
+    (emit ~csv
+       (Beatbgp.Peering_ablation.run ~sizes ()).Beatbgp.Peering_ablation.figure)
+
+let run_grooming ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  ignore (emit ~csv (Beatbgp.Grooming.run ms).Beatbgp.Grooming.figure)
+
+let run_wanfrac ~sizes ~csv =
+  let gc = Beatbgp.Scenario.google ~sizes () in
+  ignore (emit ~csv (Beatbgp.Wan_fraction.run gc).Beatbgp.Wan_fraction.figure)
+
+let run_goodput ~sizes ~csv =
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  ignore (emit ~csv (Beatbgp.Goodput_egress.run fb).Beatbgp.Goodput_egress.figure)
+
+let run_availability ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  let result = Beatbgp.Availability.run ms in
+  ignore (emit ~csv result.Beatbgp.Availability.figure);
+  if not csv then
+    List.iter
+      (fun (f : Beatbgp.Availability.site_failure) ->
+        Printf.printf
+          "  site %-14s affected %5.1f%%  anycast +%6.1f ms  DNS-pinned %5.1f%% for %gs\n"
+          (Netsim_geo.World.cities.(f.Beatbgp.Availability.site)).Netsim_geo.City.name
+          (100. *. f.Beatbgp.Availability.affected_share)
+          f.Beatbgp.Availability.anycast_delta_ms
+          (100. *. f.Beatbgp.Availability.dns_outage_share)
+          (f.Beatbgp.Availability.dns_outage_client_seconds
+          /. Float.max 1e-9 f.Beatbgp.Availability.dns_outage_share))
+      result.Beatbgp.Availability.failures
+
+let run_hybrid ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  ignore (emit ~csv (Beatbgp.Hybrid.run ms).Beatbgp.Hybrid.figure)
+
+let run_splittcp ~sizes ~csv =
+  let gc = Beatbgp.Scenario.google ~sizes () in
+  ignore (emit ~csv (Beatbgp.Split_tcp.run gc).Beatbgp.Split_tcp.figure)
+
+let run_sites ~sizes ~csv =
+  ignore (emit ~csv (Beatbgp.Site_density.run ~sizes ()).Beatbgp.Site_density.figure)
+
+let run_ecs ~sizes ~csv =
+  ignore (emit ~csv (Beatbgp.Ecs_ablation.run ~sizes ()).Beatbgp.Ecs_ablation.figure)
+
+let run_robustness ~sizes ~csv =
+  let result = Beatbgp.Robustness.run ~sizes () in
+  ignore (emit ~csv result.Beatbgp.Robustness.figure);
+  if not csv then
+    List.iter
+      (fun (c : Beatbgp.Robustness.claim_summary) ->
+        Printf.printf "  %-28s pass %.2f  mean %10.3f  std %8.3f  [%g, %g]\n"
+          c.Beatbgp.Robustness.claim_id c.Beatbgp.Robustness.pass_rate
+          c.Beatbgp.Robustness.mean c.Beatbgp.Robustness.std
+          c.Beatbgp.Robustness.min c.Beatbgp.Robustness.max)
+      result.Beatbgp.Robustness.claims
+
+let run_groompredict ~sizes ~csv =
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  ignore (emit ~csv (Beatbgp.Groom_predict.run ms).Beatbgp.Groom_predict.figure)
+
+let run_all ~sizes ~csv =
+  run_fig1 ~sizes ~csv;
+  run_fig2 ~sizes ~csv;
+  run_fig3 ~sizes ~csv;
+  run_fig4 ~sizes ~csv;
+  run_fig5 ~sizes ~csv;
+  run_degrade ~sizes ~csv;
+  run_grooming ~sizes ~csv;
+  run_wanfrac ~sizes ~csv;
+  run_goodput ~sizes ~csv;
+  run_availability ~sizes ~csv;
+  run_hybrid ~sizes ~csv;
+  run_splittcp ~sizes ~csv;
+  run_ecs ~sizes ~csv
+
+let run_compare ~sizes ~csv =
+  ignore csv;
+  let module Sch = Beatbgp.Scheme in
+  let rng = Netsim_prng.Splitmix.create (sizes.Beatbgp.Scenario.seed + 9) in
+  let windows =
+    Netsim_traffic.Window.windows ~days:sizes.Beatbgp.Scenario.days
+      ~length_min:60.
+  in
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  print_endline "=== egress setting (Figure 1's cast) ===";
+  print_string
+    (Sch.render
+       (Sch.compare_schemes
+          [ Sch.egress_bgp fb; Sch.egress_static_oracle fb; Sch.egress_oracle fb ]
+          ~prefixes:fb.Beatbgp.Scenario.fb_prefixes ~rng ~windows));
+  let ms = Beatbgp.Scenario.microsoft ~sizes () in
+  print_endline "";
+  print_endline "=== anycast CDN setting (Figures 3-4's cast) ===";
+  print_string
+    (Sch.render
+       (Sch.compare_schemes
+          [
+            Sch.anycast ms; Sch.unicast_oracle ms; Sch.dns_redirection ms;
+            Sch.dns_redirection ~margin:25. ~name:"hybrid-25ms" ms;
+          ]
+          ~prefixes:ms.Beatbgp.Scenario.ms_prefixes ~rng ~windows))
+
+let run_rib ~sizes ~csv =
+  (* Inspect the content provider's Adj-RIB-In toward a few client
+     prefixes, at the serving PoP — the `show ip bgp` view of the
+     Figure 1 setting. *)
+  ignore csv;
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  let topo = fb.Beatbgp.Scenario.fb_deployment.Netsim_cdn.Deployment.topo in
+  Array.iteri
+    (fun i (e : Netsim_cdn.Egress.entry) ->
+      if i < 5 then begin
+        let p = e.Netsim_cdn.Egress.prefix in
+        let state =
+          Netsim_bgp.Propagate.run topo
+            (Netsim_bgp.Announce.default ~origin:p.Netsim_traffic.Prefix.asid)
+        in
+        print_string
+          (Netsim_bgp.Show.rib_at_metro topo state
+             fb.Beatbgp.Scenario.fb_deployment.Netsim_cdn.Deployment.asid
+             ~metro:e.Netsim_cdn.Egress.pop);
+        (match e.Netsim_cdn.Egress.options with
+        | (o : Netsim_cdn.Egress.option_route) :: _ ->
+            print_endline "serving flow:";
+            print_string
+              (Netsim_bgp.Show.walk topo
+                 o.Netsim_cdn.Egress.flow.Netsim_latency.Rtt.walk)
+        | [] -> ());
+        print_endline ""
+      end)
+    fb.Beatbgp.Scenario.fb_entries
+
+let run_topo ~sizes ~csv =
+  ignore csv;
+  let params =
+    { sizes.Beatbgp.Scenario.base with Netsim_topo.Generator.seed = sizes.Beatbgp.Scenario.seed }
+  in
+  let topo = Netsim_topo.Generator.generate params in
+  Printf.printf "ASes: %d  links: %d\n" (Netsim_topo.Topology.as_count topo)
+    (Netsim_topo.Topology.link_count topo);
+  List.iter
+    (fun klass ->
+      Printf.printf "  %-8s %d\n"
+        (Netsim_topo.Asn.klass_to_string klass)
+        (List.length (Netsim_topo.Topology.by_klass topo klass)))
+    [
+      Netsim_topo.Asn.Tier1; Netsim_topo.Asn.Transit; Netsim_topo.Asn.Eyeball;
+      Netsim_topo.Asn.Stub;
+    ];
+  (match Netsim_topo.Invariants.check topo with
+  | [] -> print_endline "invariants: OK"
+  | violations ->
+      Printf.printf "invariants: %d violations\n" (List.length violations);
+      List.iter print_endline violations);
+  print_string
+    (Netsim_bgp.Metrics.render
+       (Netsim_bgp.Metrics.compute
+          ~rng:(Netsim_prng.Splitmix.create sizes.Beatbgp.Scenario.seed)
+          topo))
+
+let cmd name doc f =
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t)
+
+let main =
+  let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in
+  Cmd.group
+    (Cmd.info "beatbgp" ~doc)
+    [
+      cmd "fig1" "Figure 1: alternate-route improvement at PoPs" run_fig1;
+      cmd "fig2" "Figure 2: peer vs transit, private vs public" run_fig2;
+      cmd "fig3" "Figure 3: anycast vs best unicast front-end" run_fig3;
+      cmd "fig4" "Figure 4: DNS redirection vs anycast" run_fig4;
+      cmd "fig5" "Figure 5: Premium vs Standard cloud tiers" run_fig5;
+      cmd "degrade" "Section 3.1.1: degrade-together analysis" run_degrade;
+      cmd "peering" "Section 3.1.3: peering-footprint ablation" run_peering;
+      cmd "grooming" "Section 3.2.2: anycast grooming (nature vs nurture)" run_grooming;
+      cmd "wanfrac" "Section 3.3.2: single-WAN-fraction hypothesis" run_wanfrac;
+      cmd "goodput" "Footnote 3: Figure 1 repeated for TCP goodput" run_goodput;
+      cmd "availability" "Section 4: site failures, anycast vs DNS pinning" run_availability;
+      cmd "hybrid" "Section 4: hybrid anycast+redirection margin sweep" run_hybrid;
+      cmd "splittcp" "Section 4: split TCP over WAN vs public backend" run_splittcp;
+      cmd "sites" "Section 3.2.2: how many anycast sites are enough" run_sites;
+      cmd "ecs" "Section 3.2.1: EDNS-Client-Subnet adoption ablation" run_ecs;
+      cmd "groompredict" "Section 3.2.2: predicting grooming impact pre-announcement" run_groompredict;
+      cmd "robustness" "Claim pass rates across independently generated Internets" run_robustness;
+      cmd "topo" "Generate the base Internet and check invariants" run_topo;
+      cmd "rib" "Inspect PoP Adj-RIB-Ins and serving flows (show ip bgp style)" run_rib;
+      cmd "compare" "Unified scheme comparison: BGP vs oracles vs redirection" run_compare;
+      cmd "all" "Run every figure and analysis" run_all;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,61 @@
+(* Anycast CDN serving with DNS redirection (the paper's §2.3.2
+   setting): where does BGP anycast send each client, how far is that
+   from its best front-end, and what does the per-LDNS redirector
+   decide?
+
+   Run with:  dune exec examples/anycast_cdn.exe *)
+
+module S = Beatbgp.Scenario
+module Anycast = Netsim_cdn.Anycast
+module Ldns = Netsim_cdn.Ldns
+module Prefix = Netsim_traffic.Prefix
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let name i = World.cities.(i).City.name
+
+let () =
+  let ms = S.microsoft ~sizes:S.test_sizes () in
+  let system = ms.S.ms_system in
+  Printf.printf "Anycast CDN with %d front-end sites\n"
+    (List.length (Anycast.sites system));
+
+  (* Catchment report for the first few clients. *)
+  print_endline "\nCatchments (client -> anycast site):";
+  Array.iteri
+    (fun i (p : Prefix.t) ->
+      if i < 10 then
+        match Anycast.anycast_site system p with
+        | Some site ->
+            let d =
+              City.distance_km World.cities.(p.Prefix.city) World.cities.(site)
+            in
+            Printf.printf "  %-14s -> %-12s (%5.0f km%s)\n" (name p.Prefix.city)
+              (name site) d
+              (if d > 2500. then ", MIS-CAUGHT" else "")
+        | None -> Printf.printf "  %-14s -> unreachable\n" (name p.Prefix.city))
+    ms.S.ms_prefixes;
+
+  (* Run the full Figure-3 pipeline at this scale and show the
+     headline: how often anycast is already (near-)optimal. *)
+  let fig3 = Beatbgp.Fig3_anycast_gap.run ms in
+  let f = fig3.Beatbgp.Fig3_anycast_gap.figure in
+  Printf.printf "\nAnycast within 10 ms of the best unicast front-end: %.0f%%\n"
+    (100. *. Beatbgp.Figure.stat f "frac_within_10ms_world");
+  Printf.printf "Anycast >= 100 ms worse (the redirectable tail):     %.0f%%\n"
+    (100. *. Beatbgp.Figure.stat f "frac_worse_100ms_world");
+
+  (* DNS redirection verdict. *)
+  let fig4 = Beatbgp.Fig4_dns_redirection.run ms in
+  let g = fig4.Beatbgp.Fig4_dns_redirection.figure in
+  Printf.printf "\nLDNS-based redirection (vs anycast, median):\n";
+  Printf.printf "  improved:  %.0f%% of weighted clients\n"
+    (100. *. Beatbgp.Figure.stat g "frac_improved_median");
+  Printf.printf "  made worse: %.0f%% (the LDNS-granularity penalty)\n"
+    (100. *. Beatbgp.Figure.stat g "frac_worse_median");
+  let resolvers = ms.S.ms_assignment.Ldns.resolvers in
+  let publics =
+    Array.to_list resolvers |> List.filter (fun r -> r.Ldns.public)
+  in
+  Printf.printf "  (%d resolvers, %d of them public)\n" (Array.length resolvers)
+    (List.length publics)

@@ -1,0 +1,49 @@
+(* Premium vs Standard cloud networking tiers (the paper's §2.3.3
+   setting): compare the private-WAN route against the public-BGP
+   route from vantage points around the world, including the India
+   anomaly.
+
+   Run with:  dune exec examples/cloud_tiers.exe *)
+
+module S = Beatbgp.Scenario
+module Sm = Netsim_prng.Splitmix
+module Tiers = Netsim_wan.Tiers
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let () =
+  let gc = S.google ~n_vantage:400 () in
+  let tiers = gc.S.gc_tiers in
+  let rng = Sm.of_label gc.S.gc_root "example" in
+  Printf.printf "Cloud deployment: DC at %s, %d WAN edge PoPs\n"
+    Netsim_wan.Cloud.dc_city_name
+    (List.length (Tiers.cloud tiers).Netsim_wan.Cloud.edge_metros);
+  print_endline "vantage point        premium  standard    diff  (std - prem)";
+  print_endline "--------------------------------------------------------------";
+  let shown = ref 0 in
+  Array.iter
+    (fun vp ->
+      if !shown < 15 && Tiers.qualifies tiers vp then begin
+        match (Tiers.premium_flow tiers vp, Tiers.standard_flow tiers vp) with
+        | Some pf, Some sf ->
+            incr shown;
+            let ping flow =
+              Campaign.ping_median gc.S.gc_congestion ~rng ~days:2. ~per_day:10
+                ~pings_per_round:5 flow
+            in
+            let p = ping pf and s = ping sf in
+            Printf.printf "%-14s (%s)  %6.1f    %6.1f  %+7.1f  %s\n"
+              World.cities.(vp.Vantage.city).City.name (Vantage.country vp) p s
+              (s -. p)
+              (if s -. p > 10. then "WAN wins"
+               else if s -. p < -10. then "public BGP wins"
+               else "tie")
+        | _, _ -> ()
+      end)
+    gc.S.gc_vantage;
+  (* The headline per-country map. *)
+  let fig5 = Beatbgp.Fig5_cloud_tiers.run gc in
+  print_endline "";
+  print_string (Beatbgp.Fig5_cloud_tiers.render_map fig5)

@@ -1,0 +1,61 @@
+(* Edge-Fabric-style egress engineering at a content provider's PoPs
+   (the paper's §2.3.1 setting, scaled down).
+
+   For a handful of client prefixes, spray sessions over BGP's top-3
+   egress routes in one measurement window and show what an omniscient
+   performance-aware controller would have picked vs what BGP picked.
+
+   Run with:  dune exec examples/edge_fabric.exe *)
+
+module S = Beatbgp.Scenario
+module Sm = Netsim_prng.Splitmix
+module Egress = Netsim_cdn.Egress
+module Edge_controller = Netsim_cdn.Edge_controller
+module Relation = Netsim_topo.Relation
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let kind_name (o : Egress.option_route) =
+  Relation.kind_to_string o.Egress.route.Netsim_bgp.Route.via_link.Relation.kind
+
+let () =
+  let fb = S.facebook ~sizes:S.test_sizes () in
+  Printf.printf "Deployment: %d PoPs, %d PNI peers, %d public peers\n"
+    (List.length fb.S.fb_deployment.Netsim_cdn.Deployment.pops)
+    fb.S.fb_deployment.Netsim_cdn.Deployment.pni_count
+    fb.S.fb_deployment.Netsim_cdn.Deployment.public_peer_count;
+  let rng = Sm.of_label fb.S.fb_root "example" in
+  let window = { Window.index = 40; start_min = 600.; length_min = 15. } in
+  let shown = ref 0 in
+  Array.iter
+    (fun (entry : Egress.entry) ->
+      if !shown < 8 && List.length entry.Egress.options >= 2 then begin
+        incr shown;
+        let r =
+          Edge_controller.measure_window fb.S.fb_congestion ~rng
+            ~samples_per_route:15 window entry
+        in
+        let p = entry.Egress.prefix in
+        Printf.printf "\nprefix %3d  client %-12s served from PoP %s\n"
+          p.Prefix.id
+          World.cities.(p.Prefix.city).City.name
+          World.cities.(entry.Egress.pop).City.name;
+        List.iteri
+          (fun i (m : Edge_controller.route_measurement) ->
+            Printf.printf "  route %d (%-12s)  median %6.1f ms  CI [%5.1f, %5.1f]%s\n"
+              i
+              (kind_name m.Edge_controller.option_route)
+              m.Edge_controller.median_ms m.Edge_controller.ci.Netsim_stats.Ci.lo
+              m.Edge_controller.ci.Netsim_stats.Ci.hi
+              (if i = 0 then "  <- BGP's choice" else ""))
+          r.Edge_controller.per_route;
+        match Edge_controller.improvement_ms r with
+        | Some d when d > 1. ->
+            Printf.printf "  -> controller override would save %.1f ms\n" d
+        | Some d ->
+            Printf.printf "  -> BGP already best (alternate %+.1f ms)\n" (-.d)
+        | None -> ()
+      end)
+    fb.S.fb_entries

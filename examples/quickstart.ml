@@ -1,0 +1,69 @@
+(* Quickstart: build a small Internet, compute BGP routes to a
+   destination, walk a flow and print its metro-level path and RTT.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Route = Netsim_bgp.Route
+module Walk = Netsim_bgp.Walk
+module Params = Netsim_latency.Params
+module Congestion = Netsim_latency.Congestion
+module Propagation = Netsim_latency.Propagation
+module Rtt = Netsim_latency.Rtt
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let city_name i = World.cities.(i).City.name
+
+let () =
+  (* 1. A small but structurally realistic Internet: Tier-1 clique,
+     regional transits, per-country eyeballs, stubs. *)
+  let topo = Generator.generate Generator.small_params in
+  Printf.printf "Generated Internet: %d ASes, %d links\n"
+    (Topology.as_count topo) (Topology.link_count topo);
+
+  (* 2. Pick a destination (the first eyeball ISP) and compute every
+     AS's BGP route to it with one propagation run. *)
+  let dest = List.hd (Topology.by_klass topo Asn.Eyeball) in
+  let state = Propagate.run topo (Announce.default ~origin:dest) in
+  Printf.printf "Destination: %s\n" (Topology.asn topo dest).Asn.name;
+
+  (* 3. Inspect a stub's selected route and Adj-RIB-In. *)
+  let src = List.hd (Topology.by_klass topo Asn.Stub) in
+  (match Propagate.best state src with
+  | Some route ->
+      Printf.printf "%s selected a %s route, AS path [%s]\n"
+        (Topology.asn topo src).Asn.name
+        (Route.klass_to_string route.Route.klass)
+        (String.concat "; "
+           (List.map
+              (fun a -> (Topology.asn topo a).Asn.name)
+              route.Route.as_path))
+  | None -> print_endline "unreachable (should not happen)");
+  Printf.printf "It received %d announcements in total\n"
+    (List.length (Propagate.received state src));
+
+  (* 4. Walk the flow at metro level (hot-potato link selection) and
+     price it with the latency model. *)
+  match Walk.of_source state ~src with
+  | None -> print_endline "no walk"
+  | Some walk ->
+      List.iter
+        (fun (h : Walk.hop) ->
+          Printf.printf "  %s carries %s -> %s\n"
+            (Topology.asn topo h.Walk.asid).Asn.name
+            (city_name h.Walk.ingress) (city_name h.Walk.egress))
+        walk.Walk.hops;
+      let congestion = Congestion.create Params.default topo ~seed:1 in
+      let flow =
+        Rtt.make_flow ~access:(Congestion.Access 0)
+          ~terminal:Propagation.At_entry walk
+      in
+      let rng = Sm.create 7 in
+      let sample = Rtt.sample_ms congestion ~rng ~time_min:600. flow in
+      Printf.printf "MinRTT sample at 10:00 UTC: %.1f ms\n" sample

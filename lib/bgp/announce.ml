@@ -1,0 +1,50 @@
+module Relation = Netsim_topo.Relation
+
+type action = { export : bool; prepend : int; no_export : bool }
+type t = { origin : int; policy : Relation.link -> action }
+
+let default_action = { export = true; prepend = 0; no_export = false }
+let silent = { export = false; prepend = 0; no_export = false }
+
+let default ~origin = { origin; policy = (fun _ -> default_action) }
+
+let only_at_metros ~origin metros =
+  {
+    origin;
+    policy =
+      (fun link ->
+        if List.mem link.Relation.metro metros then default_action else silent);
+  }
+
+let with_overrides t overrides =
+  {
+    t with
+    policy =
+      (fun link ->
+        match overrides link with Some a -> a | None -> t.policy link);
+  }
+
+let prepend_at_metros t metros n =
+  with_overrides t (fun link ->
+      if List.mem link.Relation.metro metros then begin
+        let base = t.policy link in
+        Some { base with prepend = base.prepend + n }
+      end
+      else None)
+
+let withhold_links t link_ids =
+  with_overrides t (fun link ->
+      if List.mem link.Relation.id link_ids then Some silent else None)
+
+let no_export_at_metros t metros =
+  with_overrides t (fun link ->
+      if List.mem link.Relation.metro metros then begin
+        let base = t.policy link in
+        Some { base with no_export = true }
+      end
+      else None)
+
+let action_on t link =
+  if link.Relation.a = t.origin || link.Relation.b = t.origin then
+    t.policy link
+  else silent

@@ -1,0 +1,49 @@
+(** Announcement configuration for a destination prefix.
+
+    A prefix is originated by one AS, but the origination is per-link:
+    each of the origin's links can carry the announcement or not, and
+    can apply AS-path prepending.  This is the mechanism behind
+    anycast (announce everywhere), unicast sites (announce only at one
+    metro), and grooming (withhold or prepend at selected sessions). *)
+
+type action = {
+  export : bool;
+  prepend : int;
+  no_export : bool;
+      (** RFC 1997 NO_EXPORT: the receiving AS may use the route but
+          must not advertise it further.  One of the paper's grooming
+          techniques ("adding a BGP community to control
+          propagation"). *)
+}
+
+type t = {
+  origin : int;  (** Originating AS id. *)
+  policy : Netsim_topo.Relation.link -> action;
+}
+
+val default : origin:int -> t
+(** Announce on every link of the origin, no prepending. *)
+
+val only_at_metros : origin:int -> int list -> t
+(** Announce only on origin links located at the given metros
+    (unicast site announcements). *)
+
+val with_overrides :
+  t -> (Netsim_topo.Relation.link -> action option) -> t
+(** Layer per-link overrides over an existing config; [None] falls
+    through to the base policy. *)
+
+val prepend_at_metros : t -> int list -> int -> t
+(** Add [n] prepends on links at the given metros (a grooming action). *)
+
+val withhold_links : t -> int list -> t
+(** Stop announcing on links with the given ids (a grooming action). *)
+
+val no_export_at_metros : t -> int list -> t
+(** Tag announcements on links at the given metros with NO_EXPORT:
+    only directly-connected neighbors there will carry the traffic
+    (scoping an anycast site to its local peers). *)
+
+val action_on : t -> Netsim_topo.Relation.link -> action
+(** The effective action, forced to [export = false] for links that do
+    not touch the origin. *)

@@ -1,0 +1,48 @@
+module Topology = Netsim_topo.Topology
+
+type t = { state : Propagate.state; walks : Walk.t option array }
+
+let compute state =
+  let topo = Propagate.topology state in
+  let n = Topology.as_count topo in
+  let origin = Propagate.origin state in
+  let walks =
+    Array.init n (fun i ->
+        if i = origin then None else Walk.of_source state ~src:i)
+  in
+  { state; walks }
+
+let walk_of t asid = t.walks.(asid)
+
+let site_of t asid =
+  match t.walks.(asid) with
+  | None -> None
+  | Some w -> Some (Walk.entry_metro w)
+
+let coverage t =
+  let n = Array.length t.walks in
+  let covered =
+    Array.fold_left (fun acc w -> if w <> None then acc + 1 else acc) 0 t.walks
+  in
+  (* The origin itself never has a walk; exclude it from the base. *)
+  float_of_int covered /. float_of_int (max 1 (n - 1))
+
+let clients_of_site t metro =
+  let acc = ref [] in
+  Array.iteri
+    (fun i w ->
+      match w with
+      | Some walk when Walk.entry_metro walk = metro -> acc := i :: !acc
+      | Some _ | None -> ())
+    t.walks;
+  List.rev !acc
+
+let sites t =
+  let module S = Set.Make (Int) in
+  let s =
+    Array.fold_left
+      (fun s w ->
+        match w with Some walk -> S.add (Walk.entry_metro walk) s | None -> s)
+      S.empty t.walks
+  in
+  S.elements s

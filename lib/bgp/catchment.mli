@@ -1,0 +1,27 @@
+(** Anycast catchments.
+
+    With a prefix announced from many sites of one AS, the catchment
+    of a client is the site (metro) where its BGP-selected path enters
+    the origin.  One propagation run answers this for every client. *)
+
+type t
+
+val compute : Propagate.state -> t
+(** Walk every AS's selected route and record its entry metro.  ASes
+    that cannot reach the prefix are recorded as uncovered. *)
+
+val site_of : t -> int -> int option
+(** [site_of t asid] is the metro whose site serves this AS, if any. *)
+
+val walk_of : t -> int -> Walk.t option
+(** The full flow walk used for the catchment decision (for latency
+    evaluation). *)
+
+val coverage : t -> float
+(** Fraction of ASes with a catchment. *)
+
+val clients_of_site : t -> int -> int list
+(** AS ids landing at the given site metro. *)
+
+val sites : t -> int list
+(** Distinct site metros that capture at least one AS. *)

@@ -1,0 +1,47 @@
+module Relation = Netsim_topo.Relation
+
+type policy = { name : string; rank : Route.t -> int }
+
+let gao_rexford =
+  { name = "gao-rexford"; rank = (fun r -> Route.klass_rank r.Route.klass) }
+
+let content_provider =
+  {
+    name = "content-provider";
+    rank =
+      (fun r ->
+        match r.Route.klass with
+        | Route.Customer -> 0
+        | Route.Peer -> (
+            match r.Route.via_link.Relation.kind with
+            | Relation.Peer_private -> 1
+            | Relation.Peer_public -> 2
+            | Relation.C2p -> 2 (* unreachable: peer class implies peering *))
+        | Route.Provider -> 3);
+  }
+
+let compare_routes policy a b =
+  let c = compare (policy.rank a) (policy.rank b) in
+  if c <> 0 then c
+  else begin
+    let c = compare a.Route.path_len b.Route.path_len in
+    if c <> 0 then c
+    else begin
+      let c = compare a.Route.next_hop b.Route.next_hop in
+      if c <> 0 then c
+      else compare a.Route.via_link.Relation.id b.Route.via_link.Relation.id
+    end
+  end
+
+let sort policy routes = List.sort (compare_routes policy) routes
+
+let best policy routes =
+  match sort policy routes with [] -> None | r :: _ -> Some r
+
+let k_best policy k routes =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | r :: rest -> r :: take (k - 1) rest
+  in
+  take k (sort policy routes)

@@ -1,0 +1,34 @@
+(** BGP decision process over a set of received announcements.
+
+    {!Propagate} already applies the standard selection while
+    computing routes; this module re-ranks an Adj-RIB-In explicitly,
+    which is what a content provider's egress pipeline does at each
+    PoP (and what the paper's "BGP's most preferred / second / third
+    route" spraying needs). *)
+
+type policy = {
+  name : string;
+  rank : Route.t -> int;
+      (** Local preference bucket; lower is more preferred. *)
+}
+
+val gao_rexford : policy
+(** Customer (0) > peer (1) > provider (2). *)
+
+val content_provider : policy
+(** The paper's content-provider egress policy (§3.1): customer
+    routes, then private peers, then public peers, then transit
+    providers. *)
+
+val compare_routes : policy -> Route.t -> Route.t -> int
+(** Full decision order: policy rank, then effective path length, then
+    lowest next-hop AS id, then lowest session (link) id. *)
+
+val sort : policy -> Route.t list -> Route.t list
+(** Most preferred first. *)
+
+val best : policy -> Route.t list -> Route.t option
+
+val k_best : policy -> int -> Route.t list -> Route.t list
+(** The top [k] routes, one per (next_hop, session); fewer if the
+    Adj-RIB-In is smaller. *)

@@ -1,0 +1,32 @@
+(** Graph metrics of a topology — the summary statistics used to judge
+    whether a generated Internet is structurally plausible (degree
+    skew, customer-cone concentration, path lengths, peering density). *)
+
+type t = {
+  as_count : int;
+  link_count : int;
+  peering_share : float;  (** Fraction of links that are settlement-free. *)
+  multi_homed_share : float;
+      (** Fraction of non-Tier-1 ASes with ≥ 2 providers. *)
+  max_degree : int;
+  mean_degree : float;
+  degree_p99 : int;
+  largest_cone : int;  (** Size of the biggest customer cone. *)
+  mean_tier1_cone : float;
+  mean_path_length : float;
+      (** Mean selected AS-path length to a sampled destination. *)
+}
+
+val compute :
+  ?path_samples:int -> rng:Netsim_prng.Splitmix.t -> Netsim_topo.Topology.t -> t
+(** [path_samples] (default 5) destinations are sampled for the
+    path-length statistic. *)
+
+val customer_cone : Netsim_topo.Topology.t -> int -> int
+(** Number of ASes reachable from [asid] by walking provider→customer
+    edges (including itself). *)
+
+val degree_histogram : Netsim_topo.Topology.t -> (int * int) list
+(** [(degree, count)] pairs, ascending by degree. *)
+
+val render : t -> string

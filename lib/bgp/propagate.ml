@@ -1,0 +1,284 @@
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+
+type entry = {
+  len : int;
+  parent : int;
+  link : Relation.link;
+  no_export : bool;
+      (** The route carries NO_EXPORT: usable here, never re-exported. *)
+}
+
+type state = {
+  topo : Topology.t;
+  config : Announce.t;
+  cust : entry option array;
+  peer : entry option array;
+  prov : entry option array;
+}
+
+let topology s = s.topo
+let config s = s.config
+let origin s = s.config.Announce.origin
+
+(* Priority queue of candidates with deterministic ordering;
+   implemented over Set since candidate counts are small. *)
+module Pq = Set.Make (struct
+  type t = int * int * int * int * Relation.link * bool
+
+  let compare (l1, p1, k1, t1, _, _) (l2, p2, k2, t2, _, _) =
+    compare (l1, p1, k1, t1) (l2, p2, k2, t2)
+end)
+
+(* Seeds: announcements the origin sends on its own sessions, grouped
+   by the class in which the receiving AS learns them. *)
+let seeds topo config ~klass =
+  let origin = config.Announce.origin in
+  List.filter_map
+    (fun (nb : Topology.neighbor) ->
+      let action = Announce.action_on config nb.link in
+      if not action.Announce.export then None
+      else begin
+        (* nb.rel is the relation from the origin's perspective; the
+           receiver's class is the mirror image. *)
+        let receiver_klass =
+          match nb.rel with
+          | Relation.To_customer -> Route.Provider (* receiver sees provider *)
+          | Relation.To_provider -> Route.Customer (* receiver sees customer *)
+          | Relation.Priv_peer | Relation.Pub_peer -> Route.Peer
+        in
+        if receiver_klass = klass then
+          Some
+            ( nb.peer,
+              1 + action.Announce.prepend,
+              origin,
+              nb.link,
+              action.Announce.no_export )
+        else None
+      end)
+    (Topology.neighbors topo origin)
+
+let run topo config =
+  let n = Topology.as_count topo in
+  let origin = config.Announce.origin in
+  let cust = Array.make n None in
+  let peer = Array.make n None in
+  let prov = Array.make n None in
+  (* ---- Phase 1: customer-learned routes (propagate upward). ---- *)
+  let pq = ref Pq.empty in
+  let push (target, len, parent, link, no_export) =
+    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
+  in
+  List.iter push (seeds topo config ~klass:Route.Customer);
+  while not (Pq.is_empty !pq) do
+    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if target <> origin && cust.(target) = None then begin
+      cust.(target) <- Some { len; parent; link; no_export };
+      (* target exports its best customer route to its providers —
+         unless the announcement was scoped with NO_EXPORT. *)
+      if not no_export then
+        List.iter
+          (fun (nb : Topology.neighbor) ->
+            if nb.rel = Relation.To_provider && nb.peer <> origin then
+              push (nb.peer, len + 1, target, nb.link, false))
+          (Topology.neighbors topo target)
+    end
+  done;
+  (* ---- Phase 2: peer-learned routes (single lateral step). ---- *)
+  let better (candidate : entry) (current : entry option) =
+    match current with
+    | None -> true
+    | Some e ->
+        candidate.len < e.len
+        || (candidate.len = e.len
+           && (candidate.parent, candidate.link.Relation.id)
+              < (e.parent, e.link.Relation.id))
+  in
+  List.iter
+    (fun (target, len, parent, link, no_export) ->
+      if target <> origin then begin
+        let candidate = { len; parent; link; no_export } in
+        if better candidate peer.(target) then peer.(target) <- Some candidate
+      end)
+    (seeds topo config ~klass:Route.Peer);
+  for x = 0 to n - 1 do
+    match cust.(x) with
+    | None -> ()
+    | Some ex ->
+        if not ex.no_export then
+          List.iter
+            (fun (nb : Topology.neighbor) ->
+              match nb.rel with
+              | Relation.Priv_peer | Relation.Pub_peer ->
+                  if nb.peer <> origin then begin
+                    let candidate =
+                      { len = ex.len + 1; parent = x; link = nb.link;
+                        no_export = false }
+                    in
+                    if better candidate peer.(nb.peer) then
+                      peer.(nb.peer) <- Some candidate
+                  end
+              | Relation.To_customer | Relation.To_provider -> ())
+            (Topology.neighbors topo x)
+  done;
+  (* ---- Phase 3: provider-learned routes (propagate downward). ---- *)
+  let sel_fixed x =
+    (* Selected best among the already-final classes. *)
+    match cust.(x) with Some e -> Some e | None -> peer.(x)
+  in
+  let pq = ref Pq.empty in
+  let push (target, len, parent, link, no_export) =
+    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
+  in
+  List.iter push (seeds topo config ~klass:Route.Provider);
+  (* ASes whose selection is already final export to their customers
+     regardless of phase-3 progress. *)
+  for x = 0 to n - 1 do
+    match sel_fixed x with
+    | None -> ()
+    | Some ex ->
+        if not ex.no_export then
+          List.iter
+            (fun (nb : Topology.neighbor) ->
+              if nb.rel = Relation.To_customer && nb.peer <> origin then
+                push (nb.peer, ex.len + 1, x, nb.link, false))
+            (Topology.neighbors topo x)
+  done;
+  while not (Pq.is_empty !pq) do
+    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if target <> origin && prov.(target) = None then begin
+      prov.(target) <- Some { len; parent; link; no_export };
+      (* If the provider route is the target's selected best, it now
+         exports that route to its customers. *)
+      if sel_fixed target = None && not no_export then
+        List.iter
+          (fun (nb : Topology.neighbor) ->
+            if nb.rel = Relation.To_customer && nb.peer <> origin then
+              push (nb.peer, len + 1, target, nb.link, false))
+          (Topology.neighbors topo target)
+    end
+  done;
+  { topo; config; cust; peer; prov }
+
+let selected_entry s x =
+  if x = origin s then None
+  else
+    match s.cust.(x) with
+    | Some e -> Some (Route.Customer, e)
+    | None -> (
+        match s.peer.(x) with
+        | Some e -> Some (Route.Peer, e)
+        | None -> (
+            match s.prov.(x) with
+            | Some e -> Some (Route.Provider, e)
+            | None -> None))
+
+let selected_class s x =
+  match selected_entry s x with Some (k, _) -> Some k | None -> None
+
+let reachable s x = x = origin s || selected_entry s x <> None
+
+let rec path_of s x klass =
+  (* AS path from x's route of the given class: next hop ... origin. *)
+  let entry =
+    match klass with
+    | Route.Customer -> s.cust.(x)
+    | Route.Peer -> s.peer.(x)
+    | Route.Provider -> s.prov.(x)
+  in
+  match entry with
+  | None -> []
+  | Some e ->
+      if e.parent = origin s then [ e.parent ]
+      else begin
+        let parent_klass =
+          match klass with
+          | Route.Customer -> Route.Customer
+          | Route.Peer -> Route.Customer
+          | Route.Provider -> (
+              match selected_entry s e.parent with
+              | Some (k, _) -> k
+              | None -> Route.Provider (* unreachable in a valid state *))
+        in
+        e.parent :: path_of s e.parent parent_klass
+      end
+
+let as_path s x =
+  match selected_entry s x with
+  | None -> []
+  | Some (klass, _) -> path_of s x klass
+
+let best s x =
+  match selected_entry s x with
+  | None -> None
+  | Some (klass, e) ->
+      Some
+        {
+          Route.dest = origin s;
+          klass;
+          next_hop = e.parent;
+          via_link = e.link;
+          path_len = e.len;
+          as_path = path_of s x klass;
+        }
+
+let klass_of_rel = function
+  | Relation.To_customer -> Route.Customer
+  | Relation.To_provider -> Route.Provider
+  | Relation.Priv_peer | Relation.Pub_peer -> Route.Peer
+
+let received s x =
+  if x = origin s then []
+  else
+    List.filter_map
+      (fun (nb : Topology.neighbor) ->
+        if nb.peer = origin s then begin
+          (* Direct announcement from the origin on this session. *)
+          let action = Announce.action_on s.config nb.link in
+          if not action.Announce.export then None
+          else
+            Some
+              {
+                Route.dest = origin s;
+                klass = klass_of_rel nb.rel;
+                next_hop = nb.peer;
+                via_link = nb.link;
+                path_len = 1 + action.Announce.prepend;
+                as_path = [ origin s ];
+              }
+        end
+        else
+          match selected_entry s nb.peer with
+          | None -> None
+          | Some (peer_klass, peer_entry) ->
+              (* A NO_EXPORT route is never advertised further.
+                 Otherwise: to its customers the neighbor exports
+                 everything; to peers/providers only customer-learned
+                 routes. *)
+              let x_is_customer_of_peer = nb.rel = Relation.To_provider in
+              if peer_entry.no_export then None
+              else if
+                (not x_is_customer_of_peer) && peer_klass <> Route.Customer
+              then None
+              else begin
+                let peer_path = path_of s nb.peer peer_klass in
+                if List.mem x peer_path || peer_entry.parent = x then None
+                else
+                  Some
+                    {
+                      Route.dest = origin s;
+                      klass = klass_of_rel nb.rel;
+                      next_hop = nb.peer;
+                      via_link = nb.link;
+                      path_len = peer_entry.len + 1;
+                      as_path = nb.peer :: peer_path;
+                    }
+              end)
+      (Topology.neighbors s.topo x)
+
+let received_at_metro s x ~metro =
+  List.filter
+    (fun (r : Route.t) -> r.via_link.Relation.metro = metro)
+    (received s x)

@@ -1,0 +1,45 @@
+(** Valley-free BGP route computation for one destination prefix.
+
+    Implements the standard Gao–Rexford model: routes learned from
+    customers are exported to everyone; routes learned from peers or
+    providers are exported only to customers.  Selection prefers
+    customer-learned over peer-learned over provider-learned routes,
+    then shorter (prepend-inclusive) AS paths, with a deterministic
+    tie-break.  The per-link announcement configuration supports
+    anycast, single-site unicast prefixes, prepending and selective
+    withholding (grooming).
+
+    One [run] computes the routing state of {e every} AS toward the
+    prefix, so anycast catchments for all clients cost a single run. *)
+
+type state
+
+val run : Netsim_topo.Topology.t -> Announce.t -> state
+(** Compute routes from every AS to the configured origin. *)
+
+val topology : state -> Netsim_topo.Topology.t
+val config : state -> Announce.t
+val origin : state -> int
+
+val best : state -> int -> Route.t option
+(** The selected best route of an AS ([None] for the origin itself and
+    for ASes that cannot reach the prefix). *)
+
+val selected_class : state -> int -> Route.klass option
+
+val reachable : state -> int -> bool
+(** True for the origin and any AS with a route. *)
+
+val as_path : state -> int -> int list
+(** Full AS path from the given AS to the origin (excluding the AS
+    itself, including the origin); [] for the origin or if
+    unreachable. *)
+
+val received : state -> int -> Route.t list
+(** Every announcement the AS receives from its neighbors, one per
+    session, after export filtering and loop suppression.  This is the
+    Adj-RIB-In used to enumerate a PoP's alternate routes. *)
+
+val received_at_metro : state -> int -> metro:int -> Route.t list
+(** Announcements arriving on sessions at a given metro — the routes
+    available to a specific PoP of a multi-site AS. *)

@@ -1,0 +1,22 @@
+type klass = Customer | Peer | Provider
+
+let klass_rank = function Customer -> 0 | Peer -> 1 | Provider -> 2
+
+let klass_to_string = function
+  | Customer -> "customer"
+  | Peer -> "peer"
+  | Provider -> "provider"
+
+type t = {
+  dest : int;
+  klass : klass;
+  next_hop : int;
+  via_link : Netsim_topo.Relation.link;
+  path_len : int;
+  as_path : int list;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "dest=%d %s via AS%d len=%d path=[%s]" t.dest
+    (klass_to_string t.klass) t.next_hop t.path_len
+    (String.concat ";" (List.map string_of_int t.as_path))

@@ -1,0 +1,23 @@
+(** Route records and the three Gao–Rexford route classes. *)
+
+(** How a route was learned, which controls both export rules and the
+    default local preference. *)
+type klass = Customer | Peer | Provider
+
+val klass_rank : klass -> int
+(** Customer = 0 (most preferred) … Provider = 2. *)
+
+val klass_to_string : klass -> string
+
+(** A route as received by some AS from a neighbor. *)
+type t = {
+  dest : int;  (** Origin AS of the prefix. *)
+  klass : klass;  (** Relation through which it was learned. *)
+  next_hop : int;  (** Neighboring AS that announced it. *)
+  via_link : Netsim_topo.Relation.link;  (** Session it arrived on. *)
+  path_len : int;  (** Effective AS-path length including prepends. *)
+  as_path : int list;  (** Hops from the receiving AS's neighbor to the
+                           origin, inclusive; no prepend duplication. *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Asn = Netsim_topo.Asn
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let as_name topo i = (Topology.asn topo i).Asn.name
+let metro_name i = World.cities.(i).City.name
+
+let route topo (r : Route.t) =
+  Printf.sprintf "%-9s %-13s @%-14s len %2d  path %s"
+    (Route.klass_to_string r.Route.klass)
+    (Relation.kind_to_string r.Route.via_link.Relation.kind)
+    (metro_name r.Route.via_link.Relation.metro)
+    r.Route.path_len
+    (String.concat " " (List.map (as_name topo) r.Route.as_path))
+
+let render_ranked topo routes =
+  let ranked = Decision.sort Decision.gao_rexford routes in
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (if i = 0 then "> " else "  ");
+      Buffer.add_string buf (route topo r);
+      Buffer.add_char buf '\n')
+    ranked;
+  if ranked = [] then Buffer.add_string buf "  (no routes)\n";
+  Buffer.contents buf
+
+let rib topo state asid =
+  Printf.sprintf "Adj-RIB-In of %s toward %s:\n%s" (as_name topo asid)
+    (as_name topo (Propagate.origin state))
+    (render_ranked topo (Propagate.received state asid))
+
+let rib_at_metro topo state asid ~metro =
+  Printf.sprintf "Adj-RIB-In of %s at %s toward %s:\n%s" (as_name topo asid)
+    (metro_name metro)
+    (as_name topo (Propagate.origin state))
+    (render_ranked topo (Propagate.received_at_metro state asid ~metro))
+
+let walk topo (w : Walk.t) =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i (h : Walk.hop) ->
+      let carry =
+        City.distance_km World.cities.(h.Walk.ingress)
+          World.cities.(h.Walk.egress)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%2d  %-12s %-14s -> %-14s (%5.0f km)\n" (i + 1)
+           (as_name topo h.Walk.asid)
+           (metro_name h.Walk.ingress) (metro_name h.Walk.egress) carry))
+    w.Walk.hops;
+  (match List.rev w.Walk.hops with
+  | last :: _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "    enters %s at %s\n"
+           (as_name topo (Relation.other last.Walk.link last.Walk.asid))
+           (metro_name last.Walk.link.Relation.metro))
+  | [] -> ());
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Human-readable rendering of routing state, in the spirit of
+    [show ip bgp] and textual traceroute — the debugging surface for
+    anyone poking at a simulated Internet. *)
+
+val route : Netsim_topo.Topology.t -> Route.t -> string
+(** One Adj-RIB-In line: class, interconnect kind, session metro,
+    effective length and the named AS path. *)
+
+val rib : Netsim_topo.Topology.t -> Propagate.state -> int -> string
+(** The full Adj-RIB-In of an AS toward the state's prefix, ranked by
+    the standard decision process, best first and marked [>]. *)
+
+val rib_at_metro :
+  Netsim_topo.Topology.t -> Propagate.state -> int -> metro:int -> string
+(** Same, restricted to sessions at one metro (a PoP's view). *)
+
+val walk : Netsim_topo.Topology.t -> Walk.t -> string
+(** Traceroute-style rendering of a flow walk: one line per AS with
+    ingress/egress metros and the carry distance. *)

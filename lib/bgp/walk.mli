@@ -1,0 +1,45 @@
+(** Metro-level flow walks along computed BGP routes.
+
+    BGP selects AS-level next hops; a flow's latency additionally
+    depends on {e where} it enters and leaves each AS.  The walk
+    follows the selected route AS by AS, choosing among parallel
+    sessions by hot-potato (nearest exit to the current metro), and
+    records per-AS ingress/egress metros.  The latency library turns
+    hop lists into RTTs, and the anycast layer reads the entry metro
+    of the final hop as the catchment site. *)
+
+type hop = {
+  asid : int;  (** AS being traversed. *)
+  ingress : int;  (** Metro where the flow enters this AS. *)
+  egress : int;  (** Metro where it leaves (= the exit session metro). *)
+  link : Netsim_topo.Relation.link;  (** Session used to exit. *)
+}
+
+type t = {
+  src : int;  (** Source AS. *)
+  hops : hop list;  (** One per AS from the source up to (excluding)
+                        the origin; the last hop's link lands on the
+                        origin. *)
+}
+
+val entry_metro : t -> int
+(** Metro of the final link — where traffic enters the destination AS
+    (the anycast catchment site).  @raise Invalid_argument on an empty
+    walk. *)
+
+val as_path : t -> int list
+(** AS ids traversed, starting with the source. *)
+
+val of_source : Propagate.state -> src:int -> t option
+(** Walk from the source AS's home metro along its selected routes.
+    [None] if the destination is unreachable.  The source must not be
+    the origin. *)
+
+val from_metro : Propagate.state -> src:int -> start_metro:int -> t option
+(** Like {!of_source} but the flow starts at an explicit metro (e.g. a
+    client city that is not the AS's home). *)
+
+val of_route : Propagate.state -> src:int -> route:Route.t -> t option
+(** Walk that is pinned to a specific received announcement for its
+    first hop (the PoP egress case), then follows selected routes.
+    The first hop leaves via [route.via_link] from that link's metro. *)

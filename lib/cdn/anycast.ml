@@ -1,0 +1,79 @@
+module Propagate = Netsim_bgp.Propagate
+module Announce = Netsim_bgp.Announce
+module Catchment = Netsim_bgp.Catchment
+module Walk = Netsim_bgp.Walk
+module Rtt = Netsim_latency.Rtt
+module Propagation = Netsim_latency.Propagation
+module Congestion = Netsim_latency.Congestion
+module Prefix = Netsim_traffic.Prefix
+
+type t = {
+  deployment : Deployment.t;
+  anycast_config : Announce.t;
+  anycast_state : Propagate.state;
+  catchment : Catchment.t;
+  unicast_states : (int * Propagate.state) list;
+}
+
+let make (d : Deployment.t) =
+  let topo = d.Deployment.topo in
+  let anycast_config = Announce.default ~origin:d.Deployment.asid in
+  let anycast_state = Propagate.run topo anycast_config in
+  let unicast_states =
+    List.map
+      (fun site ->
+        let config = Announce.only_at_metros ~origin:d.Deployment.asid [ site ] in
+        (site, Propagate.run topo config))
+      d.Deployment.pops
+  in
+  {
+    deployment = d;
+    anycast_config;
+    anycast_state;
+    catchment = Catchment.compute anycast_state;
+    unicast_states;
+  }
+
+let deployment t = t.deployment
+let sites t = t.deployment.Deployment.pops
+let catchment t = t.catchment
+let anycast_config t = t.anycast_config
+
+let flow_of_walk (prefix : Prefix.t) walk =
+  Rtt.make_flow
+    ~access:(Congestion.Access prefix.Prefix.id)
+    ~terminal:Propagation.At_entry walk
+
+let anycast_flow t (prefix : Prefix.t) =
+  match
+    Walk.from_metro t.anycast_state ~src:prefix.Prefix.asid
+      ~start_metro:prefix.Prefix.city
+  with
+  | None -> None
+  | Some walk -> Some (flow_of_walk prefix walk)
+
+let anycast_site t (prefix : Prefix.t) =
+  match anycast_flow t prefix with
+  | None -> None
+  | Some flow -> Some (Walk.entry_metro flow.Rtt.walk)
+
+let unicast_flow t (prefix : Prefix.t) ~site =
+  match List.assoc_opt site t.unicast_states with
+  | None -> invalid_arg "Anycast.unicast_flow: unknown site"
+  | Some state -> (
+      match
+        Walk.from_metro state ~src:prefix.Prefix.asid
+          ~start_metro:prefix.Prefix.city
+      with
+      | None -> None
+      | Some walk -> Some (flow_of_walk prefix walk))
+
+let with_grooming t config =
+  let topo = t.deployment.Deployment.topo in
+  let anycast_state = Propagate.run topo config in
+  {
+    t with
+    anycast_config = config;
+    anycast_state;
+    catchment = Catchment.compute anycast_state;
+  }

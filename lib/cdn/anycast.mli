@@ -1,0 +1,37 @@
+(** Anycast CDN serving (the Microsoft-like setting, §2.3.2).
+
+    The provider announces one anycast prefix from all its sites and
+    one unicast prefix per site.  BGP picks the anycast catchment;
+    unicast flows let clients measure each site individually, which is
+    what the Bing-instrumented study did. *)
+
+type t
+
+val make : Deployment.t -> t
+(** Runs one propagation for the anycast prefix and one per unicast
+    site. *)
+
+val deployment : t -> Deployment.t
+val sites : t -> int list
+(** Site metros. *)
+
+val catchment : t -> Netsim_bgp.Catchment.t
+
+val anycast_flow : t -> Netsim_traffic.Prefix.t -> Netsim_latency.Rtt.flow option
+(** Client-to-anycast flow; [None] if the client cannot reach the
+    prefix.  The flow terminates at the catchment site. *)
+
+val anycast_site : t -> Netsim_traffic.Prefix.t -> int option
+(** Site metro the client's anycast traffic lands on. *)
+
+val unicast_flow :
+  t -> Netsim_traffic.Prefix.t -> site:int -> Netsim_latency.Rtt.flow option
+(** Client-to-one-site unicast flow.  @raise Invalid_argument if
+    [site] is not a deployed site. *)
+
+val with_grooming : t -> Netsim_bgp.Announce.t -> t
+(** Rebuild the anycast side (propagation + catchment) under a
+    modified announcement configuration — the grooming hook for
+    §3.2.2.  Unicast states are reused. *)
+
+val anycast_config : t -> Netsim_bgp.Announce.t

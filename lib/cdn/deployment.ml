@@ -1,0 +1,159 @@
+module Sm = Netsim_prng.Splitmix
+module Dist = Netsim_prng.Dist
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+type spec = {
+  name : string;
+  klass : Asn.klass;
+  pop_metros : int list;
+  transit_count : int;
+  transit_session_metros : int;
+  pni_prob : float;
+  public_peer_prob : float;
+  dual_pni_prob : float;
+  peer_fraction : float;
+  pni_capacity : float;
+  public_capacity : float;
+  transit_capacity : float;
+}
+
+let default_spec ~name ~pop_metros =
+  {
+    name;
+    klass = Asn.Content;
+    pop_metros;
+    transit_count = 4;
+    transit_session_metros = 6;
+    pni_prob = 0.7;
+    public_peer_prob = 0.8;
+    dual_pni_prob = 0.6;
+    peer_fraction = 1.0;
+    pni_capacity = 100.;
+    public_capacity = 20.;
+    transit_capacity = 200.;
+  }
+
+type t = {
+  topo : Topology.t;
+  asid : int;
+  pops : int list;
+  pni_count : int;
+  public_peer_count : int;
+  transit_link_count : int;
+}
+
+let deploy base ~rng spec =
+  if spec.pop_metros = [] then invalid_arg "Deployment.deploy: no PoPs";
+  let pops = List.sort_uniq compare spec.pop_metros in
+  let topo, asid =
+    Topology.add_as base ~klass:spec.klass ~name:spec.name
+      ~footprint:(Array.of_list pops)
+  in
+  let links = ref [] in
+  let push a b kind metro cap = links := (a, b, kind, metro, cap) :: !links in
+  (* Transit from Tier-1s, with sessions at several PoP metros so
+     every region has an exit of last resort. *)
+  let tier1s = Array.of_list (Topology.by_klass topo Asn.Tier1) in
+  Dist.shuffle rng tier1s;
+  let chosen_transits =
+    Array.to_list (Array.sub tier1s 0 (min spec.transit_count (Array.length tier1s)))
+  in
+  let transit_link_count = ref 0 in
+  List.iter
+    (fun t1 ->
+      let shared =
+        List.filter
+          (fun m -> Asn.present_at (Topology.asn topo t1) m)
+          pops
+      in
+      let session_metros =
+        match shared with
+        | [] -> [ List.hd pops ]
+        | l ->
+            Dist.sample_without_replacement rng spec.transit_session_metros
+              (Array.of_list l)
+            |> Array.to_list
+      in
+      List.iter
+        (fun m ->
+          push asid t1 Relation.C2p m spec.transit_capacity;
+          incr transit_link_count)
+        session_metros)
+    chosen_transits;
+  (* Every PoP metro needs at least one transit session so that a
+     unicast prefix announced only there stays globally reachable. *)
+  let covered =
+    List.filter_map
+      (fun (_, _, kind, m, _) -> if kind = Relation.C2p then Some m else None)
+      !links
+  in
+  List.iter
+    (fun m ->
+      if not (List.mem m covered) then begin
+        match chosen_transits with
+        | [] -> ()
+        | t1 :: _ ->
+            push asid t1 Relation.C2p m spec.transit_capacity;
+            incr transit_link_count
+      end)
+    pops;
+  (* Peering with eyeballs co-located at PoP metros.  An eyeball peers
+     at every PoP metro it shares with the provider (PNIs), or at one
+     IXP metro for public peering. *)
+  let eyeballs = Topology.by_klass topo Asn.Eyeball in
+  let pni_count = ref 0 and public_peer_count = ref 0 in
+  List.iter
+    (fun eb ->
+      let shared =
+        List.filter (fun m -> Asn.present_at (Topology.asn topo eb) m) pops
+      in
+      if shared <> [] && Dist.bernoulli rng ~p:spec.peer_fraction then begin
+        (* PNIs and public IXP peering are independent: large eyeballs
+           typically keep both, which is what gives BGP's second
+           choice near-identical performance to its first. *)
+        let has_pni = Dist.bernoulli rng ~p:spec.pni_prob in
+        if has_pni then begin
+          List.iter
+            (fun m ->
+              push asid eb Relation.Peer_private m spec.pni_capacity;
+              (* Large interconnects run parallel sessions on separate
+                 routers; BGP sees them as distinct near-identical
+                 routes — the common shape of a PoP's second choice. *)
+              if Dist.bernoulli rng ~p:spec.dual_pni_prob then
+                push asid eb Relation.Peer_private m spec.pni_capacity)
+            shared;
+          incr pni_count
+        end;
+        if Dist.bernoulli rng ~p:spec.public_peer_prob then begin
+          let m = List.nth shared (Sm.next_int rng (List.length shared)) in
+          push asid eb Relation.Peer_public m spec.public_capacity;
+          incr public_peer_count
+        end
+      end)
+    eyeballs;
+  let topo = Topology.add_links topo (List.rev !links) in
+  {
+    topo;
+    asid;
+    pops;
+    pni_count = !pni_count;
+    public_peer_count = !public_peer_count;
+    transit_link_count = !transit_link_count;
+  }
+
+let nearest_pop t ~city =
+  let c = World.cities.(city) in
+  let best = ref (List.hd t.pops) and best_d = ref infinity in
+  List.iter
+    (fun m ->
+      let d = City.distance_km c World.cities.(m) in
+      if d < !best_d then begin
+        best_d := d;
+        best := m
+      end)
+    t.pops;
+  !best

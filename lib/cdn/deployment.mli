@@ -1,0 +1,49 @@
+(** Grafting a content or cloud provider onto a base Internet.
+
+    A deployment adds one AS with PoPs at chosen metros, transit from
+    Tier-1s, private interconnects (PNIs) to eyeballs co-located at
+    PoP metros, and public IXP peering — the infrastructure whose
+    "nature" §3.2.2 asks about.  The [peer_fraction] knob implements
+    the §3.1.3 reduced-peering-footprint ablation. *)
+
+type spec = {
+  name : string;
+  klass : Netsim_topo.Asn.klass;  (** [Content] or [Cloud]. *)
+  pop_metros : int list;  (** Metros with a PoP; at least one. *)
+  transit_count : int;  (** Tier-1 transit providers to buy from. *)
+  transit_session_metros : int;  (** Sessions per transit, spread over
+                                     PoP metros. *)
+  pni_prob : float;  (** Probability of a PNI with each co-located
+                         eyeball. *)
+  public_peer_prob : float;  (** Probability of public IXP peering
+                                 (independent of the PNI draw). *)
+  dual_pni_prob : float;  (** Probability that a PNI at a metro runs a
+                              second parallel session. *)
+  peer_fraction : float;  (** Retain this fraction of would-be peers
+                              (1.0 = full footprint). *)
+  pni_capacity : float;
+  public_capacity : float;
+  transit_capacity : float;
+}
+
+val default_spec : name:string -> pop_metros:int list -> spec
+(** Content provider, 3 transits, [pni_prob = 0.7],
+    [public_peer_prob = 0.8], full peer fraction. *)
+
+type t = {
+  topo : Netsim_topo.Topology.t;  (** Topology including the provider. *)
+  asid : int;  (** The provider's AS id. *)
+  pops : int list;  (** PoP metros actually deployed. *)
+  pni_count : int;
+  public_peer_count : int;
+  transit_link_count : int;
+}
+
+val deploy :
+  Netsim_topo.Topology.t -> rng:Netsim_prng.Splitmix.t -> spec -> t
+(** Deterministic in [rng].  @raise Invalid_argument on an empty
+    [pop_metros]. *)
+
+val nearest_pop : t -> city:int -> int
+(** PoP metro geographically nearest to a city (the provider's
+    client-to-PoP mapping for the Facebook-like setting). *)

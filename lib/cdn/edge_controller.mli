@@ -1,0 +1,41 @@
+(** Edge-Fabric-style measurement pipeline at a PoP.
+
+    For each window the provider sprays a sample of sessions across
+    the top-k egress routes and computes per-route median MinRTT with
+    a confidence interval.  BGP's choice is the policy head; the
+    omniscient controller picks the measured best — exactly the
+    comparison behind Figure 1. *)
+
+type route_measurement = {
+  option_route : Egress.option_route;
+  median_ms : float;
+  ci : Netsim_stats.Ci.interval;
+  samples : int;
+}
+
+type window_result = {
+  entry : Egress.entry;
+  window : Netsim_traffic.Window.t;
+  per_route : route_measurement list;  (** Same order as the entry's
+                                           ranked options. *)
+  bgp : route_measurement;  (** Head of [per_route]. *)
+  best_alternate : route_measurement option;
+      (** Best-measured among the non-head options; [None] when the
+          entry has a single route. *)
+}
+
+val measure_window :
+  Netsim_latency.Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  samples_per_route:int ->
+  Netsim_traffic.Window.t ->
+  Egress.entry ->
+  window_result
+
+val improvement_ms : window_result -> float option
+(** Median difference, BGP − best alternate (positive = an alternate
+    was faster); [None] for single-route entries. *)
+
+val improvement_bounds : window_result -> (float * float) option
+(** Conservative CI band of the difference: (bgp.lo − alt.hi,
+    bgp.hi − alt.lo). *)

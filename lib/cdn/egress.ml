@@ -1,0 +1,83 @@
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Propagate = Netsim_bgp.Propagate
+module Announce = Netsim_bgp.Announce
+module Decision = Netsim_bgp.Decision
+module Route = Netsim_bgp.Route
+module Walk = Netsim_bgp.Walk
+module Rtt = Netsim_latency.Rtt
+module Propagation = Netsim_latency.Propagation
+module Congestion = Netsim_latency.Congestion
+module Prefix = Netsim_traffic.Prefix
+
+type option_route = { route : Route.t; flow : Rtt.flow }
+
+type entry = {
+  prefix : Prefix.t;
+  pop : int;
+  options : option_route list;
+  all_options : option_route list;
+}
+
+let flow_of_route state (d : Deployment.t) (prefix : Prefix.t) route =
+  match Walk.of_route state ~src:d.Deployment.asid ~route with
+  | None -> None
+  | Some walk ->
+      Some
+        {
+          route;
+          flow =
+            Rtt.make_flow
+              ~access:(Congestion.Access prefix.Prefix.id)
+              ~dest_net:(Congestion.Dest_net prefix.Prefix.asid)
+              ~terminal:(Propagation.To_city prefix.Prefix.city)
+              walk;
+        }
+
+let compute (d : Deployment.t) ~prefixes ~k =
+  let topo = d.Deployment.topo in
+  (* One propagation per distinct client AS. *)
+  let states = Hashtbl.create 64 in
+  let state_for asid =
+    match Hashtbl.find_opt states asid with
+    | Some s -> s
+    | None ->
+        let s = Propagate.run topo (Announce.default ~origin:asid) in
+        Hashtbl.replace states asid s;
+        s
+  in
+  let entries =
+    Array.to_list prefixes
+    |> List.filter_map (fun (prefix : Prefix.t) ->
+           let state = state_for prefix.Prefix.asid in
+           let pop = Deployment.nearest_pop d ~city:prefix.Prefix.city in
+           let local =
+             Propagate.received_at_metro state d.Deployment.asid ~metro:pop
+           in
+           let candidates =
+             match local with
+             | [] -> Propagate.received state d.Deployment.asid
+             | l -> l
+           in
+           let ranked = Decision.sort Decision.content_provider candidates in
+           let all_options =
+             List.filter_map (flow_of_route state d prefix) ranked
+           in
+           let options =
+             List.filteri (fun i _ -> i < k) all_options
+           in
+           match options with
+           | [] -> None
+           | _ -> Some { prefix; pop; options; all_options })
+  in
+  Array.of_list entries
+
+let route_kind o = o.route.Route.via_link.Relation.kind
+
+let is_peer_route o =
+  match route_kind o with
+  | Relation.Peer_private | Relation.Peer_public -> true
+  | Relation.C2p -> false
+
+let is_transit_route o =
+  (not (is_peer_route o)) && o.route.Route.klass = Route.Provider

@@ -1,0 +1,38 @@
+(** Per-⟨PoP, prefix⟩ egress route options for a content provider.
+
+    For every client prefix, the provider serves from the nearest PoP
+    and holds the BGP routes its sessions at that PoP receive for the
+    client's prefix, ranked by the content-provider policy (private
+    peer > public peer > transit).  Each option carries a ready flow
+    for latency sampling. *)
+
+type option_route = {
+  route : Netsim_bgp.Route.t;
+  flow : Netsim_latency.Rtt.flow;
+}
+
+type entry = {
+  prefix : Netsim_traffic.Prefix.t;
+  pop : int;  (** Serving PoP metro. *)
+  options : option_route list;  (** Ranked, most preferred first; the
+                                    head is BGP's choice. *)
+  all_options : option_route list;
+      (** The PoP's complete Adj-RIB-In (ranked), beyond the sprayed
+          top-k — used for route-class comparisons (Figure 2). *)
+}
+
+val compute :
+  Deployment.t ->
+  prefixes:Netsim_traffic.Prefix.t array ->
+  k:int ->
+  entry array
+(** One propagation run per distinct client AS (shared across its
+    prefixes).  Prefixes whose serving PoP has no local session for
+    the destination fall back to the provider's full Adj-RIB-In.
+    Entries with no usable route options are dropped. *)
+
+val route_kind : option_route -> Netsim_topo.Relation.kind
+(** Interconnect type of the option's egress session. *)
+
+val is_peer_route : option_route -> bool
+val is_transit_route : option_route -> bool

@@ -1,0 +1,115 @@
+module Sm = Netsim_prng.Splitmix
+module Dist = Netsim_prng.Dist
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Prefix = Netsim_traffic.Prefix
+module Region = Netsim_geo.Region
+
+type resolver = { id : int; city : int; public : bool }
+
+type assignment = {
+  resolvers : resolver array;
+  of_prefix : int array;
+  ecs : bool array;
+}
+
+type params = {
+  in_as_prob : float;
+  ecs_prob : float;
+  public_hub_names : string list;
+}
+
+let default_params =
+  {
+    in_as_prob = 0.35;
+    ecs_prob = 0.001;
+    public_hub_names = [ "Ashburn"; "Frankfurt"; "Singapore" ];
+  }
+
+let assign topo ~prefixes ~rng params =
+  let n = Array.length prefixes in
+  let resolvers = ref [] in
+  let next_id = ref 0 in
+  let push city public =
+    let r = { id = !next_id; city; public } in
+    incr next_id;
+    resolvers := r :: !resolvers;
+    r
+  in
+  (* Public resolvers are anycast services: each hub serves distinct
+     regional catchments, so prediction pools form per
+     (hub, client continent) rather than one global pool per hub. *)
+  let hub_cities =
+    List.map (fun name -> (World.find_exn name).City.id) params.public_hub_names
+  in
+  let public_pools : (int * Region.continent, resolver) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let public_resolver hub_city continent =
+    match Hashtbl.find_opt public_pools (hub_city, continent) with
+    | Some r -> r
+    | None ->
+        let r = push hub_city true in
+        Hashtbl.replace public_pools (hub_city, continent) r;
+        r
+  in
+  (* One in-AS resolver per client AS, anchored at the AS home metro. *)
+  let in_as = Hashtbl.create 64 in
+  let in_as_resolver asid =
+    match Hashtbl.find_opt in_as asid with
+    | Some r -> r
+    | None ->
+        let home = Asn.home (Topology.asn topo asid) in
+        let r = push home false in
+        Hashtbl.replace in_as asid r;
+        r
+  in
+  let of_prefix = Array.make n 0 in
+  let ecs = Array.make n false in
+  Array.iteri
+    (fun i (p : Prefix.t) ->
+      let r =
+        if Dist.bernoulli rng ~p:params.in_as_prob then in_as_resolver p.Prefix.asid
+        else begin
+          (* Public resolver: clients are served by the anycast site
+             nearest to them — usually, but not always, the nearest
+             hub. *)
+          let client = World.cities.(p.Prefix.city) in
+          let scored =
+            List.map
+              (fun hub_city ->
+                (City.distance_km client World.cities.(hub_city), hub_city))
+              hub_cities
+          in
+          let sorted = List.sort compare scored in
+          match sorted with
+          | (_, first) :: rest ->
+              let hub =
+                match rest with
+                | (_, second) :: _ ->
+                    if Dist.bernoulli rng ~p:0.65 then first else second
+                | [] -> first
+              in
+              public_resolver hub client.City.continent
+          | [] -> in_as_resolver p.Prefix.asid
+        end
+      in
+      of_prefix.(i) <- r.id;
+      ecs.(i) <- Dist.bernoulli rng ~p:params.ecs_prob)
+    prefixes;
+  {
+    resolvers = Array.of_list (List.rev !resolvers);
+    of_prefix;
+    ecs;
+  }
+
+let resolver_of a (p : Prefix.t) = a.resolvers.(a.of_prefix.(p.Prefix.id))
+
+let clients_of_resolver a prefixes rid =
+  Array.to_list prefixes
+  |> List.filter (fun (p : Prefix.t) -> a.of_prefix.(p.Prefix.id) = rid)
+
+let measurement_city a (p : Prefix.t) =
+  if a.ecs.(p.Prefix.id) then p.Prefix.city else (resolver_of a p).city

@@ -1,0 +1,49 @@
+(** Local DNS resolver model.
+
+    DNS-based redirection only sees the resolver, not the client
+    (§3.2.1): most clients use an in-AS resolver near them, but a
+    significant share uses a public resolver anchored at a distant
+    hub, and EDNS-Client-Subnet adoption is near zero.  The resulting
+    client↔resolver mismatch is the mechanism that makes prediction
+    hurt ~17 % of queries in Figure 4. *)
+
+type resolver = {
+  id : int;
+  city : int;  (** Metro the resolver effectively measures from. *)
+  public : bool;
+}
+
+type assignment = {
+  resolvers : resolver array;
+  of_prefix : int array;  (** Prefix id → resolver id. *)
+  ecs : bool array;  (** Prefix id → true if EDNS-Client-Subnet gives
+                         client granularity for this prefix. *)
+}
+
+type params = {
+  in_as_prob : float;  (** Client uses its ISP's resolver. *)
+  ecs_prob : float;  (** Resolver forwards client subnets (≈ 0 per the
+                         paper's < 0.1 % adoption). *)
+  public_hub_names : string list;  (** Metros hosting public-resolver
+                                       sites. *)
+}
+
+val default_params : params
+
+val assign :
+  Netsim_topo.Topology.t ->
+  prefixes:Netsim_traffic.Prefix.t array ->
+  rng:Netsim_prng.Splitmix.t ->
+  params ->
+  assignment
+
+val resolver_of : assignment -> Netsim_traffic.Prefix.t -> resolver
+
+val clients_of_resolver :
+  assignment -> Netsim_traffic.Prefix.t array -> int -> Netsim_traffic.Prefix.t list
+(** All prefixes using a given resolver. *)
+
+val measurement_city : assignment -> Netsim_traffic.Prefix.t -> int
+(** Where redirection decisions are effectively measured for this
+    prefix: the client's own city under ECS, otherwise the resolver's
+    city. *)

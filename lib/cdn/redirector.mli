@@ -1,0 +1,39 @@
+(** Measurement-driven DNS redirection (the Fig. 4 scheme).
+
+    Training: clients measure the anycast prefix and each unicast site
+    over a set of windows; per resolver, the scheme predicts the best
+    option (anycast or one unicast site) from its clients' weighted
+    medians.  Serving: every client of the resolver is directed to the
+    predicted option.  Prefixes with EDNS-Client-Subnet get their own
+    per-prefix prediction. *)
+
+type choice = Use_anycast | Use_site of int
+
+type table
+
+val train :
+  ?margin:float ->
+  ?client_sample:int ->
+  Anycast.t ->
+  assignment:Ldns.assignment ->
+  prefixes:Netsim_traffic.Prefix.t array ->
+  cong:Netsim_latency.Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  windows:Netsim_traffic.Window.t list ->
+  samples_per_window:int ->
+  table
+(** Build the per-resolver (and per-ECS-prefix) prediction table. *)
+
+val choice_for : table -> Ldns.assignment -> Netsim_traffic.Prefix.t -> choice
+(** The option this client will be directed to. *)
+
+val flow_for_choice :
+  Anycast.t -> Netsim_traffic.Prefix.t -> choice -> Netsim_latency.Rtt.flow option
+(** Serving flow for a choice; falls back to anycast when a predicted
+    unicast site is unreachable for this client. *)
+
+val choices : table -> (int * choice) list
+(** Per-resolver decisions (for inspection/tests). *)
+
+val redirected_fraction : table -> float
+(** Fraction of resolvers predicted to do better on unicast. *)

@@ -1,0 +1,50 @@
+(** §4 — availability under failures: anycast resilience vs the
+    DNS-caching exposure of redirection.
+
+    The paper argues availability, not median latency, is the primary
+    concern, and lists two specific effects this module quantifies:
+
+    - {b Site failure.}  When a front-end site dies, anycast clients
+      reconverge to another site as soon as BGP does; clients pinned
+      to the site's unicast address by DNS redirection keep hitting it
+      until their TTL expires.  For each failed site we measure the
+      affected traffic share, the post-reconvergence latency penalty
+      for anycast, any stranded traffic, and the client-weighted
+      outage that redirection's caching causes.
+
+    - {b Peer-link failure.}  Failing an individual interconnect at a
+      content provider's PoP shifts its traffic to the next BGP route;
+      the latency delta measures how much redundancy peering diversity
+      buys (the §3.1.3/§4 increased-vs-reduced-peering discussion). *)
+
+type site_failure = {
+  site : int;  (** Failed front-end metro. *)
+  affected_share : float;  (** Traffic-weighted share of clients whose
+                               anycast catchment was the failed site. *)
+  stranded_share : float;  (** Share left with no route after
+                               reconvergence (should be ~0). *)
+  anycast_delta_ms : float;
+      (** Median floor-latency increase for affected clients after
+          anycast reconvergence. *)
+  dns_outage_share : float;
+      (** Share of traffic that redirection had pinned to the failed
+          site — unavailable for a full TTL. *)
+  dns_outage_client_seconds : float;
+      (** [dns_outage_share × ttl_seconds]: expected weighted outage. *)
+}
+
+type result = {
+  figure : Figure.t;
+  failures : site_failure list;
+  mean_anycast_delta_ms : float;
+  mean_dns_outage_share : float;
+}
+
+val run :
+  ?ttl_seconds:float ->
+  ?max_sites:int ->
+  Scenario.microsoft ->
+  result
+(** Fail each of the [max_sites] (default 8) sites with the largest
+    catchments, one at a time.  [ttl_seconds] defaults to 300 (a
+    typical CDN DNS TTL). *)

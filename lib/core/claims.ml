@@ -1,0 +1,106 @@
+type t = {
+  id : string;
+  description : string;
+  paper_value : string;
+  measured : float;
+  band : float * float;
+}
+
+let passes c =
+  let lo, hi = c.band in
+  (not (Float.is_nan c.measured)) && c.measured >= lo && c.measured <= hi
+
+let claim ~id ~description ~paper_value ~band figure stat =
+  match Figure.stat_opt figure stat with
+  | None -> None
+  | Some measured -> Some { id; description; paper_value; measured; band }
+
+let of_figure figure =
+  let mk = claim in
+  let candidates =
+    match figure.Figure.id with
+    | "fig1" ->
+        [
+          mk ~id:"fig1-improvable"
+            ~description:"traffic improvable by >= 5 ms via alternates"
+            ~paper_value:"2-4 % of traffic" ~band:(0.005, 0.15) figure
+            "fraction_improvable_5ms";
+          mk ~id:"fig1-median-near-zero"
+            ~description:"median (BGP - best alternate) is close to zero"
+            ~paper_value:"most traffic sees no improvement" ~band:(-5., 1.)
+            figure "median_improvement_ms";
+        ]
+    | "fig2" ->
+        [
+          mk ~id:"fig2-private-public-parity"
+            ~description:"private and public peers perform alike (median)"
+            ~paper_value:"similar performance" ~band:(-5., 5.) figure
+            "private_vs_public_median_ms";
+          mk ~id:"fig2-transit-competitive"
+            ~description:"best transit within tens of ms of best peer (median)"
+            ~paper_value:"transits often similar to peers" ~band:(-70., 5.)
+            figure "peer_vs_transit_median_ms";
+        ]
+    | "fig3" ->
+        [
+          mk ~id:"fig3-anycast-mostly-good"
+            ~description:"anycast within 10 ms of best unicast"
+            ~paper_value:"~70 % of requests" ~band:(0.55, 0.9) figure
+            "frac_within_10ms_world";
+          mk ~id:"fig3-tail"
+            ~description:"anycast >= 100 ms worse in the tail"
+            ~paper_value:"~10 % of requests" ~band:(0.005, 0.3) figure
+            "frac_worse_100ms_world";
+        ]
+    | "fig4" ->
+        [
+          mk ~id:"fig4-improved"
+            ~description:"redirection improves median latency"
+            ~paper_value:"27 % of queries" ~band:(0.10, 0.45) figure
+            "frac_improved_median";
+          mk ~id:"fig4-worse"
+            ~description:"redirection does worse than anycast"
+            ~paper_value:"17 % of queries" ~band:(0.02, 0.35) figure
+            "frac_worse_median";
+        ]
+    | "fig5" ->
+        [
+          mk ~id:"fig5-india"
+            ~description:"Standard tier (public BGP) beats the WAN for India"
+            ~paper_value:"consistently negative" ~band:(-150., -5.) figure
+            "india_diff_ms";
+          mk ~id:"fig5-asia-oceania"
+            ~description:"Premium wins across most of Asia/Oceania"
+            ~paper_value:"most countries" ~band:(0.5, 1.) figure
+            "frac_asia_oceania_premium_wins";
+          mk ~id:"fig5-ingress-contrast"
+            ~description:"Premium enters the WAN near the VP far more often"
+            ~paper_value:"80 % vs 10 % within 400 km" ~band:(0.3, 1.) figure
+            "premium_ingress_within_400km";
+        ]
+    | "goodput" ->
+        [
+          mk ~id:"goodput-parity"
+            ~description:"median goodput ratio (alternate / BGP) near 1"
+            ~paper_value:"qualitatively similar to latency (footnote 3)"
+            ~band:(0.9, 1.2) figure "median_ratio";
+          mk ~id:"goodput-bgp-mostly-best"
+            ~description:"BGP's route at least as fast for most traffic"
+            ~paper_value:"qualitatively similar to latency (footnote 3)"
+            ~band:(0.5, 1.) figure "frac_bgp_at_least_as_fast";
+        ]
+    | _ -> []
+  in
+  List.filter_map (fun c -> c) candidates
+
+let render claims =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s %s  measured=%8.3f  band=[%g, %g]  paper: %s\n"
+           c.id
+           (if passes c then "PASS" else "FAIL")
+           c.measured (fst c.band) (snd c.band) c.paper_value))
+    claims;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** The paper's quantitative prose claims as checkable records.
+
+    Bands are deliberately generous: the substrate is a simulator, so
+    the tests verify the {e shape} (who wins, roughly by how much,
+    where the crossovers fall), not the authors' absolute numbers. *)
+
+type t = {
+  id : string;
+  description : string;
+  paper_value : string;  (** The claim as stated in the paper. *)
+  measured : float;
+  band : float * float;  (** Acceptable [lo, hi] for [measured]. *)
+}
+
+val passes : t -> bool
+
+val of_figure : Figure.t -> t list
+(** The claims attached to a figure's headline statistics; [] for
+    figures with no tracked prose claim. *)
+
+val render : t list -> string
+(** One line per claim: id, pass/fail, measured vs band, paper text. *)

@@ -1,0 +1,152 @@
+module Quantile = Netsim_stats.Quantile
+module Series = Netsim_stats.Series
+module Histogram = Netsim_stats.Histogram
+module Egress = Netsim_cdn.Egress
+module Edge_controller = Netsim_cdn.Edge_controller
+module Prefix = Netsim_traffic.Prefix
+
+type pair_class =
+  | Never_better
+  | Transiently_better of float
+  | Persistently_better
+
+type result = {
+  figure : Figure.t;
+  pairs : (int * pair_class) list;
+  shared_degradation : float;
+  degraded_window_fraction : float;
+  improvable_window_fraction : float;
+  persistent_share_of_wins : float;
+}
+
+(* Group the flat window-result list by entry (prefix id keys both
+   PoP and prefix: one entry per prefix). *)
+let group_by_entry window_results =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Edge_controller.window_result) ->
+      let key = r.Edge_controller.entry.Egress.prefix.Prefix.id in
+      let existing =
+        match Hashtbl.find_opt tbl key with Some l -> l | None -> []
+      in
+      Hashtbl.replace tbl key (r :: existing))
+    window_results;
+  tbl
+
+let classify ~threshold_ms results =
+  let wins =
+    List.filter
+      (fun r ->
+        match Edge_controller.improvement_ms r with
+        | Some d -> d >= threshold_ms
+        | None -> false)
+      results
+  in
+  let f =
+    float_of_int (List.length wins) /. float_of_int (List.length results)
+  in
+  (* Under 10 % of windows a "win" is an isolated episode flip, not a
+     repeatable opportunity; a pair counts as persistently better when
+     the alternate wins in at least 60 % of windows. *)
+  if f < 0.10 then Never_better
+  else if f >= 0.60 then Persistently_better
+  else Transiently_better f
+
+let analyze ?(threshold_ms = 5.) (fig1 : Fig1_pop_egress.result) =
+  let by_entry = group_by_entry fig1.Fig1_pop_egress.window_results in
+  let pairs =
+    Hashtbl.fold
+      (fun key results acc -> (key, classify ~threshold_ms results) :: acc)
+      by_entry []
+    |> List.sort compare
+  in
+  (* Shared-fate analysis: per entry, the BGP route's baseline is its
+     median across windows; a window is "degraded" when the BGP median
+     exceeds baseline + θ.  In those windows, did the best alternate
+     also sit ≥ θ above its own baseline? *)
+  let shared = ref 0 and degraded = ref 0 in
+  let total_windows = ref 0 and improvable_windows = ref 0 in
+  Hashtbl.iter
+    (fun _ results ->
+      let bgp_medians =
+        Array.of_list
+          (List.map
+             (fun (r : Edge_controller.window_result) ->
+               r.Edge_controller.bgp.Edge_controller.median_ms)
+             results)
+      in
+      let alt_medians =
+        List.filter_map
+          (fun (r : Edge_controller.window_result) ->
+            Option.map
+              (fun (m : Edge_controller.route_measurement) ->
+                m.Edge_controller.median_ms)
+              r.Edge_controller.best_alternate)
+          results
+      in
+      if List.length alt_medians = List.length results then begin
+        let alt_medians = Array.of_list alt_medians in
+        let bgp_base = Quantile.median bgp_medians in
+        let alt_base = Quantile.median alt_medians in
+        Array.iteri
+          (fun i bgp_m ->
+            incr total_windows;
+            let alt_m = alt_medians.(i) in
+            if bgp_m -. alt_m >= threshold_ms then incr improvable_windows;
+            if bgp_m >= bgp_base +. threshold_ms then begin
+              incr degraded;
+              if alt_m >= alt_base +. threshold_ms then incr shared
+            end)
+          bgp_medians
+      end)
+    by_entry;
+  let ratio a b = if b = 0 then 0. else float_of_int a /. float_of_int b in
+  let shared_degradation = ratio !shared !degraded in
+  let degraded_window_fraction = ratio !degraded !total_windows in
+  let improvable_window_fraction = ratio !improvable_windows !total_windows in
+  let winners =
+    List.filter (fun (_, c) -> c <> Never_better) pairs
+  in
+  let persistent =
+    List.filter (fun (_, c) -> c = Persistently_better) winners
+  in
+  let persistent_share_of_wins =
+    ratio (List.length persistent) (List.length winners)
+  in
+  (* Figure: histogram of per-pair win fractions. *)
+  let hist = Histogram.create ~lo:0. ~hi:1.0001 ~bins:20 in
+  List.iter
+    (fun (_, c) ->
+      let f =
+        match c with
+        | Never_better -> 0.
+        | Transiently_better f -> f
+        | Persistently_better -> 1.
+      in
+      Histogram.add hist f)
+    pairs;
+  let stats =
+    [
+      ("shared_degradation", shared_degradation);
+      ("degraded_window_fraction", degraded_window_fraction);
+      ("improvable_window_fraction", improvable_window_fraction);
+      ("persistent_share_of_wins", persistent_share_of_wins);
+      ("pairs_never_better",
+       ratio (List.length pairs - List.length winners) (List.length pairs));
+    ]
+  in
+  let figure =
+    Figure.make ~id:"degrade"
+      ~title:"Per-pair fraction of windows in which an alternate beats BGP"
+      ~x_label:"Fraction of windows alternate wins (>= threshold)"
+      ~y_label:"Fraction of pairs" ~stats
+      [ Series.make "pairs" (Histogram.normalized hist) ]
+  in
+  {
+    figure;
+    pairs;
+    shared_degradation;
+    degraded_window_fraction;
+    improvable_window_fraction;
+    persistent_share_of_wins;
+  }

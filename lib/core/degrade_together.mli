@@ -1,0 +1,44 @@
+(** §3.1.1 — "BGP is good enough when all route options degrade
+    together".
+
+    Classifies every measured ⟨PoP, prefix⟩ pair from the Figure 1
+    spraying data:
+
+    - how often an alternate significantly beats BGP (transiently or
+      persistently);
+    - whether windows in which BGP's route degrades relative to its own
+      baseline are also windows in which the alternates degrade
+      (shared fate). *)
+
+type pair_class =
+  | Never_better  (** An alternate wins by ≥ θ in under 10 % of windows
+                      (isolated episode flips, not a repeatable
+                      opportunity). *)
+  | Transiently_better of float
+      (** Fraction of windows in which an alternate wins
+          (0.1 ≤ f < 0.6). *)
+  | Persistently_better
+      (** An alternate wins in ≥ 60 % of windows — a stable geographic
+          or provisioning advantage, not transient congestion
+          avoidance. *)
+
+type result = {
+  figure : Figure.t;
+  pairs : (int * pair_class) list;  (** (prefix id, class). *)
+  shared_degradation : float;
+      (** Among windows where BGP's route degraded ≥ θ above its own
+          baseline, the fraction in which the best alternate degraded
+          too. *)
+  degraded_window_fraction : float;
+      (** Fraction of windows with BGP-route degradation — compare
+          against {!improvable_window_fraction}: degradation is more
+          prevalent than improvement opportunity. *)
+  improvable_window_fraction : float;
+  persistent_share_of_wins : float;
+      (** Of all pairs where alternates ever win, the share that are
+          persistent — the paper: "most alternate paths which do beat
+          BGP are consistently better all the time". *)
+}
+
+val analyze : ?threshold_ms:float -> Fig1_pop_egress.result -> result
+(** [threshold_ms] defaults to 5. *)

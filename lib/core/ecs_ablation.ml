@@ -1,0 +1,44 @@
+module Series = Netsim_stats.Series
+module Ldns = Netsim_cdn.Ldns
+
+type point = { ecs_adoption : float; frac_improved : float; frac_worse : float }
+type result = { figure : Figure.t; points : point list }
+
+let measure sizes adoption =
+  let ldns_params = { Ldns.default_params with Ldns.ecs_prob = adoption } in
+  let ms = Scenario.microsoft ~sizes ~ldns_params () in
+  let fig4 = Fig4_dns_redirection.run ms in
+  let stat name = Figure.stat fig4.Fig4_dns_redirection.figure name in
+  {
+    ecs_adoption = adoption;
+    frac_improved = stat "frac_improved_median";
+    frac_worse = stat "frac_worse_median";
+  }
+
+let run ?(adoptions = [ 0.001; 0.25; 0.5; 1.0 ])
+    ?(sizes = Scenario.default_sizes) () =
+  let points = List.map (measure sizes) adoptions in
+  let series f name =
+    Series.make name (List.map (fun p -> (p.ecs_adoption, f p)) points)
+  in
+  let stats =
+    match (List.nth_opt points 0, List.nth_opt points (List.length points - 1)) with
+    | Some today, Some full ->
+        [
+          ("frac_worse_today", today.frac_worse);
+          ("frac_worse_full_ecs", full.frac_worse);
+          ("frac_improved_today", today.frac_improved);
+          ("frac_improved_full_ecs", full.frac_improved);
+        ]
+    | _, _ -> []
+  in
+  let figure =
+    Figure.make ~id:"ecs"
+      ~title:"DNS redirection quality vs EDNS-Client-Subnet adoption"
+      ~x_label:"ECS adoption" ~y_label:"Fraction of weighted clients" ~stats
+      [
+        series (fun p -> p.frac_improved) "frac improved";
+        series (fun p -> p.frac_worse) "frac worse";
+      ]
+  in
+  { figure; points }

@@ -1,0 +1,20 @@
+(** §3.2.1 — what would EDNS-Client-Subnet adoption buy?
+
+    The paper notes redirection is limited to per-LDNS granularity
+    because ECS adoption outside public resolvers is < 0.1 %.  This
+    ablation sweeps adoption from today's ≈0 to full deployment and
+    reruns the Figure-4 comparison: with client-granularity
+    prediction, the "redirection made things worse" mass should
+    collapse while the improved mass grows. *)
+
+type point = {
+  ecs_adoption : float;
+  frac_improved : float;
+  frac_worse : float;
+}
+
+type result = { figure : Figure.t; points : point list }
+
+val run :
+  ?adoptions:float list -> ?sizes:Scenario.sizes -> unit -> result
+(** Default sweep: [0.001; 0.25; 0.5; 1.0]. *)

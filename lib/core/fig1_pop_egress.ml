@@ -1,0 +1,91 @@
+module Sm = Netsim_prng.Splitmix
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module Egress = Netsim_cdn.Egress
+module Edge_controller = Netsim_cdn.Edge_controller
+
+type result = {
+  figure : Figure.t;
+  window_results : Edge_controller.window_result list;
+}
+
+(* Clamp plotted x into the paper's [-10, 10] ms viewport; statistics
+   are computed on unclamped values. *)
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let weight_of (r : Edge_controller.window_result) =
+  r.Edge_controller.entry.Egress.prefix.Prefix.weight
+
+let collect_results (fb : Scenario.facebook) =
+  let rng = Sm.of_label fb.Scenario.fb_root "fig1" in
+  let windows = Window.fifteen_minute ~days:fb.Scenario.fb_days in
+  let multi_route =
+    Array.to_list fb.Scenario.fb_entries
+    |> List.filter (fun (e : Egress.entry) -> List.length e.Egress.options >= 2)
+  in
+  List.concat_map
+    (fun entry ->
+      List.map
+        (fun w ->
+          Edge_controller.measure_window fb.Scenario.fb_congestion ~rng
+            ~samples_per_route:fb.Scenario.fb_samples_per_route w entry)
+        windows)
+    multi_route
+
+let improvements_of results =
+  List.filter_map
+    (fun r ->
+      match Edge_controller.improvement_ms r with
+      | None -> None
+      | Some d -> Some (d, weight_of r))
+    results
+
+let run fb =
+  let results = collect_results fb in
+  let improvements = improvements_of results in
+  let bounds =
+    List.filter_map
+      (fun r ->
+        match Edge_controller.improvement_bounds r with
+        | None -> None
+        | Some b -> Some (b, weight_of r))
+      results
+  in
+  let cdf_series name values =
+    Series.make name (Cdf.cdf_points (Cdf.of_weighted (Array.of_list values)))
+  in
+  let main =
+    cdf_series "BGP - best alternate"
+      (List.map (fun (d, w) -> (clamp (-10.) 10. d, w)) improvements)
+  in
+  let lower =
+    cdf_series "CI lower bound"
+      (List.map (fun ((lo, _), w) -> (clamp (-10.) 10. lo, w)) bounds)
+  in
+  let upper =
+    cdf_series "CI upper bound"
+      (List.map (fun ((_, hi), w) -> (clamp (-10.) 10. hi, w)) bounds)
+  in
+  let raw = Cdf.of_weighted (Array.of_list improvements) in
+  let stats =
+    [
+      ("fraction_improvable_5ms", Cdf.fraction_above raw 5.);
+      ("fraction_improvable_10ms", Cdf.fraction_above raw 10.);
+      ("fraction_bgp_better_or_equal", Cdf.fraction_below raw 0.);
+      ("median_improvement_ms", Cdf.median raw);
+      ("p95_improvement_ms", Cdf.quantile raw 0.95);
+    ]
+  in
+  let figure =
+    Figure.make ~id:"fig1"
+      ~title:
+        "Median latency improvement available from alternate egress routes"
+      ~x_label:"Median MinRTT difference (ms) [BGP - alternate]"
+      ~y_label:"Cumulative fraction of traffic" ~stats
+      [ main; lower; upper ]
+  in
+  { figure; window_results = results }
+
+let improvements result = improvements_of result.window_results

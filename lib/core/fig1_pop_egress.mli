@@ -1,0 +1,22 @@
+(** Figure 1: possible median-latency improvement from routing over
+    alternate egress routes at a content provider's PoPs.
+
+    For every ⟨PoP, prefix⟩ with at least two routes, each 15-minute
+    window sprays sessions over BGP's top-k routes and compares the
+    median MinRTT of BGP's choice against the best-performing
+    alternate.  The CDF is weighted by traffic volume; the band shows
+    the distribution of the per-window confidence-interval bounds.
+    Positive x = an alternate was faster than BGP. *)
+
+type result = {
+  figure : Figure.t;
+  window_results : Netsim_cdn.Edge_controller.window_result list;
+      (** Every per-window measurement, reused by the §3.1.1
+          degrade-together analysis. *)
+}
+
+val run : Scenario.facebook -> result
+
+val improvements : result -> (float * float) list
+(** [(improvement_ms, traffic_weight)] pairs over all measured
+    ⟨PoP, prefix, window⟩ points (positive = alternate faster). *)

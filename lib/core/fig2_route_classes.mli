@@ -1,0 +1,17 @@
+(** Figure 2: latency of route classes at the provider's PoPs.
+
+    Per ⟨PoP, prefix⟩, compares the median MinRTT of the best peering
+    route against the best transit route (solid line in the paper),
+    and the best private-interconnect peer against the best
+    public-exchange peer (dashed line).  Values near zero mean the
+    less-preferred class performs about as well — the paper's evidence
+    that direct peering does not by itself explain BGP's good
+    performance (§3.1.2). *)
+
+type result = {
+  figure : Figure.t;
+  peer_vs_transit : (float * float) list;  (** (diff_ms, weight). *)
+  private_vs_public : (float * float) list;
+}
+
+val run : Scenario.facebook -> result

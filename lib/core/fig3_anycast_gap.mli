@@ -1,0 +1,26 @@
+(** Figure 3: how far anycast is from the best unicast front-end.
+
+    Clients measure the anycast prefix and their nearby unicast
+    front-ends; the CCDF of (anycast − best unicast) is split into
+    World / Europe / United States.  Mass near zero means BGP's
+    anycast steering already lands most clients at (or within a few
+    ms of) their best front-end; the tail is the opportunity that
+    redirection could theoretically claim. *)
+
+type per_client = {
+  prefix : Netsim_traffic.Prefix.t;
+  anycast_ms : float;
+  best_unicast_ms : float;
+  best_site : int;  (** Metro of the best unicast front-end. *)
+  anycast_site : int;  (** Catchment site of the anycast flow. *)
+}
+
+type result = {
+  figure : Figure.t;
+  clients : per_client list;  (** Reused by grooming (§3.2.2). *)
+}
+
+val run : ?nearby_sites:int -> Scenario.microsoft -> result
+(** [nearby_sites] (default 8): how many front-ends nearest to the
+    client are probed, mirroring the original study's "number of
+    nearby unicast addresses". *)

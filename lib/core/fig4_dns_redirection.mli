@@ -1,0 +1,23 @@
+(** Figure 4: improvement over anycast from LDNS-based DNS redirection.
+
+    The redirector is trained on the first half of the horizon and the
+    predicted choice (anycast or one unicast front-end, per resolver)
+    is evaluated side-by-side with anycast on the second half.  The
+    CDF over traffic-weighted client prefixes shows the improvement
+    (anycast − predicted; positive = redirection faster) at the median
+    and the 75th percentile of each client's evaluation samples. *)
+
+type per_client = {
+  prefix : Netsim_traffic.Prefix.t;
+  choice : Netsim_cdn.Redirector.choice;
+  improvement_median_ms : float;
+  improvement_p75_ms : float;
+}
+
+type result = {
+  figure : Figure.t;
+  clients : per_client list;
+  redirected_fraction : float;  (** Resolvers predicted to unicast. *)
+}
+
+val run : Scenario.microsoft -> result

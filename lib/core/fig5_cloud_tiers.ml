@@ -1,0 +1,194 @@
+module Sm = Netsim_prng.Splitmix
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Quantile = Netsim_stats.Quantile
+module Region = Netsim_geo.Region
+module Tiers = Netsim_wan.Tiers
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+
+type per_country = {
+  country : string;
+  continent : Region.continent;
+  vantage_count : int;
+  diff_ms : float;
+}
+
+type result = {
+  figure : Figure.t;
+  countries : per_country list;
+  qualifying_vps : int;
+  premium_ingress_within_400km : float;
+  standard_ingress_within_400km : float;
+}
+
+type vp_measurement = {
+  vp : Vantage.t;
+  premium_ms : float;
+  standard_ms : float;
+  premium_ingress_km : float;
+  standard_ingress_km : float;
+}
+
+let measure_vp (gc : Scenario.google) ~rng vp =
+  let tiers = gc.Scenario.gc_tiers in
+  match
+    ( Tiers.premium_flow tiers vp,
+      Tiers.standard_flow tiers vp,
+      Tiers.premium_trace tiers vp,
+      Tiers.standard_trace tiers vp )
+  with
+  | Some pf, Some sf, Some pt, Some st ->
+      let ping flow =
+        Campaign.ping_median gc.Scenario.gc_congestion ~rng
+          ~days:gc.Scenario.gc_days ~per_day:10 ~pings_per_round:5 flow
+      in
+      Some
+        {
+          vp;
+          premium_ms = ping pf;
+          standard_ms = ping sf;
+          premium_ingress_km = pt.Campaign.ingress_km;
+          standard_ingress_km = st.Campaign.ingress_km;
+        }
+  | _, _, _, _ -> None
+
+let run (gc : Scenario.google) =
+  let rng = Sm.of_label gc.Scenario.gc_root "fig5" in
+  let qualifying =
+    Array.to_list gc.Scenario.gc_vantage
+    |> List.filter (Tiers.qualifies gc.Scenario.gc_tiers)
+  in
+  let measurements = List.filter_map (measure_vp gc ~rng) qualifying in
+  (* Per-country median of (standard - premium). *)
+  let by_country = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      let c = Vantage.country m.vp in
+      let existing =
+        match Hashtbl.find_opt by_country c with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_country c (m :: existing))
+    measurements;
+  let countries =
+    Hashtbl.fold
+      (fun country ms acc ->
+        let diffs =
+          Array.of_list (List.map (fun m -> m.standard_ms -. m.premium_ms) ms)
+        in
+        match ms with
+        | [] -> acc
+        | m :: _ ->
+            {
+              country;
+              continent = Vantage.continent m.vp;
+              vantage_count = List.length ms;
+              diff_ms = Quantile.median diffs;
+            }
+            :: acc)
+      by_country []
+    |> List.sort (fun a b -> compare (a.continent, a.country) (b.continent, b.country))
+  in
+  let ingress_frac f =
+    match measurements with
+    | [] -> 0.
+    | l ->
+        let n = List.length l in
+        let hits = List.length (List.filter (fun m -> f m <= 400.) l) in
+        float_of_int hits /. float_of_int n
+  in
+  let frac_of pred l =
+    match l with
+    | [] -> nan
+    | _ ->
+        float_of_int (List.length (List.filter pred l))
+        /. float_of_int (List.length l)
+  in
+  let western =
+    List.filter
+      (fun c ->
+        match c.continent with
+        | Region.North_america | Region.South_america | Region.Europe -> true
+        | Region.Asia | Region.Africa | Region.Oceania -> false)
+      countries
+  in
+  let asia_oceania =
+    List.filter
+      (fun c ->
+        match c.continent with
+        | Region.Asia | Region.Oceania -> true
+        | Region.North_america | Region.South_america | Region.Europe
+        | Region.Africa ->
+            false)
+      countries
+  in
+  let india = List.find_opt (fun c -> c.country = "IN") countries in
+  let stats =
+    [
+      ( "frac_western_within_10ms",
+        frac_of (fun c -> Float.abs c.diff_ms <= 10.) western );
+      ( "frac_asia_oceania_premium_wins",
+        frac_of (fun c -> c.diff_ms > 0.) asia_oceania );
+      ( "india_diff_ms",
+        match india with Some c -> c.diff_ms | None -> nan );
+      ("premium_ingress_within_400km", ingress_frac (fun m -> m.premium_ingress_km));
+      ("standard_ingress_within_400km", ingress_frac (fun m -> m.standard_ingress_km));
+      ("qualifying_vps", float_of_int (List.length measurements));
+    ]
+  in
+  let country_cdf =
+    match countries with
+    | [] -> Series.make "per-country diff CDF" []
+    | l ->
+        Series.make "per-country diff CDF"
+          (Cdf.cdf_points
+             (Cdf.of_samples (Array.of_list (List.map (fun c -> c.diff_ms) l))))
+  in
+  let continent_series continent name =
+    let values =
+      List.filter (fun c -> c.continent = continent) countries
+      |> List.map (fun c -> c.diff_ms)
+    in
+    match values with
+    | [] -> Series.make name []
+    | l -> Series.make name (Cdf.cdf_points (Cdf.of_samples (Array.of_list l)))
+  in
+  let figure =
+    Figure.make ~id:"fig5"
+      ~title:"Standard - Premium median latency per country (positive: WAN wins)"
+      ~x_label:"Median latency difference (ms) [standard - premium]"
+      ~y_label:"CDF of countries" ~stats
+      [
+        country_cdf;
+        continent_series Region.Europe "Europe";
+        continent_series Region.Asia "Asia";
+        continent_series Region.North_america "North America";
+      ]
+  in
+  {
+    figure;
+    countries;
+    qualifying_vps = List.length measurements;
+    premium_ingress_within_400km = ingress_frac (fun m -> m.premium_ingress_km);
+    standard_ingress_within_400km = ingress_frac (fun m -> m.standard_ingress_km);
+  }
+
+let render_map result =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "country  cont  #vp   std-prem(ms)   winner\n";
+  Buffer.add_string buf
+    "------------------------------------------------\n";
+  List.iter
+    (fun c ->
+      let winner =
+        if c.diff_ms > 10. then "PREMIUM (WAN)"
+        else if c.diff_ms < -10. then "STANDARD (BGP)"
+        else "~tie"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s %-5s %4d   %+10.1f   %s\n" c.country
+           (Region.continent_to_string c.continent)
+           c.vantage_count c.diff_ms winner))
+    result.countries;
+  Buffer.contents buf

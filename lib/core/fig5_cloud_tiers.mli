@@ -1,0 +1,34 @@
+(** Figure 5: Standard-tier minus Premium-tier median latency, per
+    country, to the US-Central data center.
+
+    Vantage points are filtered as in the paper — the Premium route
+    must enter the cloud directly from the VP's AS while the Standard
+    route crosses at least one intermediate AS — then ping campaigns
+    run against both tiers.  Positive per-country values mean the
+    private WAN (Premium) was faster; negative values mean plain BGP
+    over the public Internet won.  The paper's map becomes a
+    per-country table plus per-continent summaries. *)
+
+type per_country = {
+  country : string;
+  continent : Netsim_geo.Region.continent;
+  vantage_count : int;
+  diff_ms : float;  (** Median (standard − premium) over the country's
+                        qualifying VPs. *)
+}
+
+type result = {
+  figure : Figure.t;
+  countries : per_country list;
+  qualifying_vps : int;
+  premium_ingress_within_400km : float;
+      (** Fraction of qualifying VPs whose Premium traceroute enters
+          the cloud within 400 km (paper: ≈ 80 %). *)
+  standard_ingress_within_400km : float;  (** Paper: ≈ 10 %. *)
+}
+
+val run : Scenario.google -> result
+
+val render_map : result -> string
+(** Country-by-country text table grouped by continent (the textual
+    stand-in for the paper's choropleth). *)

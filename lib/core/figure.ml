@@ -1,0 +1,33 @@
+module Series = Netsim_stats.Series
+module Ascii_plot = Netsim_stats.Ascii_plot
+
+type t = {
+  id : string;
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : Series.t list;
+  stats : (string * float) list;
+}
+
+let make ~id ~title ~x_label ~y_label ?(stats = []) series =
+  { id; title; x_label; y_label; series; stats }
+
+let stat t name = List.assoc name t.stats
+let stat_opt t name = List.assoc_opt name t.stats
+
+let to_csv t = Series.to_csv t.series
+
+let render t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Ascii_plot.plot ~x_label:t.x_label ~y_label:t.y_label
+       ~title:(Printf.sprintf "[%s] %s" t.id t.title)
+       t.series);
+  if t.stats <> [] then begin
+    Buffer.add_string buf "  headline statistics:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "    %-42s %10.4f\n" k v))
+      t.stats
+  end;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Reproduced figures: named series plus headline statistics.
+
+    Every experiment returns one of these; the CLI renders it as an
+    ASCII plot + CSV, and the integration tests assert on the
+    [stats] entries (shape claims from the paper's prose). *)
+
+type t = {
+  id : string;  (** e.g. "fig1". *)
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : Netsim_stats.Series.t list;
+  stats : (string * float) list;  (** Headline numbers, e.g.
+                                      ("fraction_improvable_5ms", 0.03). *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  ?stats:(string * float) list ->
+  Netsim_stats.Series.t list ->
+  t
+
+val stat : t -> string -> float
+(** @raise Not_found if the statistic was not recorded. *)
+
+val stat_opt : t -> string -> float option
+
+val render : t -> string
+(** ASCII plot, stats block and CSV dump. *)
+
+val to_csv : t -> string

@@ -1,0 +1,64 @@
+module Sm = Netsim_prng.Splitmix
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module Egress = Netsim_cdn.Egress
+module Goodput = Netsim_latency.Goodput
+
+type result = { figure : Figure.t; ratios : (float * float) list }
+
+let run ?(windows_per_day = 8) (fb : Scenario.facebook) =
+  let rng = Sm.of_label fb.Scenario.fb_root "goodput" in
+  let windows =
+    Window.windows ~days:fb.Scenario.fb_days
+      ~length_min:(1440. /. float_of_int windows_per_day)
+  in
+  let ratios = ref [] in
+  Array.iter
+    (fun (entry : Egress.entry) ->
+      match entry.Egress.options with
+      | (bgp : Egress.option_route) :: (_ :: _ as alternates) ->
+          let w = entry.Egress.prefix.Prefix.weight in
+          List.iter
+            (fun win ->
+              let time_min = Window.mid_time win in
+              let goodput (o : Egress.option_route) =
+                Goodput.flow_goodput_mbps fb.Scenario.fb_congestion ~rng
+                  ~time_min o.Egress.flow
+              in
+              let bgp_gp = goodput bgp in
+              let best_alt =
+                List.fold_left
+                  (fun acc o -> Float.max acc (goodput o))
+                  0. alternates
+              in
+              if bgp_gp > 0. then
+                ratios := (best_alt /. bgp_gp, w) :: !ratios)
+            windows
+      | _ -> ())
+    fb.Scenario.fb_entries;
+  let ratios = List.rev !ratios in
+  let cdf = Cdf.of_weighted (Array.of_list ratios) in
+  let clamp v = Float.max 0. (Float.min 3. v) in
+  let stats =
+    [
+      ("frac_alternate_10pct_faster", Cdf.fraction_above cdf 1.1);
+      ("frac_alternate_50pct_faster", Cdf.fraction_above cdf 1.5);
+      ("frac_bgp_at_least_as_fast", Cdf.fraction_below cdf 1.0);
+      ("median_ratio", Cdf.median cdf);
+    ]
+  in
+  let figure =
+    Figure.make ~id:"goodput"
+      ~title:"Goodput: best alternate / BGP's route (footnote 3)"
+      ~x_label:"Goodput ratio (alternate / BGP)"
+      ~y_label:"Cumulative fraction of traffic" ~stats
+      [
+        Series.make "ratio CDF"
+          (Cdf.cdf_points
+             (Cdf.of_weighted
+                (Array.of_list (List.map (fun (r, w) -> (clamp r, w)) ratios))));
+      ]
+  in
+  { figure; ratios }

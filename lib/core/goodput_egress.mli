@@ -1,0 +1,17 @@
+(** Footnote-3 check: the Figure 1 comparison repeated for goodput.
+
+    "We find qualitatively similar results for bandwidth (not
+    shown)." — per ⟨PoP, prefix, window⟩ we compare the TCP goodput of
+    BGP's egress route against the best alternate and build the
+    traffic-weighted CDF of the ratio.  BGP is vindicated if the ratio
+    mass sits at 1 (alternates no faster) with only a small tail
+    above. *)
+
+type result = {
+  figure : Figure.t;
+  ratios : (float * float) list;
+      (** (best_alternate_goodput / bgp_goodput, weight); > 1 means an
+          alternate had more goodput. *)
+}
+
+val run : ?windows_per_day:int -> Scenario.facebook -> result

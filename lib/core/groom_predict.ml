@@ -1,0 +1,175 @@
+module Series = Netsim_stats.Series
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Walk = Netsim_bgp.Walk
+module Anycast = Netsim_cdn.Anycast
+module Deployment = Netsim_cdn.Deployment
+module Prefix = Netsim_traffic.Prefix
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+type action_eval = {
+  link_id : int;
+  affected_weight : float;
+  predicted_correct : float;
+  unpredicted_movers : float;
+}
+
+type result = {
+  figure : Figure.t;
+  actions : action_eval list;
+  mean_accuracy : float;
+  mean_ripple : float;
+}
+
+(* Current anycast walk of every client (computed once). *)
+let client_walks (ms : Scenario.microsoft) =
+  Array.to_list ms.Scenario.ms_prefixes
+  |> List.filter_map (fun (p : Prefix.t) ->
+         match Anycast.anycast_flow ms.Scenario.ms_system p with
+         | None -> None
+         | Some flow -> Some (p, flow.Netsim_latency.Rtt.walk))
+
+let final_hop (walk : Walk.t) =
+  match List.rev walk.Walk.hops with
+  | last :: _ -> Some last
+  | [] -> None
+
+(* The local prediction: among the final-hop AS's other sessions with
+   the provider, hot-potato picks the one nearest its ingress. *)
+let predict_new_site topo asid (hop : Walk.hop) ~prepended =
+  let sessions =
+    Topology.links_between topo hop.Walk.asid asid
+    |> List.filter (fun (l : Relation.link) -> l.Relation.id <> prepended)
+  in
+  match sessions with
+  | [] -> None
+  | l ->
+      let scored =
+        List.map
+          (fun (link : Relation.link) ->
+            ( City.distance_km World.cities.(hop.Walk.ingress)
+                World.cities.(link.Relation.metro),
+              link.Relation.id,
+              link.Relation.metro ))
+          l
+      in
+      (match List.sort compare scored with
+      | (_, _, metro) :: _ -> Some metro
+      | [] -> None)
+
+let evaluate_action (ms : Scenario.microsoft) ~walks ~link_id =
+  let system = ms.Scenario.ms_system in
+  let d = Anycast.deployment system in
+  let topo = d.Deployment.topo in
+  let asid = d.Deployment.asid in
+  (* Predictions. *)
+  let predictions =
+    List.map
+      (fun ((p : Prefix.t), walk) ->
+        match final_hop walk with
+        | Some hop when hop.Walk.link.Relation.id = link_id ->
+            (p, `Moves (predict_new_site topo asid hop ~prepended:link_id))
+        | Some _ | None -> (p, `Stays (Walk.entry_metro walk)))
+      walks
+  in
+  (* Ground truth. *)
+  let config =
+    Announce.with_overrides (Anycast.anycast_config system) (fun link ->
+        if link.Relation.id = link_id then
+          Some { Announce.export = true; prepend = 3; no_export = false }
+        else None)
+  in
+  let after = Propagate.run topo config in
+  let actual_site (p : Prefix.t) =
+    match
+      Walk.from_metro after ~src:p.Prefix.asid ~start_metro:p.Prefix.city
+    with
+    | Some w -> Some (Walk.entry_metro w)
+    | None -> None
+  in
+  let affected_weight = ref 0. in
+  let correct = ref 0. in
+  let ripple = ref 0. in
+  List.iter
+    (fun ((p : Prefix.t), prediction) ->
+      let w = p.Prefix.weight in
+      match prediction with
+      | `Moves predicted -> (
+          affected_weight := !affected_weight +. w;
+          match (predicted, actual_site p) with
+          | Some site, Some actual when site = actual -> correct := !correct +. w
+          | _, _ -> ())
+      | `Stays old_site -> (
+          match actual_site p with
+          | Some actual when actual <> old_site -> ripple := !ripple +. w
+          | Some _ | None -> ()))
+    predictions;
+  {
+    link_id;
+    affected_weight = !affected_weight;
+    predicted_correct =
+      (if !affected_weight > 0. then !correct /. !affected_weight else nan);
+    unpredicted_movers = !ripple;
+  }
+
+let run ?(max_actions = 10) (ms : Scenario.microsoft) =
+  let walks = client_walks ms in
+  (* Candidate actions: the final-hop sessions attracting the most
+     traffic from far away. *)
+  let tally = Hashtbl.create 64 in
+  List.iter
+    (fun ((p : Prefix.t), walk) ->
+      match final_hop walk with
+      | Some hop ->
+          let distance =
+            City.distance_km World.cities.(p.Prefix.city)
+              World.cities.(Walk.entry_metro walk)
+          in
+          if distance > 2500. then begin
+            let id = hop.Walk.link.Relation.id in
+            let cur =
+              match Hashtbl.find_opt tally id with Some v -> v | None -> 0.
+            in
+            Hashtbl.replace tally id (cur +. p.Prefix.weight)
+          end
+      | None -> ())
+    walks;
+  let candidates =
+    Hashtbl.fold (fun id w acc -> (w, id) :: acc) tally []
+    |> List.sort (fun a b -> compare (fst b) (fst a))
+    |> List.filteri (fun i _ -> i < max_actions)
+    |> List.map snd
+  in
+  let actions =
+    List.map (fun link_id -> evaluate_action ms ~walks ~link_id) candidates
+  in
+  let valid = List.filter (fun a -> not (Float.is_nan a.predicted_correct)) actions in
+  let mean f l =
+    match l with
+    | [] -> nan
+    | _ -> List.fold_left (fun acc a -> acc +. f a) 0. l /. float_of_int (List.length l)
+  in
+  let mean_accuracy = mean (fun a -> a.predicted_correct) valid in
+  let mean_ripple = mean (fun a -> a.unpredicted_movers) actions in
+  let stats =
+    [
+      ("mean_accuracy", mean_accuracy);
+      ("mean_ripple_weight", mean_ripple);
+      ("actions_evaluated", float_of_int (List.length actions));
+    ]
+  in
+  let figure =
+    Figure.make ~id:"groompredict"
+      ~title:"Local prediction of grooming impact vs ground truth"
+      ~x_label:"Candidate action (rank)" ~y_label:"Weighted fraction" ~stats
+      [
+        Series.make "prediction accuracy"
+          (List.mapi (fun i a -> (float_of_int i, a.predicted_correct)) actions);
+        Series.make "ripple (unpredicted movers)"
+          (List.mapi (fun i a -> (float_of_int i, a.unpredicted_movers)) actions);
+      ]
+  in
+  { figure; actions; mean_accuracy; mean_ripple }

@@ -1,0 +1,39 @@
+(** §3.2.2 — predicting a grooming action's impact before announcing.
+
+    Operators want to know what a prepend will do {e before} touching
+    BGP.  We evaluate a cheap local predictor against ground truth:
+
+    - {b Predictor}: a prepend on session [l] affects exactly the
+      clients whose current anycast walk ends on [l]; each lands on
+      the session its final-hop AS would pick next (hot-potato among
+      the AS's remaining lowest-prepend sessions with the provider).
+      No propagation is recomputed.
+    - {b Ground truth}: rerun the full route computation with the
+      prepend applied and read every client's new catchment.
+
+    The predictor is exact for the final-hop mechanics but blind to
+    upstream route changes (an AS switching next-hops entirely), so
+    its accuracy measures how "local" grooming impact really is. *)
+
+type action_eval = {
+  link_id : int;  (** Prepended session. *)
+  affected_weight : float;  (** Traffic predicted to move. *)
+  predicted_correct : float;
+      (** Weighted share of predicted-affected clients whose actual
+          new catchment matches the prediction. *)
+  unpredicted_movers : float;
+      (** Weighted share of clients that moved although the predictor
+          said they would not — upstream ripple effects. *)
+}
+
+type result = {
+  figure : Figure.t;
+  actions : action_eval list;
+  mean_accuracy : float;
+  mean_ripple : float;
+}
+
+val run : ?max_actions:int -> Scenario.microsoft -> result
+(** Evaluate the predictor on up to [max_actions] (default 10)
+    candidate prepends — the sessions attracting the most badly-caught
+    traffic. *)

@@ -1,0 +1,141 @@
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Relation = Netsim_topo.Relation
+module Announce = Netsim_bgp.Announce
+module Walk = Netsim_bgp.Walk
+module Anycast = Netsim_cdn.Anycast
+module Prefix = Netsim_traffic.Prefix
+module Rtt = Netsim_latency.Rtt
+
+type round_stats = {
+  round : int;
+  frac_within_10ms : float;
+  frac_worse_25ms : float;
+  frac_worse_100ms : float;
+  p95_gap_ms : float;
+  actions_applied : int;
+}
+
+type result = {
+  figure : Figure.t;
+  rounds : round_stats list;
+  total_actions : int;
+}
+
+let gap (c : Fig3_anycast_gap.per_client) =
+  Float.max 0.
+    (c.Fig3_anycast_gap.anycast_ms -. c.Fig3_anycast_gap.best_unicast_ms)
+
+let stats_of_clients ~round ~actions clients =
+  let cdf =
+    Cdf.of_weighted
+      (Array.of_list
+         (List.map
+            (fun c ->
+              (gap c, c.Fig3_anycast_gap.prefix.Prefix.weight))
+            clients))
+  in
+  {
+    round;
+    frac_within_10ms = Cdf.fraction_below cdf 10.;
+    frac_worse_25ms = Cdf.fraction_above cdf 25.;
+    frac_worse_100ms = Cdf.fraction_above cdf 100.;
+    p95_gap_ms = Cdf.quantile cdf 0.95;
+    actions_applied = actions;
+  }
+
+(* The announcement session that attracted a mis-caught client: the
+   final link of its anycast walk. *)
+let offending_link system (c : Fig3_anycast_gap.per_client) =
+  match Anycast.anycast_flow system c.Fig3_anycast_gap.prefix with
+  | None -> None
+  | Some flow -> (
+      match List.rev flow.Rtt.walk.Walk.hops with
+      | last :: _ -> Some last.Walk.link.Relation.id
+      | [] -> None)
+
+let run ?(rounds = 4) ?(gap_threshold_ms = 25.) (ms : Scenario.microsoft) =
+  let prepends : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let config_with_prepends base =
+    Announce.with_overrides base (fun link ->
+        match Hashtbl.find_opt prepends link.Relation.id with
+        | Some n ->
+            let a = base.Announce.policy link in
+            Some { a with Announce.prepend = a.Announce.prepend + n }
+        | None -> None)
+  in
+  let base_config = Anycast.anycast_config ms.Scenario.ms_system in
+  let rec go round scenario acc =
+    let fig3 = Fig3_anycast_gap.run scenario in
+    let clients = fig3.Fig3_anycast_gap.clients in
+    let actions = Hashtbl.fold (fun _ n acc -> acc + n) prepends 0 in
+    let stats = stats_of_clients ~round ~actions clients in
+    if round >= rounds then (List.rev (stats :: acc), clients)
+    else begin
+      (* Prepend once on every session currently attracting a
+         badly-caught client.  One-shot per session: re-prepending
+         everything each round would eventually equalize all sessions
+         and revert the catchments. *)
+      let offenders =
+        List.filter (fun c -> gap c >= gap_threshold_ms) clients
+      in
+      List.iter
+        (fun c ->
+          match offending_link scenario.Scenario.ms_system c with
+          | Some link_id ->
+              if not (Hashtbl.mem prepends link_id) then
+                Hashtbl.replace prepends link_id 3
+          | None -> ())
+        offenders;
+      let groomed =
+        Anycast.with_grooming scenario.Scenario.ms_system
+          (config_with_prepends base_config)
+      in
+      go (round + 1)
+        { scenario with Scenario.ms_system = groomed }
+        (stats :: acc)
+    end
+  in
+  let round_list, _final_clients = go 0 ms [] in
+  let total_actions = Hashtbl.length prepends in
+  let series f name =
+    Series.make name
+      (List.map (fun r -> (float_of_int r.round, f r)) round_list)
+  in
+  let head = List.nth_opt round_list 0 in
+  (* An operator keeps the configuration that worked best, not the
+     last thing they tried. *)
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some b -> if r.p95_gap_ms < b.p95_gap_ms then Some r else acc)
+      None round_list
+  in
+  let figure_stats =
+    match (head, best) with
+    | Some h, Some b ->
+        [
+          ("ungroomed_frac_within_10ms", h.frac_within_10ms);
+          ("groomed_frac_within_10ms", b.frac_within_10ms);
+          ("ungroomed_frac_worse_100ms", h.frac_worse_100ms);
+          ("groomed_frac_worse_100ms", b.frac_worse_100ms);
+          ("ungroomed_p95_gap_ms", h.p95_gap_ms);
+          ("groomed_p95_gap_ms", b.p95_gap_ms);
+          ("best_round", float_of_int b.round);
+          ("total_actions", float_of_int total_actions);
+        ]
+    | _, _ -> []
+  in
+  let figure =
+    Figure.make ~id:"grooming"
+      ~title:"Anycast grooming: nature vs nurture"
+      ~x_label:"Grooming round" ~y_label:"Gap metric" ~stats:figure_stats
+      [
+        series (fun r -> r.frac_within_10ms) "frac within 10ms";
+        series (fun r -> r.frac_worse_100ms) "frac worse by 100ms";
+        series (fun r -> r.p95_gap_ms /. 100.) "p95 gap (100ms units)";
+      ]
+  in
+  { figure; rounds = round_list; total_actions }

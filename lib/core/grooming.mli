@@ -1,0 +1,30 @@
+(** §3.2.2 — nature vs nurture: does anycast perform well because of
+    the infrastructure, or because operators groom routes over time?
+
+    Starting from the ungroomed deployment ("nature"), each grooming
+    round finds clients whose anycast catchment is far slower than
+    their best front-end, identifies the announcement session that
+    attracts them, and prepends on it — the operator playbook the
+    paper describes ("prepending to a particular peer at a particular
+    location").  The result quantifies how much of anycast's final
+    quality is nurture. *)
+
+type round_stats = {
+  round : int;
+  frac_within_10ms : float;
+  frac_worse_25ms : float;
+  frac_worse_100ms : float;
+  p95_gap_ms : float;
+  actions_applied : int;  (** Cumulative prepend actions. *)
+}
+
+type result = {
+  figure : Figure.t;
+  rounds : round_stats list;  (** Head is the ungroomed baseline. *)
+  total_actions : int;
+}
+
+val run :
+  ?rounds:int -> ?gap_threshold_ms:float -> Scenario.microsoft -> result
+(** [rounds] defaults to 4 grooming iterations; [gap_threshold_ms]
+    (default 25) is the gap that triggers an action. *)

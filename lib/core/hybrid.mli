@@ -1,0 +1,21 @@
+(** §4 — hybrid anycast + DNS redirection.
+
+    The paper points to hybrid approaches [Calder et al., IMC '15]
+    that keep anycast by default and redirect only where the predicted
+    gain is large.  We sweep the redirection margin: a resolver is
+    redirected only if its best unicast front-end is predicted to beat
+    anycast by more than [margin] ms.  The interesting trade-off: how
+    much of the tail win survives as the regression rate collapses. *)
+
+type point = {
+  margin_ms : float;
+  frac_improved : float;  (** Weighted clients improved ≥ 2 ms. *)
+  frac_worse : float;  (** Weighted clients hurt ≥ 2 ms. *)
+  mean_improvement_ms : float;  (** Traffic-weighted mean improvement. *)
+  redirected_fraction : float;  (** Resolvers redirected. *)
+}
+
+type result = { figure : Figure.t; points : point list }
+
+val run : ?margins:float list -> Scenario.microsoft -> result
+(** Default margins: [0; 5; 10; 25; 50] ms. *)

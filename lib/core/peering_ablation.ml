@@ -1,0 +1,145 @@
+module Sm = Netsim_prng.Splitmix
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module Relation = Netsim_topo.Relation
+module Egress = Netsim_cdn.Egress
+module Edge_controller = Netsim_cdn.Edge_controller
+module Congestion = Netsim_latency.Congestion
+module Rtt = Netsim_latency.Rtt
+module Walk = Netsim_bgp.Walk
+
+type point = {
+  peer_fraction : float;
+  pni_count : int;
+  median_ms : float;
+  p95_ms : float;
+  improvable_5ms : float;
+  mean_egress_utilization : float;
+  peer_route_share : float;
+}
+
+type result = { figure : Figure.t; points : point list }
+
+(* Assign each prefix's egress volume to the first link of its BGP
+   route, then feed the loads into the congestion model. *)
+let assign_loads (fb : Scenario.facebook) ~total_egress_gbps =
+  let loads = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Egress.entry) ->
+      match e.Egress.options with
+      | [] -> ()
+      | (bgp : Egress.option_route) :: _ -> (
+          match bgp.Egress.flow.Rtt.walk.Walk.hops with
+          | first :: _ ->
+              let id = first.Walk.link.Relation.id in
+              let cur =
+                match Hashtbl.find_opt loads id with Some v -> v | None -> 0.
+              in
+              Hashtbl.replace loads id
+                (cur +. (e.Egress.prefix.Prefix.weight *. total_egress_gbps))
+          | [] -> ()))
+    fb.Scenario.fb_entries;
+  Hashtbl.iter
+    (fun link_id gbps ->
+      Congestion.set_offered_load fb.Scenario.fb_congestion ~link_id ~gbps)
+    loads;
+  loads
+
+let measure_point (fb : Scenario.facebook) ~loads ~fraction =
+  let rng = Sm.of_label fb.Scenario.fb_root "peering-ablation" in
+  let windows = Window.windows ~days:1. ~length_min:60. in
+  let samples = 5 in
+  let bgp_medians = ref [] in
+  let improvements = ref [] in
+  let peer_weight = ref 0. and total_weight = ref 0. in
+  Array.iter
+    (fun (e : Egress.entry) ->
+      let w = e.Egress.prefix.Prefix.weight in
+      total_weight := !total_weight +. w;
+      (match e.Egress.options with
+      | bgp :: _ when Egress.is_peer_route bgp -> peer_weight := !peer_weight +. w
+      | _ -> ());
+      let per_window =
+        List.map
+          (fun win ->
+            Edge_controller.measure_window fb.Scenario.fb_congestion ~rng
+              ~samples_per_route:samples win e)
+          windows
+      in
+      List.iter
+        (fun (r : Edge_controller.window_result) ->
+          bgp_medians :=
+            (r.Edge_controller.bgp.Edge_controller.median_ms, w) :: !bgp_medians;
+          match Edge_controller.improvement_ms r with
+          | Some d -> improvements := (d, w) :: !improvements
+          | None -> ())
+        per_window)
+    fb.Scenario.fb_entries;
+  let latency_cdf = Cdf.of_weighted (Array.of_list !bgp_medians) in
+  let improvable =
+    match !improvements with
+    | [] -> 0.
+    | l -> Cdf.fraction_above (Cdf.of_weighted (Array.of_list l)) 5.
+  in
+  let utils =
+    Hashtbl.fold
+      (fun link_id _ acc ->
+        Congestion.utilization fb.Scenario.fb_congestion ~link_id
+          ~time_min:720.
+        :: acc)
+      loads []
+  in
+  let mean_util =
+    match utils with
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  {
+    peer_fraction = fraction;
+    pni_count = fb.Scenario.fb_deployment.Netsim_cdn.Deployment.pni_count;
+    median_ms = Cdf.median latency_cdf;
+    p95_ms = Cdf.quantile latency_cdf 0.95;
+    improvable_5ms = improvable;
+    mean_egress_utilization = mean_util;
+    peer_route_share =
+      (if !total_weight > 0. then !peer_weight /. !total_weight else 0.);
+  }
+
+let run ?(fractions = [ 1.0; 0.75; 0.5; 0.25; 0.1 ])
+    ?(total_egress_gbps = 4000.) ?(sizes = Scenario.default_sizes) () =
+  let points =
+    List.map
+      (fun fraction ->
+        let fb = Scenario.facebook ~sizes ~peer_fraction:fraction () in
+        let loads = assign_loads fb ~total_egress_gbps in
+        measure_point fb ~loads ~fraction)
+      fractions
+  in
+  let series f name = Series.make name (List.map (fun p -> (p.peer_fraction, f p)) points) in
+  let stats =
+    match (List.nth_opt points 0, List.nth_opt points (List.length points - 1)) with
+    | Some full, Some least ->
+        [
+          ("median_ms_full_peering", full.median_ms);
+          ("median_ms_least_peering", least.median_ms);
+          ("p95_ms_full_peering", full.p95_ms);
+          ("p95_ms_least_peering", least.p95_ms);
+          ("util_full_peering", full.mean_egress_utilization);
+          ("util_least_peering", least.mean_egress_utilization);
+        ]
+    | _, _ -> []
+  in
+  let figure =
+    Figure.make ~id:"peering"
+      ~title:"Latency vs peering footprint (capacity-aware)"
+      ~x_label:"Fraction of peers retained"
+      ~y_label:"Traffic-weighted MinRTT (ms)" ~stats
+      [
+        series (fun p -> p.median_ms) "median";
+        series (fun p -> p.p95_ms) "p95";
+        series (fun p -> p.mean_egress_utilization *. 100.) "mean util (%)";
+      ]
+  in
+  { figure; points }

@@ -1,0 +1,32 @@
+(** §3.1.3 — what happens to latency if the provider drastically
+    reduces its peering footprint?
+
+    The open question the paper poses cannot be run on a production
+    network (peers would complain); in simulation we rebuild the
+    provider with a fraction of its peers and — as the paper demands —
+    account for the reduced capacity: egress traffic is assigned to
+    the surviving links and queueing grows with their utilization. *)
+
+type point = {
+  peer_fraction : float;
+  pni_count : int;
+  median_ms : float;  (** Traffic-weighted median MinRTT of BGP's
+                          serving route. *)
+  p95_ms : float;
+  improvable_5ms : float;  (** Fraction of traffic an omniscient
+                               controller could improve by ≥ 5 ms. *)
+  mean_egress_utilization : float;
+  peer_route_share : float;  (** Fraction of traffic whose BGP route
+                                 still leaves via a peer. *)
+}
+
+type result = { figure : Figure.t; points : point list }
+
+val run :
+  ?fractions:float list ->
+  ?total_egress_gbps:float ->
+  ?sizes:Scenario.sizes ->
+  unit ->
+  result
+(** Default fractions: [1.0; 0.75; 0.5; 0.25; 0.1]; default egress
+    volume 4000 Gbps spread over client prefixes by traffic weight. *)

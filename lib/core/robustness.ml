@@ -1,0 +1,100 @@
+module Series = Netsim_stats.Series
+module Summary = Netsim_stats.Summary
+
+type claim_summary = {
+  claim_id : string;
+  pass_rate : float;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+type result = {
+  figure : Figure.t;
+  claims : claim_summary list;
+  seeds : int list;
+  all_pass_rate : float;
+}
+
+let figures_for sizes =
+  let fb = Scenario.facebook ~sizes () in
+  let ms = Scenario.microsoft ~sizes () in
+  let gc = Scenario.google ~sizes () in
+  [
+    (Fig1_pop_egress.run fb).Fig1_pop_egress.figure;
+    (Fig2_route_classes.run fb).Fig2_route_classes.figure;
+    (Fig3_anycast_gap.run ms).Fig3_anycast_gap.figure;
+    (Fig4_dns_redirection.run ms).Fig4_dns_redirection.figure;
+    (Fig5_cloud_tiers.run gc).Fig5_cloud_tiers.figure;
+  ]
+
+let run ?(seeds = [ 42; 43; 44; 45; 46 ]) ?(sizes = Scenario.default_sizes) ()
+    =
+  (* claim id -> (measured values, pass flags) accumulated over seeds *)
+  let per_claim : (string, float list * bool list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun seed ->
+      let figures = figures_for { sizes with Scenario.seed } in
+      List.iter
+        (fun fig ->
+          List.iter
+            (fun (c : Claims.t) ->
+              let values, passes =
+                match Hashtbl.find_opt per_claim c.Claims.id with
+                | Some acc -> acc
+                | None -> ([], [])
+              in
+              Hashtbl.replace per_claim c.Claims.id
+                (c.Claims.measured :: values, Claims.passes c :: passes))
+            (Claims.of_figure fig))
+        figures)
+    seeds;
+  let claims =
+    Hashtbl.fold
+      (fun claim_id (values, passes) acc ->
+        let s = Summary.create () in
+        List.iter (Summary.add s) values;
+        let pass_count = List.length (List.filter Fun.id passes) in
+        {
+          claim_id;
+          pass_rate = float_of_int pass_count /. float_of_int (List.length passes);
+          mean = Summary.mean s;
+          std = (if Summary.count s > 1 then Summary.std s else 0.);
+          min = Summary.min s;
+          max = Summary.max s;
+        }
+        :: acc)
+      per_claim []
+    |> List.sort (fun a b -> compare a.claim_id b.claim_id)
+  in
+  let total_pairs =
+    List.fold_left (fun acc _ -> acc) 0 claims |> ignore;
+    List.length claims * List.length seeds
+  in
+  let total_passes =
+    Hashtbl.fold
+      (fun _ (_, passes) acc -> acc + List.length (List.filter Fun.id passes))
+      per_claim 0
+  in
+  let all_pass_rate =
+    if total_pairs = 0 then nan
+    else float_of_int total_passes /. float_of_int total_pairs
+  in
+  let stats =
+    ("all_pass_rate", all_pass_rate)
+    :: ("seeds", float_of_int (List.length seeds))
+    :: List.map (fun c -> (c.claim_id ^ "_pass_rate", c.pass_rate)) claims
+  in
+  let figure =
+    Figure.make ~id:"robustness"
+      ~title:"Claim pass rate across seeds"
+      ~x_label:"Claim (rank)" ~y_label:"Pass rate" ~stats
+      [
+        Series.make "pass rate"
+          (List.mapi (fun i c -> (float_of_int i, c.pass_rate)) claims);
+      ]
+  in
+  { figure; claims; seeds; all_pass_rate }

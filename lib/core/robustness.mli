@@ -1,0 +1,28 @@
+(** Seed-robustness sweep: do the paper's claims hold across
+    independently generated Internets?
+
+    Re-runs every figure for a list of seeds (each seed draws a fresh
+    topology, population, congestion weather and measurement noise)
+    and reports, per tracked claim, the pass rate and the spread of
+    the measured statistic.  This is the reproduction's answer to "is
+    this one lucky seed?". *)
+
+type claim_summary = {
+  claim_id : string;
+  pass_rate : float;  (** Fraction of seeds on which the claim passed. *)
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+type result = {
+  figure : Figure.t;
+  claims : claim_summary list;
+  seeds : int list;
+  all_pass_rate : float;  (** Fraction of (seed, claim) pairs passing. *)
+}
+
+val run : ?seeds:int list -> ?sizes:Scenario.sizes -> unit -> result
+(** Default seeds: [42; 43; 44; 45; 46].  [sizes] fields other than
+    the seed are used for every run. *)

@@ -1,0 +1,213 @@
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Region = Netsim_geo.Region
+module Deployment = Netsim_cdn.Deployment
+module Egress = Netsim_cdn.Egress
+module Anycast = Netsim_cdn.Anycast
+module Ldns = Netsim_cdn.Ldns
+module Population = Netsim_traffic.Population
+module Prefix = Netsim_traffic.Prefix
+module Congestion = Netsim_latency.Congestion
+module Params = Netsim_latency.Params
+module Cloud = Netsim_wan.Cloud
+module Tiers = Netsim_wan.Tiers
+module Vantage = Netsim_measure.Vantage
+
+type sizes = {
+  seed : int;
+  base : Generator.params;
+  n_prefixes : int;
+  days : float;
+}
+
+let default_sizes =
+  { seed = 42; base = Generator.default_params; n_prefixes = 320; days = 3. }
+
+let test_sizes =
+  { seed = 7; base = Generator.small_params; n_prefixes = 60; days = 1. }
+
+let top_metros ?continents n =
+  let eligible =
+    Array.to_list World.cities
+    |> List.filter (fun (c : City.t) ->
+           match continents with
+           | None -> true
+           | Some l -> List.mem c.continent l)
+  in
+  let sorted =
+    List.sort
+      (fun (a : City.t) (b : City.t) -> compare b.population_m a.population_m)
+      eligible
+  in
+  List.filteri (fun i _ -> i < n) sorted |> List.map (fun (c : City.t) -> c.id)
+
+let spread_metros n =
+  (* Continental quotas out of 40, scaled to n. *)
+  let quotas =
+    [
+      (Region.North_america, 10);
+      (Region.Europe, 10);
+      (Region.Asia, 10);
+      (Region.South_america, 4);
+      (Region.Oceania, 3);
+      (Region.Africa, 3);
+    ]
+  in
+  let scale q = max 1 (q * n / 40) in
+  List.concat_map
+    (fun (continent, q) -> top_metros ~continents:[ continent ] (scale q))
+    quotas
+  |> List.sort_uniq compare
+
+(* ---- Facebook-like --------------------------------------------------- *)
+
+type facebook = {
+  fb_deployment : Deployment.t;
+  fb_prefixes : Prefix.t array;
+  fb_entries : Egress.entry array;
+  fb_congestion : Congestion.t;
+  fb_root : Sm.t;
+  fb_days : float;
+  fb_samples_per_route : int;
+}
+
+let facebook ?(sizes = default_sizes) ?(pop_count = 40) ?(peer_fraction = 1.0)
+    ?(params = Params.default) ?(routes_per_prefix = 3) () =
+  let root = Sm.create sizes.seed in
+  let base =
+    Generator.generate { sizes.base with Generator.seed = sizes.seed }
+  in
+  let spec =
+    {
+      (Deployment.default_spec ~name:"CONTENT"
+         ~pop_metros:(spread_metros pop_count))
+      with
+      Deployment.peer_fraction;
+    }
+  in
+  let deployment = Deployment.deploy base ~rng:(Sm.of_label root "deploy") spec in
+  let prefixes =
+    Population.generate deployment.Deployment.topo
+      ~rng:(Sm.of_label root "population") ~n_prefixes:sizes.n_prefixes
+  in
+  let entries = Egress.compute deployment ~prefixes ~k:routes_per_prefix in
+  let congestion =
+    Congestion.create params deployment.Deployment.topo ~seed:(sizes.seed + 1)
+  in
+  {
+    fb_deployment = deployment;
+    fb_prefixes = prefixes;
+    fb_entries = entries;
+    fb_congestion = congestion;
+    fb_root = root;
+    fb_days = sizes.days;
+    fb_samples_per_route = 7;
+  }
+
+(* ---- Microsoft-like -------------------------------------------------- *)
+
+type microsoft = {
+  ms_system : Anycast.t;
+  ms_prefixes : Prefix.t array;
+  ms_assignment : Ldns.assignment;
+  ms_congestion : Congestion.t;
+  ms_root : Sm.t;
+  ms_days : float;
+}
+
+let microsoft ?(sizes = default_sizes) ?(site_count = 36)
+    ?(params = Params.default) ?(ldns_params = Ldns.default_params) () =
+  let root = Sm.create sizes.seed in
+  let base =
+    Generator.generate { sizes.base with Generator.seed = sizes.seed }
+  in
+  (* Front-end placement mirrors the 2015 Microsoft deployment: dense
+     in North America and Europe, sparser elsewhere. *)
+  let dense =
+    top_metros
+      ~continents:[ Region.North_america; Region.Europe ]
+      (site_count * 2 / 3)
+  in
+  let rest = max 0 (site_count - List.length dense) in
+  let sparse =
+    List.concat_map
+      (fun (continent, share) ->
+        top_metros ~continents:[ continent ] (max 1 (rest * share / 12)))
+      [
+        (Region.Asia, 6);
+        (Region.South_america, 3);
+        (Region.Oceania, 2);
+        (Region.Africa, 1);
+      ]
+  in
+  (* The 2015-era CDN peers far less densely than the Facebook-like
+     provider and its transit sessions sit at a handful of global
+     hubs — which is exactly what lets BGP carry some clients to a
+     distant front-end (the Fig. 3 tail). *)
+  let spec =
+    {
+      (Deployment.default_spec ~name:"ANYCAST-CDN" ~pop_metros:(dense @ sparse))
+      with
+      Deployment.pni_prob = 0.45;
+      public_peer_prob = 0.45;
+      dual_pni_prob = 0.2;
+      transit_count = 3;
+      transit_session_metros = 2;
+    }
+  in
+  let deployment = Deployment.deploy base ~rng:(Sm.of_label root "deploy") spec in
+  let system = Anycast.make deployment in
+  let prefixes =
+    Population.generate deployment.Deployment.topo
+      ~rng:(Sm.of_label root "population") ~n_prefixes:sizes.n_prefixes
+  in
+  let assignment =
+    Ldns.assign deployment.Deployment.topo ~prefixes
+      ~rng:(Sm.of_label root "ldns") ldns_params
+  in
+  let congestion =
+    Congestion.create params deployment.Deployment.topo ~seed:(sizes.seed + 2)
+  in
+  {
+    ms_system = system;
+    ms_prefixes = prefixes;
+    ms_assignment = assignment;
+    ms_congestion = congestion;
+    ms_root = root;
+    ms_days = sizes.days;
+  }
+
+(* ---- Google-like ----------------------------------------------------- *)
+
+type google = {
+  gc_tiers : Tiers.t;
+  gc_vantage : Vantage.t array;
+  gc_congestion : Congestion.t;
+  gc_root : Sm.t;
+  gc_days : float;
+}
+
+let google ?(sizes = default_sizes) ?(n_vantage = 800) ?(params = Params.default)
+    () =
+  let root = Sm.create sizes.seed in
+  let base =
+    Generator.generate { sizes.base with Generator.seed = sizes.seed }
+  in
+  let cloud = Cloud.deploy base ~rng:(Sm.of_label root "deploy") () in
+  let tiers = Tiers.make cloud ~params in
+  let vantage =
+    Vantage.select (Cloud.topo cloud) ~rng:(Sm.of_label root "vantage")
+      ~n:n_vantage
+  in
+  let congestion =
+    Congestion.create params (Cloud.topo cloud) ~seed:(sizes.seed + 3)
+  in
+  {
+    gc_tiers = tiers;
+    gc_vantage = vantage;
+    gc_congestion = congestion;
+    gc_root = root;
+    gc_days = sizes.days;
+  }

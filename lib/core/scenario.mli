@@ -1,0 +1,81 @@
+(** Scenario builders for the paper's three settings.
+
+    Each builder assembles a base Internet, grafts the provider,
+    generates the client population, and prepares congestion state —
+    everything an experiment needs, deterministic in one seed.  Sizes
+    default to values that run each figure in seconds; tests shrink
+    them, benches can grow them. *)
+
+type sizes = {
+  seed : int;
+  base : Netsim_topo.Generator.params;  (** Base-Internet shape. *)
+  n_prefixes : int;
+  days : float;  (** Simulated measurement horizon. *)
+}
+
+val default_sizes : sizes
+val test_sizes : sizes
+(** Small topology and population for unit/integration tests. *)
+
+(** The Facebook-like PoP-egress setting (§2.3.1, Figures 1–2). *)
+type facebook = {
+  fb_deployment : Netsim_cdn.Deployment.t;
+  fb_prefixes : Netsim_traffic.Prefix.t array;
+  fb_entries : Netsim_cdn.Egress.entry array;
+  fb_congestion : Netsim_latency.Congestion.t;
+  fb_root : Netsim_prng.Splitmix.t;
+  fb_days : float;
+  fb_samples_per_route : int;
+}
+
+val facebook :
+  ?sizes:sizes ->
+  ?pop_count:int ->
+  ?peer_fraction:float ->
+  ?params:Netsim_latency.Params.t ->
+  ?routes_per_prefix:int ->
+  unit ->
+  facebook
+
+(** The Microsoft-like anycast CDN setting (§2.3.2, Figures 3–4). *)
+type microsoft = {
+  ms_system : Netsim_cdn.Anycast.t;
+  ms_prefixes : Netsim_traffic.Prefix.t array;
+  ms_assignment : Netsim_cdn.Ldns.assignment;
+  ms_congestion : Netsim_latency.Congestion.t;
+  ms_root : Netsim_prng.Splitmix.t;
+  ms_days : float;
+}
+
+val microsoft :
+  ?sizes:sizes ->
+  ?site_count:int ->
+  ?params:Netsim_latency.Params.t ->
+  ?ldns_params:Netsim_cdn.Ldns.params ->
+  unit ->
+  microsoft
+
+(** The Google-like cloud-tiers setting (§2.3.3, Figure 5). *)
+type google = {
+  gc_tiers : Netsim_wan.Tiers.t;
+  gc_vantage : Netsim_measure.Vantage.t array;
+  gc_congestion : Netsim_latency.Congestion.t;
+  gc_root : Netsim_prng.Splitmix.t;
+  gc_days : float;
+}
+
+val google :
+  ?sizes:sizes ->
+  ?n_vantage:int ->
+  ?params:Netsim_latency.Params.t ->
+  unit ->
+  google
+
+val top_metros : ?continents:Netsim_geo.Region.continent list -> int -> int list
+(** The [n] most populous metros (optionally restricted to some
+    continents) — used to place PoPs and front-end sites. *)
+
+val spread_metros : int -> int list
+(** [n] metros spread across all continents roughly in proportion to
+    a global provider's PoP distribution (NA/EU-heavy, but with
+    presence on every continent) — the Facebook-like PoP set. *)

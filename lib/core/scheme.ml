@@ -1,0 +1,285 @@
+module Sm = Netsim_prng.Splitmix
+module Quantile = Netsim_stats.Quantile
+module Cdf = Netsim_stats.Cdf
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module Egress = Netsim_cdn.Egress
+module Anycast = Netsim_cdn.Anycast
+module Redirector = Netsim_cdn.Redirector
+module Rtt = Netsim_latency.Rtt
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+type t = {
+  name : string;
+  serve : Prefix.t -> time_min:float -> rng:Sm.t -> float option;
+}
+
+let name t = t.name
+let serve t prefix ~time_min ~rng = t.serve prefix ~time_min ~rng
+
+let window_median cong flow ~time_min ~rng =
+  Rtt.median_of_samples cong ~rng ~time_min ~count:7 flow
+
+(* -- egress setting ---------------------------------------------------- *)
+
+let entry_table (fb : Scenario.facebook) =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Egress.entry) ->
+      Hashtbl.replace tbl e.Egress.prefix.Prefix.id e)
+    fb.Scenario.fb_entries;
+  tbl
+
+let egress_bgp (fb : Scenario.facebook) =
+  let entries = entry_table fb in
+  {
+    name = "bgp";
+    serve =
+      (fun p ~time_min ~rng ->
+        match Hashtbl.find_opt entries p.Prefix.id with
+        | Some { Egress.options = o :: _; _ } ->
+            Some (window_median fb.Scenario.fb_congestion o.Egress.flow ~time_min ~rng)
+        | Some { Egress.options = []; _ } | None -> None);
+  }
+
+let oracle_over_options (fb : Scenario.facebook) ~name ~pick_per_window =
+  let entries = entry_table fb in
+  (* For the static oracle: per prefix, the option with the best
+     whole-horizon floor is fixed at construction. *)
+  let static_choice = Hashtbl.create 256 in
+  if not pick_per_window then begin
+    let topo = fb.Scenario.fb_deployment.Netsim_cdn.Deployment.topo in
+    Hashtbl.iter
+      (fun id (e : Egress.entry) ->
+        let best =
+          List.fold_left
+            (fun acc (o : Egress.option_route) ->
+              let floor =
+                Rtt.floor_ms Netsim_latency.Params.default topo
+                  fb.Scenario.fb_congestion o.Egress.flow
+              in
+              match acc with
+              | Some (f, _) when f <= floor -> acc
+              | _ -> Some (floor, o))
+            None e.Egress.options
+        in
+        match best with
+        | Some (_, o) -> Hashtbl.replace static_choice id o
+        | None -> ())
+      entries
+  end;
+  {
+    name;
+    serve =
+      (fun p ~time_min ~rng ->
+        match Hashtbl.find_opt entries p.Prefix.id with
+        | None | Some { Egress.options = []; _ } -> None
+        | Some e ->
+            if pick_per_window then
+              List.fold_left
+                (fun acc (o : Egress.option_route) ->
+                  let m =
+                    window_median fb.Scenario.fb_congestion o.Egress.flow
+                      ~time_min ~rng
+                  in
+                  match acc with
+                  | Some b when b <= m -> acc
+                  | _ -> Some m)
+                None e.Egress.options
+            else
+              Hashtbl.find_opt static_choice p.Prefix.id
+              |> Option.map (fun (o : Egress.option_route) ->
+                     window_median fb.Scenario.fb_congestion o.Egress.flow
+                       ~time_min ~rng));
+  }
+
+let egress_oracle fb =
+  oracle_over_options fb ~name:"oracle-dynamic" ~pick_per_window:true
+
+let egress_static_oracle fb =
+  oracle_over_options fb ~name:"oracle-static" ~pick_per_window:false
+
+(* -- anycast CDN setting ----------------------------------------------- *)
+
+let anycast (ms : Scenario.microsoft) =
+  {
+    name = "anycast";
+    serve =
+      (fun p ~time_min ~rng ->
+        Anycast.anycast_flow ms.Scenario.ms_system p
+        |> Option.map (fun flow ->
+               window_median ms.Scenario.ms_congestion flow ~time_min ~rng));
+  }
+
+let unicast_oracle ?(nearby_sites = 8) (ms : Scenario.microsoft) =
+  let sites = Anycast.sites ms.Scenario.ms_system in
+  let nearby p =
+    let c = World.cities.(p.Prefix.city) in
+    List.map (fun s -> (City.distance_km c World.cities.(s), s)) sites
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < nearby_sites)
+    |> List.map snd
+  in
+  {
+    name = "unicast-oracle";
+    serve =
+      (fun p ~time_min ~rng ->
+        List.fold_left
+          (fun acc site ->
+            match Anycast.unicast_flow ms.Scenario.ms_system p ~site with
+            | None -> acc
+            | Some flow ->
+                let m =
+                  window_median ms.Scenario.ms_congestion flow ~time_min ~rng
+                in
+                (match acc with Some b when b <= m -> acc | _ -> Some m))
+          None (nearby p));
+  }
+
+let dns_redirection ?(margin = 0.) ?name:(label = "dns-redirection")
+    (ms : Scenario.microsoft) =
+  let rng = Sm.of_label ms.Scenario.ms_root "scheme-redirector" in
+  let windows = Window.windows ~days:(ms.Scenario.ms_days /. 2.) ~length_min:120. in
+  let table =
+    Redirector.train ~margin ~client_sample:4 ms.Scenario.ms_system
+      ~assignment:ms.Scenario.ms_assignment ~prefixes:ms.Scenario.ms_prefixes
+      ~cong:ms.Scenario.ms_congestion ~rng ~windows ~samples_per_window:3
+  in
+  {
+    name = label;
+    serve =
+      (fun p ~time_min ~rng ->
+        let choice = Redirector.choice_for table ms.Scenario.ms_assignment p in
+        Redirector.flow_for_choice ms.Scenario.ms_system p choice
+        |> Option.map (fun flow ->
+               window_median ms.Scenario.ms_congestion flow ~time_min ~rng));
+  }
+
+(* -- comparison --------------------------------------------------------- *)
+
+type report = {
+  scheme_names : string list;
+  medians : (string * float) list;
+  p95s : (string * float) list;
+  win_matrix : ((string * string) * float) list;
+  unservable : (string * float) list;
+}
+
+let compare_schemes schemes ~prefixes ~rng ~windows =
+  if schemes = [] then invalid_arg "Scheme.compare_schemes: no schemes";
+  let names = List.map (fun s -> s.name) schemes in
+  (* results.(i) = per-scheme list of (latency option, weight) aligned
+     across (client, window) points. *)
+  let points =
+    Array.to_list prefixes
+    |> List.concat_map (fun (p : Prefix.t) ->
+           List.map (fun w -> (p, Window.mid_time w)) windows)
+  in
+  let evaluated =
+    List.map
+      (fun (p, time_min) ->
+        (* Common random numbers: every scheme evaluates this point
+           with an identical substream, so scheme differences are
+           never sampling noise (and an oracle over a superset of
+           routes can never lose to its baseline). *)
+        let key = Printf.sprintf "point-%d-%.3f" p.Prefix.id time_min in
+        ( p.Prefix.weight,
+          List.map
+            (fun s -> s.serve p ~time_min ~rng:(Sm.of_label rng key))
+            schemes ))
+      points
+  in
+  let nth_values i =
+    List.filter_map
+      (fun (w, vs) ->
+        match List.nth vs i with Some v -> Some (v, w) | None -> None)
+      evaluated
+  in
+  let medians, p95s, unservable =
+    List.fold_left
+      (fun (ms, ps, us) i ->
+        let scheme_name = List.nth names i in
+        let vals = nth_values i in
+        let total_w =
+          List.fold_left (fun acc (w, _) -> acc +. w) 0. evaluated
+        in
+        let served_w = List.fold_left (fun acc (_, w) -> acc +. w) 0. vals in
+        let unserved =
+          if total_w > 0. then 1. -. (served_w /. total_w) else 0.
+        in
+        match vals with
+        | [] -> ((scheme_name, nan) :: ms, (scheme_name, nan) :: ps,
+                 (scheme_name, unserved) :: us)
+        | l ->
+            let cdf = Cdf.of_weighted (Array.of_list l) in
+            ( (scheme_name, Cdf.median cdf) :: ms,
+              (scheme_name, Cdf.quantile cdf 0.95) :: ps,
+              (scheme_name, unserved) :: us ))
+      ([], [], [])
+      (List.init (List.length schemes) Fun.id)
+  in
+  let win_matrix =
+    List.concat
+      (List.mapi
+         (fun i a ->
+           List.mapi
+             (fun j b ->
+               if i = j then (((a, b), 0.))
+               else begin
+                 let wins = ref 0. and total = ref 0. in
+                 List.iter
+                   (fun (w, vs) ->
+                     match (List.nth vs i, List.nth vs j) with
+                     | Some va, Some vb ->
+                         total := !total +. w;
+                         if va <= vb -. 2. then wins := !wins +. w
+                     | _, _ -> ())
+                   evaluated;
+                 ((a, b), if !total > 0. then !wins /. !total else nan)
+               end)
+             names)
+         names)
+  in
+  {
+    scheme_names = names;
+    medians = List.rev medians;
+    p95s = List.rev p95s;
+    win_matrix;
+    unservable = List.rev unservable;
+  }
+
+let win_rate r a b = List.assoc (a, b) r.win_matrix
+
+let render r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %12s %12s %12s\n" "scheme" "median(ms)" "p95(ms)"
+       "unservable");
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %12.1f %12.1f %11.1f%%\n" n
+           (List.assoc n r.medians) (List.assoc n r.p95s)
+           (100. *. List.assoc n r.unservable)))
+    r.scheme_names;
+  Buffer.add_string buf "\nwin matrix (row beats column by >= 2 ms, weighted):\n";
+  let short n = if String.length n > 15 then String.sub n 0 15 else n in
+  Buffer.add_string buf (Printf.sprintf "%-18s" "");
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf " %16s" (short n)))
+    r.scheme_names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "%-18s" (short a));
+      List.iter
+        (fun b ->
+          let v = win_rate r a b in
+          Buffer.add_string buf
+            (if a = b then Printf.sprintf " %16s" "-"
+             else Printf.sprintf " %15.1f%%" (100. *. v)))
+        r.scheme_names;
+      Buffer.add_char buf '\n')
+    r.scheme_names;
+  Buffer.contents buf

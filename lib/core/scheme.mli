@@ -1,0 +1,86 @@
+(** A unified scheme-comparison harness.
+
+    The paper evaluates performance-aware routing schemes against BGP
+    in three settings, each with its own methodology.  This module is
+    the reproduction's unifying contribution: a routing {e scheme} is
+    a value — something that serves a client in a measurement window —
+    and any set of schemes can be compared under identical clients,
+    windows and congestion weather, producing weighted latency CDFs
+    and a pairwise win matrix.
+
+    Schemes for the egress setting (Figure 1's cast):
+
+    - {!egress_bgp} — BGP's preferred route, no overrides;
+    - {!egress_oracle} — omniscient per-window controller over the
+      sprayed top-k routes (Edge Fabric with a perfect crystal ball);
+    - {!egress_static_oracle} — pick each client's best route {e once}
+      (whole-horizon median) and never adapt: separating how much of
+      the oracle's win is dynamism vs static route choice is the
+      paper's §3.1.1 temporary-vs-always distinction.
+
+    Schemes for the anycast CDN setting (Figures 3–4's cast):
+
+    - {!anycast} — BGP anycast;
+    - {!unicast_oracle} — per-window best nearby unicast front-end;
+    - {!dns_redirection} — the realistic trained redirector;
+    - {!hybrid} — redirector with a confidence margin. *)
+
+type t
+(** A named scheme: serves a client prefix in a window, yielding the
+    median latency the client experiences (or [None] if the scheme
+    cannot serve that client). *)
+
+val name : t -> string
+
+val serve :
+  t ->
+  Netsim_traffic.Prefix.t ->
+  time_min:float ->
+  rng:Netsim_prng.Splitmix.t ->
+  float option
+
+(* -- egress setting -- *)
+
+val egress_bgp : Scenario.facebook -> t
+val egress_oracle : Scenario.facebook -> t
+val egress_static_oracle : Scenario.facebook -> t
+
+(* -- anycast CDN setting -- *)
+
+val anycast : Scenario.microsoft -> t
+
+val unicast_oracle : ?nearby_sites:int -> Scenario.microsoft -> t
+
+val dns_redirection : ?margin:float -> ?name:string -> Scenario.microsoft -> t
+(** Trains the realistic redirector (sparse, traffic-biased samples)
+    on the first half of the horizon at construction time. *)
+
+(* -- comparison -- *)
+
+type report = {
+  scheme_names : string list;
+  medians : (string * float) list;  (** Traffic-weighted median latency. *)
+  p95s : (string * float) list;
+  win_matrix : ((string * string) * float) list;
+      (** [((a, b), w)]: weighted fraction of (client, window) points
+          where scheme [a] beats scheme [b] by ≥ 2 ms. *)
+  unservable : (string * float) list;
+      (** Weighted share of clients a scheme could not serve. *)
+}
+
+val compare_schemes :
+  t list ->
+  prefixes:Netsim_traffic.Prefix.t array ->
+  rng:Netsim_prng.Splitmix.t ->
+  windows:Netsim_traffic.Window.t list ->
+  report
+(** Evaluate every scheme on every (client, window) point under the
+    same congestion weather and build the report.
+    @raise Invalid_argument on an empty scheme list. *)
+
+val win_rate : report -> string -> string -> float
+(** [win_rate r a b] looks up the win-matrix entry.
+    @raise Not_found for unknown scheme names. *)
+
+val render : report -> string
+(** Text table: per-scheme medians/p95 and the win matrix. *)

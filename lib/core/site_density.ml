@@ -1,0 +1,71 @@
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Prefix = Netsim_traffic.Prefix
+
+type point = {
+  site_count : int;
+  median_rtt_ms : float;
+  p90_rtt_ms : float;
+  miscatch_share : float;
+  median_gap_ms : float;
+}
+
+type result = { figure : Figure.t; points : point list }
+
+let measure sizes site_count =
+  let ms = Scenario.microsoft ~sizes ~site_count () in
+  let fig3 = Fig3_anycast_gap.run ms in
+  let clients = fig3.Fig3_anycast_gap.clients in
+  let weighted f =
+    Cdf.of_weighted
+      (Array.of_list
+         (List.map
+            (fun (c : Fig3_anycast_gap.per_client) ->
+              (f c, c.Fig3_anycast_gap.prefix.Prefix.weight))
+            clients))
+  in
+  let rtt = weighted (fun c -> c.Fig3_anycast_gap.anycast_ms) in
+  let gap =
+    weighted (fun c ->
+        Float.max 0.
+          (c.Fig3_anycast_gap.anycast_ms -. c.Fig3_anycast_gap.best_unicast_ms))
+  in
+  {
+    site_count;
+    median_rtt_ms = Cdf.median rtt;
+    p90_rtt_ms = Cdf.quantile rtt 0.9;
+    miscatch_share = Cdf.fraction_above gap 25.;
+    median_gap_ms = Cdf.median gap;
+  }
+
+let run ?(site_counts = [ 6; 12; 18; 24; 36 ])
+    ?(sizes = Scenario.default_sizes) () =
+  let points = List.map (measure sizes) site_counts in
+  let series f name =
+    Series.make name
+      (List.map (fun p -> (float_of_int p.site_count, f p)) points)
+  in
+  let stats =
+    match (List.nth_opt points 0, List.nth_opt points (List.length points - 1)) with
+    | Some sparse, Some dense ->
+        [
+          ("median_rtt_sparse_ms", sparse.median_rtt_ms);
+          ("median_rtt_dense_ms", dense.median_rtt_ms);
+          ("p90_rtt_sparse_ms", sparse.p90_rtt_ms);
+          ("p90_rtt_dense_ms", dense.p90_rtt_ms);
+          ("miscatch_sparse", sparse.miscatch_share);
+          ("miscatch_dense", dense.miscatch_share);
+        ]
+    | _, _ -> []
+  in
+  let figure =
+    Figure.make ~id:"sites"
+      ~title:"Anycast performance vs front-end density"
+      ~x_label:"Number of front-end sites" ~y_label:"ms / fraction" ~stats
+      [
+        series (fun p -> p.median_rtt_ms) "median anycast RTT (ms)";
+        series (fun p -> p.p90_rtt_ms) "p90 anycast RTT (ms)";
+        series (fun p -> p.miscatch_share *. 100.) "mis-caught share (%)";
+      ]
+  in
+  { figure; points }

@@ -1,0 +1,24 @@
+(** §3.2.2 open question — "how many sites are enough?"
+
+    Sweeps the anycast deployment's front-end count and measures
+    client latency and mis-catchment.  The paper asks how quickly the
+    benefit of adding PoPs diminishes and whether more PoPs raise the
+    chance of anycast picking a suboptimal one; this experiment
+    answers both for the simulated Internet. *)
+
+type point = {
+  site_count : int;
+  median_rtt_ms : float;  (** Traffic-weighted anycast RTT floor+congestion
+                              median. *)
+  p90_rtt_ms : float;
+  miscatch_share : float;
+      (** Weighted share of clients whose anycast gap to their best
+          front-end is ≥ 25 ms. *)
+  median_gap_ms : float;
+}
+
+type result = { figure : Figure.t; points : point list }
+
+val run :
+  ?site_counts:int list -> ?sizes:Scenario.sizes -> unit -> result
+(** Default sweep: [6; 12; 18; 24; 36] sites. *)

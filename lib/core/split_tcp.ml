@@ -1,0 +1,126 @@
+module Sm = Netsim_prng.Splitmix
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Quantile = Netsim_stats.Quantile
+module Tiers = Netsim_wan.Tiers
+module Cloud = Netsim_wan.Cloud
+module Backbone = Netsim_wan.Backbone
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+module Rtt = Netsim_latency.Rtt
+module Params = Netsim_latency.Params
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+type design = Direct | Split_wan | Split_public
+
+type per_vp = {
+  vp : Vantage.t;
+  direct_ms : float;
+  split_wan_ms : float;
+  split_public_ms : float;
+}
+
+type result = {
+  figure : Figure.t;
+  points : per_vp list;
+  median_saving_wan_ms : float;
+  median_saving_public_ms : float;
+}
+
+let run ?(handshake_rtts = 3.) ?(data_rounds = 2.) (gc : Scenario.google) =
+  let rng = Sm.of_label gc.Scenario.gc_root "split-tcp" in
+  let tiers = gc.Scenario.gc_tiers in
+  let cloud = Tiers.cloud tiers in
+  let backbone = Tiers.backbone tiers in
+  let dc = cloud.Cloud.dc_metro in
+  let ping flow =
+    Campaign.ping_median gc.Scenario.gc_congestion ~rng ~days:1. ~per_day:8
+      ~pings_per_round:3 flow
+  in
+  let points =
+    Array.to_list gc.Scenario.gc_vantage
+    |> List.filter (Tiers.qualifies tiers)
+    |> List.filter_map (fun vp ->
+           match (Tiers.premium_flow tiers vp, Tiers.standard_flow tiers vp) with
+           | Some premium, Some standard ->
+               (* Edge RTT: the premium flow up to its WAN entry
+                  (strip the backbone carriage). *)
+               let edge_rtt =
+                 ping { premium with Rtt.extra_ms = 0. }
+               in
+               let entry = Netsim_bgp.Walk.entry_metro premium.Rtt.walk in
+               let wan_backend =
+                 Backbone.carry_rtt_ms backbone Params.default entry dc
+               in
+               (* Public backend: approximate the edge-to-DC public
+                  path with the standard tier's RTT minus the client's
+                  edge RTT (both share the access segment). *)
+               let standard_rtt = ping standard in
+               let public_backend =
+                 Float.max wan_backend (standard_rtt -. edge_rtt)
+               in
+               let fetch ~edge ~backend =
+                 (handshake_rtts *. edge) +. (data_rounds *. backend)
+               in
+               Some
+                 {
+                   vp;
+                   direct_ms =
+                     fetch ~edge:standard_rtt ~backend:standard_rtt;
+                   split_wan_ms = fetch ~edge:edge_rtt ~backend:(edge_rtt +. wan_backend);
+                   split_public_ms =
+                     fetch ~edge:edge_rtt ~backend:(edge_rtt +. public_backend);
+                 }
+           | _, _ -> None)
+  in
+  let savings f =
+    match points with
+    | [] -> nan
+    | l -> Quantile.median (Array.of_list (List.map f l))
+  in
+  let median_saving_wan_ms = savings (fun p -> p.direct_ms -. p.split_wan_ms) in
+  let median_saving_public_ms =
+    savings (fun p -> p.direct_ms -. p.split_public_ms)
+  in
+  let dist_km (p : per_vp) =
+    City.distance_km World.cities.(p.vp.Vantage.city) World.cities.(dc)
+  in
+  let cdf_series f name =
+    match points with
+    | [] -> Series.make name []
+    | l ->
+        Series.make name
+          (Cdf.cdf_points (Cdf.of_samples (Array.of_list (List.map f l))))
+  in
+  (* Long-distance clients benefit most: record the saving split by
+     distance halves. *)
+  let far, near =
+    List.partition (fun p -> dist_km p > 7000.) points
+  in
+  let mean f l =
+    match l with
+    | [] -> nan
+    | _ -> List.fold_left (fun a p -> a +. f p) 0. l /. float_of_int (List.length l)
+  in
+  let stats =
+    [
+      ("median_saving_wan_ms", median_saving_wan_ms);
+      ("median_saving_public_ms", median_saving_public_ms);
+      ("mean_saving_wan_far_ms", mean (fun p -> p.direct_ms -. p.split_wan_ms) far);
+      ("mean_saving_wan_near_ms", mean (fun p -> p.direct_ms -. p.split_wan_ms) near);
+      ( "wan_backend_advantage_ms",
+        median_saving_wan_ms -. median_saving_public_ms );
+    ]
+  in
+  let figure =
+    Figure.make ~id:"splittcp"
+      ~title:"Small-object fetch time under split-TCP designs"
+      ~x_label:"Fetch time (ms)" ~y_label:"CDF of vantage points" ~stats
+      [
+        cdf_series (fun p -> p.direct_ms) "direct (public, no split)";
+        cdf_series (fun p -> p.split_wan_ms) "split, WAN backend";
+        cdf_series (fun p -> p.split_public_ms) "split, public backend";
+      ]
+  in
+  { figure; points; median_saving_wan_ms; median_saving_public_ms }

@@ -1,0 +1,42 @@
+(** §4 — split TCP connections over a private WAN vs the public
+    Internet.
+
+    The paper flags as an open question how the latency benefit of
+    terminating TCP at a nearby edge varies when the {e backend} of
+    the split rides a private WAN versus the public Internet.  We
+    model a small HTTPS fetch (TCP + TLS handshakes plus a few data
+    round trips) under three designs for every qualifying vantage
+    point of the Figure-5 scenario:
+
+    - [direct]: end-to-end connection over the Standard tier (public
+      BGP the whole way);
+    - [split_wan]: handshakes against the nearest WAN edge, backend
+      over the Premium tier's backbone;
+    - [split_public]: handshakes against the nearest edge, backend
+      over the public Internet (the pre-WAN Akamai design).
+
+    Fetch time = [handshake_rtts] × edge RTT + [data_rounds] ×
+    backend RTT (for the direct design the edge IS the data center). *)
+
+type design = Direct | Split_wan | Split_public
+
+type per_vp = {
+  vp : Netsim_measure.Vantage.t;
+  direct_ms : float;
+  split_wan_ms : float;
+  split_public_ms : float;
+}
+
+type result = {
+  figure : Figure.t;
+  points : per_vp list;
+  median_saving_wan_ms : float;  (** direct − split_wan, median over VPs. *)
+  median_saving_public_ms : float;
+}
+
+val run :
+  ?handshake_rtts:float ->
+  ?data_rounds:float ->
+  Scenario.google ->
+  result
+(** Defaults: 3 handshake round trips (TCP + TLS 1.2), 2 data rounds. *)

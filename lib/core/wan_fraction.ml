@@ -1,0 +1,127 @@
+module Sm = Netsim_prng.Splitmix
+module Series = Netsim_stats.Series
+module Tiers = Netsim_wan.Tiers
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+module Rtt = Netsim_latency.Rtt
+
+type vp_point = {
+  vp : Vantage.t;
+  single_wan_fraction : float;
+  diff_ms : float;
+}
+
+type bucket = { lo : float; hi : float; count : int; mean_diff_ms : float }
+
+type result = {
+  figure : Figure.t;
+  points : vp_point list;
+  buckets : bucket list;
+  correlation : float;
+  india_mean_fraction : float;
+  world_mean_fraction : float;
+}
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  if n < 2. then 0.
+  else begin
+    let mean a = Array.fold_left ( +. ) 0. a /. n in
+    let mx = mean xs and my = mean ys in
+    let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let dx = x -. mx and dy = ys.(i) -. my in
+        cov := !cov +. (dx *. dy);
+        vx := !vx +. (dx *. dx);
+        vy := !vy +. (dy *. dy))
+      xs;
+    if !vx <= 0. || !vy <= 0. then 0. else !cov /. sqrt (!vx *. !vy)
+  end
+
+let run (gc : Scenario.google) =
+  let rng = Sm.of_label gc.Scenario.gc_root "wanfrac" in
+  let tiers = gc.Scenario.gc_tiers in
+  let points =
+    Array.to_list gc.Scenario.gc_vantage
+    |> List.filter (Tiers.qualifies tiers)
+    |> List.filter_map (fun vp ->
+           match (Tiers.premium_flow tiers vp, Tiers.standard_flow tiers vp) with
+           | Some pf, Some sf ->
+               let ping flow =
+                 Campaign.ping_median gc.Scenario.gc_congestion ~rng
+                   ~days:gc.Scenario.gc_days ~per_day:6 ~pings_per_round:4 flow
+               in
+               Some
+                 {
+                   vp;
+                   single_wan_fraction =
+                     Campaign.single_as_fraction sf.Rtt.walk;
+                   diff_ms = ping sf -. ping pf;
+                 }
+           | _, _ -> None)
+  in
+  let xs = Array.of_list (List.map (fun p -> p.single_wan_fraction) points) in
+  let ys = Array.of_list (List.map (fun p -> p.diff_ms) points) in
+  let correlation = pearson xs ys in
+  let bucket_edges = [ (0., 0.5); (0.5, 0.75); (0.75, 0.9); (0.9, 1.01) ] in
+  let buckets =
+    List.map
+      (fun (lo, hi) ->
+        let members =
+          List.filter
+            (fun p -> p.single_wan_fraction >= lo && p.single_wan_fraction < hi)
+            points
+        in
+        let count = List.length members in
+        let mean_diff_ms =
+          if count = 0 then nan
+          else
+            List.fold_left (fun acc p -> acc +. p.diff_ms) 0. members
+            /. float_of_int count
+        in
+        { lo; hi; count; mean_diff_ms })
+      bucket_edges
+  in
+  let mean_fraction filter =
+    let members = List.filter filter points in
+    match members with
+    | [] -> nan
+    | l ->
+        List.fold_left (fun acc p -> acc +. p.single_wan_fraction) 0. l
+        /. float_of_int (List.length l)
+  in
+  let india_mean_fraction =
+    mean_fraction (fun p -> Vantage.country p.vp = "IN")
+  in
+  let world_mean_fraction = mean_fraction (fun _ -> true) in
+  let stats =
+    [
+      ("correlation", correlation);
+      ("india_mean_single_wan_fraction", india_mean_fraction);
+      ("world_mean_single_wan_fraction", world_mean_fraction);
+      ("qualifying_vps", float_of_int (List.length points));
+    ]
+  in
+  let figure =
+    Figure.make ~id:"wanfrac"
+      ~title:"Premium advantage vs single-WAN fraction of the BGP path"
+      ~x_label:"Single-AS fraction of standard-path carriage"
+      ~y_label:"Mean standard - premium (ms)" ~stats
+      [
+        Series.make "bucket mean diff"
+          (List.filter_map
+             (fun b ->
+               if b.count = 0 then None
+               else Some ((b.lo +. b.hi) /. 2., b.mean_diff_ms))
+             buckets);
+      ]
+  in
+  {
+    figure;
+    points;
+    buckets;
+    correlation;
+    india_mean_fraction;
+    world_mean_fraction;
+  }

@@ -1,0 +1,38 @@
+(** §3.3.2 — do private WANs struggle to beat BGP exactly when the BGP
+    route already behaves like a single WAN?
+
+    For every qualifying vantage point of the Figure 5 campaign, we
+    compute the fraction of the Standard-tier path's carriage distance
+    that rides a single AS (the "single-WAN fraction") and correlate
+    it with the Standard−Premium latency difference.  The paper's
+    hypothesis predicts: the higher the single-WAN fraction, the
+    smaller Premium's advantage — with India (whole journey on one
+    Tier-1 via Europe) as the extreme case. *)
+
+type vp_point = {
+  vp : Netsim_measure.Vantage.t;
+  single_wan_fraction : float;
+  diff_ms : float;  (** standard − premium. *)
+}
+
+type bucket = {
+  lo : float;
+  hi : float;
+  count : int;
+  mean_diff_ms : float;  (** Mean (standard − premium) for VPs whose
+                             single-WAN fraction falls in the bucket. *)
+}
+
+type result = {
+  figure : Figure.t;
+  points : vp_point list;
+  buckets : bucket list;
+  correlation : float;
+      (** Pearson correlation between single-WAN fraction and
+          (standard − premium); the hypothesis predicts negative. *)
+  india_mean_fraction : float;
+      (** Mean single-WAN fraction among Indian VPs. *)
+  world_mean_fraction : float;
+}
+
+val run : Scenario.google -> result

@@ -1,0 +1,14 @@
+type t = {
+  id : int;
+  name : string;
+  country : string;
+  continent : Region.continent;
+  coord : Coord.t;
+  population_m : float;
+}
+
+let distance_km a b = Coord.haversine_km a.coord b.coord
+let rtt_ms a b = Coord.geodesic_rtt_ms a.coord b.coord
+
+let pp fmt t =
+  Format.fprintf fmt "%s/%s%a" t.name t.country Coord.pp t.coord

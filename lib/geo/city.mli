@@ -1,0 +1,16 @@
+(** Metro areas: the geographic anchor for PoPs, interconnection
+    facilities, and client populations. *)
+
+type t = {
+  id : int;  (** Index into {!World.cities}. *)
+  name : string;
+  country : string;  (** ISO-3166 alpha-2 code. *)
+  continent : Region.continent;
+  coord : Coord.t;
+  population_m : float;  (** Metro population in millions — used as the
+                             client-demand weight. *)
+}
+
+val distance_km : t -> t -> float
+val rtt_ms : t -> t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type t = { lat : float; lon : float }
+
+let make ~lat ~lon =
+  if lat < -90. || lat > 90. then invalid_arg "Coord.make: lat out of range";
+  if lon < -180. || lon > 180. then invalid_arg "Coord.make: lon out of range";
+  { lat; lon }
+
+let earth_radius_km = 6371.
+
+let rad deg = deg *. Float.pi /. 180.
+
+let haversine_km a b =
+  let dlat = rad (b.lat -. a.lat) and dlon = rad (b.lon -. a.lon) in
+  let h =
+    (sin (dlat /. 2.) ** 2.)
+    +. (cos (rad a.lat) *. cos (rad b.lat) *. (sin (dlon /. 2.) ** 2.))
+  in
+  2. *. earth_radius_km *. asin (min 1. (sqrt h))
+
+(* Light in fiber travels ~200 km/ms one-way, i.e. a round trip costs
+   1 ms per 100 km of one-way distance. *)
+let rtt_ms_of_km km = km /. 100.
+
+let geodesic_rtt_ms a b = rtt_ms_of_km (haversine_km a b)
+
+let pp fmt t = Format.fprintf fmt "(%.2f, %.2f)" t.lat t.lon

@@ -1,0 +1,21 @@
+(** Geographic coordinates and fiber-propagation latency. *)
+
+type t = { lat : float; lon : float }
+(** Degrees; positive lat is north, positive lon is east. *)
+
+val make : lat:float -> lon:float -> t
+(** @raise Invalid_argument if lat is outside [-90, 90] or lon outside
+    [-180, 180]. *)
+
+val haversine_km : t -> t -> float
+(** Great-circle distance in kilometres (mean Earth radius 6371 km). *)
+
+val rtt_ms_of_km : float -> float
+(** Round-trip propagation time in milliseconds for a one-way fiber
+    distance in km, assuming light at 2/3 c: 1 ms of RTT per 100 km. *)
+
+val geodesic_rtt_ms : t -> t -> float
+(** [rtt_ms_of_km (haversine_km a b)] — the physical lower bound for a
+    round trip between two points. *)
+
+val pp : Format.formatter -> t -> unit

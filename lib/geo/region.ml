@@ -1,0 +1,40 @@
+type continent =
+  | North_america
+  | South_america
+  | Europe
+  | Asia
+  | Africa
+  | Oceania
+
+let continent_to_string = function
+  | North_america -> "NA"
+  | South_america -> "SA"
+  | Europe -> "EU"
+  | Asia -> "AS"
+  | Africa -> "AF"
+  | Oceania -> "OC"
+
+let continent_of_string = function
+  | "NA" -> Some North_america
+  | "SA" -> Some South_america
+  | "EU" -> Some Europe
+  | "AS" -> Some Asia
+  | "AF" -> Some Africa
+  | "OC" -> Some Oceania
+  | _ -> None
+
+type scope = World | Europe_only | United_states
+
+let scope_to_string = function
+  | World -> "World"
+  | Europe_only -> "Europe"
+  | United_states -> "United States"
+
+let in_scope scope continent ~country =
+  match scope with
+  | World -> true
+  | Europe_only -> continent = Europe
+  | United_states -> country = "US"
+
+let all_continents =
+  [ North_america; South_america; Europe; Asia; Africa; Oceania ]

@@ -1,0 +1,24 @@
+(** Continents and the coarse regions used by the paper's figures. *)
+
+type continent =
+  | North_america
+  | South_america
+  | Europe
+  | Asia
+  | Africa
+  | Oceania
+
+val continent_to_string : continent -> string
+val continent_of_string : string -> continent option
+
+type scope = World | Europe_only | United_states
+(** Figure 3 splits its CCDF into World / Europe / United States. *)
+
+val scope_to_string : scope -> string
+
+val in_scope : scope -> continent -> country:string -> bool
+(** [in_scope scope continent ~country] decides membership: [World]
+    accepts everything, [Europe_only] requires the Europe continent,
+    [United_states] requires country code "US". *)
+
+val all_continents : continent list

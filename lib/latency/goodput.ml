@@ -1,0 +1,50 @@
+module Walk = Netsim_bgp.Walk
+module Relation = Netsim_topo.Relation
+
+let loss_floor = 1e-5
+
+let link_loss_rate cong ~link_id ~time_min =
+  let u = Congestion.utilization cong ~link_id ~time_min in
+  (* Queue-fill drops: negligible until a link approaches saturation
+     (modern routers buffer well below ~90 % utilization). *)
+  loss_floor +. (0.02 *. (u ** 12.))
+
+let path_loss_rate cong walk ~time_min =
+  let survive =
+    List.fold_left
+      (fun acc (h : Walk.hop) ->
+        acc
+        *. (1.
+           -. link_loss_rate cong ~link_id:h.Walk.link.Relation.id ~time_min))
+      1. walk.Walk.hops
+  in
+  1. -. survive
+
+let mathis_mbps ~mss_bytes ~rtt_ms ~loss =
+  let loss = Float.max loss_floor loss in
+  let rtt_s = Float.max 1e-4 (rtt_ms /. 1000.) in
+  (* Mathis et al.: rate = (MSS / RTT) * (C / sqrt(p)), C ~ 1.22. *)
+  float_of_int (mss_bytes * 8) /. rtt_s *. (1.22 /. sqrt loss) /. 1e6
+
+let bottleneck_fair_share_mbps cong walk ~time_min =
+  List.fold_left
+    (fun acc (h : Walk.hop) ->
+      let link = h.Walk.link in
+      let u = Congestion.utilization cong ~link_id:link.Relation.id ~time_min in
+      let headroom_gbps = link.Relation.capacity_gbps *. (1. -. u) in
+      Float.min acc (headroom_gbps *. 1000.))
+    infinity walk.Walk.hops
+
+let flow_goodput_mbps cong ~rng ?(rtt_samples = 7) ~time_min (flow : Rtt.flow) =
+  let rtt_ms =
+    Rtt.median_of_samples cong ~rng ~time_min ~count:rtt_samples flow
+  in
+  let loss = path_loss_rate cong flow.Rtt.walk ~time_min in
+  let mathis = mathis_mbps ~mss_bytes:1460 ~rtt_ms ~loss in
+  let access_cap =
+    match flow.Rtt.access with
+    | Some (Congestion.Access id) -> Congestion.access_rate_mbps cong id
+    | Some (Congestion.Link _ | Congestion.Dest_net _) | None -> infinity
+  in
+  Float.min access_cap
+    (Float.min mathis (bottleneck_fair_share_mbps cong flow.Rtt.walk ~time_min))

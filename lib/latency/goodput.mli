@@ -1,0 +1,36 @@
+(** TCP goodput model on top of the latency substrate.
+
+    The paper reports (§3.1 and footnote 3) that its latency findings
+    hold qualitatively for bandwidth/goodput.  This module makes that
+    checkable: per-link loss grows with utilization, path loss
+    compounds, and steady-state TCP throughput follows the Mathis
+    model [MSS / (RTT · sqrt(p))], capped by the bottleneck link's
+    fair share. *)
+
+val link_loss_rate : Congestion.t -> link_id:int -> time_min:float -> float
+(** Loss probability on one link: a small floor plus a sharply
+    super-linear term in utilization (drops appear as queues fill). *)
+
+val path_loss_rate :
+  Congestion.t -> Netsim_bgp.Walk.t -> time_min:float -> float
+(** Compound loss over the walk's links: [1 - prod (1 - p_i)]. *)
+
+val mathis_mbps : mss_bytes:int -> rtt_ms:float -> loss:float -> float
+(** Steady-state TCP throughput estimate in Mbit/s.  Loss is clamped
+    to a floor of 1e-6 so the model stays finite on clean paths. *)
+
+val bottleneck_fair_share_mbps :
+  Congestion.t -> Netsim_bgp.Walk.t -> time_min:float -> float
+(** The walk's smallest per-link headroom,
+    [capacity · (1 - utilization)], in Mbit/s. *)
+
+val flow_goodput_mbps :
+  Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  ?rtt_samples:int ->
+  time_min:float ->
+  Rtt.flow ->
+  float
+(** Goodput of a flow in a window: Mathis on the median of
+    [rtt_samples] MinRTT observations (default 7) and the path loss,
+    capped by the bottleneck fair share. *)

@@ -1,0 +1,60 @@
+type t = {
+  inflation_tier1 : float;
+  inflation_transit : float;
+  inflation_eyeball : float;
+  inflation_stub : float;
+  inflation_content : float;
+  hop_penalty_ms : float;
+  access_base_ms : float;
+  access_spread : float;
+  queue_scale_ms : float;
+  base_util_lo : float;
+  base_util_hi : float;
+  chronic_link_prob : float;
+  chronic_util_lo : float;
+  chronic_util_hi : float;
+  diurnal_amplitude : float;
+  access_episode_per_day : float;
+  transit_episode_per_day : float;
+  episode_mean_minutes : float;
+  episode_severity_ms : float;
+  episode_severity_sigma : float;
+  minrtt_jitter_sigma : float;
+}
+
+let default =
+  {
+    inflation_tier1 = 1.2;
+    inflation_transit = 1.45;
+    inflation_eyeball = 1.85;
+    inflation_stub = 1.9;
+    inflation_content = 1.1;
+    hop_penalty_ms = 0.35;
+    access_base_ms = 4.0;
+    access_spread = 0.45;
+    queue_scale_ms = 1.8;
+    base_util_lo = 0.25;
+    base_util_hi = 0.65;
+    chronic_link_prob = 0.07;
+    chronic_util_lo = 0.83;
+    chronic_util_hi = 0.92;
+    diurnal_amplitude = 0.35;
+    access_episode_per_day = 0.8;
+    transit_episode_per_day = 0.25;
+    episode_mean_minutes = 60.;
+    episode_severity_ms = 12.;
+    episode_severity_sigma = 0.8;
+    minrtt_jitter_sigma = 0.03;
+  }
+
+let congestion_free =
+  {
+    default with
+    queue_scale_ms = 0.;
+    chronic_link_prob = 0.;
+    access_episode_per_day = 0.;
+    transit_episode_per_day = 0.;
+    minrtt_jitter_sigma = 0.;
+    access_base_ms = 0.;
+    access_spread = 0.;
+  }

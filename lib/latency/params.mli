@@ -1,0 +1,55 @@
+(** Latency-model parameters.
+
+    Every knob of the RTT model lives here so experiments and
+    ablations can vary them explicitly.  Defaults are chosen to match
+    published path-inflation and access-delay measurements in shape:
+    intra-AS distances are inflated over the geodesic, access links
+    add a few milliseconds, and queueing grows super-linearly with
+    utilization. *)
+
+type t = {
+  (* Path inflation over the great-circle RTT, per AS class. *)
+  inflation_tier1 : float;
+  inflation_transit : float;
+  inflation_eyeball : float;
+  inflation_stub : float;
+  inflation_content : float;  (** Content/cloud private WANs are the
+                                  best engineered. *)
+  hop_penalty_ms : float;  (** Per inter-AS hop (router + fabric). *)
+  access_base_ms : float;  (** Median last-mile delay. *)
+  access_spread : float;  (** Lognormal sigma of per-prefix last-mile
+                              base delay. *)
+  (* Utilization-driven queueing. *)
+  queue_scale_ms : float;  (** Delay scale as utilization approaches 1. *)
+  base_util_lo : float;
+  base_util_hi : float;  (** Per-link base utilization is uniform in
+                             [lo, hi]. *)
+  chronic_link_prob : float;
+      (** Probability that a link is chronically under-provisioned
+          (base utilization drawn from [chronic_util_lo, chronic_util_hi]
+          instead).  Chronic links create the {e persistently}
+          better alternates of §3.1.1. *)
+  chronic_util_lo : float;
+  chronic_util_hi : float;
+  diurnal_amplitude : float;  (** Relative swing of the daily load curve. *)
+  (* Congestion episodes. *)
+  access_episode_per_day : float;
+      (** Probability that a given access/destination segment has a
+          congestion episode on a given day — the {e shared} fate of
+          all route options to that client (§3.1.1). *)
+  transit_episode_per_day : float;
+      (** Probability for an individual transit/peering link — what
+          performance-aware routing can route around. *)
+  episode_mean_minutes : float;
+  episode_severity_ms : float;  (** Median added delay during an episode. *)
+  episode_severity_sigma : float;
+  (* Measurement noise. *)
+  minrtt_jitter_sigma : float;
+      (** Lognormal sigma applied multiplicatively to sampled MinRTT. *)
+}
+
+val default : t
+
+val congestion_free : t
+(** No episodes, no queueing, no jitter — pure geometry, used by unit
+    tests that check propagation arithmetic. *)

@@ -1,0 +1,43 @@
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Walk = Netsim_bgp.Walk
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+type terminal = At_entry | To_city of int
+
+let inflation (p : Params.t) = function
+  | Asn.Tier1 -> p.inflation_tier1
+  | Asn.Transit -> p.inflation_transit
+  | Asn.Eyeball -> p.inflation_eyeball
+  | Asn.Stub -> p.inflation_stub
+  | Asn.Content | Asn.Cloud -> p.inflation_content
+
+let metro_rtt a b = City.rtt_ms World.cities.(a) World.cities.(b)
+
+let intra_as_ms p topo ~asid ~from_metro ~to_metro =
+  let klass = (Topology.asn topo asid).Asn.klass in
+  metro_rtt from_metro to_metro *. inflation p klass
+
+let walk_rtt_ms p topo (walk : Walk.t) ~terminal =
+  let carry =
+    List.fold_left
+      (fun acc (h : Walk.hop) ->
+        acc
+        +. intra_as_ms p topo ~asid:h.Walk.asid ~from_metro:h.Walk.ingress
+             ~to_metro:h.Walk.egress
+        +. p.hop_penalty_ms)
+      0. walk.Walk.hops
+  in
+  match terminal with
+  | At_entry -> carry
+  | To_city city ->
+      let entry = Walk.entry_metro walk in
+      let dest_as =
+        (* The destination AS is the prefix origin: the far endpoint of
+           the last link. *)
+        match List.rev walk.Walk.hops with
+        | last :: _ -> Netsim_topo.Relation.other last.Walk.link last.Walk.asid
+        | [] -> invalid_arg "Propagation.walk_rtt_ms: empty walk"
+      in
+      carry +. intra_as_ms p topo ~asid:dest_as ~from_metro:entry ~to_metro:city

@@ -1,0 +1,26 @@
+(** Deterministic propagation latency of a flow walk.
+
+    This is the congestion-free floor of the RTT: great-circle
+    distances inflated per AS class, plus per-hop penalties.  The
+    stochastic components live in {!Congestion} and {!Rtt}. *)
+
+(** What happens after the flow enters the destination AS. *)
+type terminal =
+  | At_entry  (** The server sits at the entry metro (a PoP). *)
+  | To_city of int  (** Carry on inside the destination AS to a city
+                        (the client's metro), adding intra-AS carry. *)
+
+val inflation : Params.t -> Netsim_topo.Asn.klass -> float
+
+val intra_as_ms :
+  Params.t -> Netsim_topo.Topology.t -> asid:int -> from_metro:int -> to_metro:int -> float
+(** Inflated great-circle RTT between two metros inside one AS. *)
+
+val walk_rtt_ms :
+  Params.t ->
+  Netsim_topo.Topology.t ->
+  Netsim_bgp.Walk.t ->
+  terminal:terminal ->
+  float
+(** Propagation RTT of the walk: per-AS intra-carry + per-hop penalty
+    + terminal carry.  Excludes last-mile access delay (see {!Rtt}). *)

@@ -1,0 +1,56 @@
+module Dist = Netsim_prng.Dist
+module Walk = Netsim_bgp.Walk
+
+type flow = {
+  walk : Walk.t;
+  terminal : Propagation.terminal;
+  access : Congestion.entity option;
+  dest_net : Congestion.entity option;
+  extra_ms : float;
+}
+
+let make_flow ?access ?dest_net ?(extra_ms = 0.) ~terminal walk =
+  { walk; terminal; access; dest_net; extra_ms }
+
+let floor_ms params topo cong flow =
+  let propagation =
+    Propagation.walk_rtt_ms params topo flow.walk ~terminal:flow.terminal
+  in
+  let access =
+    match flow.access with
+    | Some (Congestion.Access id) -> Congestion.access_base_ms cong id
+    | Some (Congestion.Link _ | Congestion.Dest_net _) | None -> 0.
+  in
+  propagation +. access +. flow.extra_ms
+
+let congestion_ms cong ~time_min flow =
+  let links =
+    List.fold_left
+      (fun acc (h : Walk.hop) ->
+        acc
+        +. Congestion.entity_delay_ms cong
+             (Congestion.Link h.Walk.link.Netsim_topo.Relation.id)
+             ~time_min)
+      0. flow.walk.Walk.hops
+  in
+  let shared entity =
+    match entity with
+    | Some e -> Congestion.entity_delay_ms cong e ~time_min
+    | None -> 0.
+  in
+  links +. shared flow.access +. shared flow.dest_net
+
+let sample_ms cong ~rng ~time_min flow =
+  let params = Congestion.params cong in
+  let topo = Congestion.topology cong in
+  let base = floor_ms params topo cong flow in
+  let congested = congestion_ms cong ~time_min flow in
+  let sigma = params.Params.minrtt_jitter_sigma in
+  let jitter = if sigma <= 0. then 1. else Dist.lognormal rng ~mu:0. ~sigma in
+  (base +. congested) *. jitter
+
+let median_of_samples cong ~rng ~time_min ~count flow =
+  let samples =
+    Array.init count (fun _ -> sample_ms cong ~rng ~time_min flow)
+  in
+  Netsim_stats.Quantile.median samples

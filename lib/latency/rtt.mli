@@ -1,0 +1,51 @@
+(** End-to-end MinRTT samples for flow walks.
+
+    Combines the deterministic propagation floor with the stochastic
+    congestion components and a small multiplicative jitter modelling
+    what TCP's MinRTT estimator sees over a session. *)
+
+type flow = {
+  walk : Netsim_bgp.Walk.t;
+  terminal : Propagation.terminal;
+  access : Congestion.entity option;
+      (** Client last-mile segment, if the flow has one. *)
+  dest_net : Congestion.entity option;
+      (** Destination network segment shared by all routes. *)
+  extra_ms : float;
+      (** Deterministic extra RTT beyond the walk — e.g. carriage on a
+          private WAN whose cable graph differs from the geodesic. *)
+}
+
+val make_flow :
+  ?access:Congestion.entity ->
+  ?dest_net:Congestion.entity ->
+  ?extra_ms:float ->
+  terminal:Propagation.terminal ->
+  Netsim_bgp.Walk.t ->
+  flow
+
+val floor_ms :
+  Params.t -> Netsim_topo.Topology.t -> Congestion.t -> flow -> float
+(** Propagation + stable per-prefix access base; no time-varying or
+    random components.  The congestion state supplies the per-access
+    base draw. *)
+
+val sample_ms :
+  Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  time_min:float ->
+  flow ->
+  float
+(** One MinRTT observation at a point in time: floor + per-link
+    queueing and episodes + shared access/destination episodes +
+    jitter. *)
+
+val median_of_samples :
+  Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  time_min:float ->
+  count:int ->
+  flow ->
+  float
+(** Median of [count] samples in the same window (jitter varies;
+    congestion state is that of [time_min]). *)

@@ -1,0 +1,39 @@
+(** Ping campaigns and traceroute-style introspection of flows. *)
+
+val ping_samples :
+  Netsim_latency.Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  days:float ->
+  per_day:int ->
+  pings_per_round:int ->
+  Netsim_latency.Rtt.flow ->
+  float array
+(** Simulate a measurement campaign: [per_day] rounds per day spread
+    uniformly over [days], each reporting the minimum of
+    [pings_per_round] pings.  Returns one value per round. *)
+
+val ping_median :
+  Netsim_latency.Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  days:float ->
+  per_day:int ->
+  pings_per_round:int ->
+  Netsim_latency.Rtt.flow ->
+  float
+(** Median over the campaign. *)
+
+(** Traceroute-level facts about a flow's walk. *)
+type trace = {
+  as_path : int list;  (** Traversed ASes, source first. *)
+  entry_metro : int;  (** Where the flow enters the destination AS. *)
+  ingress_km : float;  (** Distance from the flow's start metro to the
+                           entry metro — the paper's "enters the
+                           network within 400 km" metric. *)
+}
+
+val traceroute : start_city:int -> Netsim_bgp.Walk.t -> trace
+
+val single_as_fraction : Netsim_bgp.Walk.t -> float
+(** Fraction of the walk's total intra-AS carry distance that happens
+    inside the single AS that carries the most of it (§3.3.2's
+    "single-WAN fraction").  1.0 for walks with no carry distance. *)

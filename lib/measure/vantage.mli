@@ -1,0 +1,24 @@
+(** Vantage-point platform (Speedchecker/RIPE-Atlas-like, §3.3).
+
+    Vantage points are ⟨city, AS⟩ pairs drawn from access networks,
+    weighted by metro population — mirroring how probe platforms sit
+    in home routers and PCs. *)
+
+type t = {
+  id : int;
+  asid : int;
+  city : int;
+  weight : float;  (** Population weight of the VP's metro (for
+                       user-weighted aggregation, as with APNIC
+                       estimates). *)
+}
+
+val select :
+  Netsim_topo.Topology.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  n:int ->
+  t array
+(** Up to [n] distinct ⟨city, AS⟩ pairs over eyeball and stub ASes. *)
+
+val country : t -> string
+val continent : t -> Netsim_geo.Region.continent

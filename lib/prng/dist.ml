@@ -1,0 +1,111 @@
+let uniform rng ~lo ~hi = lo +. ((hi -. lo) *. Splitmix.next_float rng)
+
+let normal rng ~mean ~std =
+  (* Box-Muller; we draw a fresh pair each call and discard the second
+     variate to keep the sampler stateless. *)
+  let rec nonzero () =
+    let u = Splitmix.next_float rng in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = Splitmix.next_float rng in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (std *. r *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+let exponential rng ~rate =
+  let rec nonzero () =
+    let u = Splitmix.next_float rng in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let pareto rng ~shape ~scale =
+  let rec nonzero () =
+    let u = Splitmix.next_float rng in
+    if u > 0. then u else nonzero ()
+  in
+  scale /. (nonzero () ** (1. /. shape))
+
+let poisson rng ~mean =
+  if mean <= 0. then 0
+  else if mean > 60. then
+    (* Normal approximation with continuity correction. *)
+    let x = normal rng ~mean ~std:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+  else begin
+    let l = exp (-.mean) in
+    let k = ref 0 and p = ref 1. in
+    let continue = ref true in
+    while !continue do
+      incr k;
+      p := !p *. Splitmix.next_float rng;
+      if !p <= l then continue := false
+    done;
+    !k - 1
+  end
+
+let bernoulli rng ~p = Splitmix.next_float rng < p
+
+type zipf = { cumulative : float array; weights : float array }
+
+let zipf_make ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_make: n must be positive";
+  let weights = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let weights = Array.map (fun w -> w /. total) weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.;
+  { cumulative; weights }
+
+let bisect cumulative u =
+  let lo = ref 0 and hi = ref (Array.length cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let zipf_sample z rng = bisect z.cumulative (Splitmix.next_float rng)
+let zipf_weight z i = z.weights.(i)
+
+let categorical weights rng =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: weights must sum > 0";
+  let u = Splitmix.next_float rng *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Splitmix.next_int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement rng k arr =
+  let n = Array.length arr in
+  let k = min k n in
+  let copy = Array.copy arr in
+  (* Partial Fisher-Yates: the first k slots end up as the sample. *)
+  for i = 0 to k - 1 do
+    let j = i + Splitmix.next_int rng (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

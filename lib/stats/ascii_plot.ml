@@ -1,0 +1,75 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let plot ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ~title
+    series_list =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  match (Series.x_range series_list, Series.y_range series_list) with
+  | None, _ | _, None ->
+      Buffer.add_string buf "(no data)\n";
+      Buffer.contents buf
+  | Some (x_lo, x_hi), Some (y_lo, y_hi) ->
+      let x_hi = if x_hi = x_lo then x_lo +. 1. else x_hi in
+      let y_hi = if y_hi = y_lo then y_lo +. 1. else y_hi in
+      let canvas = Array.make_matrix height width ' ' in
+      let to_col x =
+        let c =
+          int_of_float
+            (Float.round
+               ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+        in
+        max 0 (min (width - 1) c)
+      in
+      let to_row y =
+        let r =
+          int_of_float
+            (Float.round
+               ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+        in
+        (height - 1) - max 0 (min (height - 1) r)
+      in
+      List.iteri
+        (fun si (s : Series.t) ->
+          let glyph = glyphs.(si mod Array.length glyphs) in
+          let rec draw = function
+            | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+                (* Draw the segment by sampling columns between the
+                   endpoints so the line reads as continuous. *)
+                let c1 = to_col x1 and c2 = to_col x2 in
+                let steps = max 1 (abs (c2 - c1)) in
+                for k = 0 to steps do
+                  let f = float_of_int k /. float_of_int steps in
+                  let x = x1 +. (f *. (x2 -. x1)) in
+                  let y = y1 +. (f *. (y2 -. y1)) in
+                  canvas.(to_row y).(to_col x) <- glyph
+                done;
+                draw rest
+            | [ (x, y) ] -> canvas.(to_row y).(to_col x) <- glyph
+            | [] -> ()
+          in
+          draw s.points)
+        series_list;
+      (* Vertical axis: print the range at top and bottom rows. *)
+      for r = 0 to height - 1 do
+        let label =
+          if r = 0 then Printf.sprintf "%10.3g |" y_hi
+          else if r = height - 1 then Printf.sprintf "%10.3g |" y_lo
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> canvas.(r).(c)));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "%10s  %.3g%s%.3g\n" "" x_lo
+           (String.make (max 1 (width - 12)) ' ')
+           x_hi);
+      Buffer.add_string buf (Printf.sprintf "  x: %s, y: %s\n" x_label y_label);
+      List.iteri
+        (fun si (s : Series.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [%c] %s\n" glyphs.(si mod Array.length glyphs) s.name))
+        series_list;
+      Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Terminal rendering of figure series as ASCII line plots.
+
+    The CLI and the bench harness use this to show each reproduced
+    figure directly in the terminal, alongside the CSV dump. *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  Series.t list ->
+  string
+(** Render the series into a fixed-size character canvas.  Each series
+    gets a distinct glyph; a legend and axis ranges are appended.
+    Defaults: [width = 72], [height = 20]. *)

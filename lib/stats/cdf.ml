@@ -1,0 +1,95 @@
+type t = {
+  values : float array; (* sorted ascending *)
+  cum_weight : float array; (* cumulative weight, same length *)
+  total : float;
+}
+
+let of_weighted pairs =
+  let n = Array.length pairs in
+  if n = 0 then invalid_arg "Cdf.of_weighted: empty sample";
+  Array.iter
+    (fun (_, w) ->
+      if w < 0. then invalid_arg "Cdf.of_weighted: negative weight")
+    pairs;
+  let sorted = Array.copy pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sorted;
+  let values = Array.map fst sorted in
+  let cum_weight = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i (_, w) ->
+      acc := !acc +. w;
+      cum_weight.(i) <- !acc)
+    sorted;
+  if !acc <= 0. then invalid_arg "Cdf.of_weighted: total weight must be > 0";
+  { values; cum_weight; total = !acc }
+
+let of_samples samples = of_weighted (Array.map (fun v -> (v, 1.)) samples)
+let count t = Array.length t.values
+let total_weight t = t.total
+
+(* Index of the last value <= x, or -1 if none. *)
+let last_leq t x =
+  let n = Array.length t.values in
+  if n = 0 || t.values.(0) > x then -1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.values.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let fraction_below t x =
+  let i = last_leq t x in
+  if i < 0 then 0. else t.cum_weight.(i) /. t.total
+
+let fraction_above t x = 1. -. fraction_below t x
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Cdf.quantile: q out of range";
+  let target = q *. t.total in
+  let n = Array.length t.values in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum_weight.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  t.values.(!lo)
+
+let median t = quantile t 0.5
+
+let thin_indices n max_points =
+  if n <= max_points then List.init n (fun i -> i)
+  else begin
+    let step = float_of_int (n - 1) /. float_of_int (max_points - 1) in
+    let rec go i acc =
+      if i >= max_points then List.rev acc
+      else
+        let idx = int_of_float (Float.round (float_of_int i *. step)) in
+        go (i + 1) (min idx (n - 1) :: acc)
+    in
+    go 0 []
+  end
+
+let cdf_points ?(max_points = 200) t =
+  let n = Array.length t.values in
+  let idxs = thin_indices n max_points in
+  List.map (fun i -> (t.values.(i), t.cum_weight.(i) /. t.total)) idxs
+
+let ccdf_points ?max_points t =
+  List.map (fun (x, f) -> (x, 1. -. f)) (cdf_points ?max_points t)
+
+let min_value t = t.values.(0)
+let max_value t = t.values.(Array.length t.values - 1)
+
+let mean t =
+  let acc = ref 0. and prev = ref 0. in
+  Array.iteri
+    (fun i v ->
+      let w = t.cum_weight.(i) -. !prev in
+      prev := t.cum_weight.(i);
+      acc := !acc +. (v *. w))
+    t.values;
+  !acc /. t.total

@@ -1,0 +1,43 @@
+(** Empirical (optionally weighted) cumulative distributions.
+
+    The paper's figures are CDFs/CCDFs of per-unit latency differences
+    weighted by traffic volume; this module is the common substrate for
+    all of them. *)
+
+type t
+(** An immutable empirical distribution over weighted samples. *)
+
+val of_samples : float array -> t
+(** Unweighted: every sample has weight 1. *)
+
+val of_weighted : (float * float) array -> t
+(** [(value, weight)] pairs; weights must be non-negative and sum to a
+    positive total.  @raise Invalid_argument otherwise. *)
+
+val count : t -> int
+val total_weight : t -> float
+
+val fraction_below : t -> float -> float
+(** [fraction_below t x] is the weighted fraction of samples with value
+    [<= x] (the CDF evaluated at [x]). *)
+
+val fraction_above : t -> float -> float
+(** Weighted fraction strictly above [x] (the CCDF at [x]). *)
+
+val quantile : t -> float -> float
+(** Weighted quantile, [0 <= q <= 1]. *)
+
+val median : t -> float
+
+val cdf_points : ?max_points:int -> t -> (float * float) list
+(** [(x, F(x))] points suitable for plotting, thinned to at most
+    [max_points] (default 200). *)
+
+val ccdf_points : ?max_points:int -> t -> (float * float) list
+(** [(x, 1 - F(x))] points. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val mean : t -> float
+(** Weighted mean. *)

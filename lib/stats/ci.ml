@@ -1,0 +1,59 @@
+type interval = { lo : float; hi : float }
+
+(* Two-sided normal quantile for the given confidence level. *)
+let z_of_confidence confidence =
+  (* Abramowitz-Stegun style rational approximation of the probit is
+     overkill here; the simulation only ever asks for a handful of
+     levels, so interpolate a small table. *)
+  let table =
+    [| (0.80, 1.2816); (0.90, 1.6449); (0.95, 1.9600); (0.98, 2.3263);
+       (0.99, 2.5758); (0.999, 3.2905) |]
+  in
+  let n = Array.length table in
+  if confidence <= fst table.(0) then snd table.(0)
+  else if confidence >= fst table.(n - 1) then snd table.(n - 1)
+  else begin
+    let rec go i =
+      let c1, z1 = table.(i) and c2, z2 = table.(i + 1) in
+      if confidence <= c2 then z1 +. ((confidence -. c1) /. (c2 -. c1) *. (z2 -. z1))
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let median_binomial ?(confidence = 0.95) samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ci.median_binomial: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  if n < 3 then { lo = sorted.(0); hi = sorted.(n - 1) }
+  else begin
+    let z = z_of_confidence confidence in
+    let fn = float_of_int n in
+    let half_width = z *. sqrt (fn *. 0.25) in
+    let lo_rank = int_of_float (floor ((fn /. 2.) -. half_width)) in
+    let hi_rank = int_of_float (ceil ((fn /. 2.) +. half_width)) in
+    let lo_rank = max 0 (min (n - 1) lo_rank) in
+    let hi_rank = max 0 (min (n - 1) hi_rank) in
+    { lo = sorted.(lo_rank); hi = sorted.(hi_rank) }
+  end
+
+let bootstrap_median ?(confidence = 0.95) ?(iterations = 200) ~rng samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Ci.bootstrap_median: empty sample";
+  let medians =
+    Array.init iterations (fun _ ->
+        let resample =
+          Array.init n (fun _ -> samples.(Netsim_prng.Splitmix.next_int rng n))
+        in
+        Quantile.median resample)
+  in
+  Array.sort compare medians;
+  let alpha = (1. -. confidence) /. 2. in
+  {
+    lo = Quantile.quantile_sorted medians alpha;
+    hi = Quantile.quantile_sorted medians (1. -. alpha);
+  }
+
+let width i = i.hi -. i.lo
+let contains i x = x >= i.lo && x <= i.hi

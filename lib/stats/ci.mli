@@ -1,0 +1,26 @@
+(** Confidence intervals for medians.
+
+    Figure 1 of the paper shades the distribution of the lower and
+    upper bounds of confidence intervals around per-⟨PoP, prefix⟩
+    median differences; this module provides both a distribution-free
+    order-statistic interval and a bootstrap interval. *)
+
+type interval = { lo : float; hi : float }
+
+val median_binomial : ?confidence:float -> float array -> interval
+(** Distribution-free CI for the median using binomial order
+    statistics (normal approximation for the ranks).  [confidence]
+    defaults to 0.95.  For samples of size < 3 the interval degenerates
+    to [min, max].  @raise Invalid_argument on an empty array. *)
+
+val bootstrap_median :
+  ?confidence:float ->
+  ?iterations:int ->
+  rng:Netsim_prng.Splitmix.t ->
+  float array ->
+  interval
+(** Percentile-bootstrap CI for the median ([iterations] defaults to
+    200). *)
+
+val width : interval -> float
+val contains : interval -> float -> bool

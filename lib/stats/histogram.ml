@@ -1,0 +1,47 @@
+type t = {
+  lo : float;
+  width : float;
+  counts : float array;
+  mutable underflow : float;
+  mutable overflow : float;
+  mutable total : float;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  {
+    lo;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0.;
+    underflow = 0.;
+    overflow = 0.;
+    total = 0.;
+  }
+
+let add ?(weight = 1.) t x =
+  t.total <- t.total +. weight;
+  if x < t.lo then t.underflow <- t.underflow +. weight
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    if i >= Array.length t.counts then t.overflow <- t.overflow +. weight
+    else t.counts.(i) <- t.counts.(i) +. weight
+  end
+
+let bin_count t = Array.length t.counts
+let bin_weight t i = t.counts.(i)
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
+let underflow t = t.underflow
+let overflow t = t.overflow
+let total t = t.total
+
+let normalized t =
+  if t.total <= 0. then []
+  else
+    Array.to_list
+      (Array.mapi (fun i w -> (bin_center t i, w /. t.total)) t.counts)
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i w -> if w > t.counts.(!best) then best := i) t.counts;
+  !best

@@ -1,0 +1,23 @@
+(** Fixed-width binned histograms over floats. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width
+    bins plus underflow/overflow counters.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : ?weight:float -> t -> float -> unit
+val bin_count : t -> int
+val bin_weight : t -> int -> float
+val bin_center : t -> int -> float
+val underflow : t -> float
+val overflow : t -> float
+val total : t -> float
+
+val normalized : t -> (float * float) list
+(** [(center, fraction)] per bin; fractions sum to <= 1 (excludes
+    under/overflow). *)
+
+val mode_bin : t -> int
+(** Index of the heaviest bin. *)

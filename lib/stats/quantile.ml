@@ -1,0 +1,43 @@
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Quantile.quantile: empty sample";
+  if q < 0. || q > 1. then invalid_arg "Quantile.quantile: q out of range";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let quantile samples q =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  quantile_sorted sorted q
+
+let median samples = quantile samples 0.5
+
+let weighted_quantile pairs q =
+  let n = Array.length pairs in
+  if n = 0 then invalid_arg "Quantile.weighted_quantile: empty sample";
+  if q < 0. || q > 1. then
+    invalid_arg "Quantile.weighted_quantile: q out of range";
+  let sorted = Array.copy pairs in
+  Array.sort (fun (a, _) (b, _) -> compare a b) sorted;
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. sorted in
+  if total <= 0. then
+    invalid_arg "Quantile.weighted_quantile: total weight must be positive";
+  let target = q *. total in
+  let rec go i acc =
+    if i >= n - 1 then fst sorted.(n - 1)
+    else
+      let acc = acc +. snd sorted.(i) in
+      if acc >= target then fst sorted.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+let iqr samples =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  quantile_sorted sorted 0.75 -. quantile_sorted sorted 0.25

@@ -1,0 +1,23 @@
+(** Exact and weighted quantiles over float samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile samples q] is the [q]-quantile ([0 <= q <= 1]) with linear
+    interpolation between order statistics.  The input need not be
+    sorted; it is not modified.  @raise Invalid_argument on an empty
+    array or [q] outside [\[0, 1\]]. *)
+
+val quantile_sorted : float array -> float -> float
+(** Same as {!quantile} but assumes the input is already sorted
+    ascending (no check, no copy). *)
+
+val median : float array -> float
+(** [median samples] is [quantile samples 0.5]. *)
+
+val weighted_quantile : (float * float) array -> float -> float
+(** [weighted_quantile pairs q] where each pair is [(value, weight)].
+    Returns the smallest value [v] such that the cumulative weight of
+    samples [<= v] reaches [q] of the total weight.  Weights must be
+    non-negative with a positive sum. *)
+
+val iqr : float array -> float
+(** Interquartile range. *)

@@ -1,0 +1,58 @@
+type t = { name : string; points : (float * float) list }
+
+let make name points = { name; points }
+
+let to_csv series_list =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "series,x,y\n";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          Buffer.add_string buf (Printf.sprintf "%s,%.6g,%.6g\n" s.name x y))
+        s.points)
+    series_list;
+  Buffer.contents buf
+
+let interpolate s x =
+  let rec go = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        if x < x1 then None
+        else if x <= x2 then
+          if x2 = x1 then Some y1
+          else Some (y1 +. ((x -. x1) /. (x2 -. x1) *. (y2 -. y1)))
+        else go rest
+    | [ (x1, y1) ] -> if x = x1 then Some y1 else None
+    | [] -> None
+  in
+  go s.points
+
+let fold_range f series_list =
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left
+          (fun acc p ->
+            let v = f p in
+            match acc with
+            | None -> Some (v, v)
+            | Some (lo, hi) -> Some (min lo v, max hi v))
+          acc s.points)
+      None series_list
+  in
+  acc
+
+let x_range series_list = fold_range fst series_list
+let y_range series_list = fold_range snd series_list
+
+let crossing s level =
+  let rec go = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        if (y1 <= level && y2 >= level) || (y1 >= level && y2 <= level) then
+          if y2 = y1 then Some x1
+          else Some (x1 +. ((level -. y1) /. (y2 -. y1) *. (x2 -. x1)))
+        else go rest
+    | [ (x1, y1) ] -> if y1 = level then Some x1 else None
+    | [] -> None
+  in
+  go s.points

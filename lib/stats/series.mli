@@ -1,0 +1,26 @@
+(** Named plottable series and lightweight CSV export.
+
+    Every figure in the reproduction is ultimately a list of series;
+    benches and the CLI both render through this module. *)
+
+type t = { name : string; points : (float * float) list }
+
+val make : string -> (float * float) list -> t
+
+val to_csv : t list -> string
+(** Long-format CSV: [series,x,y] with a header row.  Points keep their
+    original order. *)
+
+val interpolate : t -> float -> float option
+(** Linear interpolation at an x value; [None] outside the x range or
+    for an empty series.  Assumes points sorted by x. *)
+
+val x_range : t list -> (float * float) option
+(** Combined [min, max] over all x values, or [None] if all empty. *)
+
+val y_range : t list -> (float * float) option
+
+val crossing : t -> float -> float option
+(** [crossing s y] is the first x at which the series reaches or
+    crosses the horizontal level [y] (linear interpolation), if any.
+    Useful for "where does the CDF reach 0.9"-style checks. *)

@@ -1,0 +1,23 @@
+(** Streaming univariate summary (Welford's online algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples seen so far; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] if fewer than two samples. *)
+
+val std : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val merge : t -> t -> t
+(** Combine two summaries as if all their samples had been added to a
+    single one. *)
+
+val pp : Format.formatter -> t -> unit

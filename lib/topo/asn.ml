@@ -1,0 +1,24 @@
+type klass = Tier1 | Transit | Eyeball | Stub | Content | Cloud
+
+let klass_to_string = function
+  | Tier1 -> "tier1"
+  | Transit -> "transit"
+  | Eyeball -> "eyeball"
+  | Stub -> "stub"
+  | Content -> "content"
+  | Cloud -> "cloud"
+
+type t = { id : int; klass : klass; name : string; footprint : int array }
+
+let home t =
+  assert (Array.length t.footprint > 0);
+  t.footprint.(0)
+
+let present_at t city = Array.exists (fun c -> c = city) t.footprint
+
+let is_transit_like t =
+  match t.klass with
+  | Tier1 | Transit -> true
+  | Eyeball | Stub | Content | Cloud -> false
+
+let pp fmt t = Format.fprintf fmt "AS%d(%s,%s)" t.id t.name (klass_to_string t.klass)

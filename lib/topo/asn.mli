@@ -1,0 +1,34 @@
+(** Autonomous systems.
+
+    Each AS has a class that determines its role in the routing
+    hierarchy and a geographic footprint: the set of metros where it
+    has presence (and can therefore interconnect with others). *)
+
+type klass =
+  | Tier1  (** Global transit-free provider; clique-peers with other Tier1s. *)
+  | Transit  (** Regional/national transit provider. *)
+  | Eyeball  (** Access ISP hosting client populations. *)
+  | Stub  (** Small single-homed edge AS. *)
+  | Content  (** Content provider (Facebook/Microsoft-like). *)
+  | Cloud  (** Cloud provider with a private WAN (Google-like). *)
+
+val klass_to_string : klass -> string
+
+type t = {
+  id : int;  (** Dense index into the topology's AS array. *)
+  klass : klass;
+  name : string;
+  footprint : int array;  (** City ids where this AS is present; the
+                              first entry is its home metro. *)
+}
+
+val home : t -> int
+(** Home metro (first footprint entry). *)
+
+val present_at : t -> int -> bool
+(** [present_at t city] tests footprint membership. *)
+
+val is_transit_like : t -> bool
+(** Tier1 or Transit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,406 @@
+module Sm = Netsim_prng.Splitmix
+module Dist = Netsim_prng.Dist
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Region = Netsim_geo.Region
+
+type params = {
+  seed : int;
+  n_tier1 : int;
+  n_transit : int;
+  n_eyeball : int;
+  n_stub : int;
+  transit_provider_count : int * int;
+  eyeball_provider_count : int * int;
+  eyeball_peering_prob : float;
+  transit_peering_prob : float;
+  tier1_capacity : float;
+  transit_capacity : float;
+  eyeball_capacity : float;
+  stub_capacity : float;
+  public_peering_capacity : float;
+}
+
+let default_params =
+  {
+    seed = 42;
+    n_tier1 = 8;
+    n_transit = 48;
+    n_eyeball = 240;
+    n_stub = 400;
+    transit_provider_count = (2, 3);
+    eyeball_provider_count = (1, 3);
+    eyeball_peering_prob = 0.3;
+    transit_peering_prob = 0.4;
+    tier1_capacity = 1000.;
+    transit_capacity = 400.;
+    eyeball_capacity = 200.;
+    stub_capacity = 10.;
+    public_peering_capacity = 20.;
+  }
+
+let small_params =
+  {
+    default_params with
+    n_tier1 = 4;
+    n_transit = 10;
+    n_eyeball = 30;
+    n_stub = 40;
+  }
+
+let shared_metros fa fb =
+  let module S = Set.Make (Int) in
+  let sb = Array.fold_left (fun s c -> S.add c s) S.empty fb in
+  Array.to_list fa |> List.filter (fun c -> S.mem c sb)
+
+let common_metro rng fa fb =
+  match shared_metros fa fb with
+  | [] -> None
+  | l -> Some (List.nth l (Sm.next_int rng (List.length l)))
+
+(* Up to [k] shared metros chosen uniformly — used for national-scale
+   interconnects (eyeball <-> transit), where sessions sit wherever
+   the ISP's network happens to be rather than at the global hubs.
+   This heterogeneity is what creates the minority of clients whose
+   transit route persistently beats the peer route (the paper's
+   "consistently better" alternates). *)
+let random_metros rng ~k fa fb =
+  match shared_metros fa fb with
+  | [] -> []
+  | l -> Dist.sample_without_replacement rng k (Array.of_list l) |> Array.to_list
+
+(* Up to [k] shared metros with geographic spread: round-robin over
+   continents, most populous shared metro of each continent first.
+   Two global networks end up interconnected on every continent they
+   share, which is what lets hot-potato pick a nearby exit instead of
+   detouring through a remote megacity.  The rng breaks ties among
+   equally-sized metros. *)
+let common_metros rng ~k fa fb =
+  match shared_metros fa fb with
+  | [] -> []
+  | l ->
+      let arr = Array.of_list l in
+      Dist.shuffle rng arr;
+      let by_pop a b =
+        compare
+          (World.hub_score World.cities.(b))
+          (World.hub_score World.cities.(a))
+      in
+      let groups =
+        List.map
+          (fun continent ->
+            List.filter
+              (fun m -> World.cities.(m).City.continent = continent)
+              (Array.to_list arr)
+            |> List.sort by_pop)
+          Region.all_continents
+        |> List.filter (fun g -> g <> [])
+      in
+      (* Round-robin: first pick of every continent, then second, ... *)
+      let rec rounds acc groups =
+        if groups = [] then List.rev acc
+        else begin
+          let heads = List.filter_map (fun g -> List.nth_opt g 0) groups in
+          let tails =
+            List.filter_map
+              (fun g -> match g with [] | [ _ ] -> None | _ :: t -> Some t)
+              groups
+          in
+          rounds (List.rev_append heads acc) tails
+        end
+      in
+      List.filteri (fun i _ -> i < k) (rounds [] groups)
+
+(* Mutable builder: ASes and link specs are accumulated, then frozen
+   into a Topology.t. *)
+type builder = {
+  mutable ases_rev : Asn.t list;
+  mutable n : int;
+  mutable links_rev : (int * int * Relation.kind * int * float) list;
+}
+
+let new_builder () = { ases_rev = []; n = 0; links_rev = [] }
+
+let push_as b ~klass ~name ~footprint =
+  let id = b.n in
+  b.ases_rev <- { Asn.id; klass; name; footprint } :: b.ases_rev;
+  b.n <- b.n + 1;
+  id
+
+let push_link b a bb kind metro capacity =
+  b.links_rev <- (a, bb, kind, metro, capacity) :: b.links_rev
+
+let city_ids_of_continent continent =
+  World.by_continent continent |> List.map (fun (c : City.t) -> c.id)
+
+let sample_ints rng k l =
+  Dist.sample_without_replacement rng k (Array.of_list l) |> Array.to_list
+
+let range_int rng (lo, hi) =
+  if hi <= lo then lo else lo + Sm.next_int rng (hi - lo + 1)
+
+(* Footprint helpers -------------------------------------------------- *)
+
+let tier1_footprint rng =
+  (* Tier-1s are present in every large metro plus a random sample of
+     the rest; their home is one of the biggest interconnection hubs. *)
+  let big, small =
+    Array.to_list World.cities
+    |> List.partition (fun (c : City.t) -> c.population_m >= 4.)
+  in
+  let extra =
+    List.filter (fun (_ : City.t) -> Dist.bernoulli rng ~p:0.5) small
+  in
+  let all = big @ extra in
+  let ids = List.map (fun (c : City.t) -> c.id) all in
+  let hubs =
+    [ "New York"; "London"; "Frankfurt"; "Tokyo"; "Singapore"; "Amsterdam" ]
+  in
+  let home = (World.find_exn (List.nth hubs (Sm.next_int rng 6))).id in
+  Array.of_list (home :: List.filter (fun c -> c <> home) ids)
+
+let transit_footprint rng continent =
+  let ids = city_ids_of_continent continent in
+  let k = max 2 (List.length ids * (40 + Sm.next_int rng 40) / 100) in
+  let chosen = sample_ints rng k ids in
+  match chosen with
+  | [] -> assert false (* every continent has >= 2 metros *)
+  | home :: rest -> Array.of_list (home :: rest)
+
+let eyeball_footprint rng country =
+  let ids = World.by_country country |> List.map (fun (c : City.t) -> c.id) in
+  let k = max 1 (List.length ids - Sm.next_int rng 2) in
+  match sample_ints rng k ids with
+  | [] -> (match ids with [] -> assert false | h :: _ -> [| h |])
+  | home :: rest -> Array.of_list (home :: rest)
+
+(* Generation --------------------------------------------------------- *)
+
+let dedupe_links specs =
+  (* Collapse accidental duplicate (a, b, kind, metro) tuples produced
+     by independent random draws; keep the first capacity. *)
+  let module S = Set.Make (struct
+    type t = int * int * Relation.kind * int
+
+    let compare = compare
+  end) in
+  let seen = ref S.empty in
+  List.filter_map
+    (fun (a, b, kind, metro, cap) ->
+      let key = if a < b then (a, b, kind, metro) else (b, a, kind, metro) in
+      if S.mem key !seen then None
+      else begin
+        seen := S.add key !seen;
+        Some { Relation.id = 0; a; b; kind; metro; capacity_gbps = cap }
+      end)
+    specs
+
+let generate p =
+  let rng = Sm.create p.seed in
+  let b = new_builder () in
+  (* 1. Tier-1 clique. *)
+  let t1_rng = Sm.of_label rng "tier1" in
+  let tier1s =
+    List.init p.n_tier1 (fun i ->
+        push_as b ~klass:Asn.Tier1
+          ~name:(Printf.sprintf "T1-%d" i)
+          ~footprint:(tier1_footprint t1_rng))
+  in
+  let ases_arr () = Array.of_list (List.rev b.ases_rev) in
+  let footprint id = (ases_arr ()).(id).Asn.footprint in
+  (* Clique of private peering among Tier-1s, interconnected in many
+     facilities worldwide. *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j bb ->
+          if j > i then begin
+            let metros =
+              match common_metros t1_rng ~k:10 (footprint a) (footprint bb) with
+              | [] -> [ (World.find_exn "London").id ]
+              | l -> l
+            in
+            List.iter
+              (fun metro ->
+                push_link b a bb Relation.Peer_private metro p.tier1_capacity)
+              metros
+          end)
+        tier1s)
+    tier1s;
+  (* 2. Regional transit providers. *)
+  let tr_rng = Sm.of_label rng "transit" in
+  let continents = Array.of_list Region.all_continents in
+  let continent_weights =
+    Array.map
+      (fun c -> float_of_int (List.length (city_ids_of_continent c)))
+      continents
+  in
+  let transits =
+    List.init p.n_transit (fun i ->
+        let ci = Dist.categorical continent_weights tr_rng in
+        let continent = continents.(ci) in
+        let id =
+          push_as b ~klass:Asn.Transit
+            ~name:
+              (Printf.sprintf "TR-%d-%s" i (Region.continent_to_string continent))
+            ~footprint:(transit_footprint tr_rng continent)
+        in
+        (id, continent))
+  in
+  let all = ases_arr () in
+  (* Transit -> Tier-1 providers. *)
+  List.iter
+    (fun (tid, _) ->
+      let k = range_int tr_rng p.transit_provider_count in
+      let chosen = sample_ints tr_rng k tier1s in
+      List.iter
+        (fun t1 ->
+          let metros =
+            match
+              common_metros tr_rng ~k:5 all.(tid).Asn.footprint
+                all.(t1).Asn.footprint
+            with
+            | [] -> [ Asn.home all.(tid) ]
+            | l -> l
+          in
+          List.iter
+            (fun metro -> push_link b tid t1 Relation.C2p metro p.transit_capacity)
+            metros)
+        chosen)
+    transits;
+  (* Transit <-> transit peering within a continent. *)
+  let rec pair_transits = function
+    | [] -> ()
+    | (tid, cont) :: rest ->
+        List.iter
+          (fun (oid, ocont) ->
+            if cont = ocont && Dist.bernoulli tr_rng ~p:p.transit_peering_prob
+            then
+              List.iter
+                (fun metro ->
+                  push_link b tid oid Relation.Peer_private metro
+                    p.transit_capacity)
+                (common_metros tr_rng ~k:2 all.(tid).Asn.footprint
+                   all.(oid).Asn.footprint))
+          rest;
+        pair_transits rest
+  in
+  pair_transits transits;
+  (* 3. Eyeball ISPs, one or more per country weighted by population. *)
+  let eb_rng = Sm.of_label rng "eyeball" in
+  let countries = Array.of_list World.countries in
+  let country_pop country =
+    World.by_country country
+    |> List.fold_left (fun acc (c : City.t) -> acc +. c.population_m) 0.
+  in
+  let country_weights = Array.map country_pop countries in
+  let eyeballs =
+    List.init p.n_eyeball (fun i ->
+        let country = countries.(Dist.categorical country_weights eb_rng) in
+        let id =
+          push_as b ~klass:Asn.Eyeball
+            ~name:(Printf.sprintf "EB-%d-%s" i country)
+            ~footprint:(eyeball_footprint eb_rng country)
+        in
+        (id, country))
+  in
+  let all = ases_arr () in
+  let continent_of_as id =
+    let home = Asn.home all.(id) in
+    World.cities.(home).City.continent
+  in
+  let transits_serving continent =
+    List.filter (fun (_, c) -> c = continent) transits |> List.map fst
+  in
+  (* Eyeball -> transit providers (same continent; Tier-1 fallback). *)
+  List.iter
+    (fun (eid, _) ->
+      let continent = continent_of_as eid in
+      let candidates =
+        match transits_serving continent with [] -> tier1s | l -> l
+      in
+      let k = min (List.length candidates) (range_int eb_rng p.eyeball_provider_count) in
+      let k = max 1 k in
+      let chosen = sample_ints eb_rng k candidates in
+      List.iter
+        (fun tid ->
+          let metros =
+            match
+              random_metros eb_rng ~k:4 all.(eid).Asn.footprint
+                all.(tid).Asn.footprint
+            with
+            | [] -> [ Asn.home all.(eid) ]
+            | l -> l
+          in
+          List.iter
+            (fun metro -> push_link b eid tid Relation.C2p metro p.eyeball_capacity)
+            metros)
+        chosen;
+      (* Many eyeballs also buy transit directly from a Tier-1, with
+         sessions in their main metros — this is the short
+         [Tier-1; eyeball] alternate path that makes transit routes
+         competitive with peering at a content provider's PoPs. *)
+      if candidates != tier1s && Dist.bernoulli eb_rng ~p:0.65 then begin
+        let t1 = List.nth tier1s (Sm.next_int eb_rng (List.length tier1s)) in
+        let metros =
+          match
+            random_metros eb_rng ~k:5 all.(eid).Asn.footprint
+              all.(t1).Asn.footprint
+          with
+          | [] -> [ Asn.home all.(eid) ]
+          | l -> l
+        in
+        List.iter
+          (fun metro -> push_link b eid t1 Relation.C2p metro p.eyeball_capacity)
+          metros
+      end)
+    eyeballs;
+  (* Eyeball <-> eyeball public peering at shared metros (IXPs). *)
+  let rec pair_eyeballs = function
+    | [] -> ()
+    | (eid, _) :: rest ->
+        List.iter
+          (fun (oid, _) ->
+            if Dist.bernoulli eb_rng ~p:p.eyeball_peering_prob then begin
+              match
+                common_metro eb_rng all.(eid).Asn.footprint
+                  all.(oid).Asn.footprint
+              with
+              | Some metro ->
+                  push_link b eid oid Relation.Peer_public metro
+                    p.public_peering_capacity
+              | None -> ()
+            end)
+          rest;
+        pair_eyeballs rest
+  in
+  pair_eyeballs eyeballs;
+  (* 4. Stub ASes: single-homed to an eyeball or transit at their metro. *)
+  let st_rng = Sm.of_label rng "stub" in
+  let eyeball_ids = List.map fst eyeballs in
+  for i = 0 to p.n_stub - 1 do
+    let city = Dist.categorical World.population_weights st_rng in
+    let sid =
+      push_as b ~klass:Asn.Stub
+        ~name:(Printf.sprintf "ST-%d" i)
+        ~footprint:[| city |]
+    in
+    let upstream_candidates =
+      List.filter (fun id -> Asn.present_at all.(id) city) eyeball_ids
+    in
+    let upstream =
+      match upstream_candidates with
+      | [] ->
+          (* No eyeball at this metro: attach to a transit or Tier-1
+             present there. *)
+          let transit_here =
+            List.filter (fun (tid, _) -> Asn.present_at all.(tid) city) transits
+            |> List.map fst
+          in
+          let pool = if transit_here = [] then tier1s else transit_here in
+          List.nth pool (Sm.next_int st_rng (List.length pool))
+      | l -> List.nth l (Sm.next_int st_rng (List.length l))
+    in
+    push_link b sid upstream Relation.C2p city p.stub_capacity
+  done;
+  Topology.make (ases_arr ()) (List.rev b.links_rev |> dedupe_links)

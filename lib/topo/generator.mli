@@ -1,0 +1,45 @@
+(** Hierarchical AS-level Internet generator.
+
+    Produces a base Internet with the structural properties the
+    paper's analysis depends on: a Tier-1 clique with global
+    footprints, regional transit providers, per-country eyeball ISPs
+    hosting the client population, and small stub ASes.  Content and
+    cloud providers are grafted on later by the CDN/WAN layers so that
+    their peering footprint can be varied per experiment. *)
+
+type params = {
+  seed : int;
+  n_tier1 : int;
+  n_transit : int;
+  n_eyeball : int;
+  n_stub : int;
+  transit_provider_count : int * int;  (** Min/max Tier-1 providers per transit. *)
+  eyeball_provider_count : int * int;  (** Min/max transit providers per eyeball. *)
+  eyeball_peering_prob : float;
+      (** Probability that two eyeballs sharing a metro peer publicly. *)
+  transit_peering_prob : float;
+      (** Probability that two transits sharing a continent peer. *)
+  tier1_capacity : float;
+  transit_capacity : float;
+  eyeball_capacity : float;
+  stub_capacity : float;
+  public_peering_capacity : float;
+}
+
+val default_params : params
+(** [seed = 42], 8 Tier-1s, 48 transits, 240 eyeballs, 400 stubs. *)
+
+val small_params : params
+(** A small topology for unit tests (4/10/30/40). *)
+
+val generate : params -> Topology.t
+(** Build the base Internet.  Deterministic in [params.seed]. *)
+
+val common_metro :
+  Netsim_prng.Splitmix.t -> int array -> int array -> int option
+(** A shared metro of two footprints, chosen uniformly; [None] if the
+    footprints are disjoint.  Exposed for the CDN layer. *)
+
+val common_metros :
+  Netsim_prng.Splitmix.t -> k:int -> int array -> int array -> int list
+(** Up to [k] distinct shared metros ([] if disjoint). *)

@@ -1,0 +1,80 @@
+let provider_depth topo asid =
+  let n = Topology.as_count topo in
+  let dist = Array.make n (-1) in
+  (* BFS upward along provider edges from the AS. *)
+  let q = Queue.create () in
+  dist.(asid) <- 0;
+  Queue.add asid q;
+  let found = ref None in
+  (match (Topology.asn topo asid).Asn.klass with
+  | Asn.Tier1 -> found := Some 0
+  | _ -> ());
+  while !found = None && not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    List.iter
+      (fun p ->
+        if dist.(p) < 0 then begin
+          dist.(p) <- dist.(x) + 1;
+          if (Topology.asn topo p).Asn.klass = Asn.Tier1 then
+            (if !found = None then found := Some dist.(p));
+          Queue.add p q
+        end)
+      (Topology.providers topo x)
+  done;
+  !found
+
+let check topo =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let n = Topology.as_count topo in
+  (* Self links / id uniqueness / metro consistency.  Parallel links
+     between the same pair at the same metro are legitimate (dual
+     sessions on separate routers). *)
+  let module S = Set.Make (Int) in
+  let seen = ref S.empty in
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.a = l.b then add "self-link on AS%d" l.a;
+      if S.mem l.id !seen then add "duplicate link id %d" l.id;
+      seen := S.add l.id !seen;
+      let fa = (Topology.asn topo l.a).Asn.footprint in
+      let fb = (Topology.asn topo l.b).Asn.footprint in
+      let in_a = Array.exists (fun c -> c = l.metro) fa in
+      let in_b = Array.exists (fun c -> c = l.metro) fb in
+      if (not in_a) && not in_b then
+        add "link AS%d-AS%d metro %d is in neither footprint" l.a l.b l.metro)
+    (Topology.links topo);
+  (* Tier-1 clique. *)
+  let tier1s = Topology.by_klass topo Asn.Tier1 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b && Topology.links_between topo a b = [] then
+            add "Tier-1s AS%d and AS%d are not interconnected" a b)
+        tier1s)
+    tier1s;
+  (* Reachability of the Tier-1 clique via providers. *)
+  for i = 0 to n - 1 do
+    match (Topology.asn topo i).Asn.klass with
+    | Asn.Tier1 -> ()
+    | Asn.Content | Asn.Cloud ->
+        (* Providers are optional for provider-grafted ASes; they are
+           reachable via their peers/transit links instead. *)
+        ()
+    | Asn.Transit | Asn.Eyeball | Asn.Stub -> (
+        match provider_depth topo i with
+        | Some _ -> ()
+        | None -> add "AS%d has no provider chain to a Tier-1" i)
+  done;
+  (* Stubs are single-homed. *)
+  for i = 0 to n - 1 do
+    if (Topology.asn topo i).Asn.klass = Asn.Stub then begin
+      let providers = Topology.providers topo i in
+      if List.length providers <> 1 then
+        add "stub AS%d has %d providers" i (List.length providers)
+    end
+  done;
+  List.rev !violations
+
+let is_valid topo = check topo = []

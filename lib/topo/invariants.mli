@@ -1,0 +1,18 @@
+(** Structural sanity checks on a topology.
+
+    Generators and experiment scenarios run these in tests; a healthy
+    topology returns an empty violation list. *)
+
+val check : Topology.t -> string list
+(** All violations found, each described by a human-readable string.
+    Checks: no self links; no duplicate (endpoints, kind, metro)
+    links; Tier-1s form a peering clique; every non-Tier-1 AS reaches
+    a Tier-1 through a provider chain; link metros lie in both
+    endpoints' footprints or at least one endpoint's; stubs have
+    exactly one provider. *)
+
+val is_valid : Topology.t -> bool
+
+val provider_depth : Topology.t -> int -> int option
+(** Length of the shortest provider chain from an AS up to any Tier-1;
+    [Some 0] for a Tier-1 itself; [None] if no chain exists. *)

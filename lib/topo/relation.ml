@@ -1,0 +1,45 @@
+type kind = C2p | Peer_private | Peer_public
+
+type link = {
+  id : int;
+  a : int;
+  b : int;
+  kind : kind;
+  metro : int;
+  capacity_gbps : float;
+}
+
+type rel = To_provider | To_customer | Priv_peer | Pub_peer
+
+let rel_of link asid =
+  if asid = link.a then
+    match link.kind with
+    | C2p -> To_provider
+    | Peer_private -> Priv_peer
+    | Peer_public -> Pub_peer
+  else if asid = link.b then
+    match link.kind with
+    | C2p -> To_customer
+    | Peer_private -> Priv_peer
+    | Peer_public -> Pub_peer
+  else invalid_arg "Relation.rel_of: AS is not an endpoint of this link"
+
+let other link asid =
+  if asid = link.a then link.b
+  else if asid = link.b then link.a
+  else invalid_arg "Relation.other: AS is not an endpoint of this link"
+
+let rel_to_string = function
+  | To_provider -> "to-provider"
+  | To_customer -> "to-customer"
+  | Priv_peer -> "private-peer"
+  | Pub_peer -> "public-peer"
+
+let kind_to_string = function
+  | C2p -> "c2p"
+  | Peer_private -> "peer-private"
+  | Peer_public -> "peer-public"
+
+let is_peering = function
+  | Peer_private | Peer_public -> true
+  | C2p -> false

@@ -1,0 +1,35 @@
+(** Inter-AS business relationships and physical links.
+
+    A link record is stored once; {!rel_of} gives each endpoint's view.
+    Private peering (PNI) and public peering (via an IXP fabric) are
+    distinguished because the content-provider BGP policy in the paper
+    prefers private peers over public peers over transit. *)
+
+type kind =
+  | C2p  (** [a] is the customer, [b] the provider. *)
+  | Peer_private  (** Dedicated private interconnect (PNI). *)
+  | Peer_public  (** Peering across a public IXP fabric. *)
+
+type link = {
+  id : int;
+  a : int;  (** AS id. *)
+  b : int;  (** AS id. *)
+  kind : kind;
+  metro : int;  (** City id of the interconnection facility. *)
+  capacity_gbps : float;
+}
+
+(** One endpoint's view of a link. *)
+type rel = To_provider | To_customer | Priv_peer | Pub_peer
+
+val rel_of : link -> int -> rel
+(** [rel_of link asid] is the relation from [asid]'s perspective.
+    @raise Invalid_argument if [asid] is not an endpoint. *)
+
+val other : link -> int -> int
+(** The opposite endpoint.  @raise Invalid_argument if not an endpoint. *)
+
+val rel_to_string : rel -> string
+val kind_to_string : kind -> string
+
+val is_peering : kind -> bool

@@ -1,0 +1,110 @@
+let klass_of_string = function
+  | "tier1" -> Some Asn.Tier1
+  | "transit" -> Some Asn.Transit
+  | "eyeball" -> Some Asn.Eyeball
+  | "stub" -> Some Asn.Stub
+  | "content" -> Some Asn.Content
+  | "cloud" -> Some Asn.Cloud
+  | _ -> None
+
+let kind_of_string = function
+  | "c2p" -> Some Relation.C2p
+  | "peer-private" -> Some Relation.Peer_private
+  | "peer-public" -> Some Relation.Peer_public
+  | _ -> None
+
+let to_string topo =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "# beatbgp topology v1\n";
+  Array.iter
+    (fun (a : Asn.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "as %d %s %s %s\n" a.Asn.id
+           (Asn.klass_to_string a.Asn.klass)
+           a.Asn.name
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int a.Asn.footprint)))))
+    (Topology.ases topo);
+  Array.iter
+    (fun (l : Relation.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %d %s %d %g\n" l.Relation.id l.Relation.a
+           l.Relation.b
+           (Relation.kind_to_string l.Relation.kind)
+           l.Relation.metro l.Relation.capacity_gbps))
+    (Topology.links topo);
+  Buffer.contents buf
+
+let of_string text =
+  let error line msg = Error (Printf.sprintf "line %d: %s" line msg) in
+  let ases = ref [] and links = ref [] in
+  let exception Bad of string in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun i line ->
+           let lineno = i + 1 in
+           let line = String.trim line in
+           if line = "" || String.length line > 0 && line.[0] = '#' then ()
+           else begin
+             match String.split_on_char ' ' line with
+             | "as" :: id :: klass :: name :: [ footprint ] -> (
+                 match
+                   ( int_of_string_opt id,
+                     klass_of_string klass,
+                     String.split_on_char ',' footprint
+                     |> List.map int_of_string_opt )
+                 with
+                 | Some id, Some klass, metros
+                   when List.for_all Option.is_some metros ->
+                     let footprint =
+                       Array.of_list (List.map Option.get metros)
+                     in
+                     ases := { Asn.id; klass; name; footprint } :: !ases
+                 | _ ->
+                     raise
+                       (Bad (Printf.sprintf "line %d: bad 'as' record" lineno)))
+             | "link" :: id :: a :: b :: kind :: metro :: [ cap ] -> (
+                 match
+                   ( int_of_string_opt id,
+                     int_of_string_opt a,
+                     int_of_string_opt b,
+                     kind_of_string kind,
+                     int_of_string_opt metro,
+                     float_of_string_opt cap )
+                 with
+                 | Some _, Some a, Some b, Some kind, Some metro, Some cap ->
+                     links :=
+                       { Relation.id = 0; a; b; kind; metro;
+                         capacity_gbps = cap }
+                       :: !links
+                 | _ ->
+                     raise
+                       (Bad (Printf.sprintf "line %d: bad 'link' record" lineno)))
+             | _ ->
+                 raise
+                   (Bad
+                      (Printf.sprintf "line %d: unknown record '%s'" lineno
+                         (List.hd (String.split_on_char ' ' line))))
+           end);
+    let ases =
+      List.rev !ases |> List.sort (fun a b -> compare a.Asn.id b.Asn.id)
+    in
+    (* Ids must be dense; Topology.make enforces it. *)
+    (try Ok (Topology.make (Array.of_list ases) (List.rev !links))
+     with Invalid_argument msg -> error 0 msg)
+  with Bad msg -> Error msg
+
+let save topo ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string topo))
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  end

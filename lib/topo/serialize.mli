@@ -1,0 +1,22 @@
+(** Plain-text serialization of topologies.
+
+    A line-oriented format so generated Internets can be saved,
+    diffed, shared and reloaded exactly — the reproducibility story
+    for experiments that outlive one process.
+
+    Format (one record per line, [#] comments ignored):
+    {v
+    as <id> <klass> <name> <metro>[,<metro>...]
+    link <id> <a> <b> <kind> <metro> <capacity_gbps>
+    v}
+    where [klass] is the lowercase class name and [kind] one of
+    [c2p], [peer-private], [peer-public]. *)
+
+val to_string : Topology.t -> string
+
+val of_string : string -> (Topology.t, string) result
+(** Parse; the error string names the offending line.  Link ids are
+    re-assigned densely in file order (as {!Topology.make} does). *)
+
+val save : Topology.t -> path:string -> unit
+val load : path:string -> (Topology.t, string) result

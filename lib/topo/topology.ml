@@ -1,0 +1,118 @@
+type neighbor = { peer : int; rel : Relation.rel; link : Relation.link }
+
+type t = {
+  ases : Asn.t array;
+  links : Relation.link array;
+  adj : neighbor list array;
+}
+
+let build_adjacency n links =
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (l : Relation.link) ->
+      adj.(l.a) <-
+        { peer = l.b; rel = Relation.rel_of l l.a; link = l } :: adj.(l.a);
+      adj.(l.b) <-
+        { peer = l.a; rel = Relation.rel_of l l.b; link = l } :: adj.(l.b))
+    links;
+  adj
+
+let make ases link_list =
+  let n = Array.length ases in
+  Array.iteri
+    (fun i (a : Asn.t) ->
+      if a.id <> i then invalid_arg "Topology.make: AS ids must be dense";
+      if Array.length a.footprint = 0 then
+        invalid_arg "Topology.make: AS with empty footprint")
+    ases;
+  let links =
+    Array.of_list
+      (List.mapi (fun i (l : Relation.link) -> { l with Relation.id = i }) link_list)
+  in
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n then
+        invalid_arg "Topology.make: link endpoint out of range";
+      if l.a = l.b then invalid_arg "Topology.make: self-link")
+    links;
+  { ases; links; adj = build_adjacency n links }
+
+let as_count t = Array.length t.ases
+let link_count t = Array.length t.links
+let asn t i = t.ases.(i)
+let ases t = t.ases
+let links t = t.links
+let neighbors t i = t.adj.(i)
+
+let filter_rel t i want =
+  List.filter_map
+    (fun nb -> if want nb.rel then Some nb.peer else None)
+    t.adj.(i)
+  |> List.sort_uniq compare
+
+let customers t i = filter_rel t i (fun r -> r = Relation.To_customer)
+let providers t i = filter_rel t i (fun r -> r = Relation.To_provider)
+
+let peers t i =
+  filter_rel t i (fun r ->
+      match r with
+      | Relation.Priv_peer | Relation.Pub_peer -> true
+      | Relation.To_customer | Relation.To_provider -> false)
+
+let degree t i = List.length t.adj.(i)
+
+let links_between t x y =
+  List.filter_map
+    (fun nb -> if nb.peer = y then Some nb.link else None)
+    t.adj.(x)
+
+let add_as t ~klass ~name ~footprint =
+  if Array.length footprint = 0 then
+    invalid_arg "Topology.add_as: empty footprint";
+  let id = Array.length t.ases in
+  let ases = Array.append t.ases [| { Asn.id; klass; name; footprint } |] in
+  ({ ases; links = t.links; adj = Array.append t.adj [| [] |] }, id)
+
+let add_links t specs =
+  let base = Array.length t.links in
+  let extra =
+    List.mapi
+      (fun i (a, b, kind, metro, capacity_gbps) ->
+        { Relation.id = base + i; a; b; kind; metro; capacity_gbps })
+      specs
+  in
+  let links = Array.append t.links (Array.of_list extra) in
+  let n = Array.length t.ases in
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a = l.b then
+        invalid_arg "Topology.add_links: bad endpoints")
+    links;
+  { t with links; adj = build_adjacency n links }
+
+let remove_links t ids =
+  let module S = Set.Make (Int) in
+  let failed = S.of_list ids in
+  let links =
+    Array.of_list
+      (List.filter
+         (fun (l : Relation.link) -> not (S.mem l.Relation.id failed))
+         (Array.to_list t.links))
+  in
+  { t with links; adj = build_adjacency (Array.length t.ases) links }
+
+let remove_links_of_as t asid =
+  let ids =
+    List.map (fun (nb : neighbor) -> nb.link.Relation.id) t.adj.(asid)
+  in
+  remove_links t ids
+
+let by_klass t klass =
+  Array.to_list t.ases
+  |> List.filter_map (fun (a : Asn.t) ->
+         if a.klass = klass then Some a.id else None)
+
+let ases_at_metro t metro =
+  Array.to_list t.ases
+  |> List.filter_map (fun (a : Asn.t) ->
+         if Asn.present_at a metro then Some a.id else None)

@@ -1,0 +1,59 @@
+(** The assembled AS-level graph with adjacency queries.
+
+    A topology is immutable once built; providers are added by
+    constructing a new topology with {!add_as} / {!add_links} (used by
+    the CDN and WAN layers to graft a content or cloud AS onto a base
+    Internet). *)
+
+type neighbor = {
+  peer : int;  (** Neighboring AS id. *)
+  rel : Relation.rel;  (** Relation from this AS's perspective. *)
+  link : Relation.link;
+}
+
+type t
+
+val make : Asn.t array -> Relation.link list -> t
+(** Build from AS records and links.  AS ids must be dense [0..n-1]
+    and match their array index; link endpoints must be valid.
+    @raise Invalid_argument otherwise. *)
+
+val as_count : t -> int
+val link_count : t -> int
+val asn : t -> int -> Asn.t
+val ases : t -> Asn.t array
+val links : t -> Relation.link array
+val neighbors : t -> int -> neighbor list
+
+val customers : t -> int -> int list
+val providers : t -> int -> int list
+val peers : t -> int -> int list
+(** Both private and public peers. *)
+
+val degree : t -> int -> int
+
+val links_between : t -> int -> int -> Relation.link list
+(** All links between two ASes (multi-links at different metros are
+    allowed). *)
+
+val add_as : t -> klass:Asn.klass -> name:string -> footprint:int array -> t * int
+(** Returns the extended topology and the new AS id. *)
+
+val add_links :
+  t -> (int * int * Relation.kind * int * float) list -> t
+(** [(a, b, kind, metro, capacity)] tuples; ids are assigned
+    sequentially after the existing links. *)
+
+val remove_links : t -> int list -> t
+(** Fail the links with the given ids: they disappear from the
+    adjacency but ids of surviving links are preserved, so congestion
+    state and announcement configs built on the original topology
+    remain valid.  Unknown ids are ignored. *)
+
+val remove_links_of_as : t -> int -> t
+(** Fail every link touching the given AS (an AS-level outage). *)
+
+val by_klass : t -> Asn.klass -> int list
+
+val ases_at_metro : t -> int -> int list
+(** ASes whose footprint contains the metro. *)

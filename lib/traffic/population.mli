@@ -1,0 +1,20 @@
+(** Client-population generation.
+
+    Prefixes are spread over eyeball and stub ASes; each prefix sits
+    in one of its AS's metros, and traffic weights combine the metro's
+    population with a Zipf popularity factor, reproducing the paper's
+    heavy skew ("half of all traffic within 500 km of a PoP" emerges
+    from population-dense metros hosting both PoPs and clients). *)
+
+val generate :
+  Netsim_topo.Topology.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  n_prefixes:int ->
+  Prefix.t array
+(** Weights are normalized to sum to 1.
+    @raise Invalid_argument if the topology has no eyeball or stub
+    ASes or [n_prefixes <= 0]. *)
+
+val total_weight : Prefix.t array -> float
+
+val by_as : Prefix.t array -> (int, Prefix.t list) Hashtbl.t

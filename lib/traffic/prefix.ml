@@ -1,0 +1,4 @@
+type t = { id : int; asid : int; city : int; weight : float }
+
+let pp fmt t =
+  Format.fprintf fmt "pfx%d(AS%d@%d w=%.4f)" t.id t.asid t.city t.weight

@@ -1,0 +1,16 @@
+(** Client prefixes: the unit of routing and measurement aggregation.
+
+    A prefix belongs to an access AS (eyeball or stub), is anchored at
+    one of that AS's metros, and carries a share of global traffic.
+    The prefix id doubles as the id of its last-mile congestion
+    segment. *)
+
+type t = {
+  id : int;
+  asid : int;  (** Access AS hosting the prefix. *)
+  city : int;  (** Metro where its users are. *)
+  weight : float;  (** Share of total traffic volume; population
+                       weights sum to 1 over a generated set. *)
+}
+
+val pp : Format.formatter -> t -> unit

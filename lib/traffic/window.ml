@@ -1,0 +1,13 @@
+type t = { index : int; start_min : float; length_min : float }
+
+let count ~days ~length_min =
+  int_of_float (Float.round (days *. 1440. /. length_min))
+
+let windows ~days ~length_min =
+  let n = count ~days ~length_min in
+  List.init n (fun index ->
+      { index; start_min = float_of_int index *. length_min; length_min })
+
+let fifteen_minute ~days = windows ~days ~length_min:15.
+
+let mid_time t = t.start_min +. (t.length_min /. 2.)

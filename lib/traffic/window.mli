@@ -1,0 +1,17 @@
+(** Measurement windows.
+
+    The Facebook study aggregates per 15-minute window; experiments
+    iterate a horizon of simulated days at that granularity. *)
+
+type t = { index : int; start_min : float; length_min : float }
+
+val windows : days:float -> length_min:float -> t list
+(** All windows covering [days] simulated days. *)
+
+val fifteen_minute : days:float -> t list
+
+val mid_time : t -> float
+(** Window midpoint in minutes — the sampling instant used for
+    congestion state. *)
+
+val count : days:float -> length_min:float -> int

@@ -1,0 +1,115 @@
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Coord = Netsim_geo.Coord
+
+type t = {
+  nodes : int array;  (** Metro ids, sorted. *)
+  index : (int, int) Hashtbl.t;  (** Metro id → node index. *)
+  dist : float array array;  (** All-pairs shortest cable distance. *)
+}
+
+let default_segments =
+  [
+    (* North America *)
+    ("Kansas City", "New York"); ("Kansas City", "Dallas");
+    ("Kansas City", "San Francisco"); ("Kansas City", "Seattle");
+    ("Kansas City", "Toronto"); ("Kansas City", "Miami");
+    ("New York", "Toronto"); ("New York", "Miami");
+    ("San Francisco", "Seattle"); ("Dallas", "Miami");
+    ("Dallas", "Mexico City");
+    (* Transatlantic *)
+    ("New York", "London"); ("New York", "Amsterdam"); ("Miami", "Madrid");
+    (* Europe *)
+    ("London", "Amsterdam"); ("London", "Paris"); ("Amsterdam", "Frankfurt");
+    ("Paris", "Madrid"); ("Frankfurt", "Milan"); ("Frankfurt", "Warsaw");
+    ("Frankfurt", "Stockholm"); ("Madrid", "Milan"); ("Milan", "Tel Aviv");
+    (* Middle East / South Asia: eastward connectivity only. *)
+    ("Dubai", "Mumbai"); ("Dubai", "Singapore"); ("Mumbai", "Delhi");
+    ("Mumbai", "Singapore");
+    (* East and Southeast Asia *)
+    ("Singapore", "Jakarta"); ("Singapore", "Hong Kong");
+    ("Hong Kong", "Taipei"); ("Hong Kong", "Tokyo"); ("Taipei", "Tokyo");
+    ("Tokyo", "Osaka"); ("Tokyo", "Seoul");
+    (* Transpacific *)
+    ("Tokyo", "Seattle"); ("Tokyo", "San Francisco");
+    ("Sydney", "San Francisco");
+    (* Oceania *)
+    ("Sydney", "Melbourne"); ("Sydney", "Auckland"); ("Sydney", "Singapore");
+    (* South America *)
+    ("Miami", "Bogota"); ("Miami", "Sao Paulo");
+    ("Sao Paulo", "Buenos Aires"); ("Buenos Aires", "Santiago");
+    ("Bogota", "Santiago");
+    (* Africa *)
+    ("London", "Lagos"); ("Lagos", "Johannesburg");
+  ]
+
+let of_segments named =
+  let segments =
+    List.map
+      (fun (a, b) ->
+        ((World.find_exn a).City.id, (World.find_exn b).City.id))
+      named
+  in
+  let module S = Set.Make (Int) in
+  let node_set =
+    List.fold_left (fun s (a, b) -> S.add a (S.add b s)) S.empty segments
+  in
+  let nodes = Array.of_list (S.elements node_set) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i m -> Hashtbl.replace index m i) nodes;
+  let n = Array.length nodes in
+  let dist = Array.make_matrix n n infinity in
+  for i = 0 to n - 1 do
+    dist.(i).(i) <- 0.
+  done;
+  List.iter
+    (fun (a, b) ->
+      let i = Hashtbl.find index a and j = Hashtbl.find index b in
+      let d = City.distance_km World.cities.(a) World.cities.(b) in
+      if d < dist.(i).(j) then begin
+        dist.(i).(j) <- d;
+        dist.(j).(i) <- d
+      end)
+    segments;
+  (* Floyd–Warshall; the graph has a few dozen nodes. *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = dist.(i).(k) +. dist.(k).(j) in
+        if via < dist.(i).(j) then dist.(i).(j) <- via
+      done
+    done
+  done;
+  { nodes; index; dist }
+
+let default () = of_segments default_segments
+
+let nodes t = Array.to_list t.nodes
+
+let nearest_node t metro =
+  let c = World.cities.(metro) in
+  let best = ref t.nodes.(0) and best_d = ref infinity in
+  Array.iter
+    (fun m ->
+      let d = City.distance_km c World.cities.(m) in
+      if d < !best_d then begin
+        best_d := d;
+        best := m
+      end)
+    t.nodes;
+  (!best, !best_d)
+
+let distance_km t a b =
+  let resolve m =
+    match Hashtbl.find_opt t.index m with
+    | Some i -> (i, 0.)
+    | None ->
+        let node, d = nearest_node t m in
+        (Hashtbl.find t.index node, d)
+  in
+  let ia, da = resolve a and ib, db = resolve b in
+  da +. t.dist.(ia).(ib) +. db
+
+let carry_rtt_ms t (params : Netsim_latency.Params.t) a b =
+  Coord.rtt_ms_of_km (distance_km t a b)
+  *. params.Netsim_latency.Params.inflation_content

@@ -1,0 +1,31 @@
+(** Explicit cable-level backbone of the cloud WAN.
+
+    Great-circle distance is direction-agnostic, but real WANs are
+    constrained by where cables run: in 2019 Google's WAN reached
+    India via East Asia and the Pacific, while public Tier-1 routes
+    ran west via Europe — the cause of the paper's India anomaly
+    (§3.3.2).  This module models the WAN as a hand-curated segment
+    graph over the edge metros; carriage distance between two PoPs is
+    the shortest path over segments, not the geodesic. *)
+
+type t
+
+val default : unit -> t
+(** The built-in 2019-shaped backbone over {!Cloud.deploy}'s default
+    edge set.  Notably, India connects only eastward (to Singapore and
+    Dubai, Dubai only eastward as well). *)
+
+val of_segments : (string * string) list -> t
+(** Build from metro-name pairs; segment length is the geodesic
+    between its endpoints.  @raise Not_found for unknown metro names. *)
+
+val nodes : t -> int list
+
+val distance_km : t -> int -> int -> float
+(** Shortest cable-path distance between two metros.  Metros that are
+    not backbone nodes are attached to their nearest node (plus the
+    geodesic to it); [infinity] if disconnected. *)
+
+val carry_rtt_ms : t -> Netsim_latency.Params.t -> int -> int -> float
+(** WAN carriage RTT between two metros: cable distance converted to
+    RTT and inflated by the content/cloud factor. *)

@@ -1,0 +1,48 @@
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Deployment = Netsim_cdn.Deployment
+
+type t = {
+  deployment : Deployment.t;
+  dc_metro : int;
+  edge_metros : int list;
+}
+
+let dc_city_name = "Kansas City"
+
+let default_edge_names =
+  [
+    "Kansas City"; "New York"; "San Francisco"; "Seattle"; "Dallas";
+    "Miami"; "Toronto"; "Mexico City"; "Sao Paulo"; "Buenos Aires";
+    "Santiago"; "Bogota"; "London"; "Frankfurt"; "Amsterdam"; "Paris";
+    "Madrid"; "Milan"; "Warsaw"; "Stockholm"; "Tokyo"; "Osaka"; "Seoul";
+    "Hong Kong"; "Taipei"; "Singapore"; "Jakarta"; "Mumbai"; "Delhi";
+    "Dubai"; "Tel Aviv"; "Sydney"; "Melbourne"; "Auckland";
+    "Johannesburg"; "Lagos";
+  ]
+
+let deploy base ~rng ?edge_metros ?(peer_fraction = 1.0) () =
+  let dc_metro = (World.find_exn dc_city_name).City.id in
+  let edge_metros =
+    match edge_metros with
+    | Some l -> List.sort_uniq compare (dc_metro :: l)
+    | None ->
+        List.map (fun n -> (World.find_exn n).City.id) default_edge_names
+        |> List.sort_uniq compare
+  in
+  let spec =
+    {
+      (Deployment.default_spec ~name:"CLOUD" ~pop_metros:edge_metros) with
+      Deployment.klass = Netsim_topo.Asn.Cloud;
+      pni_prob = 0.8;
+      public_peer_prob = 0.4;
+      peer_fraction;
+      transit_count = 3;
+      transit_session_metros = 8;
+    }
+  in
+  let deployment = Deployment.deploy base ~rng spec in
+  { deployment; dc_metro; edge_metros }
+
+let topo t = t.deployment.Deployment.topo
+let asid t = t.deployment.Deployment.asid

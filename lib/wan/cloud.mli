@@ -1,0 +1,29 @@
+(** A cloud provider with a private WAN (the Google-like setting,
+    §2.3.3).
+
+    The provider has one or more data-center metros plus a worldwide
+    set of WAN edge PoPs.  Its AS class is [Cloud], whose low
+    intra-AS inflation models the well-engineered backbone. *)
+
+type t = {
+  deployment : Netsim_cdn.Deployment.t;
+  dc_metro : int;  (** The data-center metro the experiments target
+                       ("US Central"). *)
+  edge_metros : int list;  (** WAN edge PoPs (includes the DC metro). *)
+}
+
+val dc_city_name : string
+(** "Kansas City" — the stand-in for the US-Central region. *)
+
+val deploy :
+  Netsim_topo.Topology.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  ?edge_metros:int list ->
+  ?peer_fraction:float ->
+  unit ->
+  t
+(** Graft the cloud AS with PNIs at all its edge PoPs.  The default
+    edge set covers major metros on every continent. *)
+
+val topo : t -> Netsim_topo.Topology.t
+val asid : t -> int

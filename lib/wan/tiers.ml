@@ -1,0 +1,77 @@
+module Propagate = Netsim_bgp.Propagate
+module Announce = Netsim_bgp.Announce
+module Walk = Netsim_bgp.Walk
+module Rtt = Netsim_latency.Rtt
+module Propagation = Netsim_latency.Propagation
+module Congestion = Netsim_latency.Congestion
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+
+type t = {
+  cloud : Cloud.t;
+  params : Netsim_latency.Params.t;
+  backbone : Backbone.t;
+  premium : Propagate.state;
+  standard : Propagate.state;
+}
+
+let make cloud ~params =
+  let topo = Cloud.topo cloud in
+  let asid = Cloud.asid cloud in
+  let premium = Propagate.run topo (Announce.default ~origin:asid) in
+  let standard =
+    Propagate.run topo
+      (Announce.only_at_metros ~origin:asid [ cloud.Cloud.dc_metro ])
+  in
+  { cloud; params; backbone = Backbone.default (); premium; standard }
+
+let cloud t = t.cloud
+let backbone t = t.backbone
+
+let walk_of state (vp : Vantage.t) =
+  Walk.from_metro state ~src:vp.Vantage.asid ~start_metro:vp.Vantage.city
+
+(* The VP's last-mile segment is keyed by a synthetic access id derived
+   from its identity so that both tiers share the same access fate. *)
+let access_entity (vp : Vantage.t) =
+  Congestion.Access (1_000_000 + (vp.Vantage.asid * 1000) + vp.Vantage.city)
+
+let premium_flow t vp =
+  match walk_of t.premium vp with
+  | None -> None
+  | Some walk ->
+      let entry = Walk.entry_metro walk in
+      let wan_carry =
+        Backbone.carry_rtt_ms t.backbone t.params entry t.cloud.Cloud.dc_metro
+      in
+      Some
+        (Rtt.make_flow ~access:(access_entity vp) ~extra_ms:wan_carry
+           ~terminal:Propagation.At_entry walk)
+
+let standard_flow t vp =
+  match walk_of t.standard vp with
+  | None -> None
+  | Some walk ->
+      (* Entry is at the DC metro (the only announcing site); any
+         residual carry to the DC city is intra-cloud and ~0. *)
+      Some
+        (Rtt.make_flow ~access:(access_entity vp)
+           ~terminal:(Propagation.To_city t.cloud.Cloud.dc_metro)
+           walk)
+
+let trace_of state (vp : Vantage.t) =
+  match walk_of state vp with
+  | None -> None
+  | Some walk -> Some (Campaign.traceroute ~start_city:vp.Vantage.city walk)
+
+let premium_trace t vp = trace_of t.premium vp
+let standard_trace t vp = trace_of t.standard vp
+
+let qualifies t vp =
+  match (walk_of t.premium vp, walk_of t.standard vp) with
+  | Some pw, Some sw ->
+      (* Premium: the VP's AS hands traffic straight to the cloud
+         (a single hop: the VP AS itself).  Standard: at least one
+         intermediate AS between the VP's AS and the cloud. *)
+      List.length pw.Walk.hops = 1 && List.length sw.Walk.hops >= 2
+  | _, _ -> false

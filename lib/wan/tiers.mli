@@ -1,0 +1,32 @@
+(** Premium vs Standard networking tiers (§2.3.3, Figure 5).
+
+    Premium: the cloud prefix is announced from every WAN edge PoP;
+    traffic enters the WAN near the client and rides the backbone to
+    the data center.  Standard: the prefix is announced only at the
+    data-center metro; the public Internet (BGP) carries traffic the
+    whole way.  Both configurations share the same physical
+    deployment, so the comparison isolates routing. *)
+
+type t
+
+val make : Cloud.t -> params:Netsim_latency.Params.t -> t
+(** Runs the two propagations and prepares the backbone metric. *)
+
+val cloud : t -> Cloud.t
+val backbone : t -> Backbone.t
+
+val premium_flow : t -> Netsim_measure.Vantage.t -> Netsim_latency.Rtt.flow option
+(** VP-to-DC flow on the Premium tier: walk to the nearest announcing
+    edge, then WAN carriage to the DC over the cable graph. *)
+
+val standard_flow : t -> Netsim_measure.Vantage.t -> Netsim_latency.Rtt.flow option
+(** VP-to-DC flow on the Standard tier (public Internet to the DC
+    metro). *)
+
+val premium_trace : t -> Netsim_measure.Vantage.t -> Netsim_measure.Campaign.trace option
+val standard_trace : t -> Netsim_measure.Vantage.t -> Netsim_measure.Campaign.trace option
+
+val qualifies : t -> Netsim_measure.Vantage.t -> bool
+(** The paper's VP filter: the Premium route enters the cloud directly
+    from the VP's AS, while the Standard route crosses at least one
+    intermediate AS. *)

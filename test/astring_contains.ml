@@ -1,0 +1,14 @@
+(* Tiny substring helper shared by test modules (the stdlib has no
+   String.is_substring). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+  end

@@ -1,0 +1,76 @@
+(* A hand-built mini-Internet with known-by-construction routes, used
+   by the topology, BGP and latency tests.
+
+       T1a(0) ===peer=== T1b(1)          (=== private peering @NY)
+        |  \               |
+        |   \(c2p @NY,@London)
+        |    \             |
+        |     CP(5)        |             CP: content provider
+        |    /    \        |
+       TR(2)    (peering)  |             TR: transit, customer of both T1s
+        |      priv @CHI   |
+       EB(3) --pub  @NY ---+             EB: eyeball, customer of TR
+        |
+       ST(4)                             ST: stub, customer of EB
+
+   Destination of interest: CP (AS 5). *)
+
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Topology = Netsim_topo.Topology
+
+let ny = (World.find_exn "New York").City.id
+let london = (World.find_exn "London").City.id
+let tokyo = (World.find_exn "Tokyo").City.id
+let chicago = (World.find_exn "Chicago").City.id
+
+let t1a = 0
+let t1b = 1
+let tr = 2
+let eb = 3
+let st = 4
+let cp = 5
+
+let mk_as id klass name footprint = { Asn.id; klass; name; footprint }
+
+let mk_link id a b kind metro =
+  { Relation.id; a; b; kind; metro; capacity_gbps = 100. }
+
+(* Link ids, fixed so tests can reference them. *)
+let l_t1_peer = 0 (* t1a <-> t1b, private @NY *)
+let l_tr_t1a = 1 (* tr customer of t1a @NY *)
+let l_tr_t1b = 2 (* tr customer of t1b @NY *)
+let l_eb_tr = 3 (* eb customer of tr @Chicago *)
+let l_st_eb = 4 (* st customer of eb @Chicago *)
+let l_cp_t1a_ny = 5 (* cp customer of t1a @NY *)
+let l_cp_t1a_lon = 6 (* cp customer of t1a @London *)
+let l_cp_eb_priv = 7 (* cp private peer of eb @Chicago *)
+let l_cp_eb_pub = 8 (* cp public peer of eb @NY *)
+
+let topo () =
+  let ases =
+    [|
+      mk_as t1a Asn.Tier1 "T1a" [| ny; london; tokyo |];
+      mk_as t1b Asn.Tier1 "T1b" [| ny; tokyo |];
+      mk_as tr Asn.Transit "TR" [| ny; chicago |];
+      mk_as eb Asn.Eyeball "EB" [| chicago; ny |];
+      mk_as st Asn.Stub "ST" [| chicago |];
+      mk_as cp Asn.Content "CP" [| ny; chicago; london |];
+    |]
+  in
+  let links =
+    [
+      mk_link l_t1_peer t1a t1b Relation.Peer_private ny;
+      mk_link l_tr_t1a tr t1a Relation.C2p ny;
+      mk_link l_tr_t1b tr t1b Relation.C2p ny;
+      mk_link l_eb_tr eb tr Relation.C2p chicago;
+      mk_link l_st_eb st eb Relation.C2p chicago;
+      mk_link l_cp_t1a_ny cp t1a Relation.C2p ny;
+      mk_link l_cp_t1a_lon cp t1a Relation.C2p london;
+      mk_link l_cp_eb_priv cp eb Relation.Peer_private chicago;
+      mk_link l_cp_eb_pub cp eb Relation.Peer_public ny;
+    ]
+  in
+  Topology.make ases links

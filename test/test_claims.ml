@@ -1,0 +1,138 @@
+(* Paper-shape checks at full scale: every figure is regenerated with
+   the default scenario sizes and its tracked prose claims (with the
+   generous bands from DESIGN.md §6) must pass.
+
+   These are the repository's "does it still reproduce the paper"
+   tests; they take a few tens of seconds in total. *)
+
+module S = Beatbgp.Scenario
+module Figure = Beatbgp.Figure
+module Claims = Beatbgp.Claims
+
+let check_all_claims fig =
+  let claims = Claims.of_figure fig in
+  Alcotest.(check bool)
+    (Printf.sprintf "figure %s has tracked claims" fig.Figure.id)
+    true (claims <> []);
+  List.iter
+    (fun (c : Claims.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: measured=%.4f band=[%g,%g] (%s)" c.Claims.id
+           c.Claims.measured (fst c.Claims.band) (snd c.Claims.band)
+           c.Claims.paper_value)
+        true (Claims.passes c))
+    claims
+
+let fb = lazy (S.facebook ())
+let ms = lazy (S.microsoft ())
+let gc = lazy (S.google ())
+let fig1 = lazy (Beatbgp.Fig1_pop_egress.run (Lazy.force fb))
+
+let test_fig1_claims () =
+  check_all_claims (Lazy.force fig1).Beatbgp.Fig1_pop_egress.figure
+
+let test_fig2_claims () =
+  check_all_claims
+    (Beatbgp.Fig2_route_classes.run (Lazy.force fb)).Beatbgp.Fig2_route_classes.figure
+
+let test_fig3_claims () =
+  check_all_claims
+    (Beatbgp.Fig3_anycast_gap.run (Lazy.force ms)).Beatbgp.Fig3_anycast_gap.figure
+
+let test_fig4_claims () =
+  check_all_claims
+    (Beatbgp.Fig4_dns_redirection.run (Lazy.force ms))
+      .Beatbgp.Fig4_dns_redirection.figure
+
+let test_fig5_claims () =
+  check_all_claims
+    (Beatbgp.Fig5_cloud_tiers.run (Lazy.force gc)).Beatbgp.Fig5_cloud_tiers.figure
+
+let test_degrade_together_paper_shape () =
+  (* §3.1.1's three observations, checked directly. *)
+  let d = Beatbgp.Degrade_together.analyze (Lazy.force fig1) in
+  (* 1. Alternates usually offer no improvement. *)
+  Alcotest.(check bool) "most pairs never improvable" true
+    (List.assoc "pairs_never_better"
+       d.Beatbgp.Degrade_together.figure.Figure.stats
+    > 0.5);
+  (* 2. Degradation more prevalent than improvement opportunity. *)
+  Alcotest.(check bool) "degradation more prevalent" true
+    (d.Beatbgp.Degrade_together.degraded_window_fraction
+    >= d.Beatbgp.Degrade_together.improvable_window_fraction);
+  (* 3. When options degrade, they tend to degrade together. *)
+  Alcotest.(check bool) "shared fate substantial" true
+    (d.Beatbgp.Degrade_together.shared_degradation > 0.25);
+  (* 4. Most alternates that do beat BGP are consistently better. *)
+  Alcotest.(check bool) "persistent winners dominate" true
+    (d.Beatbgp.Degrade_together.persistent_share_of_wins > 0.4)
+
+let test_fig5_india_anomaly () =
+  let r = Beatbgp.Fig5_cloud_tiers.run (Lazy.force gc) in
+  let india =
+    List.find_opt
+      (fun (c : Beatbgp.Fig5_cloud_tiers.per_country) ->
+        c.Beatbgp.Fig5_cloud_tiers.country = "IN")
+      r.Beatbgp.Fig5_cloud_tiers.countries
+  in
+  match india with
+  | None -> Alcotest.fail "no Indian measurements at default scale"
+  | Some c ->
+      Alcotest.(check bool) "standard wins for India" true
+        (c.Beatbgp.Fig5_cloud_tiers.diff_ms < 0.)
+
+let test_goodput_claims () =
+  check_all_claims
+    (Beatbgp.Goodput_egress.run (Lazy.force fb)).Beatbgp.Goodput_egress.figure
+
+let test_grooming_nurture () =
+  (* §3.2.2: route grooming at human timescales provides real benefit
+     — the ungroomed deployment's bad tail shrinks substantially after
+     the operator keeps the best prepend set. *)
+  let r = Beatbgp.Grooming.run (Lazy.force ms) in
+  let stat name = List.assoc name r.Beatbgp.Grooming.figure.Figure.stats in
+  Alcotest.(check bool) "grooming shrinks the >=100ms tail" true
+    (stat "groomed_frac_worse_100ms" < stat "ungroomed_frac_worse_100ms" /. 2.);
+  Alcotest.(check bool) "grooming improves the within-10ms mass" true
+    (stat "groomed_frac_within_10ms" >= stat "ungroomed_frac_within_10ms");
+  Alcotest.(check bool) "grooming used a modest number of actions" true
+    (stat "total_actions" > 0. && stat "total_actions" < 500.)
+
+let test_wan_fraction_hypothesis () =
+  (* §3.3.2's hypothesis: Premium's advantage shrinks when the BGP
+     path already behaves like a single WAN.  We check the bucket
+     contrast: mean (standard − premium) among VPs whose standard path
+     is spread over many ASes must exceed the mean among VPs whose
+     path rides a single AS for ≥ 90 % of its carriage.  India's
+     paths must be single-WAN-dominated in absolute terms. *)
+  let r = Beatbgp.Wan_fraction.run (Lazy.force gc) in
+  let bucket_mean lo =
+    List.find_opt
+      (fun (b : Beatbgp.Wan_fraction.bucket) -> b.Beatbgp.Wan_fraction.lo = lo)
+      r.Beatbgp.Wan_fraction.buckets
+  in
+  (match (bucket_mean 0., bucket_mean 0.9) with
+  | Some low, Some high
+    when low.Beatbgp.Wan_fraction.count > 0 && high.Beatbgp.Wan_fraction.count > 0
+    ->
+      Alcotest.(check bool) "premium advantage shrinks with single-WAN share"
+        true
+        (low.Beatbgp.Wan_fraction.mean_diff_ms
+        > high.Beatbgp.Wan_fraction.mean_diff_ms)
+  | _, _ -> ());
+  Alcotest.(check bool) "india rides a single WAN" true
+    (r.Beatbgp.Wan_fraction.india_mean_fraction > 0.55)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 paper claims" `Slow test_fig1_claims;
+    Alcotest.test_case "fig2 paper claims" `Slow test_fig2_claims;
+    Alcotest.test_case "fig3 paper claims" `Slow test_fig3_claims;
+    Alcotest.test_case "fig4 paper claims" `Slow test_fig4_claims;
+    Alcotest.test_case "fig5 paper claims" `Slow test_fig5_claims;
+    Alcotest.test_case "degrade-together shape" `Slow test_degrade_together_paper_shape;
+    Alcotest.test_case "india anomaly" `Slow test_fig5_india_anomaly;
+    Alcotest.test_case "grooming nurture" `Slow test_grooming_nurture;
+    Alcotest.test_case "goodput footnote-3" `Slow test_goodput_claims;
+    Alcotest.test_case "single-WAN hypothesis" `Slow test_wan_fraction_hypothesis;
+  ]

@@ -1,0 +1,359 @@
+(* Integration tests: scenario builders, figure experiments on the
+   small topology, claim machinery and the hypothesis analyses.
+
+   These run the real pipelines end to end at reduced scale, checking
+   structural properties that must hold at any scale.  The
+   full-scale paper-shape checks live in test_claims.ml. *)
+
+module S = Beatbgp.Scenario
+module Figure = Beatbgp.Figure
+module Claims = Beatbgp.Claims
+module Series = Netsim_stats.Series
+module Prefix = Netsim_traffic.Prefix
+module Egress = Netsim_cdn.Egress
+
+let sizes = S.test_sizes
+
+(* Scenario caches so each pipeline builds once. *)
+let fb = lazy (S.facebook ~sizes ())
+let ms = lazy (S.microsoft ~sizes ())
+let gc = lazy (S.google ~sizes ~n_vantage:200 ())
+let fig1 = lazy (Beatbgp.Fig1_pop_egress.run (Lazy.force fb))
+
+(* ---- Scenario builders ---- *)
+
+let test_facebook_scenario_shape () =
+  let fb = Lazy.force fb in
+  Alcotest.(check bool) "has entries" true (Array.length fb.S.fb_entries > 0);
+  Alcotest.(check bool) "entries <= prefixes" true
+    (Array.length fb.S.fb_entries <= Array.length fb.S.fb_prefixes);
+  Array.iter
+    (fun (e : Egress.entry) ->
+      Alcotest.(check bool) "options nonempty" true (e.Egress.options <> []))
+    fb.S.fb_entries
+
+let test_facebook_deterministic () =
+  let a = S.facebook ~sizes () and b = S.facebook ~sizes () in
+  let ids x =
+    Array.to_list x.S.fb_entries
+    |> List.map (fun (e : Egress.entry) -> e.Egress.prefix.Prefix.id)
+  in
+  Alcotest.(check (list int)) "same entries" (ids a) (ids b)
+
+let test_microsoft_scenario_shape () =
+  let ms = Lazy.force ms in
+  Alcotest.(check bool) "sites deployed" true
+    (List.length (Netsim_cdn.Anycast.sites ms.S.ms_system) >= 10);
+  Alcotest.(check int) "prefixes generated" sizes.S.n_prefixes
+    (Array.length ms.S.ms_prefixes)
+
+let test_google_scenario_shape () =
+  let gc = Lazy.force gc in
+  Alcotest.(check bool) "vantage points selected" true
+    (Array.length gc.S.gc_vantage > 50)
+
+let test_top_metros () =
+  let l = S.top_metros 5 in
+  Alcotest.(check int) "five metros" 5 (List.length l);
+  (* Most populous metro globally is Tokyo. *)
+  let tokyo = (Netsim_geo.World.find_exn "Tokyo").Netsim_geo.City.id in
+  Alcotest.(check bool) "tokyo present" true (List.mem tokyo l)
+
+let test_top_metros_continent_filter () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "european" true
+        (Netsim_geo.World.cities.(m).Netsim_geo.City.continent
+        = Netsim_geo.Region.Europe))
+    (S.top_metros ~continents:[ Netsim_geo.Region.Europe ] 6)
+
+let test_spread_metros_covers_continents () =
+  let metros = S.spread_metros 40 in
+  List.iter
+    (fun continent ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s covered"
+           (Netsim_geo.Region.continent_to_string continent))
+        true
+        (List.exists
+           (fun m ->
+             Netsim_geo.World.cities.(m).Netsim_geo.City.continent = continent)
+           metros))
+    Netsim_geo.Region.all_continents
+
+(* ---- Figure container ---- *)
+
+let test_figure_stats_access () =
+  let f =
+    Figure.make ~id:"x" ~title:"t" ~x_label:"x" ~y_label:"y"
+      ~stats:[ ("a", 1.5) ]
+      [ Series.make "s" [ (0., 0.) ] ]
+  in
+  Alcotest.(check (float 1e-9)) "stat" 1.5 (Figure.stat f "a");
+  Alcotest.(check (option (float 1e-9))) "stat_opt missing" None
+    (Figure.stat_opt f "zzz");
+  Alcotest.check_raises "stat missing" Not_found (fun () ->
+      ignore (Figure.stat f "zzz"))
+
+let test_figure_render_and_csv () =
+  let f =
+    Figure.make ~id:"demo" ~title:"demo title" ~x_label:"x" ~y_label:"y"
+      ~stats:[ ("k", 2.) ]
+      [ Series.make "sname" [ (0., 0.); (1., 1.) ] ]
+  in
+  let out = Figure.render f in
+  Alcotest.(check bool) "title shown" true
+    (Astring_contains.contains out "demo title");
+  Alcotest.(check bool) "stats shown" true (Astring_contains.contains out "k");
+  Alcotest.(check bool) "csv has header" true
+    (Astring_contains.contains (Figure.to_csv f) "series,x,y")
+
+(* ---- Fig1 on the small scenario ---- *)
+
+let test_fig1_structure () =
+  let r = Lazy.force fig1 in
+  let f = r.Beatbgp.Fig1_pop_egress.figure in
+  Alcotest.(check string) "id" "fig1" f.Figure.id;
+  Alcotest.(check int) "three series (line + CI band)" 3
+    (List.length f.Figure.series);
+  Alcotest.(check bool) "has measurements" true
+    (r.Beatbgp.Fig1_pop_egress.window_results <> [])
+
+let test_fig1_weights_are_traffic () =
+  let r = Lazy.force fig1 in
+  List.iter
+    (fun (_, w) -> Alcotest.(check bool) "positive weight" true (w > 0.))
+    (Beatbgp.Fig1_pop_egress.improvements r)
+
+let test_fig1_stats_sane () =
+  let f = (Lazy.force fig1).Beatbgp.Fig1_pop_egress.figure in
+  let v = Figure.stat f "fraction_improvable_5ms" in
+  Alcotest.(check bool) "fraction in [0,1]" true (v >= 0. && v <= 1.);
+  let b = Figure.stat f "fraction_bgp_better_or_equal" in
+  Alcotest.(check bool) "bgp good for majority even at small scale" true
+    (b > 0.3)
+
+let test_fig1_ci_band_brackets_line () =
+  let f = (Lazy.force fig1).Beatbgp.Fig1_pop_egress.figure in
+  match f.Figure.series with
+  | [ line; lower; upper ] ->
+      (* At x = 0 the lower-bound CDF must be <= the line <= upper
+         bound... note: lower CI bound produces a CDF shifted left,
+         hence a *higher* CDF value at any x. *)
+      let at x s = Series.interpolate s x in
+      (match (at 0. line, at 0. lower, at 0. upper) with
+      | Some l, Some lo, Some hi ->
+          Alcotest.(check bool) "band ordering" true (hi <= l && l <= lo)
+      | _ -> ())
+  | _ -> Alcotest.fail "expected three series"
+
+(* ---- Fig2 ---- *)
+
+let test_fig2_structure () =
+  let r = Beatbgp.Fig2_route_classes.run (Lazy.force fb) in
+  let f = r.Beatbgp.Fig2_route_classes.figure in
+  Alcotest.(check string) "id" "fig2" f.Figure.id;
+  Alcotest.(check bool) "peer vs transit measured" true
+    (r.Beatbgp.Fig2_route_classes.peer_vs_transit <> [])
+
+(* ---- Fig3 ---- *)
+
+let fig3 = lazy (Beatbgp.Fig3_anycast_gap.run (Lazy.force ms))
+
+let test_fig3_structure () =
+  let r = Lazy.force fig3 in
+  Alcotest.(check string) "id" "fig3" r.Beatbgp.Fig3_anycast_gap.figure.Figure.id;
+  Alcotest.(check bool) "clients measured" true
+    (List.length r.Beatbgp.Fig3_anycast_gap.clients > 10)
+
+let test_fig3_best_unicast_definition () =
+  (* best unicast can beat anycast but anycast is itself one of the
+     catchment outcomes; the recorded gap must be >= 0 by the max. *)
+  List.iter
+    (fun (c : Beatbgp.Fig3_anycast_gap.per_client) ->
+      Alcotest.(check bool) "rtt values positive" true
+        (c.Beatbgp.Fig3_anycast_gap.anycast_ms > 0.
+        && c.Beatbgp.Fig3_anycast_gap.best_unicast_ms > 0.))
+    (Lazy.force fig3).Beatbgp.Fig3_anycast_gap.clients
+
+let test_fig3_sites_are_deployed () =
+  let sites = Netsim_cdn.Anycast.sites (Lazy.force ms).S.ms_system in
+  List.iter
+    (fun (c : Beatbgp.Fig3_anycast_gap.per_client) ->
+      Alcotest.(check bool) "anycast site deployed" true
+        (List.mem c.Beatbgp.Fig3_anycast_gap.anycast_site sites);
+      Alcotest.(check bool) "best site deployed" true
+        (List.mem c.Beatbgp.Fig3_anycast_gap.best_site sites))
+    (Lazy.force fig3).Beatbgp.Fig3_anycast_gap.clients
+
+(* ---- Fig4 ---- *)
+
+let fig4 = lazy (Beatbgp.Fig4_dns_redirection.run (Lazy.force ms))
+
+let test_fig4_structure () =
+  let r = Lazy.force fig4 in
+  Alcotest.(check string) "id" "fig4"
+    r.Beatbgp.Fig4_dns_redirection.figure.Figure.id;
+  Alcotest.(check int) "two series (median + p75)" 2
+    (List.length r.Beatbgp.Fig4_dns_redirection.figure.Figure.series);
+  let f = r.Beatbgp.Fig4_dns_redirection.redirected_fraction in
+  Alcotest.(check bool) "redirected fraction bounded" true (f >= 0. && f <= 1.)
+
+let test_fig4_anycast_choices_are_zero_improvement () =
+  (* Clients whose choice is anycast compare anycast against itself:
+     improvement must be ~0 (same flow, same congestion; only sampling
+     jitter differs). *)
+  List.iter
+    (fun (c : Beatbgp.Fig4_dns_redirection.per_client) ->
+      match c.Beatbgp.Fig4_dns_redirection.choice with
+      | Netsim_cdn.Redirector.Use_anycast ->
+          Alcotest.(check bool) "near-zero improvement" true
+            (Float.abs c.Beatbgp.Fig4_dns_redirection.improvement_median_ms
+            < 15.)
+      | Netsim_cdn.Redirector.Use_site _ -> ())
+    (Lazy.force fig4).Beatbgp.Fig4_dns_redirection.clients
+
+(* ---- Fig5 ---- *)
+
+let fig5 = lazy (Beatbgp.Fig5_cloud_tiers.run (Lazy.force gc))
+
+let test_fig5_structure () =
+  let r = Lazy.force fig5 in
+  Alcotest.(check string) "id" "fig5" r.Beatbgp.Fig5_cloud_tiers.figure.Figure.id;
+  Alcotest.(check bool) "qualifying VPs" true
+    (r.Beatbgp.Fig5_cloud_tiers.qualifying_vps > 0);
+  Alcotest.(check bool) "countries measured" true
+    (List.length r.Beatbgp.Fig5_cloud_tiers.countries > 3)
+
+let test_fig5_ingress_contrast () =
+  let r = Lazy.force fig5 in
+  Alcotest.(check bool) "premium enters nearer than standard" true
+    (r.Beatbgp.Fig5_cloud_tiers.premium_ingress_within_400km
+    > r.Beatbgp.Fig5_cloud_tiers.standard_ingress_within_400km)
+
+let test_fig5_render_map () =
+  let out = Beatbgp.Fig5_cloud_tiers.render_map (Lazy.force fig5) in
+  Alcotest.(check bool) "table header" true
+    (Astring_contains.contains out "std-prem")
+
+(* ---- Claims ---- *)
+
+let test_claims_pass_fail_logic () =
+  let c =
+    {
+      Claims.id = "x"; description = "d"; paper_value = "p"; measured = 0.5;
+      band = (0., 1.);
+    }
+  in
+  Alcotest.(check bool) "inside band" true (Claims.passes c);
+  Alcotest.(check bool) "outside band" false
+    (Claims.passes { c with Claims.measured = 2. });
+  Alcotest.(check bool) "nan fails" false
+    (Claims.passes { c with Claims.measured = nan })
+
+let test_claims_of_figures_nonempty () =
+  List.iter
+    (fun (fig : Figure.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "claims for %s" fig.Figure.id)
+        true
+        (Claims.of_figure fig <> []))
+    [
+      (Lazy.force fig1).Beatbgp.Fig1_pop_egress.figure;
+      (Lazy.force fig3).Beatbgp.Fig3_anycast_gap.figure;
+      (Lazy.force fig4).Beatbgp.Fig4_dns_redirection.figure;
+      (Lazy.force fig5).Beatbgp.Fig5_cloud_tiers.figure;
+    ]
+
+let test_claims_render () =
+  let claims =
+    Claims.of_figure (Lazy.force fig1).Beatbgp.Fig1_pop_egress.figure
+  in
+  let out = Claims.render claims in
+  Alcotest.(check bool) "mentions PASS or FAIL" true
+    (Astring_contains.contains out "PASS" || Astring_contains.contains out "FAIL")
+
+let test_claims_unknown_figure_empty () =
+  let f = Figure.make ~id:"nope" ~title:"" ~x_label:"" ~y_label:"" [] in
+  Alcotest.(check int) "no claims" 0 (List.length (Claims.of_figure f))
+
+(* ---- Degrade-together analysis ---- *)
+
+let degrade = lazy (Beatbgp.Degrade_together.analyze (Lazy.force fig1))
+
+let test_degrade_fractions_bounded () =
+  let d = Lazy.force degrade in
+  let in01 v = v >= 0. && v <= 1. in
+  Alcotest.(check bool) "shared" true
+    (in01 d.Beatbgp.Degrade_together.shared_degradation);
+  Alcotest.(check bool) "degraded" true
+    (in01 d.Beatbgp.Degrade_together.degraded_window_fraction);
+  Alcotest.(check bool) "improvable" true
+    (in01 d.Beatbgp.Degrade_together.improvable_window_fraction);
+  Alcotest.(check bool) "persistent share" true
+    (in01 d.Beatbgp.Degrade_together.persistent_share_of_wins)
+
+let test_degrade_covers_all_pairs () =
+  let d = Lazy.force degrade in
+  let measured_pairs =
+    List.length d.Beatbgp.Degrade_together.pairs
+  in
+  Alcotest.(check bool) "pairs classified" true (measured_pairs > 0)
+
+let test_degrade_paper_direction () =
+  (* The paper: degradation is more prevalent than improvement
+     opportunity.  At the tiny test scale the ratio is noisy, so the
+     check here only guards against gross inversion; the strict
+     direction check runs at full scale in test_claims.ml. *)
+  let d = Lazy.force degrade in
+  Alcotest.(check bool) "degradation occurs at all" true
+    (d.Beatbgp.Degrade_together.degraded_window_fraction > 0.)
+
+(* ---- Wan-fraction analysis ---- *)
+
+let test_wanfrac_runs () =
+  let r = Beatbgp.Wan_fraction.run (Lazy.force gc) in
+  Alcotest.(check bool) "points" true (r.Beatbgp.Wan_fraction.points <> []);
+  Alcotest.(check bool) "correlation in [-1,1]" true
+    (r.Beatbgp.Wan_fraction.correlation >= -1.
+    && r.Beatbgp.Wan_fraction.correlation <= 1.);
+  List.iter
+    (fun (p : Beatbgp.Wan_fraction.vp_point) ->
+      Alcotest.(check bool) "fraction in (0,1]" true
+        (p.Beatbgp.Wan_fraction.single_wan_fraction > 0.
+        && p.Beatbgp.Wan_fraction.single_wan_fraction <= 1.))
+    r.Beatbgp.Wan_fraction.points
+
+let suite =
+  [
+    Alcotest.test_case "facebook scenario" `Slow test_facebook_scenario_shape;
+    Alcotest.test_case "facebook deterministic" `Slow test_facebook_deterministic;
+    Alcotest.test_case "microsoft scenario" `Slow test_microsoft_scenario_shape;
+    Alcotest.test_case "google scenario" `Slow test_google_scenario_shape;
+    Alcotest.test_case "top metros" `Quick test_top_metros;
+    Alcotest.test_case "top metros filter" `Quick test_top_metros_continent_filter;
+    Alcotest.test_case "spread metros" `Quick test_spread_metros_covers_continents;
+    Alcotest.test_case "figure stats" `Quick test_figure_stats_access;
+    Alcotest.test_case "figure render/csv" `Quick test_figure_render_and_csv;
+    Alcotest.test_case "fig1 structure" `Slow test_fig1_structure;
+    Alcotest.test_case "fig1 weights" `Slow test_fig1_weights_are_traffic;
+    Alcotest.test_case "fig1 stats sane" `Slow test_fig1_stats_sane;
+    Alcotest.test_case "fig1 CI band" `Slow test_fig1_ci_band_brackets_line;
+    Alcotest.test_case "fig2 structure" `Slow test_fig2_structure;
+    Alcotest.test_case "fig3 structure" `Slow test_fig3_structure;
+    Alcotest.test_case "fig3 rtts positive" `Slow test_fig3_best_unicast_definition;
+    Alcotest.test_case "fig3 sites deployed" `Slow test_fig3_sites_are_deployed;
+    Alcotest.test_case "fig4 structure" `Slow test_fig4_structure;
+    Alcotest.test_case "fig4 anycast self-compare" `Slow test_fig4_anycast_choices_are_zero_improvement;
+    Alcotest.test_case "fig5 structure" `Slow test_fig5_structure;
+    Alcotest.test_case "fig5 ingress contrast" `Slow test_fig5_ingress_contrast;
+    Alcotest.test_case "fig5 render map" `Slow test_fig5_render_map;
+    Alcotest.test_case "claims pass/fail" `Quick test_claims_pass_fail_logic;
+    Alcotest.test_case "claims per figure" `Slow test_claims_of_figures_nonempty;
+    Alcotest.test_case "claims render" `Slow test_claims_render;
+    Alcotest.test_case "claims unknown figure" `Quick test_claims_unknown_figure_empty;
+    Alcotest.test_case "degrade bounded" `Slow test_degrade_fractions_bounded;
+    Alcotest.test_case "degrade pairs" `Slow test_degrade_covers_all_pairs;
+    Alcotest.test_case "degrade direction" `Slow test_degrade_paper_direction;
+    Alcotest.test_case "wanfrac runs" `Slow test_wanfrac_runs;
+  ]

@@ -1,0 +1,192 @@
+(* Edge cases across modules that the main suites don't exercise:
+   degenerate inputs, single elements, boundary values. *)
+
+module Sm = Netsim_prng.Splitmix
+module Quantile = Netsim_stats.Quantile
+module Cdf = Netsim_stats.Cdf
+module Series = Netsim_stats.Series
+module Ascii_plot = Netsim_stats.Ascii_plot
+module Histogram = Netsim_stats.Histogram
+module Window = Netsim_traffic.Window
+module Coord = Netsim_geo.Coord
+module World = Netsim_geo.World
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+open Fixture
+
+(* ---- stats edges ---- *)
+
+let test_cdf_single_value () =
+  let c = Cdf.of_samples [| 5. |] in
+  Alcotest.(check (float 1e-9)) "median" 5. (Cdf.median c);
+  Alcotest.(check (float 1e-9)) "below" 1. (Cdf.fraction_below c 5.);
+  Alcotest.(check (float 1e-9)) "above" 1. (Cdf.fraction_above c 4.9)
+
+let test_cdf_all_equal () =
+  let c = Cdf.of_samples (Array.make 100 7.) in
+  Alcotest.(check (float 1e-9)) "q05 = q95" (Cdf.quantile c 0.05)
+    (Cdf.quantile c 0.95)
+
+let test_cdf_zero_weight_entries () =
+  (* Zero-weight samples are legal as long as the total is positive. *)
+  let c = Cdf.of_weighted [| (1., 0.); (2., 1.) |] in
+  Alcotest.(check (float 1e-9)) "median ignores weightless" 2. (Cdf.median c)
+
+let test_weighted_quantile_single () =
+  Alcotest.(check (float 1e-9)) "singleton" 3.
+    (Quantile.weighted_quantile [| (3., 0.5) |] 0.99)
+
+let test_histogram_boundary_values () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Histogram.add h 0.;
+  (* hi itself lands in overflow (half-open interval). *)
+  Histogram.add h 10.;
+  Alcotest.(check (float 1e-9)) "lo in first bin" 1. (Histogram.bin_weight h 0);
+  Alcotest.(check (float 1e-9)) "hi overflows" 1. (Histogram.overflow h)
+
+let test_series_interpolate_exact_point () =
+  let s = Series.make "s" [ (1., 10.); (2., 20.) ] in
+  Alcotest.(check (option (float 1e-9))) "at first point" (Some 10.)
+    (Series.interpolate s 1.)
+
+let test_series_crossing_descending () =
+  let s = Series.make "s" [ (0., 1.); (10., 0.) ] in
+  Alcotest.(check (option (float 1e-9))) "descending crossing" (Some 5.)
+    (Series.crossing s 0.5)
+
+let test_plot_single_point () =
+  let out =
+    Ascii_plot.plot ~title:"one" [ Series.make "p" [ (3., 4.) ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_plot_flat_series () =
+  (* A constant series must not divide by a zero range. *)
+  let out =
+    Ascii_plot.plot ~title:"flat"
+      [ Series.make "c" [ (0., 5.); (1., 5.); (2., 5.) ] ]
+  in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+(* ---- geo edges ---- *)
+
+let test_nearest_is_identity_for_metros () =
+  Array.iter
+    (fun (c : Netsim_geo.City.t) ->
+      Alcotest.(check int) "nearest to itself" c.Netsim_geo.City.id
+        (World.nearest c.Netsim_geo.City.coord).Netsim_geo.City.id)
+    (Array.sub World.cities 0 25)
+
+let test_coord_boundaries_accepted () =
+  ignore (Coord.make ~lat:90. ~lon:180.);
+  ignore (Coord.make ~lat:(-90.) ~lon:(-180.))
+
+let test_dateline_distance () =
+  (* Points either side of the antimeridian are close, not far. *)
+  let a = Coord.make ~lat:0. ~lon:179.5 in
+  let b = Coord.make ~lat:0. ~lon:(-179.5) in
+  Alcotest.(check bool) "~111 km across the dateline" true
+    (Coord.haversine_km a b < 150.)
+
+(* ---- window edges ---- *)
+
+let test_window_zero_days () =
+  Alcotest.(check int) "no windows" 0 (List.length (Window.windows ~days:0. ~length_min:15.))
+
+(* ---- bgp edges ---- *)
+
+let test_propagate_from_tier1_origin () =
+  (* Announcing from a Tier-1: everyone below hears it as a provider
+     route; its peer hears a peer route. *)
+  let t = topo () in
+  let s = Propagate.run t (Announce.default ~origin:t1a) in
+  for x = 0 to Topology.as_count t - 1 do
+    Alcotest.(check bool) "reachable" true (Propagate.reachable s x)
+  done;
+  match Propagate.best s t1b with
+  | Some r ->
+      Alcotest.(check bool) "peer class at the other tier1" true
+        (r.Netsim_bgp.Route.klass = Netsim_bgp.Route.Peer)
+  | None -> Alcotest.fail "t1b unreachable"
+
+let test_propagate_from_stub_origin () =
+  (* A stub origin: its provider hears a customer route and the whole
+     Internet gets it through the hierarchy. *)
+  let t = topo () in
+  let s = Propagate.run t (Announce.default ~origin:st) in
+  (match Propagate.best s eb with
+  | Some r ->
+      Alcotest.(check bool) "provider hears customer route" true
+        (r.Netsim_bgp.Route.klass = Netsim_bgp.Route.Customer)
+  | None -> Alcotest.fail "eb unreachable");
+  for x = 0 to Topology.as_count t - 1 do
+    Alcotest.(check bool) "reachable" true (Propagate.reachable s x)
+  done
+
+let test_prepend_zero_is_noop () =
+  let t = topo () in
+  let base = Propagate.run t (Announce.default ~origin:cp) in
+  let zero =
+    Propagate.run t
+      (Announce.prepend_at_metros (Announce.default ~origin:cp)
+         [ ny; chicago; london ] 0)
+  in
+  for x = 0 to Topology.as_count t - 1 do
+    Alcotest.(check bool) "same selection" true
+      (Propagate.best base x = Propagate.best zero x)
+  done
+
+let test_withhold_empty_list_is_noop () =
+  let t = topo () in
+  let base = Propagate.run t (Announce.default ~origin:cp) in
+  let same =
+    Propagate.run t (Announce.withhold_links (Announce.default ~origin:cp) [])
+  in
+  for x = 0 to Topology.as_count t - 1 do
+    Alcotest.(check bool) "same selection" true
+      (Propagate.best base x = Propagate.best same x)
+  done
+
+let test_remove_all_links () =
+  let t = topo () in
+  let all = Array.to_list (Topology.links t) in
+  let ids = List.map (fun (l : Relation.link) -> l.Relation.id) all in
+  let empty = Topology.remove_links t ids in
+  Alcotest.(check int) "no links left" 0 (Topology.link_count empty);
+  Alcotest.(check int) "ases untouched" (Topology.as_count t)
+    (Topology.as_count empty)
+
+(* ---- figure edges ---- *)
+
+let test_figure_no_stats_renders () =
+  let f =
+    Beatbgp.Figure.make ~id:"x" ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ Netsim_stats.Series.make "s" [ (0., 0.) ] ]
+  in
+  Alcotest.(check bool) "renders without stats" true
+    (String.length (Beatbgp.Figure.render f) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "cdf single value" `Quick test_cdf_single_value;
+    Alcotest.test_case "cdf all equal" `Quick test_cdf_all_equal;
+    Alcotest.test_case "cdf zero weights" `Quick test_cdf_zero_weight_entries;
+    Alcotest.test_case "weighted quantile single" `Quick test_weighted_quantile_single;
+    Alcotest.test_case "histogram boundaries" `Quick test_histogram_boundary_values;
+    Alcotest.test_case "series exact point" `Quick test_series_interpolate_exact_point;
+    Alcotest.test_case "series descending crossing" `Quick test_series_crossing_descending;
+    Alcotest.test_case "plot single point" `Quick test_plot_single_point;
+    Alcotest.test_case "plot flat series" `Quick test_plot_flat_series;
+    Alcotest.test_case "nearest identity" `Quick test_nearest_is_identity_for_metros;
+    Alcotest.test_case "coord boundaries" `Quick test_coord_boundaries_accepted;
+    Alcotest.test_case "dateline distance" `Quick test_dateline_distance;
+    Alcotest.test_case "window zero days" `Quick test_window_zero_days;
+    Alcotest.test_case "tier1 origin" `Quick test_propagate_from_tier1_origin;
+    Alcotest.test_case "stub origin" `Quick test_propagate_from_stub_origin;
+    Alcotest.test_case "prepend zero noop" `Quick test_prepend_zero_is_noop;
+    Alcotest.test_case "withhold empty noop" `Quick test_withhold_empty_list_is_noop;
+    Alcotest.test_case "remove all links" `Quick test_remove_all_links;
+    Alcotest.test_case "figure no stats" `Quick test_figure_no_stats_renders;
+  ]

@@ -1,0 +1,189 @@
+(* Tests for coordinates, regions and the world metro database. *)
+
+module Coord = Netsim_geo.Coord
+module Region = Netsim_geo.Region
+module City = Netsim_geo.City
+module World = Netsim_geo.World
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* ---- Coord ---- *)
+
+let test_haversine_zero () =
+  let p = Coord.make ~lat:48.86 ~lon:2.35 in
+  checkf 1e-9 "self distance" 0. (Coord.haversine_km p p)
+
+let test_haversine_known_pairs () =
+  (* New York <-> London is ~5,570 km. *)
+  let ny = Coord.make ~lat:40.71 ~lon:(-74.01) in
+  let london = Coord.make ~lat:51.51 ~lon:(-0.13) in
+  let d = Coord.haversine_km ny london in
+  Alcotest.(check bool) "NY-London ~5570km" true (d > 5400. && d < 5750.)
+
+let test_haversine_symmetry () =
+  let a = Coord.make ~lat:35.68 ~lon:139.69 in
+  let b = Coord.make ~lat:(-33.87) ~lon:151.21 in
+  checkf 1e-6 "symmetric" (Coord.haversine_km a b) (Coord.haversine_km b a)
+
+let test_haversine_antipodal_bound () =
+  (* No two points can be farther than half the circumference. *)
+  let a = Coord.make ~lat:0. ~lon:0. in
+  let b = Coord.make ~lat:0. ~lon:180. in
+  let d = Coord.haversine_km a b in
+  Alcotest.(check bool) "about 20,015 km" true (d > 19_900. && d < 20_100.)
+
+let test_rtt_conversion () =
+  checkf 1e-9 "100km = 1ms RTT" 1. (Coord.rtt_ms_of_km 100.);
+  checkf 1e-9 "zero" 0. (Coord.rtt_ms_of_km 0.)
+
+let test_geodesic_rtt () =
+  let ny = Coord.make ~lat:40.71 ~lon:(-74.01) in
+  let london = Coord.make ~lat:51.51 ~lon:(-0.13) in
+  let rtt = Coord.geodesic_rtt_ms ny london in
+  Alcotest.(check bool) "NY-London ~56ms floor" true (rtt > 54. && rtt < 58.)
+
+let test_coord_validation () =
+  Alcotest.check_raises "lat" (Invalid_argument "Coord.make: lat out of range")
+    (fun () -> ignore (Coord.make ~lat:91. ~lon:0.));
+  Alcotest.check_raises "lon" (Invalid_argument "Coord.make: lon out of range")
+    (fun () -> ignore (Coord.make ~lat:0. ~lon:200.))
+
+(* ---- Region ---- *)
+
+let test_continent_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "roundtrip" true
+        (Region.continent_of_string (Region.continent_to_string c) = Some c))
+    Region.all_continents
+
+let test_continent_unknown () =
+  Alcotest.(check bool) "unknown" true (Region.continent_of_string "XX" = None)
+
+let test_scope_world () =
+  Alcotest.(check bool) "world accepts all" true
+    (Region.in_scope Region.World Region.Africa ~country:"KE")
+
+let test_scope_europe () =
+  Alcotest.(check bool) "europe yes" true
+    (Region.in_scope Region.Europe_only Region.Europe ~country:"DE");
+  Alcotest.(check bool) "asia no" false
+    (Region.in_scope Region.Europe_only Region.Asia ~country:"JP")
+
+let test_scope_us () =
+  Alcotest.(check bool) "US yes" true
+    (Region.in_scope Region.United_states Region.North_america ~country:"US");
+  Alcotest.(check bool) "CA no" false
+    (Region.in_scope Region.United_states Region.North_america ~country:"CA")
+
+(* ---- World ---- *)
+
+let test_world_nonempty () =
+  Alcotest.(check bool) "at least 120 metros" true (World.count >= 120)
+
+let test_world_ids_dense () =
+  Array.iteri
+    (fun i (c : City.t) -> Alcotest.(check int) "id = index" i c.City.id)
+    World.cities
+
+let test_world_every_continent_covered () =
+  List.iter
+    (fun continent ->
+      Alcotest.(check bool)
+        (Printf.sprintf "continent %s has metros"
+           (Region.continent_to_string continent))
+        true
+        (World.by_continent continent <> []))
+    Region.all_continents
+
+let test_world_find () =
+  let london = World.find_exn "London" in
+  Alcotest.(check string) "country" "GB" london.City.country;
+  Alcotest.(check bool) "missing" true (World.find "Atlantis" = None)
+
+let test_world_find_exn_missing () =
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (World.find_exn "Atlantis"))
+
+let test_world_by_country () =
+  let us = World.by_country "US" in
+  Alcotest.(check bool) "US has many metros" true (List.length us >= 10);
+  List.iter
+    (fun (c : City.t) -> Alcotest.(check string) "all US" "US" c.City.country)
+    us
+
+let test_world_india_present () =
+  (* Fig. 5's anomaly requires Indian metros. *)
+  Alcotest.(check bool) "several Indian metros" true
+    (List.length (World.by_country "IN") >= 4)
+
+let test_world_countries_sorted_distinct () =
+  let cs = World.countries in
+  Alcotest.(check bool) "sorted" true (cs = List.sort_uniq compare cs)
+
+let test_world_nearest () =
+  let near_paris = Coord.make ~lat:48.8 ~lon:2.4 in
+  Alcotest.(check string) "nearest to Paris coords" "Paris"
+    (World.nearest near_paris).City.name
+
+let test_world_population_positive () =
+  Array.iter
+    (fun (c : City.t) ->
+      Alcotest.(check bool) "positive population" true (c.City.population_m > 0.))
+    World.cities
+
+let test_world_weights_normalized () =
+  let total = Array.fold_left ( +. ) 0. World.population_weights in
+  checkf 1e-9 "weights sum to 1" 1. total
+
+let test_world_coords_valid () =
+  Array.iter
+    (fun (c : City.t) ->
+      let { Coord.lat; lon } = c.City.coord in
+      Alcotest.(check bool) "valid coord" true
+        (lat >= -90. && lat <= 90. && lon >= -180. && lon <= 180.))
+    World.cities
+
+let test_hub_score_boost () =
+  let frankfurt = World.find_exn "Frankfurt" in
+  let moscow = World.find_exn "Moscow" in
+  (* Frankfurt (2.7M) must outrank Moscow (17.1M) as an
+     interconnection hub. *)
+  Alcotest.(check bool) "hub beats megacity" true
+    (World.hub_score frankfurt > World.hub_score moscow)
+
+let test_city_distance_helpers () =
+  let a = World.find_exn "Tokyo" and b = World.find_exn "Osaka" in
+  let d = City.distance_km a b in
+  Alcotest.(check bool) "Tokyo-Osaka ~400km" true (d > 350. && d < 450.);
+  checkf 1e-9 "rtt = km/100" (d /. 100.) (City.rtt_ms a b)
+
+let suite =
+  [
+    Alcotest.test_case "haversine zero" `Quick test_haversine_zero;
+    Alcotest.test_case "haversine NY-London" `Quick test_haversine_known_pairs;
+    Alcotest.test_case "haversine symmetry" `Quick test_haversine_symmetry;
+    Alcotest.test_case "haversine antipodal" `Quick test_haversine_antipodal_bound;
+    Alcotest.test_case "rtt conversion" `Quick test_rtt_conversion;
+    Alcotest.test_case "geodesic rtt" `Quick test_geodesic_rtt;
+    Alcotest.test_case "coord validation" `Quick test_coord_validation;
+    Alcotest.test_case "continent roundtrip" `Quick test_continent_roundtrip;
+    Alcotest.test_case "continent unknown" `Quick test_continent_unknown;
+    Alcotest.test_case "scope world" `Quick test_scope_world;
+    Alcotest.test_case "scope europe" `Quick test_scope_europe;
+    Alcotest.test_case "scope US" `Quick test_scope_us;
+    Alcotest.test_case "world nonempty" `Quick test_world_nonempty;
+    Alcotest.test_case "world ids dense" `Quick test_world_ids_dense;
+    Alcotest.test_case "continents covered" `Quick test_world_every_continent_covered;
+    Alcotest.test_case "world find" `Quick test_world_find;
+    Alcotest.test_case "find_exn missing" `Quick test_world_find_exn_missing;
+    Alcotest.test_case "by country" `Quick test_world_by_country;
+    Alcotest.test_case "india present" `Quick test_world_india_present;
+    Alcotest.test_case "countries sorted" `Quick test_world_countries_sorted_distinct;
+    Alcotest.test_case "nearest" `Quick test_world_nearest;
+    Alcotest.test_case "population positive" `Quick test_world_population_positive;
+    Alcotest.test_case "weights normalized" `Quick test_world_weights_normalized;
+    Alcotest.test_case "coords valid" `Quick test_world_coords_valid;
+    Alcotest.test_case "hub score boost" `Quick test_hub_score_boost;
+    Alcotest.test_case "city distance helpers" `Quick test_city_distance_helpers;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "beatbgp"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("geo", Test_geo.suite);
+      ("topo", Test_topo.suite);
+      ("bgp", Test_bgp.suite);
+      ("latency", Test_latency.suite);
+      ("traffic", Test_traffic.suite);
+      ("measure", Test_measure.suite);
+      ("cdn", Test_cdn.suite);
+      ("wan", Test_wan.suite);
+      ("core", Test_core.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("scheme", Test_scheme.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+      ("paper-claims", Test_claims.suite);
+    ]

@@ -1,0 +1,165 @@
+(* Tests for vantage-point selection, ping campaigns and traceroute
+   introspection. *)
+
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Walk = Netsim_bgp.Walk
+module Params = Netsim_latency.Params
+module Congestion = Netsim_latency.Congestion
+module Rtt = Netsim_latency.Rtt
+module Propagation = Netsim_latency.Propagation
+module Vantage = Netsim_measure.Vantage
+module Campaign = Netsim_measure.Campaign
+open Fixture
+
+let topo_gen = lazy (Generator.generate Generator.small_params)
+
+(* ---- Vantage ---- *)
+
+let test_vantage_count_and_distinct () =
+  let vps = Vantage.select (Lazy.force topo_gen) ~rng:(Sm.create 4) ~n:60 in
+  Alcotest.(check int) "requested count" 60 (Array.length vps);
+  let module S = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let distinct =
+    Array.fold_left
+      (fun acc (v : Vantage.t) -> S.add (v.Vantage.asid, v.Vantage.city) acc)
+      S.empty vps
+  in
+  Alcotest.(check int) "all distinct" 60 (S.cardinal distinct)
+
+let test_vantage_hosts_access_networks () =
+  let t = Lazy.force topo_gen in
+  let vps = Vantage.select t ~rng:(Sm.create 4) ~n:40 in
+  Array.iter
+    (fun (v : Vantage.t) ->
+      let klass = (Topology.asn t v.Vantage.asid).Asn.klass in
+      Alcotest.(check bool) "eyeball or stub" true
+        (klass = Asn.Eyeball || klass = Asn.Stub);
+      Alcotest.(check bool) "city in footprint" true
+        (Asn.present_at (Topology.asn t v.Vantage.asid) v.Vantage.city))
+    vps
+
+let test_vantage_deterministic () =
+  let t = Lazy.force topo_gen in
+  let a = Vantage.select t ~rng:(Sm.create 4) ~n:30 in
+  let b = Vantage.select t ~rng:(Sm.create 4) ~n:30 in
+  Alcotest.(check bool) "same selection" true (a = b)
+
+let test_vantage_country_continent () =
+  let t = Lazy.force topo_gen in
+  let vps = Vantage.select t ~rng:(Sm.create 4) ~n:10 in
+  Array.iter
+    (fun (v : Vantage.t) ->
+      let city = Netsim_geo.World.cities.(v.Vantage.city) in
+      Alcotest.(check string) "country matches city"
+        city.Netsim_geo.City.country (Vantage.country v))
+    vps
+
+(* ---- Campaign ---- *)
+
+let fixture_flow () =
+  let t = topo () in
+  let s = Propagate.run t (Announce.default ~origin:cp) in
+  match Walk.of_source s ~src:st with
+  | Some w ->
+      ( t,
+        Rtt.make_flow ~access:(Congestion.Access 0)
+          ~terminal:Propagation.At_entry w )
+  | None -> Alcotest.fail "no walk"
+
+let test_ping_samples_count () =
+  let t, flow = fixture_flow () in
+  let c = Congestion.create Params.default t ~seed:2 in
+  let samples =
+    Campaign.ping_samples c ~rng:(Sm.create 1) ~days:2. ~per_day:10
+      ~pings_per_round:3 flow
+  in
+  Alcotest.(check int) "rounds = days * per_day" 20 (Array.length samples);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "positive" true (v > 0.))
+    samples
+
+let test_ping_min_of_round () =
+  (* With more pings per round, the round minimum cannot increase in
+     expectation; check medians are ordered for the same rng seed
+     structure. *)
+  let t, flow = fixture_flow () in
+  let c = Congestion.create Params.default t ~seed:2 in
+  let med pings =
+    Campaign.ping_median c ~rng:(Sm.create 7) ~days:3. ~per_day:8
+      ~pings_per_round:pings flow
+  in
+  Alcotest.(check bool) "min-filtering reduces median" true (med 8 <= med 1 +. 1e-9)
+
+let test_ping_median_deterministic () =
+  let t, flow = fixture_flow () in
+  let c = Congestion.create Params.default t ~seed:2 in
+  let m1 =
+    Campaign.ping_median c ~rng:(Sm.create 5) ~days:1. ~per_day:10
+      ~pings_per_round:4 flow
+  in
+  let m2 =
+    Campaign.ping_median c ~rng:(Sm.create 5) ~days:1. ~per_day:10
+      ~pings_per_round:4 flow
+  in
+  Alcotest.(check (float 1e-12)) "deterministic" m1 m2
+
+let test_traceroute () =
+  let _, flow = fixture_flow () in
+  let trace = Campaign.traceroute ~start_city:chicago flow.Rtt.walk in
+  Alcotest.(check (list int)) "as path" [ st; eb ] trace.Campaign.as_path;
+  Alcotest.(check int) "entry metro" chicago trace.Campaign.entry_metro;
+  Alcotest.(check (float 1e-9)) "zero ingress distance" 0.
+    trace.Campaign.ingress_km
+
+let test_traceroute_remote_entry () =
+  (* Announce only at London: a Chicago client's ingress distance is
+     the Chicago-London distance. *)
+  let t = topo () in
+  let s = Propagate.run t (Announce.only_at_metros ~origin:cp [ london ]) in
+  match Walk.of_source s ~src:st with
+  | None -> Alcotest.fail "no walk"
+  | Some w ->
+      let trace = Campaign.traceroute ~start_city:chicago w in
+      Alcotest.(check int) "entry london" london trace.Campaign.entry_metro;
+      Alcotest.(check bool) "transatlantic ingress distance" true
+        (trace.Campaign.ingress_km > 6000.)
+
+let test_single_as_fraction_all_local () =
+  (* A walk with no intra-AS carriage: fraction defaults to 1. *)
+  let _, flow = fixture_flow () in
+  Alcotest.(check (float 1e-9)) "no carry = 1.0" 1.
+    (Campaign.single_as_fraction flow.Rtt.walk)
+
+let test_single_as_fraction_dominant_carrier () =
+  (* T1b from Tokyo: T1b carries Tokyo->NY, the only carriage leg. *)
+  let t = topo () in
+  let s = Propagate.run t (Announce.default ~origin:cp) in
+  match Walk.from_metro s ~src:t1b ~start_metro:tokyo with
+  | None -> Alcotest.fail "no walk"
+  | Some w ->
+      Alcotest.(check (float 1e-9)) "single carrier" 1.
+        (Campaign.single_as_fraction w)
+
+let suite =
+  [
+    Alcotest.test_case "vantage count/distinct" `Quick test_vantage_count_and_distinct;
+    Alcotest.test_case "vantage access networks" `Quick test_vantage_hosts_access_networks;
+    Alcotest.test_case "vantage deterministic" `Quick test_vantage_deterministic;
+    Alcotest.test_case "vantage country" `Quick test_vantage_country_continent;
+    Alcotest.test_case "ping sample count" `Quick test_ping_samples_count;
+    Alcotest.test_case "ping min filtering" `Quick test_ping_min_of_round;
+    Alcotest.test_case "ping deterministic" `Quick test_ping_median_deterministic;
+    Alcotest.test_case "traceroute" `Quick test_traceroute;
+    Alcotest.test_case "traceroute remote entry" `Quick test_traceroute_remote_entry;
+    Alcotest.test_case "single-AS fraction local" `Quick test_single_as_fraction_all_local;
+    Alcotest.test_case "single-AS fraction carrier" `Quick test_single_as_fraction_dominant_carrier;
+  ]

@@ -1,0 +1,262 @@
+(* Property-based tests (qcheck) over randomized topologies: BGP
+   safety/consistency invariants that must hold for every generated
+   Internet and announcement configuration. *)
+
+module Sm = Netsim_prng.Splitmix
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Topology = Netsim_topo.Topology
+module Generator = Netsim_topo.Generator
+module Announce = Netsim_bgp.Announce
+module Route = Netsim_bgp.Route
+module Propagate = Netsim_bgp.Propagate
+module Walk = Netsim_bgp.Walk
+
+(* Randomized small Internets: vary the seed and the class counts. *)
+let random_topo seed =
+  let params =
+    {
+      Generator.small_params with
+      Generator.seed;
+      n_tier1 = 2 + (seed mod 3);
+      n_transit = 4 + (seed mod 5);
+      n_eyeball = 8 + (seed mod 10);
+      n_stub = 6 + (seed mod 8);
+    }
+  in
+  Generator.generate params
+
+let pick_origin topo seed =
+  let eyeballs = Topology.by_klass topo Asn.Eyeball in
+  List.nth eyeballs (seed mod List.length eyeballs)
+
+let rel_between topo a b =
+  match Topology.links_between topo a b with
+  | [] -> None
+  | l :: _ -> Some (Relation.rel_of l a)
+
+let valley_free topo path =
+  let rec go phase = function
+    | a :: (b :: _ as rest) -> (
+        match rel_between topo a b with
+        | None -> false
+        | Some r -> (
+            match (phase, r) with
+            | `Up, Relation.To_provider -> go `Up rest
+            | `Up, (Relation.Priv_peer | Relation.Pub_peer) -> go `Down rest
+            | `Up, Relation.To_customer -> go `Down rest
+            | `Down, Relation.To_customer -> go `Down rest
+            | `Down, (Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer)
+              ->
+                false))
+    | [ _ ] | [] -> true
+  in
+  go `Up path
+
+let seed_gen = QCheck.int_range 0 500
+
+let prop_full_reachability =
+  QCheck.Test.make ~name:"default announcement reaches every AS" ~count:40
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        if not (Propagate.reachable s x) then ok := false
+      done;
+      !ok)
+
+let prop_valley_free =
+  QCheck.Test.make ~name:"all selected paths are valley-free" ~count:25
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        if x <> origin then begin
+          match Propagate.as_path s x with
+          | [] -> ok := false
+          | path -> if not (valley_free topo (x :: path)) then ok := false
+        end
+      done;
+      !ok)
+
+let prop_loop_free =
+  QCheck.Test.make ~name:"no AS repeats on any selected path" ~count:40
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        if x <> origin then begin
+          let path = x :: Propagate.as_path s x in
+          if List.length path <> List.length (List.sort_uniq compare path) then
+            ok := false
+        end
+      done;
+      !ok)
+
+let prop_path_len_vs_as_path =
+  QCheck.Test.make
+    ~name:"without prepending, path_len equals AS-path length" ~count:40
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        match Propagate.best s x with
+        | Some r ->
+            if r.Route.path_len <> List.length r.Route.as_path then ok := false
+        | None -> ()
+      done;
+      !ok)
+
+let prop_received_never_loops =
+  QCheck.Test.make ~name:"Adj-RIB-In never offers a looping route" ~count:25
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        List.iter
+          (fun (r : Route.t) -> if List.mem x r.Route.as_path then ok := false)
+          (Propagate.received s x)
+      done;
+      !ok)
+
+let prop_withholding_monotone =
+  QCheck.Test.make
+    ~name:"withholding announcements never increases reachability" ~count:25
+    (QCheck.pair seed_gen (QCheck.int_range 0 1000))
+    (fun (seed, wseed) ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let full = Propagate.run topo (Announce.default ~origin) in
+      (* Withhold a random subset of the origin's sessions. *)
+      let wrng = Sm.create wseed in
+      let withheld =
+        Topology.neighbors topo origin
+        |> List.filter_map (fun (nb : Topology.neighbor) ->
+               if Netsim_prng.Dist.bernoulli wrng ~p:0.5 then
+                 Some nb.Topology.link.Relation.id
+               else None)
+      in
+      let partial =
+        Propagate.run topo
+          (Announce.withhold_links (Announce.default ~origin) withheld)
+      in
+      let count s =
+        let c = ref 0 in
+        for x = 0 to Topology.as_count topo - 1 do
+          if Propagate.reachable s x then incr c
+        done;
+        !c
+      in
+      count partial <= count full)
+
+let prop_prepending_preserves_reachability =
+  QCheck.Test.make ~name:"prepending never breaks reachability" ~count:25
+    (QCheck.pair seed_gen (QCheck.int_range 1 6))
+    (fun (seed, n) ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let metros =
+        (Topology.asn topo origin).Asn.footprint |> Array.to_list
+      in
+      let config =
+        Announce.prepend_at_metros (Announce.default ~origin) metros n
+      in
+      let s = Propagate.run topo config in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        if not (Propagate.reachable s x) then ok := false
+      done;
+      !ok)
+
+let prop_walk_matches_selected_path =
+  QCheck.Test.make ~name:"walks follow the selected AS path" ~count:25
+    seed_gen (fun seed ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let s = Propagate.run topo (Announce.default ~origin) in
+      let ok = ref true in
+      for x = 0 to Topology.as_count topo - 1 do
+        if x <> origin then begin
+          match Walk.of_source s ~src:x with
+          | None -> ok := false
+          | Some w ->
+              (* The walk's AS sequence is x followed by the selected
+                 path minus the origin. *)
+              let expected =
+                x :: List.filter (fun a -> a <> origin) (Propagate.as_path s x)
+              in
+              if Walk.as_path w <> expected then ok := false
+        end
+      done;
+      !ok)
+
+let prop_link_failure_monotone =
+  QCheck.Test.make ~name:"failing links never increases reachability"
+    ~count:20
+    (QCheck.pair seed_gen (QCheck.int_range 0 1000))
+    (fun (seed, fseed) ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let frng = Sm.create fseed in
+      let to_fail =
+        Array.to_list (Topology.links topo)
+        |> List.filter_map (fun (l : Relation.link) ->
+               if Netsim_prng.Dist.bernoulli frng ~p:0.1 then
+                 Some l.Relation.id
+               else None)
+      in
+      let failed = Topology.remove_links topo to_fail in
+      let count t =
+        let s = Propagate.run t (Announce.default ~origin) in
+        let c = ref 0 in
+        for x = 0 to Topology.as_count t - 1 do
+          if Propagate.reachable s x then incr c
+        done;
+        !c
+      in
+      count failed <= count topo)
+
+let prop_congestion_delay_nonnegative =
+  QCheck.Test.make ~name:"congestion delays are non-negative" ~count:30
+    (QCheck.pair seed_gen (QCheck.int_range 0 2000))
+    (fun (seed, t) ->
+      let topo = random_topo seed in
+      let cong =
+        Netsim_latency.Congestion.create Netsim_latency.Params.default topo
+          ~seed
+      in
+      let time_min = float_of_int t in
+      let ok = ref true in
+      for link_id = 0 to min 30 (Topology.link_count topo - 1) do
+        if
+          Netsim_latency.Congestion.entity_delay_ms cong
+            (Netsim_latency.Congestion.Link link_id) ~time_min
+          < 0.
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_full_reachability;
+      prop_valley_free;
+      prop_loop_free;
+      prop_path_len_vs_as_path;
+      prop_received_never_loops;
+      prop_withholding_monotone;
+      prop_prepending_preserves_reachability;
+      prop_walk_matches_selected_path;
+      prop_link_failure_monotone;
+      prop_congestion_delay_nonnegative;
+    ]

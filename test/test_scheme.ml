@@ -1,0 +1,136 @@
+(* Tests for the unified scheme-comparison harness. *)
+
+module Sm = Netsim_prng.Splitmix
+module Window = Netsim_traffic.Window
+module Prefix = Netsim_traffic.Prefix
+module Sch = Beatbgp.Scheme
+module S = Beatbgp.Scenario
+
+let sizes = S.test_sizes
+let fb = lazy (S.facebook ~sizes ())
+let ms = lazy (S.microsoft ~sizes ())
+let windows = Window.windows ~days:0.5 ~length_min:90.
+
+let egress_report =
+  lazy
+    (let fb = Lazy.force fb in
+     Sch.compare_schemes
+       [ Sch.egress_bgp fb; Sch.egress_static_oracle fb; Sch.egress_oracle fb ]
+       ~prefixes:fb.S.fb_prefixes ~rng:(Sm.create 3) ~windows)
+
+let cdn_report =
+  lazy
+    (let ms = Lazy.force ms in
+     Sch.compare_schemes
+       [ Sch.anycast ms; Sch.unicast_oracle ms; Sch.dns_redirection ms ]
+       ~prefixes:ms.S.ms_prefixes ~rng:(Sm.create 3) ~windows)
+
+let test_report_shape () =
+  let r = Lazy.force egress_report in
+  Alcotest.(check (list string)) "names in order"
+    [ "bgp"; "oracle-static"; "oracle-dynamic" ]
+    r.Sch.scheme_names;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "median present & positive" true
+        (List.assoc n r.Sch.medians > 0.);
+      Alcotest.(check bool) "p95 >= median" true
+        (List.assoc n r.Sch.p95s >= List.assoc n r.Sch.medians))
+    r.Sch.scheme_names
+
+let test_oracle_never_worse () =
+  (* The dynamic oracle picks the per-window best of a superset that
+     includes BGP's choice: its median cannot exceed BGP's, and it can
+     never lose to BGP on any point — win_rate(bgp, oracle) = 0. *)
+  let r = Lazy.force egress_report in
+  Alcotest.(check bool) "oracle median <= bgp median" true
+    (List.assoc "oracle-dynamic" r.Sch.medians
+    <= List.assoc "bgp" r.Sch.medians +. 1e-9);
+  Alcotest.(check (float 1e-9)) "bgp never beats the oracle by 2ms" 0.
+    (Sch.win_rate r "bgp" "oracle-dynamic")
+
+let test_oracle_win_rate_small () =
+  (* The paper's core finding restated: the omniscient controller
+     meaningfully beats BGP on only a small share of points. *)
+  let r = Lazy.force egress_report in
+  Alcotest.(check bool) "oracle wins rarely" true
+    (Sch.win_rate r "oracle-dynamic" "bgp" < 0.35)
+
+let test_diagonal_zero () =
+  let r = Lazy.force egress_report in
+  List.iter
+    (fun n ->
+      Alcotest.(check (float 1e-9)) "self win rate zero" 0.
+        (Sch.win_rate r n n))
+    r.Sch.scheme_names
+
+let test_win_rates_bounded () =
+  let r = Lazy.force cdn_report in
+  List.iter
+    (fun ((_, _), v) ->
+      if not (Float.is_nan v) then
+        Alcotest.(check bool) "in [0,1]" true (v >= 0. && v <= 1.))
+    r.Sch.win_matrix
+
+let test_unicast_oracle_dominates_anycast () =
+  (* The oracle includes the anycast landing spot's site among its
+     candidates in almost every case; anycast should essentially never
+     beat it by 2 ms. *)
+  let r = Lazy.force cdn_report in
+  Alcotest.(check bool) "anycast rarely beats the site oracle" true
+    (Sch.win_rate r "anycast" "unicast-oracle" < 0.1)
+
+let test_unservable_bounded () =
+  let r = Lazy.force cdn_report in
+  List.iter
+    (fun (_, u) ->
+      Alcotest.(check bool) "unservable share in [0,1]" true (u >= 0. && u <= 1.))
+    r.Sch.unservable
+
+let test_serve_interface () =
+  let fb = Lazy.force fb in
+  let scheme = Sch.egress_bgp fb in
+  Alcotest.(check string) "name" "bgp" (Sch.name scheme);
+  let p = fb.S.fb_prefixes.(0) in
+  match Sch.serve scheme p ~time_min:300. ~rng:(Sm.create 1) with
+  | Some v -> Alcotest.(check bool) "positive latency" true (v > 0.)
+  | None -> () (* acceptable: prefix without an egress entry *)
+
+let test_render_contains_names_and_matrix () =
+  let out = Sch.render (Lazy.force egress_report) in
+  Alcotest.(check bool) "mentions schemes" true
+    (Astring_contains.contains out "oracle-dynamic");
+  Alcotest.(check bool) "has win matrix" true
+    (Astring_contains.contains out "win matrix")
+
+let test_empty_schemes_rejected () =
+  let fb = Lazy.force fb in
+  Alcotest.check_raises "no schemes"
+    (Invalid_argument "Scheme.compare_schemes: no schemes") (fun () ->
+      ignore
+        (Sch.compare_schemes [] ~prefixes:fb.S.fb_prefixes ~rng:(Sm.create 1)
+           ~windows))
+
+let test_deterministic_given_rng () =
+  let fb = Lazy.force fb in
+  let run () =
+    Sch.compare_schemes [ Sch.egress_bgp fb ]
+      ~prefixes:fb.S.fb_prefixes ~rng:(Sm.create 11) ~windows
+  in
+  Alcotest.(check bool) "same medians" true
+    ((run ()).Sch.medians = (run ()).Sch.medians)
+
+let suite =
+  [
+    Alcotest.test_case "report shape" `Slow test_report_shape;
+    Alcotest.test_case "oracle never worse" `Slow test_oracle_never_worse;
+    Alcotest.test_case "oracle wins rarely" `Slow test_oracle_win_rate_small;
+    Alcotest.test_case "diagonal zero" `Slow test_diagonal_zero;
+    Alcotest.test_case "win rates bounded" `Slow test_win_rates_bounded;
+    Alcotest.test_case "unicast oracle dominates" `Slow test_unicast_oracle_dominates_anycast;
+    Alcotest.test_case "unservable bounded" `Slow test_unservable_bounded;
+    Alcotest.test_case "serve interface" `Slow test_serve_interface;
+    Alcotest.test_case "render" `Slow test_render_contains_names_and_matrix;
+    Alcotest.test_case "empty rejected" `Slow test_empty_schemes_rejected;
+    Alcotest.test_case "deterministic" `Slow test_deterministic_given_rng;
+  ]

@@ -1,0 +1,354 @@
+(* Tests for the statistics substrate: quantiles, summaries, CDFs,
+   confidence intervals, histograms, series. *)
+
+module Quantile = Netsim_stats.Quantile
+module Summary = Netsim_stats.Summary
+module Cdf = Netsim_stats.Cdf
+module Ci = Netsim_stats.Ci
+module Histogram = Netsim_stats.Histogram
+module Series = Netsim_stats.Series
+module Ascii_plot = Netsim_stats.Ascii_plot
+module Sm = Netsim_prng.Splitmix
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf_loose = Alcotest.(check (float 1e-6))
+
+(* ---- Quantile ---- *)
+
+let test_median_odd () = checkf "median odd" 3. (Quantile.median [| 5.; 1.; 3. |])
+
+let test_median_even () =
+  checkf "median even (interpolated)" 2.5 (Quantile.median [| 1.; 2.; 3.; 4. |])
+
+let test_quantile_extremes () =
+  let s = [| 10.; 20.; 30. |] in
+  checkf "q0 = min" 10. (Quantile.quantile s 0.);
+  checkf "q1 = max" 30. (Quantile.quantile s 1.)
+
+let test_quantile_interpolation () =
+  checkf "q0.25 of 0..4" 1. (Quantile.quantile [| 0.; 1.; 2.; 3.; 4. |] 0.25)
+
+let test_quantile_single () =
+  checkf "singleton" 42. (Quantile.quantile [| 42. |] 0.7)
+
+let test_quantile_unsorted_input_untouched () =
+  let s = [| 3.; 1.; 2. |] in
+  ignore (Quantile.quantile s 0.5);
+  Alcotest.(check (array (float 0.))) "input preserved" [| 3.; 1.; 2. |] s
+
+let test_quantile_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile.quantile: empty sample")
+    (fun () -> ignore (Quantile.quantile [||] 0.5))
+
+let test_quantile_out_of_range () =
+  Alcotest.check_raises "q>1" (Invalid_argument "Quantile.quantile: q out of range")
+    (fun () -> ignore (Quantile.quantile [| 1. |] 1.5))
+
+let test_weighted_quantile_uniform_weights () =
+  let pairs = [| (1., 1.); (2., 1.); (3., 1.) |] in
+  checkf "uniform weights = plain median" 2. (Quantile.weighted_quantile pairs 0.5)
+
+let test_weighted_quantile_skewed () =
+  (* 90 % of the weight sits on value 10. *)
+  let pairs = [| (1., 0.1); (10., 0.9) |] in
+  checkf "weight dominates" 10. (Quantile.weighted_quantile pairs 0.5)
+
+let test_iqr () =
+  let s = Array.init 101 float_of_int in
+  checkf "iqr of 0..100" 50. (Quantile.iqr s)
+
+(* ---- Summary ---- *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Summary.count s);
+  checkf "mean" 2.5 (Summary.mean s);
+  checkf_loose "variance" (5. /. 3.) (Summary.variance s);
+  checkf "min" 1. (Summary.min s);
+  checkf "max" 4. (Summary.max s);
+  checkf "total" 10. (Summary.total s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Summary.mean s))
+
+let test_summary_merge () =
+  let a = Summary.create () and b = Summary.create () and c = Summary.create () in
+  let xs = [ 1.; 5.; 2. ] and ys = [ 9.; 3. ] in
+  List.iter (Summary.add a) xs;
+  List.iter (Summary.add b) ys;
+  List.iter (Summary.add c) (xs @ ys);
+  let m = Summary.merge a b in
+  Alcotest.(check int) "merged count" (Summary.count c) (Summary.count m);
+  checkf_loose "merged mean" (Summary.mean c) (Summary.mean m);
+  checkf_loose "merged var" (Summary.variance c) (Summary.variance m)
+
+let test_summary_merge_empty () =
+  let a = Summary.create () and b = Summary.create () in
+  Summary.add b 7.;
+  let m = Summary.merge a b in
+  checkf "merge with empty" 7. (Summary.mean m)
+
+(* ---- Cdf ---- *)
+
+let test_cdf_fraction_below () =
+  let c = Cdf.of_samples [| 1.; 2.; 3.; 4. |] in
+  checkf "below 2.5" 0.5 (Cdf.fraction_below c 2.5);
+  checkf "below 0" 0. (Cdf.fraction_below c 0.);
+  checkf "below 10" 1. (Cdf.fraction_below c 10.);
+  checkf "at 2 (inclusive)" 0.5 (Cdf.fraction_below c 2.)
+
+let test_cdf_fraction_above () =
+  let c = Cdf.of_samples [| 1.; 2.; 3.; 4. |] in
+  checkf "above 2" 0.5 (Cdf.fraction_above c 2.)
+
+let test_cdf_weighted () =
+  let c = Cdf.of_weighted [| (0., 9.); (100., 1.) |] in
+  checkf "weighted below 50" 0.9 (Cdf.fraction_below c 50.);
+  checkf "weighted median" 0. (Cdf.median c)
+
+let test_cdf_quantile () =
+  let c = Cdf.of_samples (Array.init 100 float_of_int) in
+  Alcotest.(check bool) "q0.9 around 89-90" true
+    (Cdf.quantile c 0.9 >= 88. && Cdf.quantile c 0.9 <= 91.)
+
+let test_cdf_mean () =
+  let c = Cdf.of_weighted [| (10., 1.); (20., 3.) |] in
+  checkf "weighted mean" 17.5 (Cdf.mean c)
+
+let test_cdf_min_max () =
+  let c = Cdf.of_samples [| 5.; -2.; 8. |] in
+  checkf "min" (-2.) (Cdf.min_value c);
+  checkf "max" 8. (Cdf.max_value c)
+
+let test_cdf_points_monotone () =
+  let c = Cdf.of_samples (Array.init 1000 (fun i -> float_of_int (i mod 37))) in
+  let pts = Cdf.cdf_points c in
+  Alcotest.(check bool) "bounded by max_points" true (List.length pts <= 200);
+  let rec mono = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        x1 <= x2 && y1 <= y2 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (mono pts)
+
+let test_cdf_ccdf_complement () =
+  let c = Cdf.of_samples [| 1.; 2.; 3. |] in
+  let cdf = Cdf.cdf_points c and ccdf = Cdf.ccdf_points c in
+  List.iter2
+    (fun (x1, f) (x2, g) ->
+      checkf "same x" x1 x2;
+      checkf "complement" 1. (f +. g))
+    cdf ccdf
+
+let test_cdf_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_weighted: empty sample")
+    (fun () -> ignore (Cdf.of_samples [||]))
+
+let test_cdf_rejects_negative_weight () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cdf.of_weighted: negative weight") (fun () ->
+      ignore (Cdf.of_weighted [| (1., -1.) |]))
+
+(* ---- Ci ---- *)
+
+let test_ci_contains_median () =
+  let rng = Sm.create 31 in
+  let samples =
+    Array.init 200 (fun _ -> Netsim_prng.Dist.normal rng ~mean:50. ~std:5.)
+  in
+  let iv = Ci.median_binomial samples in
+  Alcotest.(check bool) "median inside its CI" true
+    (Ci.contains iv (Quantile.median samples))
+
+let test_ci_width_shrinks () =
+  let rng = Sm.create 32 in
+  let mk n = Array.init n (fun _ -> Netsim_prng.Dist.normal rng ~mean:0. ~std:1.) in
+  let small = Ci.median_binomial (mk 20) in
+  let large = Ci.median_binomial (mk 2000) in
+  Alcotest.(check bool) "more samples, tighter CI" true
+    (Ci.width large < Ci.width small)
+
+let test_ci_tiny_sample () =
+  let iv = Ci.median_binomial [| 3.; 1. |] in
+  checkf "lo=min" 1. iv.Ci.lo;
+  checkf "hi=max" 3. iv.Ci.hi
+
+let test_ci_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Ci.median_binomial: empty sample") (fun () ->
+      ignore (Ci.median_binomial [||]))
+
+let test_bootstrap_contains_median () =
+  let rng = Sm.create 33 in
+  let samples = Array.init 300 (fun i -> float_of_int (i mod 17)) in
+  let iv = Ci.bootstrap_median ~rng samples in
+  Alcotest.(check bool) "median inside bootstrap CI" true
+    (Ci.contains iv (Quantile.median samples))
+
+(* ---- Histogram ---- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  Histogram.add h 0.5;
+  Histogram.add h 0.9;
+  Histogram.add h 5.5;
+  checkf "bin 0 weight" 2. (Histogram.bin_weight h 0);
+  checkf "bin 5 weight" 1. (Histogram.bin_weight h 5);
+  checkf "bin center" 0.5 (Histogram.bin_center h 0);
+  Alcotest.(check int) "mode bin" 0 (Histogram.mode_bin h)
+
+let test_histogram_overflow () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  Histogram.add h (-5.);
+  Histogram.add h 5.;
+  checkf "underflow" 1. (Histogram.underflow h);
+  checkf "overflow" 1. (Histogram.overflow h);
+  checkf "total includes both" 2. (Histogram.total h)
+
+let test_histogram_weights () =
+  let h = Histogram.create ~lo:0. ~hi:4. ~bins:4 in
+  Histogram.add ~weight:2.5 h 1.5;
+  checkf "weighted bin" 2.5 (Histogram.bin_weight h 1)
+
+let test_histogram_normalized () =
+  let h = Histogram.create ~lo:0. ~hi:2. ~bins:2 in
+  Histogram.add h 0.5;
+  Histogram.add h 1.5;
+  Histogram.add h 1.6;
+  let norm = Histogram.normalized h in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. norm in
+  checkf_loose "fractions sum to 1 (no overflow)" 1. total
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins 0"
+    (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
+      ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0))
+
+(* ---- Series ---- *)
+
+let test_series_csv () =
+  let s = Series.make "a" [ (1., 2.); (3., 4.) ] in
+  let csv = Series.to_csv [ s ] in
+  Alcotest.(check string) "csv" "series,x,y\na,1,2\na,3,4\n" csv
+
+let test_series_interpolate () =
+  let s = Series.make "a" [ (0., 0.); (10., 100.) ] in
+  Alcotest.(check (option (float 1e-9))) "midpoint" (Some 50.)
+    (Series.interpolate s 5.);
+  Alcotest.(check (option (float 1e-9))) "outside" None
+    (Series.interpolate s 20.)
+
+let test_series_ranges () =
+  let s1 = Series.make "a" [ (0., 5.); (2., 1.) ] in
+  let s2 = Series.make "b" [ (-1., 3.) ] in
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "x range"
+    (Some (-1., 2.))
+    (Series.x_range [ s1; s2 ]);
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "y range"
+    (Some (1., 5.))
+    (Series.y_range [ s1; s2 ])
+
+let test_series_crossing () =
+  let s = Series.make "a" [ (0., 0.); (10., 1.) ] in
+  Alcotest.(check (option (float 1e-9))) "crosses 0.5 at 5" (Some 5.)
+    (Series.crossing s 0.5)
+
+let test_series_empty_ranges () =
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "empty" None
+    (Series.x_range [ Series.make "e" [] ])
+
+(* ---- Ascii plot ---- *)
+
+let test_plot_contains_title_and_legend () =
+  let s = Series.make "demo-series" [ (0., 0.); (1., 1.) ] in
+  let out = Ascii_plot.plot ~title:"my plot" [ s ] in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0
+    && String.sub out 0 7 = "my plot");
+  Alcotest.(check bool) "mentions series" true
+    (Astring_contains.contains out "demo-series")
+
+let test_plot_empty () =
+  let out = Ascii_plot.plot ~title:"t" [] in
+  Alcotest.(check bool) "reports no data" true
+    (Astring_contains.contains out "(no data)")
+
+(* ---- qcheck properties ---- *)
+
+let prop_quantile_within_bounds =
+  QCheck.Test.make ~name:"quantile within [min,max]" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.)) (float_bound_inclusive 1.))
+    (fun (l, q) ->
+      let arr = Array.of_list l in
+      let v = Quantile.quantile arr q in
+      let lo = Array.fold_left min infinity arr in
+      let hi = Array.fold_left max neg_infinity arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"CDF monotone in x" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_inclusive 100.))
+    (fun l ->
+      let c = Cdf.of_samples (Array.of_list l) in
+      let a = Cdf.fraction_below c 20. and b = Cdf.fraction_below c 60. in
+      a <= b)
+
+let prop_summary_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 500.))
+    (fun l ->
+      let s = Summary.create () in
+      List.iter (Summary.add s) l;
+      Summary.mean s >= Summary.min s -. 1e-9
+      && Summary.mean s <= Summary.max s +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "quantile extremes" `Quick test_quantile_extremes;
+    Alcotest.test_case "quantile interpolation" `Quick test_quantile_interpolation;
+    Alcotest.test_case "quantile singleton" `Quick test_quantile_single;
+    Alcotest.test_case "quantile input untouched" `Quick test_quantile_unsorted_input_untouched;
+    Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
+    Alcotest.test_case "quantile out of range" `Quick test_quantile_out_of_range;
+    Alcotest.test_case "weighted quantile uniform" `Quick test_weighted_quantile_uniform_weights;
+    Alcotest.test_case "weighted quantile skewed" `Quick test_weighted_quantile_skewed;
+    Alcotest.test_case "iqr" `Quick test_iqr;
+    Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
+    Alcotest.test_case "summary merge empty" `Quick test_summary_merge_empty;
+    Alcotest.test_case "cdf fraction below" `Quick test_cdf_fraction_below;
+    Alcotest.test_case "cdf fraction above" `Quick test_cdf_fraction_above;
+    Alcotest.test_case "cdf weighted" `Quick test_cdf_weighted;
+    Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile;
+    Alcotest.test_case "cdf mean" `Quick test_cdf_mean;
+    Alcotest.test_case "cdf min max" `Quick test_cdf_min_max;
+    Alcotest.test_case "cdf points monotone" `Quick test_cdf_points_monotone;
+    Alcotest.test_case "ccdf complement" `Quick test_cdf_ccdf_complement;
+    Alcotest.test_case "cdf rejects empty" `Quick test_cdf_rejects_empty;
+    Alcotest.test_case "cdf rejects negative" `Quick test_cdf_rejects_negative_weight;
+    Alcotest.test_case "ci contains median" `Quick test_ci_contains_median;
+    Alcotest.test_case "ci width shrinks" `Quick test_ci_width_shrinks;
+    Alcotest.test_case "ci tiny sample" `Quick test_ci_tiny_sample;
+    Alcotest.test_case "ci empty" `Quick test_ci_empty;
+    Alcotest.test_case "bootstrap contains median" `Quick test_bootstrap_contains_median;
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+    Alcotest.test_case "histogram weights" `Quick test_histogram_weights;
+    Alcotest.test_case "histogram normalized" `Quick test_histogram_normalized;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    Alcotest.test_case "series csv" `Quick test_series_csv;
+    Alcotest.test_case "series interpolate" `Quick test_series_interpolate;
+    Alcotest.test_case "series ranges" `Quick test_series_ranges;
+    Alcotest.test_case "series crossing" `Quick test_series_crossing;
+    Alcotest.test_case "series empty ranges" `Quick test_series_empty_ranges;
+    Alcotest.test_case "plot title+legend" `Quick test_plot_contains_title_and_legend;
+    Alcotest.test_case "plot empty" `Quick test_plot_empty;
+    QCheck_alcotest.to_alcotest prop_quantile_within_bounds;
+    QCheck_alcotest.to_alcotest prop_cdf_monotone;
+    QCheck_alcotest.to_alcotest prop_summary_mean_bounds;
+  ]

@@ -1,0 +1,377 @@
+(* Tests for AS records, relations, the topology container, the
+   generator and the invariant checker. *)
+
+module Sm = Netsim_prng.Splitmix
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Topology = Netsim_topo.Topology
+module Generator = Netsim_topo.Generator
+module Invariants = Netsim_topo.Invariants
+
+(* ---- Asn / Relation ---- *)
+
+let test_asn_home () =
+  let a = { Asn.id = 0; klass = Asn.Stub; name = "x"; footprint = [| 7; 3 |] } in
+  Alcotest.(check int) "home is first" 7 (Asn.home a);
+  Alcotest.(check bool) "present" true (Asn.present_at a 3);
+  Alcotest.(check bool) "absent" false (Asn.present_at a 9)
+
+let test_asn_transit_like () =
+  let mk klass = { Asn.id = 0; klass; name = ""; footprint = [| 0 |] } in
+  Alcotest.(check bool) "tier1" true (Asn.is_transit_like (mk Asn.Tier1));
+  Alcotest.(check bool) "transit" true (Asn.is_transit_like (mk Asn.Transit));
+  Alcotest.(check bool) "eyeball" false (Asn.is_transit_like (mk Asn.Eyeball));
+  Alcotest.(check bool) "content" false (Asn.is_transit_like (mk Asn.Content))
+
+let test_relation_perspectives () =
+  let l =
+    { Relation.id = 0; a = 1; b = 2; kind = Relation.C2p; metro = 0;
+      capacity_gbps = 1. }
+  in
+  Alcotest.(check bool) "a sees provider" true
+    (Relation.rel_of l 1 = Relation.To_provider);
+  Alcotest.(check bool) "b sees customer" true
+    (Relation.rel_of l 2 = Relation.To_customer);
+  Alcotest.(check int) "other of a" 2 (Relation.other l 1);
+  Alcotest.(check int) "other of b" 1 (Relation.other l 2)
+
+let test_relation_peering_symmetric () =
+  let l =
+    { Relation.id = 0; a = 1; b = 2; kind = Relation.Peer_public; metro = 0;
+      capacity_gbps = 1. }
+  in
+  Alcotest.(check bool) "both see pub peer" true
+    (Relation.rel_of l 1 = Relation.Pub_peer
+    && Relation.rel_of l 2 = Relation.Pub_peer)
+
+let test_relation_bad_endpoint () =
+  let l =
+    { Relation.id = 0; a = 1; b = 2; kind = Relation.C2p; metro = 0;
+      capacity_gbps = 1. }
+  in
+  Alcotest.check_raises "not endpoint"
+    (Invalid_argument "Relation.rel_of: AS is not an endpoint of this link")
+    (fun () -> ignore (Relation.rel_of l 5))
+
+let test_relation_is_peering () =
+  Alcotest.(check bool) "c2p" false (Relation.is_peering Relation.C2p);
+  Alcotest.(check bool) "priv" true (Relation.is_peering Relation.Peer_private)
+
+(* ---- Topology on the fixture ---- *)
+
+let test_fixture_counts () =
+  let t = Fixture.topo () in
+  Alcotest.(check int) "ases" 6 (Topology.as_count t);
+  Alcotest.(check int) "links" 9 (Topology.link_count t)
+
+let test_fixture_adjacency () =
+  let t = Fixture.topo () in
+  Alcotest.(check (list int)) "cp providers" [ Fixture.t1a ]
+    (Topology.providers t Fixture.cp);
+  Alcotest.(check (list int)) "cp peers" [ Fixture.eb ]
+    (Topology.peers t Fixture.cp);
+  Alcotest.(check (list int)) "tr providers" [ Fixture.t1a; Fixture.t1b ]
+    (Topology.providers t Fixture.tr);
+  Alcotest.(check (list int)) "t1a customers"
+    [ Fixture.tr; Fixture.cp ]
+    (List.sort compare (Topology.customers t Fixture.t1a));
+  Alcotest.(check (list int)) "eb customers" [ Fixture.st ]
+    (Topology.customers t Fixture.eb)
+
+let test_fixture_links_between () =
+  let t = Fixture.topo () in
+  Alcotest.(check int) "cp-t1a has two sessions" 2
+    (List.length (Topology.links_between t Fixture.cp Fixture.t1a));
+  Alcotest.(check int) "cp-eb has two sessions" 2
+    (List.length (Topology.links_between t Fixture.cp Fixture.eb));
+  Alcotest.(check int) "no st-cp link" 0
+    (List.length (Topology.links_between t Fixture.st Fixture.cp))
+
+let test_fixture_degree () =
+  let t = Fixture.topo () in
+  Alcotest.(check int) "stub degree 1" 1 (Topology.degree t Fixture.st)
+
+let test_by_klass () =
+  let t = Fixture.topo () in
+  Alcotest.(check (list int)) "tier1s" [ 0; 1 ] (Topology.by_klass t Asn.Tier1);
+  Alcotest.(check (list int)) "content" [ 5 ] (Topology.by_klass t Asn.Content)
+
+let test_ases_at_metro () =
+  let t = Fixture.topo () in
+  let at_chicago = Topology.ases_at_metro t Fixture.chicago in
+  Alcotest.(check (list int)) "chicago residents"
+    [ Fixture.tr; Fixture.eb; Fixture.st; Fixture.cp ]
+    (List.sort compare at_chicago)
+
+let test_add_as_and_links () =
+  let t = Fixture.topo () in
+  let t, id =
+    Topology.add_as t ~klass:Asn.Stub ~name:"NEW" ~footprint:[| Fixture.ny |]
+  in
+  Alcotest.(check int) "new id" 6 id;
+  let t =
+    Topology.add_links t [ (id, Fixture.eb, Relation.C2p, Fixture.ny, 10.) ]
+  in
+  Alcotest.(check (list int)) "new provider" [ Fixture.eb ]
+    (Topology.providers t id);
+  Alcotest.(check int) "links grew" 10 (Topology.link_count t)
+
+let test_make_rejects_self_link () =
+  let ases =
+    [| { Asn.id = 0; klass = Asn.Stub; name = "a"; footprint = [| 0 |] } |]
+  in
+  let bad =
+    [ { Relation.id = 0; a = 0; b = 0; kind = Relation.C2p; metro = 0;
+        capacity_gbps = 1. } ]
+  in
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.make: self-link")
+    (fun () -> ignore (Topology.make ases bad))
+
+let test_make_rejects_sparse_ids () =
+  let ases =
+    [| { Asn.id = 1; klass = Asn.Stub; name = "a"; footprint = [| 0 |] } |]
+  in
+  Alcotest.check_raises "sparse ids"
+    (Invalid_argument "Topology.make: AS ids must be dense") (fun () ->
+      ignore (Topology.make ases []))
+
+(* ---- Generator ---- *)
+
+let generated = lazy (Generator.generate Generator.default_params)
+
+let test_generator_counts () =
+  let t = Lazy.force generated in
+  let p = Generator.default_params in
+  Alcotest.(check int) "tier1 count" p.Generator.n_tier1
+    (List.length (Topology.by_klass t Asn.Tier1));
+  Alcotest.(check int) "transit count" p.Generator.n_transit
+    (List.length (Topology.by_klass t Asn.Transit));
+  Alcotest.(check int) "eyeball count" p.Generator.n_eyeball
+    (List.length (Topology.by_klass t Asn.Eyeball));
+  Alcotest.(check int) "stub count" p.Generator.n_stub
+    (List.length (Topology.by_klass t Asn.Stub))
+
+let test_generator_deterministic () =
+  let a = Generator.generate Generator.small_params in
+  let b = Generator.generate Generator.small_params in
+  Alcotest.(check int) "same link count" (Topology.link_count a)
+    (Topology.link_count b);
+  Alcotest.(check bool) "same links" true
+    (Topology.links a = Topology.links b)
+
+let test_generator_seed_changes_topology () =
+  let a = Generator.generate Generator.small_params in
+  let b =
+    Generator.generate { Generator.small_params with Generator.seed = 99 }
+  in
+  Alcotest.(check bool) "different seed, different links" true
+    (Topology.links a <> Topology.links b)
+
+let test_generator_invariants () =
+  Alcotest.(check (list string)) "no violations" []
+    (Invariants.check (Lazy.force generated))
+
+let test_generator_small_invariants () =
+  Alcotest.(check (list string)) "small topology valid" []
+    (Invariants.check (Generator.generate Generator.small_params))
+
+let test_generator_tier1_clique () =
+  let t = Lazy.force generated in
+  let tier1s = Topology.by_klass t Asn.Tier1 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b then
+            Alcotest.(check bool) "tier1 pair connected" true
+              (Topology.links_between t a b <> []))
+        tier1s)
+    tier1s
+
+let test_generator_multi_metro_interconnects () =
+  (* The detour fix: big AS pairs must interconnect at several
+     metros. *)
+  let t = Lazy.force generated in
+  let tier1s = Topology.by_klass t Asn.Tier1 in
+  match tier1s with
+  | a :: b :: _ ->
+      Alcotest.(check bool) "several sessions" true
+        (List.length (Topology.links_between t a b) >= 5)
+  | _ -> Alcotest.fail "need at least two tier1s"
+
+let test_generator_eyeballs_have_providers () =
+  let t = Lazy.force generated in
+  List.iter
+    (fun eb ->
+      Alcotest.(check bool) "eyeball multihomed or single-homed" true
+        (List.length (Topology.providers t eb) >= 1))
+    (Topology.by_klass t Asn.Eyeball)
+
+let test_generator_stub_single_homed () =
+  let t = Lazy.force generated in
+  List.iter
+    (fun st ->
+      Alcotest.(check int) "one provider" 1
+        (List.length (Topology.providers t st)))
+    (Topology.by_klass t Asn.Stub)
+
+let test_common_metros () =
+  let rng = Sm.create 1 in
+  let shared = Generator.common_metros rng ~k:3 [| 1; 2; 3; 4 |] [| 3; 4; 5 |] in
+  Alcotest.(check bool) "subset of intersection" true
+    (List.for_all (fun m -> List.mem m [ 3; 4 ]) shared);
+  Alcotest.(check bool) "nonempty" true (shared <> []);
+  Alcotest.(check (list int)) "disjoint footprints" []
+    (Generator.common_metros rng ~k:3 [| 1 |] [| 2 |])
+
+let test_common_metro_option () =
+  let rng = Sm.create 2 in
+  Alcotest.(check (option int)) "singleton intersection" (Some 9)
+    (Generator.common_metro rng [| 9; 1 |] [| 9; 2 |]);
+  Alcotest.(check (option int)) "disjoint" None
+    (Generator.common_metro rng [| 1 |] [| 2 |])
+
+(* ---- Serialize ---- *)
+
+let test_serialize_roundtrip_fixture () =
+  let t = Fixture.topo () in
+  match Netsim_topo.Serialize.of_string (Netsim_topo.Serialize.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check bool) "ases identical" true
+        (Topology.ases t = Topology.ases t');
+      Alcotest.(check bool) "links identical" true
+        (Topology.links t = Topology.links t')
+
+let test_serialize_roundtrip_generated () =
+  let t = Generator.generate Generator.small_params in
+  match Netsim_topo.Serialize.of_string (Netsim_topo.Serialize.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check int) "same AS count" (Topology.as_count t)
+        (Topology.as_count t');
+      Alcotest.(check bool) "links identical" true
+        (Topology.links t = Topology.links t');
+      Alcotest.(check (list string)) "still valid" []
+        (Invariants.check t')
+
+let test_serialize_rejects_garbage () =
+  (match Netsim_topo.Serialize.of_string "nonsense record here" with
+  | Error e ->
+      Alcotest.(check bool) "names the line" true
+        (Astring_contains.contains e "line 1")
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  match Netsim_topo.Serialize.of_string "as x tier1 T1 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad id"
+
+let test_serialize_comments_and_blanks () =
+  let text =
+    "# comment\n\nas 0 tier1 A 0\nas 1 stub B 0\nlink 0 1 0 c2p 0 10\n"
+  in
+  match Netsim_topo.Serialize.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Alcotest.(check int) "two ases" 2 (Topology.as_count t);
+      Alcotest.(check int) "one link" 1 (Topology.link_count t)
+
+let test_serialize_file_roundtrip () =
+  let t = Fixture.topo () in
+  let path = Filename.temp_file "beatbgp" ".topo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Netsim_topo.Serialize.save t ~path;
+      match Netsim_topo.Serialize.load ~path with
+      | Ok t' ->
+          Alcotest.(check bool) "file roundtrip" true
+            (Topology.links t = Topology.links t')
+      | Error e -> Alcotest.fail e)
+
+let test_serialize_load_missing_file () =
+  match Netsim_topo.Serialize.load ~path:"/nonexistent/beatbgp.topo" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+(* ---- Invariants ---- *)
+
+let test_invariants_fixture_clean () =
+  Alcotest.(check (list string)) "fixture valid" []
+    (Invariants.check (Fixture.topo ()))
+
+let test_provider_depth () =
+  let t = Fixture.topo () in
+  Alcotest.(check (option int)) "tier1 depth 0" (Some 0)
+    (Invariants.provider_depth t Fixture.t1a);
+  Alcotest.(check (option int)) "transit depth 1" (Some 1)
+    (Invariants.provider_depth t Fixture.tr);
+  Alcotest.(check (option int)) "stub depth 3" (Some 3)
+    (Invariants.provider_depth t Fixture.st)
+
+let test_invariants_detect_orphan () =
+  (* A stub with no provider chain must be flagged. *)
+  let ases =
+    [|
+      { Asn.id = 0; klass = Asn.Tier1; name = "t"; footprint = [| 0 |] };
+      { Asn.id = 1; klass = Asn.Stub; name = "s"; footprint = [| 0 |] };
+    |]
+  in
+  let t = Topology.make ases [] in
+  let violations = Invariants.check t in
+  Alcotest.(check bool) "orphan stub flagged" true
+    (List.exists
+       (fun v -> Astring_contains.contains v "no provider chain")
+       violations)
+
+let test_invariants_detect_missing_clique () =
+  let ases =
+    [|
+      { Asn.id = 0; klass = Asn.Tier1; name = "a"; footprint = [| 0 |] };
+      { Asn.id = 1; klass = Asn.Tier1; name = "b"; footprint = [| 0 |] };
+    |]
+  in
+  let t = Topology.make ases [] in
+  Alcotest.(check bool) "missing clique flagged" true
+    (List.exists
+       (fun v -> Astring_contains.contains v "not interconnected")
+       (Invariants.check t))
+
+let suite =
+  [
+    Alcotest.test_case "asn home/present" `Quick test_asn_home;
+    Alcotest.test_case "asn transit-like" `Quick test_asn_transit_like;
+    Alcotest.test_case "relation perspectives" `Quick test_relation_perspectives;
+    Alcotest.test_case "relation peering symmetric" `Quick test_relation_peering_symmetric;
+    Alcotest.test_case "relation bad endpoint" `Quick test_relation_bad_endpoint;
+    Alcotest.test_case "relation is_peering" `Quick test_relation_is_peering;
+    Alcotest.test_case "fixture counts" `Quick test_fixture_counts;
+    Alcotest.test_case "fixture adjacency" `Quick test_fixture_adjacency;
+    Alcotest.test_case "fixture links_between" `Quick test_fixture_links_between;
+    Alcotest.test_case "fixture degree" `Quick test_fixture_degree;
+    Alcotest.test_case "by_klass" `Quick test_by_klass;
+    Alcotest.test_case "ases_at_metro" `Quick test_ases_at_metro;
+    Alcotest.test_case "add_as/add_links" `Quick test_add_as_and_links;
+    Alcotest.test_case "reject self link" `Quick test_make_rejects_self_link;
+    Alcotest.test_case "reject sparse ids" `Quick test_make_rejects_sparse_ids;
+    Alcotest.test_case "generator counts" `Slow test_generator_counts;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator seed sensitivity" `Quick test_generator_seed_changes_topology;
+    Alcotest.test_case "generator invariants" `Slow test_generator_invariants;
+    Alcotest.test_case "small generator invariants" `Quick test_generator_small_invariants;
+    Alcotest.test_case "tier1 clique" `Slow test_generator_tier1_clique;
+    Alcotest.test_case "multi-metro interconnects" `Slow test_generator_multi_metro_interconnects;
+    Alcotest.test_case "eyeball providers" `Slow test_generator_eyeballs_have_providers;
+    Alcotest.test_case "stub single-homed" `Slow test_generator_stub_single_homed;
+    Alcotest.test_case "common_metros" `Quick test_common_metros;
+    Alcotest.test_case "common_metro option" `Quick test_common_metro_option;
+    Alcotest.test_case "serialize fixture roundtrip" `Quick test_serialize_roundtrip_fixture;
+    Alcotest.test_case "serialize generated roundtrip" `Quick test_serialize_roundtrip_generated;
+    Alcotest.test_case "serialize rejects garbage" `Quick test_serialize_rejects_garbage;
+    Alcotest.test_case "serialize comments" `Quick test_serialize_comments_and_blanks;
+    Alcotest.test_case "serialize file roundtrip" `Quick test_serialize_file_roundtrip;
+    Alcotest.test_case "serialize missing file" `Quick test_serialize_load_missing_file;
+    Alcotest.test_case "fixture invariants" `Quick test_invariants_fixture_clean;
+    Alcotest.test_case "provider depth" `Quick test_provider_depth;
+    Alcotest.test_case "detect orphan" `Quick test_invariants_detect_orphan;
+    Alcotest.test_case "detect missing clique" `Quick test_invariants_detect_missing_clique;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for client populations and measurement windows. *)
+
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Prefix = Netsim_traffic.Prefix
+module Population = Netsim_traffic.Population
+module Window = Netsim_traffic.Window
+
+let topo = lazy (Generator.generate Generator.small_params)
+
+let gen ?(seed = 3) n =
+  Population.generate (Lazy.force topo) ~rng:(Sm.create seed) ~n_prefixes:n
+
+(* ---- Population ---- *)
+
+let test_population_count () =
+  Alcotest.(check int) "count" 50 (Array.length (gen 50))
+
+let test_population_weights_normalized () =
+  let p = gen 80 in
+  Alcotest.(check (float 1e-9)) "weights sum to 1" 1. (Population.total_weight p)
+
+let test_population_weights_positive () =
+  Array.iter
+    (fun (p : Prefix.t) ->
+      Alcotest.(check bool) "positive weight" true (p.Prefix.weight > 0.))
+    (gen 60)
+
+let test_population_hosts_are_access_ases () =
+  let t = Lazy.force topo in
+  Array.iter
+    (fun (p : Prefix.t) ->
+      let klass = (Topology.asn t p.Prefix.asid).Asn.klass in
+      Alcotest.(check bool) "eyeball or stub" true
+        (klass = Asn.Eyeball || klass = Asn.Stub))
+    (gen 60)
+
+let test_population_city_in_footprint () =
+  let t = Lazy.force topo in
+  Array.iter
+    (fun (p : Prefix.t) ->
+      Alcotest.(check bool) "city in AS footprint" true
+        (Asn.present_at (Topology.asn t p.Prefix.asid) p.Prefix.city))
+    (gen 60)
+
+let test_population_ids_dense () =
+  let p = gen 40 in
+  Array.iteri
+    (fun i (pr : Prefix.t) -> Alcotest.(check int) "id = index" i pr.Prefix.id)
+    p
+
+let test_population_deterministic () =
+  Alcotest.(check bool) "same seed same population" true (gen 30 = gen 30)
+
+let test_population_seed_sensitivity () =
+  Alcotest.(check bool) "different seed differs" true
+    (gen ~seed:1 30 <> gen ~seed:2 30)
+
+let test_population_skewed () =
+  (* Zipf weighting: the heaviest prefix must far outweigh the
+     lightest. *)
+  let p = gen 100 in
+  let ws = Array.map (fun (x : Prefix.t) -> x.Prefix.weight) p in
+  Array.sort compare ws;
+  Alcotest.(check bool) "heavy tail" true (ws.(99) > 10. *. ws.(0))
+
+let test_population_invalid () =
+  Alcotest.check_raises "n=0"
+    (Invalid_argument "Population.generate: n_prefixes <= 0") (fun () ->
+      ignore (gen 0))
+
+let test_by_as_partition () =
+  let p = gen 50 in
+  let tbl = Population.by_as p in
+  let total = Hashtbl.fold (fun _ l acc -> acc + List.length l) tbl 0 in
+  Alcotest.(check int) "partition covers all" 50 total;
+  Hashtbl.iter
+    (fun asid l ->
+      List.iter
+        (fun (pr : Prefix.t) ->
+          Alcotest.(check int) "grouped by AS" asid pr.Prefix.asid)
+        l)
+    tbl
+
+(* ---- Window ---- *)
+
+let test_window_count () =
+  Alcotest.(check int) "96 windows per day" 96 (Window.count ~days:1. ~length_min:15.);
+  Alcotest.(check int) "fifteen_minute list" 192
+    (List.length (Window.fifteen_minute ~days:2.))
+
+let test_window_coverage () =
+  let ws = Window.windows ~days:1. ~length_min:60. in
+  Alcotest.(check int) "24 windows" 24 (List.length ws);
+  List.iteri
+    (fun i (w : Window.t) ->
+      Alcotest.(check int) "index" i w.Window.index;
+      Alcotest.(check (float 1e-9)) "start" (float_of_int i *. 60.)
+        w.Window.start_min)
+    ws
+
+let test_window_mid_time () =
+  let w = { Window.index = 0; start_min = 30.; length_min = 15. } in
+  Alcotest.(check (float 1e-9)) "midpoint" 37.5 (Window.mid_time w)
+
+let test_window_fractional_days () =
+  Alcotest.(check int) "half day" 48 (Window.count ~days:0.5 ~length_min:15.)
+
+let suite =
+  [
+    Alcotest.test_case "population count" `Quick test_population_count;
+    Alcotest.test_case "weights normalized" `Quick test_population_weights_normalized;
+    Alcotest.test_case "weights positive" `Quick test_population_weights_positive;
+    Alcotest.test_case "hosts are access ASes" `Quick test_population_hosts_are_access_ases;
+    Alcotest.test_case "city in footprint" `Quick test_population_city_in_footprint;
+    Alcotest.test_case "ids dense" `Quick test_population_ids_dense;
+    Alcotest.test_case "deterministic" `Quick test_population_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_population_seed_sensitivity;
+    Alcotest.test_case "zipf skew" `Quick test_population_skewed;
+    Alcotest.test_case "invalid n" `Quick test_population_invalid;
+    Alcotest.test_case "by_as partition" `Quick test_by_as_partition;
+    Alcotest.test_case "window count" `Quick test_window_count;
+    Alcotest.test_case "window coverage" `Quick test_window_coverage;
+    Alcotest.test_case "window mid time" `Quick test_window_mid_time;
+    Alcotest.test_case "fractional days" `Quick test_window_fractional_days;
+  ]

@@ -1,0 +1,249 @@
+(* Tests for the cloud WAN: backbone cable graph, tier configurations,
+   the VP qualification filter and the India asymmetry. *)
+
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Params = Netsim_latency.Params
+module Rtt = Netsim_latency.Rtt
+module Walk = Netsim_bgp.Walk
+module Backbone = Netsim_wan.Backbone
+module Cloud = Netsim_wan.Cloud
+module Tiers = Netsim_wan.Tiers
+module Vantage = Netsim_measure.Vantage
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+
+let metro name = (World.find_exn name).City.id
+
+(* ---- Backbone ---- *)
+
+let bb = lazy (Backbone.default ())
+
+let test_backbone_nodes_nonempty () =
+  Alcotest.(check bool) "has nodes" true
+    (List.length (Backbone.nodes (Lazy.force bb)) >= 30)
+
+let test_backbone_self_distance () =
+  let b = Lazy.force bb in
+  Alcotest.(check (float 1e-9)) "zero" 0.
+    (Backbone.distance_km b (metro "London") (metro "London"))
+
+let test_backbone_symmetric () =
+  let b = Lazy.force bb in
+  Alcotest.(check (float 1e-6)) "symmetric"
+    (Backbone.distance_km b (metro "London") (metro "Tokyo"))
+    (Backbone.distance_km b (metro "Tokyo") (metro "London"))
+
+let test_backbone_triangle_inequality_vs_geodesic () =
+  (* Cable paths can never be shorter than the geodesic. *)
+  let b = Lazy.force bb in
+  let pairs =
+    [ ("London", "Tokyo"); ("Mumbai", "Kansas City"); ("Sydney", "Frankfurt") ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let geodesic =
+        City.distance_km (World.find_exn x) (World.find_exn y)
+      in
+      let cable = Backbone.distance_km b (metro x) (metro y) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s-%s cable >= geodesic" x y)
+        true
+        (cable >= geodesic -. 1.))
+    pairs
+
+let test_backbone_connected () =
+  let b = Lazy.force bb in
+  let nodes = Backbone.nodes b in
+  let kc = metro "Kansas City" in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "finite distance to DC" true
+        (Backbone.distance_km b n kc < infinity))
+    nodes
+
+let test_backbone_india_goes_east () =
+  (* The 2019-shaped WAN reaches Kansas City from Mumbai the long way
+     (via Asia-Pacific): much longer than the geodesic. *)
+  let b = Lazy.force bb in
+  let cable = Backbone.distance_km b (metro "Mumbai") (metro "Kansas City") in
+  let geodesic =
+    City.distance_km (World.find_exn "Mumbai") (World.find_exn "Kansas City")
+  in
+  Alcotest.(check bool) "substantial detour" true (cable > geodesic *. 1.3)
+
+let test_backbone_europe_direct () =
+  (* London -> Kansas City on the WAN is close to the geodesic. *)
+  let b = Lazy.force bb in
+  let cable = Backbone.distance_km b (metro "London") (metro "Kansas City") in
+  let geodesic =
+    City.distance_km (World.find_exn "London") (World.find_exn "Kansas City")
+  in
+  Alcotest.(check bool) "near-geodesic" true (cable < geodesic *. 1.15)
+
+let test_backbone_offnet_metro_attached () =
+  (* A metro that is not a backbone node attaches via its nearest
+     node. *)
+  let b = Lazy.force bb in
+  let d = Backbone.distance_km b (metro "Phoenix") (metro "Kansas City") in
+  Alcotest.(check bool) "finite and positive" true (d > 0. && d < infinity)
+
+let test_backbone_carry_rtt () =
+  let b = Lazy.force bb in
+  let ms = Backbone.carry_rtt_ms b Params.default (metro "London") (metro "Kansas City") in
+  Alcotest.(check bool) "~75-90ms" true (ms > 60. && ms < 100.)
+
+let test_backbone_custom_segments () =
+  let b = Backbone.of_segments [ ("London", "Paris"); ("Paris", "Madrid") ] in
+  Alcotest.(check int) "three nodes" 3 (List.length (Backbone.nodes b));
+  let via_paris = Backbone.distance_km b (metro "London") (metro "Madrid") in
+  let direct =
+    City.distance_km (World.find_exn "London") (World.find_exn "Madrid")
+  in
+  Alcotest.(check bool) "routes via paris" true (via_paris > direct)
+
+(* ---- Cloud + Tiers ---- *)
+
+let base = lazy (Generator.generate Generator.small_params)
+let cloud = lazy (Cloud.deploy (Lazy.force base) ~rng:(Sm.create 51) ())
+let tiers = lazy (Tiers.make (Lazy.force cloud) ~params:Params.default)
+
+let test_cloud_class_and_dc () =
+  let c = Lazy.force cloud in
+  let a = Topology.asn (Cloud.topo c) (Cloud.asid c) in
+  Alcotest.(check bool) "cloud class" true (a.Asn.klass = Asn.Cloud);
+  Alcotest.(check int) "dc metro is kansas city" (metro Cloud.dc_city_name)
+    c.Cloud.dc_metro;
+  Alcotest.(check bool) "dc among edges" true
+    (List.mem c.Cloud.dc_metro c.Cloud.edge_metros)
+
+let test_cloud_global_edges () =
+  let c = Lazy.force cloud in
+  Alcotest.(check bool) "many edges" true (List.length c.Cloud.edge_metros >= 30)
+
+let vantage =
+  lazy
+    (Vantage.select (Cloud.topo (Lazy.force cloud)) ~rng:(Sm.create 61) ~n:150)
+
+let test_tier_flows_exist () =
+  let t = Lazy.force tiers in
+  let vps = Lazy.force vantage in
+  let both =
+    Array.to_list vps
+    |> List.filter (fun vp ->
+           Tiers.premium_flow t vp <> None && Tiers.standard_flow t vp <> None)
+  in
+  Alcotest.(check bool) "most VPs reach both tiers" true
+    (List.length both > Array.length vps / 2)
+
+let test_standard_enters_at_dc () =
+  let t = Lazy.force tiers in
+  let c = Lazy.force cloud in
+  Array.iter
+    (fun vp ->
+      match Tiers.standard_trace t vp with
+      | None -> ()
+      | Some trace ->
+          Alcotest.(check int) "standard entry = DC metro" c.Cloud.dc_metro
+            trace.Netsim_measure.Campaign.entry_metro)
+    (Lazy.force vantage)
+
+let test_premium_entry_close_or_equal () =
+  (* Premium entries are never farther from the VP than the Standard
+     entry at the DC... on average.  Check the mean ingress distance
+     contrast that drives the paper's 400 km statistic. *)
+  let t = Lazy.force tiers in
+  let prem = ref [] and std = ref [] in
+  Array.iter
+    (fun vp ->
+      match (Tiers.premium_trace t vp, Tiers.standard_trace t vp) with
+      | Some p, Some s ->
+          prem := p.Netsim_measure.Campaign.ingress_km :: !prem;
+          std := s.Netsim_measure.Campaign.ingress_km :: !std
+      | _, _ -> ())
+    (Lazy.force vantage);
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  Alcotest.(check bool) "premium ingress much nearer" true
+    (mean !prem < mean !std /. 2.)
+
+let test_qualifies_filter () =
+  let t = Lazy.force tiers in
+  Array.iter
+    (fun vp ->
+      if Tiers.qualifies t vp then begin
+        match (Tiers.premium_flow t vp, Tiers.standard_flow t vp) with
+        | Some pf, Some sf ->
+            Alcotest.(check int) "premium direct" 1
+              (List.length pf.Rtt.walk.Walk.hops);
+            Alcotest.(check bool) "standard has intermediary" true
+              (List.length sf.Rtt.walk.Walk.hops >= 2)
+        | _, _ -> Alcotest.fail "qualifying VP lacks flows"
+      end)
+    (Lazy.force vantage)
+
+let test_some_vps_qualify () =
+  let t = Lazy.force tiers in
+  let q =
+    Array.to_list (Lazy.force vantage) |> List.filter (Tiers.qualifies t)
+  in
+  Alcotest.(check bool) "filter keeps some VPs" true (List.length q > 0)
+
+let test_premium_flow_has_wan_extra () =
+  let t = Lazy.force tiers in
+  Array.iter
+    (fun vp ->
+      match Tiers.premium_flow t vp with
+      | None -> ()
+      | Some f ->
+          Alcotest.(check bool) "nonnegative WAN carry" true
+            (f.Rtt.extra_ms >= 0.))
+    (Lazy.force vantage)
+
+let test_india_premium_detour () =
+  (* For an Indian qualifying VP the Premium WAN carry must exceed the
+     standard tier's geodesic-ish carriage: the root of the Fig. 5
+     anomaly. *)
+  let t = Lazy.force tiers in
+  let c = Lazy.force cloud in
+  let indian =
+    Array.to_list (Lazy.force vantage)
+    |> List.filter (fun vp ->
+           Vantage.country vp = "IN" && Tiers.qualifies t vp)
+  in
+  match indian with
+  | [] -> () (* small topology may lack qualifying Indian VPs *)
+  | vp :: _ -> (
+      match Tiers.premium_flow t vp with
+      | None -> Alcotest.fail "qualifying VP without premium flow"
+      | Some pf ->
+          let geodesic_ms =
+            City.rtt_ms World.cities.(vp.Vantage.city)
+              World.cities.(c.Cloud.dc_metro)
+          in
+          Alcotest.(check bool) "WAN carry exceeds geodesic" true
+            (pf.Rtt.extra_ms > geodesic_ms))
+
+let suite =
+  [
+    Alcotest.test_case "backbone nodes" `Quick test_backbone_nodes_nonempty;
+    Alcotest.test_case "backbone self distance" `Quick test_backbone_self_distance;
+    Alcotest.test_case "backbone symmetric" `Quick test_backbone_symmetric;
+    Alcotest.test_case "backbone >= geodesic" `Quick test_backbone_triangle_inequality_vs_geodesic;
+    Alcotest.test_case "backbone connected" `Quick test_backbone_connected;
+    Alcotest.test_case "backbone india east" `Quick test_backbone_india_goes_east;
+    Alcotest.test_case "backbone europe direct" `Quick test_backbone_europe_direct;
+    Alcotest.test_case "backbone offnet attach" `Quick test_backbone_offnet_metro_attached;
+    Alcotest.test_case "backbone carry rtt" `Quick test_backbone_carry_rtt;
+    Alcotest.test_case "backbone custom segments" `Quick test_backbone_custom_segments;
+    Alcotest.test_case "cloud class/dc" `Quick test_cloud_class_and_dc;
+    Alcotest.test_case "cloud global edges" `Quick test_cloud_global_edges;
+    Alcotest.test_case "tier flows exist" `Quick test_tier_flows_exist;
+    Alcotest.test_case "standard enters at DC" `Quick test_standard_enters_at_dc;
+    Alcotest.test_case "premium ingress nearer" `Quick test_premium_entry_close_or_equal;
+    Alcotest.test_case "qualifies filter" `Quick test_qualifies_filter;
+    Alcotest.test_case "some VPs qualify" `Quick test_some_vps_qualify;
+    Alcotest.test_case "premium WAN extra" `Quick test_premium_flow_has_wan_extra;
+    Alcotest.test_case "india premium detour" `Quick test_india_premium_detour;
+  ]
