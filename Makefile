@@ -1,0 +1,27 @@
+.PHONY: all build test bench verify clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full gate: build, run the test suite, then smoke-test the CLI with
+# tracing on and assert the span tree actually covers the pipeline.
+verify: build test
+	dune exec bin/beatbgp_cli.exe -- fig1 --small --trace > /tmp/beatbgp_verify.out
+	grep -q "=== trace (wall clock) ===" /tmp/beatbgp_verify.out
+	grep -q "scenario.facebook" /tmp/beatbgp_verify.out
+	grep -q "bgp.propagate" /tmp/beatbgp_verify.out
+	grep -q "latency.rtt.ms" /tmp/beatbgp_verify.out
+	dune exec bin/beatbgp_cli.exe -- fig1 --small --metrics-out /tmp/beatbgp_verify.json > /dev/null
+	grep -q '"counters"' /tmp/beatbgp_verify.json
+	@echo "verify: OK"
+
+clean:
+	dune clean

@@ -10,9 +10,29 @@ open Toolkit
 
 module S = Beatbgp.Scenario
 
+(* Benchmark scale is overridable from the environment so CI can run a
+   cheap smoke pass (e.g. NETSIM_BENCH_PREFIXES=10 NETSIM_BENCH_DAYS=0.25)
+   without editing this file.  The same overrides scale the full-size
+   figure regeneration below. *)
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | Some s when s <> "" -> int_of_string_opt s
+  | _ -> None
+
+let env_float name =
+  match Sys.getenv_opt name with
+  | Some s when s <> "" -> float_of_string_opt s
+  | _ -> None
+
+let bench_prefixes = Option.value (env_int "NETSIM_BENCH_PREFIXES") ~default:80
+
+let bench_days = Option.value (env_float "NETSIM_BENCH_DAYS") ~default:1.
+
 (* Shared inputs are built once, outside the timed closures. *)
 
-let bench_sizes = { S.test_sizes with S.n_prefixes = 80; days = 1. }
+let bench_sizes =
+  { S.test_sizes with S.n_prefixes = bench_prefixes; days = bench_days }
 let fb = lazy (S.facebook ~sizes:bench_sizes ())
 let ms = lazy (S.microsoft ~sizes:bench_sizes ())
 let gc = lazy (S.google ~sizes:bench_sizes ~n_vantage:300 ())
@@ -191,20 +211,31 @@ let run_benchmarks () =
 let regenerate_figures () =
   print_endline "";
   print_endline "=== full-scale figure regeneration (paper artifacts) ===";
+  let sizes =
+    {
+      S.default_sizes with
+      S.n_prefixes =
+        Option.value (env_int "NETSIM_BENCH_PREFIXES")
+          ~default:S.default_sizes.S.n_prefixes;
+      days =
+        Option.value (env_float "NETSIM_BENCH_DAYS")
+          ~default:S.default_sizes.S.days;
+    }
+  in
   let show fig =
     print_endline "";
     print_string (Beatbgp.Figure.render fig);
     let claims = Beatbgp.Claims.of_figure fig in
     if claims <> [] then print_string (Beatbgp.Claims.render claims)
   in
-  let fb = S.facebook () in
+  let fb = S.facebook ~sizes () in
   let fig1 = Beatbgp.Fig1_pop_egress.run fb in
   show fig1.Beatbgp.Fig1_pop_egress.figure;
   show (Beatbgp.Fig2_route_classes.run fb).Beatbgp.Fig2_route_classes.figure;
-  let ms = S.microsoft () in
+  let ms = S.microsoft ~sizes () in
   show (Beatbgp.Fig3_anycast_gap.run ms).Beatbgp.Fig3_anycast_gap.figure;
   show (Beatbgp.Fig4_dns_redirection.run ms).Beatbgp.Fig4_dns_redirection.figure;
-  let gc = S.google () in
+  let gc = S.google ~sizes () in
   let fig5 = Beatbgp.Fig5_cloud_tiers.run gc in
   show fig5.Beatbgp.Fig5_cloud_tiers.figure;
   print_endline "";
@@ -213,4 +244,13 @@ let regenerate_figures () =
 
 let () =
   run_benchmarks ();
-  regenerate_figures ()
+  (* Timed runs stay uninstrumented (unless NETSIM_TRACE was set);
+     regeneration runs with metrics on so the work totals of one full
+     pipeline pass are printed alongside the timings. *)
+  Netsim_obs.Report.reset ();
+  Netsim_obs.Metrics.set_enabled true;
+  regenerate_figures ();
+  Netsim_obs.Metrics.set_enabled false;
+  print_endline "";
+  print_endline "=== metrics over the full-scale regeneration ===";
+  print_string (Netsim_obs.Report.metrics_table ())

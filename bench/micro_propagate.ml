@@ -1,0 +1,31 @@
+(* Standalone microbenchmark of the hottest algorithm, Propagate.run,
+   with a plain wall-clock loop (no Bechamel) so before/after numbers
+   for instrumentation changes are quick to produce:
+
+     dune exec bench/micro_propagate.exe -- [iters]
+
+   Prints ns/run over [iters] propagations (default 2000) after a
+   warm-up pass.  NETSIM_TRACE=1 enables instrumentation to measure
+   its enabled-mode cost. *)
+
+let () =
+  let iters =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2000
+  in
+  let topo = Netsim_topo.Generator.generate Netsim_topo.Generator.default_params in
+  let dest =
+    List.hd (Netsim_topo.Topology.by_klass topo Netsim_topo.Asn.Eyeball)
+  in
+  let config = Netsim_bgp.Announce.default ~origin:dest in
+  (* Warm-up. *)
+  for _ = 1 to 200 do
+    ignore (Netsim_bgp.Propagate.run topo config)
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Netsim_bgp.Propagate.run topo config)
+  done;
+  let t1 = Unix.gettimeofday () in
+  let ns = (t1 -. t0) *. 1e9 /. float_of_int iters in
+  Printf.printf "propagate: %d iters, %.0f ns/run (%.3f ms/run)\n" iters ns
+    (ns /. 1e6)

@@ -50,9 +50,39 @@ let small_t =
 let csv_t =
   Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a plot.")
 
-let with_sizes f seed prefixes days small csv =
+let trace_t =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record spans and metrics while running and print the trace \
+           report afterwards (also enabled by \\$(b,NETSIM_TRACE)).")
+
+let metrics_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the recorded metrics and trace as JSON to \\$(docv).")
+
+let with_sizes f seed prefixes days small csv trace metrics_out =
   let sizes = sizes_of ~seed ~prefixes ~days ~small in
-  f ~sizes ~csv
+  let tracing =
+    trace || metrics_out <> None || Netsim_obs.Metrics.enabled ()
+  in
+  if tracing then Netsim_obs.Metrics.set_enabled true;
+  f ~sizes ~csv;
+  if tracing then begin
+    print_newline ();
+    print_string (Netsim_obs.Report.render ())
+  end;
+  match metrics_out with
+  | Some path -> (
+      try Netsim_obs.Report.write_json path
+      with Sys_error msg ->
+        Printf.eprintf "beatbgp: cannot write metrics file: %s\n" msg;
+        exit 1)
+  | None -> ()
 
 let run_fig1 ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
@@ -254,7 +284,9 @@ let run_topo ~sizes ~csv =
 let cmd name doc f =
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t)
+    Term.(
+      const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t
+      $ trace_t $ metrics_out_t)
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in

@@ -58,7 +58,16 @@ let seeds topo config ~klass =
       end)
     (Topology.neighbors topo origin)
 
+let c_exported = Netsim_obs.Metrics.counter "bgp.announcements_exported"
+let c_selected = Netsim_obs.Metrics.counter "bgp.routes_selected"
+let c_visited = Netsim_obs.Metrics.counter "bgp.ases_visited"
+
 let run topo config =
+  Netsim_obs.Span.with_ ~name:"bgp.propagate" @@ fun () ->
+  (* One flag read per run: record sites below are guarded by this
+     immutable local so the disabled-mode cost in the hot loops is a
+     single well-predicted branch. *)
+  let tracing = Netsim_obs.Metrics.enabled () in
   let n = Topology.as_count topo in
   let origin = config.Announce.origin in
   let cust = Array.make n None in
@@ -67,6 +76,7 @@ let run topo config =
   (* ---- Phase 1: customer-learned routes (propagate upward). ---- *)
   let pq = ref Pq.empty in
   let push (target, len, parent, link, no_export) =
+    if tracing then Netsim_obs.Metrics.incr c_exported;
     pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
   in
   List.iter push (seeds topo config ~klass:Route.Customer);
@@ -129,6 +139,7 @@ let run topo config =
   in
   let pq = ref Pq.empty in
   let push (target, len, parent, link, no_export) =
+    if tracing then Netsim_obs.Metrics.incr c_exported;
     pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
   in
   List.iter push (seeds topo config ~klass:Route.Provider);
@@ -160,6 +171,20 @@ let run topo config =
           (Topology.neighbors topo target)
     end
   done;
+  if tracing then begin
+    let selected = ref 0 and visited = ref 0 in
+    for x = 0 to n - 1 do
+      let c = cust.(x) <> None
+      and p = peer.(x) <> None
+      and v = prov.(x) <> None in
+      if c then Stdlib.incr selected;
+      if p then Stdlib.incr selected;
+      if v then Stdlib.incr selected;
+      if c || p || v then Stdlib.incr visited
+    done;
+    Netsim_obs.Metrics.add c_selected !selected;
+    Netsim_obs.Metrics.add c_visited !visited
+  end;
   { topo; config; cust; peer; prov }
 
 let selected_entry s x =

@@ -16,6 +16,7 @@ type t = {
 }
 
 let make (d : Deployment.t) =
+  Netsim_obs.Span.with_ ~name:"cdn.anycast.make" @@ fun () ->
   let topo = d.Deployment.topo in
   let anycast_config = Announce.default ~origin:d.Deployment.asid in
   let anycast_state = Propagate.run topo anycast_config in

@@ -46,8 +46,13 @@ type t = {
   transit_link_count : int;
 }
 
+let c_pops = Netsim_obs.Metrics.counter "cdn.deploy.pops"
+
 let deploy base ~rng spec =
+  Netsim_obs.Span.with_ ~name:"cdn.deploy" @@ fun () ->
   if spec.pop_metros = [] then invalid_arg "Deployment.deploy: no PoPs";
+  Netsim_obs.Metrics.add c_pops
+    (List.length (List.sort_uniq compare spec.pop_metros));
   let pops = List.sort_uniq compare spec.pop_metros in
   let topo, asid =
     Topology.add_as base ~klass:spec.klass ~name:spec.name

@@ -33,6 +33,7 @@ let measure_route cong ~rng ~samples_per_route window (o : Egress.option_route) 
   }
 
 let measure_window cong ~rng ~samples_per_route window (entry : Egress.entry) =
+  Netsim_obs.Span.with_ ~name:"measure.edge_window" @@ fun () ->
   let per_route =
     List.map
       (measure_route cong ~rng ~samples_per_route window)

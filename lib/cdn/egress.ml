@@ -34,7 +34,10 @@ let flow_of_route state (d : Deployment.t) (prefix : Prefix.t) route =
               walk;
         }
 
+let c_entries = Netsim_obs.Metrics.counter "cdn.egress.entries"
+
 let compute (d : Deployment.t) ~prefixes ~k =
+  Netsim_obs.Span.with_ ~name:"cdn.egress.compute" @@ fun () ->
   let topo = d.Deployment.topo in
   (* One propagation per distinct client AS. *)
   let states = Hashtbl.create 64 in
@@ -70,6 +73,7 @@ let compute (d : Deployment.t) ~prefixes ~k =
            | [] -> None
            | _ -> Some { prefix; pop; options; all_options })
   in
+  Netsim_obs.Metrics.add c_entries (List.length entries);
   Array.of_list entries
 
 let route_kind o = o.route.Route.via_link.Relation.kind

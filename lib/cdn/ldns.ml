@@ -28,7 +28,11 @@ let default_params =
     public_hub_names = [ "Ashburn"; "Frankfurt"; "Singapore" ];
   }
 
+let c_resolvers = Netsim_obs.Metrics.counter "cdn.ldns.resolvers"
+let c_ecs = Netsim_obs.Metrics.counter "cdn.ldns.ecs_prefixes"
+
 let assign topo ~prefixes ~rng params =
+  Netsim_obs.Span.with_ ~name:"cdn.ldns.assign" @@ fun () ->
   let n = Array.length prefixes in
   let resolvers = ref [] in
   let next_id = ref 0 in
@@ -99,6 +103,9 @@ let assign topo ~prefixes ~rng params =
       of_prefix.(i) <- r.id;
       ecs.(i) <- Dist.bernoulli rng ~p:params.ecs_prob)
     prefixes;
+  Netsim_obs.Metrics.add c_resolvers !next_id;
+  Netsim_obs.Metrics.add c_ecs
+    (Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 ecs);
   {
     resolvers = Array.of_list (List.rev !resolvers);
     of_prefix;

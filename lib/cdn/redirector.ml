@@ -55,8 +55,12 @@ let best_choice ~margin anycast_med site_meds =
   | Some a, Some (site, m) ->
       if m < a -. margin then Use_site site else Use_anycast
 
+let c_decisions = Netsim_obs.Metrics.counter "cdn.redirector.decisions"
+let c_redirected = Netsim_obs.Metrics.counter "cdn.redirector.redirected"
+
 let train ?(margin = 0.) ?client_sample any ~assignment ~prefixes ~cong ~rng
     ~windows ~samples_per_window =
+  Netsim_obs.Span.with_ ~name:"cdn.redirector.train" @@ fun () ->
   (* Step 1: per-prefix option medians. *)
   let per_prefix =
     Array.map
@@ -130,6 +134,17 @@ let train ?(margin = 0.) ?client_sample any ~assignment ~prefixes ~cong ~rng
           (best_choice ~margin anycast_med site_meds)
       end)
     assignment.Ldns.resolvers;
+  if Netsim_obs.Metrics.enabled () then begin
+    let redirected tbl =
+      Hashtbl.fold
+        (fun _ c acc -> match c with Use_site _ -> acc + 1 | Use_anycast -> acc)
+        tbl 0
+    in
+    Netsim_obs.Metrics.add c_decisions
+      (Hashtbl.length by_resolver + Hashtbl.length by_prefix);
+    Netsim_obs.Metrics.add c_redirected
+      (redirected by_resolver + redirected by_prefix)
+  end;
   { by_resolver; by_prefix }
 
 let choice_for table assignment (p : Prefix.t) =

@@ -43,7 +43,11 @@ let improvements_of results =
     results
 
 let run fb =
-  let results = collect_results fb in
+  Netsim_obs.Span.with_ ~name:"fig1.run" @@ fun () ->
+  let results =
+    Netsim_obs.Span.with_ ~name:"fig1.collect" (fun () -> collect_results fb)
+  in
+  Netsim_obs.Span.with_ ~name:"fig1.aggregate" @@ fun () ->
   let improvements = improvements_of results in
   let bounds =
     List.filter_map

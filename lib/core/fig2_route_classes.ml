@@ -28,6 +28,7 @@ let route_median cong ~rng ~windows ~samples (o : Egress.option_route) =
 let clamp lo hi v = Float.max lo (Float.min hi v)
 
 let run (fb : Scenario.facebook) =
+  Netsim_obs.Span.with_ ~name:"fig2.run" @@ fun () ->
   let rng = Sm.of_label fb.Scenario.fb_root "fig2" in
   (* Sample a few windows spread over the horizon; per-class medians
      are stable aggregates, not per-window quantities. *)

@@ -80,7 +80,11 @@ let measure_clients ?(nearby_sites = 8) (ms : Scenario.microsoft) =
                    { prefix; anycast_ms; best_unicast_ms; best_site; anycast_site }))
 
 let run ?nearby_sites ms =
-  let clients = measure_clients ?nearby_sites ms in
+  Netsim_obs.Span.with_ ~name:"fig3.run" @@ fun () ->
+  let clients =
+    Netsim_obs.Span.with_ ~name:"fig3.measure_clients" (fun () ->
+        measure_clients ?nearby_sites ms)
+  in
   let gap c = Float.max 0. (c.anycast_ms -. c.best_unicast_ms) in
   let in_scope scope c =
     let city = World.cities.(c.prefix.Prefix.city) in

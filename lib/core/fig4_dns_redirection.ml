@@ -42,6 +42,7 @@ let eval_samples cong ~rng ~windows ~samples flow =
 let clamp lo hi v = Float.max lo (Float.min hi v)
 
 let run (ms : Scenario.microsoft) =
+  Netsim_obs.Span.with_ ~name:"fig4.run" @@ fun () ->
   let rng = Sm.of_label ms.Scenario.ms_root "fig4" in
   let windows = Window.windows ~days:ms.Scenario.ms_days ~length_min:120. in
   let train_windows, eval_windows = half_split windows in

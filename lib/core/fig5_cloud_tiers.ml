@@ -54,6 +54,7 @@ let measure_vp (gc : Scenario.google) ~rng vp =
   | _, _, _, _ -> None
 
 let run (gc : Scenario.google) =
+  Netsim_obs.Span.with_ ~name:"fig5.run" @@ fun () ->
   let rng = Sm.of_label gc.Scenario.gc_root "fig5" in
   let qualifying =
     Array.to_list gc.Scenario.gc_vantage

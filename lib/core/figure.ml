@@ -27,7 +27,10 @@ let render t =
   if t.stats <> [] then begin
     Buffer.add_string buf "  headline statistics:\n";
     List.iter
-      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "    %-42s %10.4f\n" k v))
+      (fun (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %-42s %10s\n" k
+             (Netsim_stats.Summary.pretty_float v)))
       t.stats
   end;
   Buffer.contents buf

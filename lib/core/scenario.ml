@@ -75,6 +75,7 @@ type facebook = {
 
 let facebook ?(sizes = default_sizes) ?(pop_count = 40) ?(peer_fraction = 1.0)
     ?(params = Params.default) ?(routes_per_prefix = 3) () =
+  Netsim_obs.Span.with_ ~name:"scenario.facebook" @@ fun () ->
   let root = Sm.create sizes.seed in
   let base =
     Generator.generate { sizes.base with Generator.seed = sizes.seed }
@@ -119,6 +120,7 @@ type microsoft = {
 
 let microsoft ?(sizes = default_sizes) ?(site_count = 36)
     ?(params = Params.default) ?(ldns_params = Ldns.default_params) () =
+  Netsim_obs.Span.with_ ~name:"scenario.microsoft" @@ fun () ->
   let root = Sm.create sizes.seed in
   let base =
     Generator.generate { sizes.base with Generator.seed = sizes.seed }
@@ -191,6 +193,7 @@ type google = {
 
 let google ?(sizes = default_sizes) ?(n_vantage = 800) ?(params = Params.default)
     () =
+  Netsim_obs.Span.with_ ~name:"scenario.google" @@ fun () ->
   let root = Sm.create sizes.seed in
   let base =
     Generator.generate { sizes.base with Generator.seed = sizes.seed }

@@ -151,8 +151,13 @@ let access_rate_mbps t access_id =
   in
   Dist.lognormal rng ~mu:(log 120.) ~sigma:0.6
 
+let c_samples = Netsim_obs.Metrics.counter "latency.congestion.samples"
+let c_episodes = Netsim_obs.Metrics.counter "latency.congestion.episodes"
+
 let entity_delay_ms t entity ~time_min =
+  Netsim_obs.Metrics.incr c_samples;
   let episode = episode_delay_ms t entity ~time_min in
+  if episode > 0. then Netsim_obs.Metrics.incr c_episodes;
   match entity with
   | Link i -> episode +. queue_delay_ms t ~link_id:i ~time_min
   | Access _ | Dest_net _ -> episode

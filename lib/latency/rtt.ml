@@ -40,6 +40,9 @@ let congestion_ms cong ~time_min flow =
   in
   links +. shared flow.access +. shared flow.dest_net
 
+let c_samples = Netsim_obs.Metrics.counter "latency.rtt.samples"
+let h_rtt = Netsim_obs.Metrics.histogram "latency.rtt.ms"
+
 let sample_ms cong ~rng ~time_min flow =
   let params = Congestion.params cong in
   let topo = Congestion.topology cong in
@@ -47,7 +50,10 @@ let sample_ms cong ~rng ~time_min flow =
   let congested = congestion_ms cong ~time_min flow in
   let sigma = params.Params.minrtt_jitter_sigma in
   let jitter = if sigma <= 0. then 1. else Dist.lognormal rng ~mu:0. ~sigma in
-  (base +. congested) *. jitter
+  let v = (base +. congested) *. jitter in
+  Netsim_obs.Metrics.incr c_samples;
+  Netsim_obs.Metrics.observe h_rtt v;
+  v
 
 let median_of_samples cong ~rng ~time_min ~count flow =
   let samples =

@@ -4,9 +4,13 @@ module Topology = Netsim_topo.Topology
 module World = Netsim_geo.World
 module City = Netsim_geo.City
 
+let c_pings = Netsim_obs.Metrics.counter "measure.pings"
+
 let ping_samples cong ~rng ~days ~per_day ~pings_per_round flow =
+  Netsim_obs.Span.with_ ~name:"measure.ping_campaign" @@ fun () ->
   let rounds = int_of_float (Float.round (days *. float_of_int per_day)) in
   let interval = 1440. /. float_of_int per_day in
+  Netsim_obs.Metrics.add c_pings (rounds * pings_per_round);
   Array.init rounds (fun r ->
       let time_min = (float_of_int r +. 0.5) *. interval in
       let best = ref infinity in

@@ -7,7 +7,10 @@ module City = Netsim_geo.City
 
 type t = { id : int; asid : int; city : int; weight : float }
 
+let c_vantages = Netsim_obs.Metrics.counter "measure.vantages"
+
 let select topo ~rng ~n =
+  Netsim_obs.Span.with_ ~name:"measure.vantage.select" @@ fun () ->
   let hosts =
     Topology.by_klass topo Asn.Eyeball @ Topology.by_klass topo Asn.Stub
   in
@@ -52,6 +55,7 @@ let select topo ~rng ~n =
         :: !result
     end
   done;
+  Netsim_obs.Metrics.add c_vantages (List.length !result);
   Array.of_list (List.rev !result)
 
 let country t = World.cities.(t.city).City.country

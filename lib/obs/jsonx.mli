@@ -1,0 +1,19 @@
+(** Minimal JSON document type with a hand-rolled emitter (no external
+    dependency).  Non-finite floats emit as [null]; strings are escaped
+    per RFC 8259. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val member : string -> t -> t option
+(** [member name (Obj fields)] is the value bound to [name], if any;
+    [None] on non-objects. *)

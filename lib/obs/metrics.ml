@@ -1,0 +1,218 @@
+module Summary = Netsim_stats.Summary
+module Quantile = Netsim_stats.Quantile
+
+(* Single global switch checked at every record site.  Default off, so
+   instrumentation costs one load + branch per site; seeded from the
+   NETSIM_TRACE environment variable, flipped by the CLI / bench
+   drivers. *)
+let on =
+  ref
+    (match Sys.getenv_opt "NETSIM_TRACE" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let set_enabled b = on := b
+let enabled () = !on
+
+(* ---- counters -------------------------------------------------------- *)
+
+type counter = { c_id : int; c_name : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let counter_list : counter list ref = ref []
+let n_counters = ref 0
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_id = !n_counters; c_name = name; c_value = 0 } in
+      incr n_counters;
+      Hashtbl.replace counters name c;
+      counter_list := c :: !counter_list;
+      c
+
+let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
+let add c by = if !on then c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+(* ---- gauges ---------------------------------------------------------- *)
+
+type gauge = { g_name : string; mutable g_value : float }
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      Hashtbl.replace gauges name g;
+      g
+
+let set g v = if !on then g.g_value <- v
+let gauge_value g = g.g_value
+
+(* ---- histograms ------------------------------------------------------ *)
+
+(* Log-bucketed: [buckets_per_decade] buckets per decade of value, over
+   [10^lo_decade, 10^hi_decade), with underflow (index 0, values <=
+   lower bound or <= 0) and overflow (last index) buckets.  Quantiles
+   are estimated from bucket geometric midpoints with the existing
+   weighted-quantile machinery, so the relative error is bounded by the
+   bucket width (x10^(1/buckets_per_decade) ~ 1.58). *)
+let buckets_per_decade = 5
+let lo_decade = -3
+let hi_decade = 7
+let n_inner = (hi_decade - lo_decade) * buckets_per_decade
+let n_buckets = n_inner + 2
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_summary : Summary.t;
+}
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_buckets = Array.make n_buckets 0;
+          h_summary = Summary.create ();
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let bucket_index v =
+  if v <= 0. then 0
+  else begin
+    let raw =
+      int_of_float
+        (Float.floor
+           ((Float.log10 v -. float_of_int lo_decade)
+           *. float_of_int buckets_per_decade))
+    in
+    if raw < 0 then 0 else if raw >= n_inner then n_buckets - 1 else raw + 1
+  end
+
+(* Geometric midpoint of the bucket: the value every sample in it is
+   reported as when estimating quantiles. *)
+let bucket_mid i =
+  if i = 0 then 0.
+  else if i = n_buckets - 1 then 10. ** float_of_int hi_decade
+  else
+    10.
+    ** (float_of_int lo_decade
+       +. ((float_of_int (i - 1) +. 0.5) /. float_of_int buckets_per_decade))
+
+let observe h v =
+  if !on then begin
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    Summary.add h.h_summary v
+  end
+
+let histogram_count h = Summary.count h.h_summary
+let histogram_summary h = h.h_summary
+
+let histogram_quantile h q =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i n ->
+      if n > 0 then pairs := (bucket_mid i, float_of_int n) :: !pairs)
+    h.h_buckets;
+  match !pairs with
+  | [] -> nan
+  | l -> Quantile.weighted_quantile (Array.of_list l) q
+
+(* ---- snapshots (for per-span counter deltas) ------------------------- *)
+
+let counter_snapshot () =
+  let a = Array.make (Stdlib.max 1 !n_counters) 0 in
+  List.iter (fun c -> a.(c.c_id) <- c.c_value) !counter_list;
+  a
+
+let counter_deltas snap =
+  List.filter_map
+    (fun c ->
+      let base = if c.c_id < Array.length snap then snap.(c.c_id) else 0 in
+      let d = c.c_value - base in
+      if d = 0 then None else Some (c.c_name, d))
+    !counter_list
+  |> List.sort compare
+
+(* ---- report rows ----------------------------------------------------- *)
+
+let counter_rows () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counters []
+  |> List.sort compare
+
+let gauge_rows () =
+  Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) gauges []
+  |> List.sort compare
+
+type hist_row = {
+  hr_name : string;
+  hr_summary : Summary.t;
+  hr_p50 : float;
+  hr_p90 : float;
+  hr_p99 : float;
+}
+
+let histogram_rows () =
+  Hashtbl.fold
+    (fun name h acc ->
+      ( name,
+        {
+          hr_name = name;
+          hr_summary = h.h_summary;
+          hr_p50 = histogram_quantile h 0.5;
+          hr_p90 = histogram_quantile h 0.9;
+          hr_p99 = histogram_quantile h 0.99;
+        } )
+      :: acc)
+    histograms []
+  |> List.sort compare |> List.map snd
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 n_buckets 0;
+      h.h_summary <- Summary.create ())
+    histograms
+
+let to_json () =
+  Jsonx.Obj
+    [
+      ( "counters",
+        Jsonx.Obj
+          (List.map (fun (n, v) -> (n, Jsonx.Int v)) (counter_rows ())) );
+      ( "gauges",
+        Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Float v)) (gauge_rows ()))
+      );
+      ( "histograms",
+        Jsonx.Arr
+          (List.map
+             (fun r ->
+               Jsonx.Obj
+                 [
+                   ("name", Jsonx.String r.hr_name);
+                   ("count", Jsonx.Int (Summary.count r.hr_summary));
+                   ("mean", Jsonx.Float (Summary.mean r.hr_summary));
+                   ("min", Jsonx.Float (Summary.min r.hr_summary));
+                   ("max", Jsonx.Float (Summary.max r.hr_summary));
+                   ("total", Jsonx.Float (Summary.total r.hr_summary));
+                   ("p50", Jsonx.Float r.hr_p50);
+                   ("p90", Jsonx.Float r.hr_p90);
+                   ("p99", Jsonx.Float r.hr_p99);
+                 ])
+             (histogram_rows ())) );
+    ]

@@ -1,0 +1,78 @@
+(** Global metrics registry: named counters, gauges and log-bucketed
+    latency histograms.
+
+    All record sites ([incr], [add], [set], [observe]) check a single
+    [enabled] flag and are no-ops when it is off (the default), so
+    instrumentation can stay in hot paths permanently.  The flag is
+    seeded from the [NETSIM_TRACE] environment variable (any value
+    other than empty, ["0"] or ["false"] enables it) and toggled by
+    [set_enabled] — the CLI's [--trace] / [--metrics-out] flags do
+    that.
+
+    Metric objects are interned by name: [counter "x"] returns the same
+    counter everywhere, so modules declare their metrics at top level
+    and pay only the flag check per event. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter registered under this name. *)
+
+val incr : ?by:int -> counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Log-bucketed (5 buckets per decade over [1e-3, 1e7), plus
+    underflow/overflow); quantiles are estimated from bucket geometric
+    midpoints via {!Netsim_stats.Quantile.weighted_quantile}, so the
+    relative error is bounded by the bucket width (~1.58x). *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_summary : histogram -> Netsim_stats.Summary.t
+val histogram_quantile : histogram -> float -> float
+(** [nan] when the histogram is empty. *)
+
+(** {1 Snapshots} — used by {!Span} to attribute counter deltas. *)
+
+val counter_snapshot : unit -> int array
+val counter_deltas : int array -> (string * int) list
+(** Counters that changed since the snapshot, sorted by name. *)
+
+(** {1 Reporting} *)
+
+val counter_rows : unit -> (string * int) list
+val gauge_rows : unit -> (string * float) list
+
+type hist_row = {
+  hr_name : string;
+  hr_summary : Netsim_stats.Summary.t;
+  hr_p50 : float;
+  hr_p90 : float;
+  hr_p99 : float;
+}
+
+val histogram_rows : unit -> hist_row list
+
+val reset : unit -> unit
+(** Zero every registered metric (objects stay registered). *)
+
+val to_json : unit -> Jsonx.t

@@ -1,0 +1,54 @@
+module Summary = Netsim_stats.Summary
+
+let pf = Summary.pretty_float
+
+let metrics_table () =
+  let buf = Buffer.create 2048 in
+  let counters = Metrics.counter_rows () in
+  let gauges = Metrics.gauge_rows () in
+  let hists = Metrics.histogram_rows () in
+  if counters <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" n v))
+      counters
+  end;
+  if gauges <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-42s %12s\n" n (pf v)))
+      gauges
+  end;
+  if hists <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    List.iter
+      (fun (r : Metrics.hist_row) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-42s %s p50=%s p90=%s p99=%s\n" r.Metrics.hr_name
+             (Summary.one_line r.Metrics.hr_summary)
+             (pf r.Metrics.hr_p50) (pf r.Metrics.hr_p90) (pf r.Metrics.hr_p99)))
+      hists
+  end;
+  if Buffer.length buf = 0 then "metrics: (none recorded)\n"
+  else Buffer.contents buf
+
+let render () =
+  "=== trace (wall clock) ===\n" ^ Span.render ()
+  ^ "=== metrics ===\n" ^ metrics_table ()
+
+let to_json () =
+  Jsonx.Obj [ ("metrics", Metrics.to_json ()); ("trace", Span.to_json ()) ]
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string (to_json ()));
+      output_char oc '\n')
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()

@@ -1,0 +1,18 @@
+(** Combined human-readable and JSON reports over {!Metrics} and
+    {!Span}. *)
+
+val metrics_table : unit -> string
+(** Counters, gauges and histogram summaries (one line each, built on
+    {!Netsim_stats.Summary.one_line}). *)
+
+val render : unit -> string
+(** Trace tree followed by the metrics table. *)
+
+val to_json : unit -> Jsonx.t
+(** [{"metrics": {...}, "trace": [...]}] *)
+
+val write_json : string -> unit
+(** Write {!to_json} to a file, newline-terminated. *)
+
+val reset : unit -> unit
+(** Reset both the metrics registry and the span tree. *)

@@ -1,0 +1,142 @@
+(* Wall-clock span tree.  Repeated spans with the same name under the
+   same parent are merged into one node (call count + accumulated
+   time), which keeps per-prefix loops — e.g. one [bgp.propagate] per
+   client AS — readable and bounds memory. *)
+
+type node = {
+  name : string;
+  mutable calls : int;
+  mutable total_ms : float;
+  mutable children : node list;  (** newest first *)
+  mutable counters : (string * int) list;
+}
+
+type info = {
+  i_name : string;
+  i_calls : int;
+  i_total_ms : float;
+  i_self_ms : float;
+  i_counters : (string * int) list;
+  i_children : info list;
+}
+
+let make_node name =
+  { name; calls = 0; total_ms = 0.; children = []; counters = [] }
+
+let root = ref (make_node "root")
+
+type frame = { node : node; start : float; snap : int array }
+
+let stack : frame list ref = ref []
+
+let reset () =
+  root := make_node "root";
+  stack := []
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let find_child parent name =
+  match List.find_opt (fun n -> n.name = name) parent.children with
+  | Some n -> n
+  | None ->
+      let n = make_node name in
+      parent.children <- n :: parent.children;
+      n
+
+(* Accumulate counter deltas into the node's running totals; both lists
+   are sorted by name. *)
+let merge_counters old deltas =
+  let rec go a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | (ka, va) :: ra, (kb, vb) :: rb ->
+        if ka = kb then (ka, va + vb) :: go ra rb
+        else if ka < kb then (ka, va) :: go ra b
+        else (kb, vb) :: go a rb
+  in
+  go old deltas
+
+let with_ ~name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let parent = match !stack with fr :: _ -> fr.node | [] -> !root in
+    let node = find_child parent name in
+    let frame =
+      { node; start = now_ms (); snap = Metrics.counter_snapshot () }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | fr :: rest when fr == frame -> stack := rest
+        | _ -> stack := []);
+        node.calls <- node.calls + 1;
+        node.total_ms <- node.total_ms +. (now_ms () -. frame.start);
+        node.counters <-
+          merge_counters node.counters (Metrics.counter_deltas frame.snap))
+      f
+  end
+
+let rec info_of n =
+  let children = List.rev_map info_of n.children in
+  let child_ms =
+    List.fold_left (fun acc c -> acc +. c.i_total_ms) 0. children
+  in
+  {
+    i_name = n.name;
+    i_calls = n.calls;
+    i_total_ms = n.total_ms;
+    i_self_ms = Float.max 0. (n.total_ms -. child_ms);
+    i_counters = n.counters;
+    i_children = children;
+  }
+
+let tree () = List.rev_map info_of !root.children
+
+let rec names_of acc i =
+  let acc = if List.mem i.i_name acc then acc else i.i_name :: acc in
+  List.fold_left names_of acc i.i_children
+
+let span_names () = List.fold_left names_of [] (tree ()) |> List.rev
+
+let render () =
+  let buf = Buffer.create 2048 in
+  let rec line depth i =
+    let label = String.make (2 * depth) ' ' ^ i.i_name in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-42s %6dx %10.1fms %10.1fms" label i.i_calls
+         i.i_total_ms i.i_self_ms);
+    if i.i_counters <> [] then begin
+      Buffer.add_string buf "  [";
+      List.iteri
+        (fun k (n, v) ->
+          if k > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Printf.sprintf "%s=%d" n v))
+        i.i_counters;
+      Buffer.add_char buf ']'
+    end;
+    Buffer.add_char buf '\n';
+    List.iter (line (depth + 1)) i.i_children
+  in
+  match tree () with
+  | [] -> "trace: (empty — was tracing enabled?)\n"
+  | roots ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-42s %7s %12s %12s\n" "span" "calls" "total"
+           "self");
+      List.iter (line 0) roots;
+      Buffer.contents buf
+
+let rec json_of (i : info) =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.String i.i_name);
+      ("calls", Jsonx.Int i.i_calls);
+      ("total_ms", Jsonx.Float i.i_total_ms);
+      ("self_ms", Jsonx.Float i.i_self_ms);
+      ( "counters",
+        Jsonx.Obj (List.map (fun (n, v) -> (n, Jsonx.Int v)) i.i_counters) );
+      ("children", Jsonx.Arr (List.map json_of i.i_children));
+    ]
+
+let to_json () = Jsonx.Arr (List.map json_of (tree ()))

@@ -50,11 +50,14 @@ let plot ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ~title
           in
           draw s.points)
         series_list;
-      (* Vertical axis: print the range at top and bottom rows. *)
+      (* Vertical axis: print the range at top and bottom rows.  Axis
+         labels share the compact float formatting used by figure
+         captions and the metrics table. *)
+      let pf = Summary.pretty_float in
       for r = 0 to height - 1 do
         let label =
-          if r = 0 then Printf.sprintf "%10.3g |" y_hi
-          else if r = height - 1 then Printf.sprintf "%10.3g |" y_lo
+          if r = 0 then Printf.sprintf "%10s |" (pf y_hi)
+          else if r = height - 1 then Printf.sprintf "%10s |" (pf y_lo)
           else Printf.sprintf "%10s |" ""
         in
         Buffer.add_string buf label;
@@ -63,9 +66,9 @@ let plot ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ~title
       done;
       Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
       Buffer.add_string buf
-        (Printf.sprintf "%10s  %.3g%s%.3g\n" "" x_lo
+        (Printf.sprintf "%10s  %s%s%s\n" "" (pf x_lo)
            (String.make (max 1 (width - 12)) ' ')
-           x_hi);
+           (pf x_hi));
       Buffer.add_string buf (Printf.sprintf "  x: %s, y: %s\n" x_label y_label);
       List.iteri
         (fun si (s : Series.t) ->

@@ -52,3 +52,20 @@ let merge a b =
 let pp fmt t =
   Format.fprintf fmt "n=%d mean=%.3f std=%.3f min=%.3f max=%.3f" t.n (mean t)
     (std t) t.min t.max
+
+(* Compact human formatting shared by figure captions, ASCII-plot axis
+   labels and the observability metrics table. *)
+let pretty_float v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "inf"
+  else if v = Float.neg_infinity then "-inf"
+  else if Float.is_integer v && Float.abs v < 1e7 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let one_line t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%s min=%s max=%s total=%s" t.n
+      (pretty_float (mean t)) (pretty_float t.min) (pretty_float t.max)
+      (pretty_float t.total)

@@ -21,3 +21,13 @@ val merge : t -> t -> t
     single one. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pretty_float : float -> string
+(** Compact human formatting: integers without a fraction, everything
+    else ["%.4g"], non-finite values spelled out.  Shared by figure
+    stat captions, ASCII-plot axis labels and the observability
+    metrics table. *)
+
+val one_line : t -> string
+(** One-line rendering ["n=... mean=... min=... max=... total=..."]
+    built on {!pretty_float}; ["n=0"] when empty. *)

@@ -195,7 +195,11 @@ let dedupe_links specs =
       end)
     specs
 
+let c_ases = Netsim_obs.Metrics.counter "topo.ases"
+let c_links = Netsim_obs.Metrics.counter "topo.links"
+
 let generate p =
+  Netsim_obs.Span.with_ ~name:"topo.generate" @@ fun () ->
   let rng = Sm.create p.seed in
   let b = new_builder () in
   (* 1. Tier-1 clique. *)
@@ -403,4 +407,7 @@ let generate p =
     in
     push_link b sid upstream Relation.C2p city p.stub_capacity
   done;
-  Topology.make (ases_arr ()) (List.rev b.links_rev |> dedupe_links)
+  let topo = Topology.make (ases_arr ()) (List.rev b.links_rev |> dedupe_links) in
+  Netsim_obs.Metrics.add c_ases (Topology.as_count topo);
+  Netsim_obs.Metrics.add c_links (Topology.link_count topo);
+  topo

@@ -5,8 +5,12 @@ module Asn = Netsim_topo.Asn
 module World = Netsim_geo.World
 module City = Netsim_geo.City
 
+let c_prefixes = Netsim_obs.Metrics.counter "traffic.prefixes"
+
 let generate topo ~rng ~n_prefixes =
+  Netsim_obs.Span.with_ ~name:"traffic.population" @@ fun () ->
   if n_prefixes <= 0 then invalid_arg "Population.generate: n_prefixes <= 0";
+  Netsim_obs.Metrics.add c_prefixes n_prefixes;
   let hosts =
     Topology.by_klass topo Asn.Eyeball @ Topology.by_klass topo Asn.Stub
   in

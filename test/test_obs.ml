@@ -1,0 +1,418 @@
+(* Tests for the observability substrate (Netsim_obs): counter /
+   gauge / histogram arithmetic, span nesting and exclusive-time
+   accounting, JSON emitter validity (round-trip checked with a tiny
+   parser below), and a determinism proof that instrumentation does
+   not perturb figure output. *)
+
+module Metrics = Netsim_obs.Metrics
+module Span = Netsim_obs.Span
+module Report = Netsim_obs.Report
+module Jsonx = Netsim_obs.Jsonx
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* Every test starts from a clean slate and leaves tracing off, so the
+   global registry never leaks state into other suites. *)
+let with_clean ?(enabled = true) f () =
+  Report.reset ();
+  Metrics.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Report.reset ())
+    f
+
+(* ---- counters / gauges ---- *)
+
+let test_counter_disabled () =
+  let c = Metrics.counter "t.disabled" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check int) "no-op when disabled" 0 (Metrics.counter_value c)
+
+let test_counter_enabled () =
+  let c = Metrics.counter "t.enabled" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Metrics.add c 5;
+  Alcotest.(check int) "10 after incr+by+add" 10 (Metrics.counter_value c);
+  Alcotest.(check bool) "interned by name" true
+    (Metrics.counter_value (Metrics.counter "t.enabled") = 10);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c)
+
+let test_gauge () =
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set g 3.5;
+  checkf "set" 3.5 (Metrics.gauge_value g);
+  Metrics.set g 1.25;
+  checkf "overwrite" 1.25 (Metrics.gauge_value g)
+
+(* ---- histograms ---- *)
+
+let test_histogram_summary_exact () =
+  let h = Metrics.histogram "t.hist" in
+  List.iter (Metrics.observe h) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  let s = Metrics.histogram_summary h in
+  checkf "mean exact (summary, not buckets)" 2.5 (Netsim_stats.Summary.mean s);
+  checkf "min" 1. (Netsim_stats.Summary.min s);
+  checkf "max" 4. (Netsim_stats.Summary.max s);
+  checkf "total" 10. (Netsim_stats.Summary.total s)
+
+let test_histogram_quantile_bucketed () =
+  let h = Metrics.histogram "t.hist.q" in
+  (* Log buckets are ~1.58x wide; quantile estimates must land within
+     one bucket of the true value. *)
+  for _ = 1 to 100 do
+    Metrics.observe h 10.
+  done;
+  let p50 = Metrics.histogram_quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %g within a bucket of 10" p50)
+    true
+    (p50 > 10. /. 1.6 && p50 < 10. *. 1.6)
+
+let test_histogram_quantiles_monotone () =
+  let h = Metrics.histogram "t.hist.m" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  let p50 = Metrics.histogram_quantile h 0.5 in
+  let p90 = Metrics.histogram_quantile h 0.9 in
+  let p99 = Metrics.histogram_quantile h 0.99 in
+  Alcotest.(check bool) "p50 <= p90 <= p99" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check bool) "p50 near 500" true (p50 > 500. /. 1.6 && p50 < 800.);
+  Alcotest.(check bool) "p99 near 990" true (p99 > 990. /. 1.6 && p99 < 1585.)
+
+let test_histogram_extremes () =
+  let h = Metrics.histogram "t.hist.e" in
+  Metrics.observe h 0.;
+  Metrics.observe h (-5.);
+  Metrics.observe h 1e12;
+  Alcotest.(check int) "under/overflow still counted" 3
+    (Metrics.histogram_count h);
+  let p = Metrics.histogram_quantile h 0.99 in
+  Alcotest.(check bool) "overflow clamps to top bucket" true (p <= 1e7 +. 1.)
+
+let test_histogram_empty () =
+  let h = Metrics.histogram "t.hist.empty" in
+  Alcotest.(check bool) "quantile of empty is nan" true
+    (Float.is_nan (Metrics.histogram_quantile h 0.5))
+
+(* ---- spans ---- *)
+
+let spin ms =
+  let t0 = Unix.gettimeofday () in
+  while (Unix.gettimeofday () -. t0) *. 1000. < ms do
+    ()
+  done
+
+let test_span_disabled_transparent () =
+  Alcotest.(check int) "returns f's value" 41
+    (Span.with_ ~name:"t.off" (fun () -> 41));
+  Alcotest.(check (list string)) "no tree recorded" [] (Span.span_names ())
+
+let test_span_nesting () =
+  let v =
+    Span.with_ ~name:"outer" (fun () ->
+        Span.with_ ~name:"inner" (fun () -> spin 2.);
+        Span.with_ ~name:"inner" (fun () -> spin 2.);
+        17)
+  in
+  Alcotest.(check int) "value passed through" 17 v;
+  match Span.tree () with
+  | [ outer ] ->
+      Alcotest.(check string) "outer name" "outer" outer.Span.i_name;
+      Alcotest.(check int) "outer calls" 1 outer.Span.i_calls;
+      (match outer.Span.i_children with
+      | [ inner ] ->
+          Alcotest.(check string) "inner name" "inner" inner.Span.i_name;
+          Alcotest.(check int) "same-name spans merge" 2 inner.Span.i_calls;
+          Alcotest.(check bool) "inner total >= 4ms" true
+            (inner.Span.i_total_ms >= 4.);
+          Alcotest.(check bool) "outer includes inner" true
+            (outer.Span.i_total_ms >= inner.Span.i_total_ms);
+          (* Exclusive time: outer did almost nothing itself. *)
+          Alcotest.(check bool) "outer self = total - child" true
+            (Float.abs
+               (outer.Span.i_self_ms
+               -. (outer.Span.i_total_ms -. inner.Span.i_total_ms))
+            < 1e-6)
+      | l ->
+          Alcotest.failf "expected one merged child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let test_span_counter_deltas () =
+  let c = Metrics.counter "t.span.work" in
+  Span.with_ ~name:"outer" (fun () ->
+      Metrics.incr ~by:2 c;
+      Span.with_ ~name:"inner" (fun () -> Metrics.incr ~by:5 c));
+  match Span.tree () with
+  | [ outer ] ->
+      Alcotest.(check (list (pair string int)))
+        "outer sees inclusive delta"
+        [ ("t.span.work", 7) ]
+        outer.Span.i_counters;
+      let inner = List.hd outer.Span.i_children in
+      Alcotest.(check (list (pair string int)))
+        "inner sees only its own"
+        [ ("t.span.work", 5) ]
+        inner.Span.i_counters
+  | _ -> Alcotest.fail "expected one root"
+
+let test_span_exception_safe () =
+  (try Span.with_ ~name:"boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Span.with_ ~name:"after" (fun () -> ());
+  Alcotest.(check (list string))
+    "exception closed the span; next span is a sibling root"
+    [ "boom"; "after" ] (Span.span_names ())
+
+(* ---- a tiny JSON parser (test-only) to round-trip the emitter ---- *)
+
+exception Parse_error of string
+
+let parse_json (s : string) : Jsonx.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code = int_of_string ("0x" ^ hex) in
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let raw = String.sub s start (!pos - start) in
+    match int_of_string_opt raw with
+    | Some i -> Jsonx.Int i
+    | None -> (
+        match float_of_string_opt raw with
+        | Some f -> Jsonx.Float f
+        | None -> fail (Printf.sprintf "bad number %S" raw))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" Jsonx.Null
+    | Some 't' -> literal "true" (Jsonx.Bool true)
+    | Some 'f' -> literal "false" (Jsonx.Bool false)
+    | Some '"' -> Jsonx.String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jsonx.Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Jsonx.Arr (items [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jsonx.Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (kv :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev (kv :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Jsonx.Obj (fields [])
+        end
+    | _ -> fail "expected value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let test_json_roundtrip_structural () =
+  let doc =
+    Jsonx.Obj
+      [
+        ("plain", Jsonx.Int 42);
+        ("neg", Jsonx.Int (-7));
+        ("float", Jsonx.Float 3.125);
+        ("tricky\"key\n", Jsonx.String "va\\lue\twith \"quotes\"");
+        ("control", Jsonx.String "\001\031");
+        ("arr", Jsonx.Arr [ Jsonx.Null; Jsonx.Bool true; Jsonx.Bool false ]);
+        ("empty_arr", Jsonx.Arr []);
+        ("empty_obj", Jsonx.Obj []);
+      ]
+  in
+  let emitted = Jsonx.to_string doc in
+  let parsed = parse_json emitted in
+  (* Control chars come back as \uXXXX placeholders from the tiny
+     parser only if >= 0x80; below 0x80 they round-trip exactly. *)
+  Alcotest.(check string) "round-trips structurally" emitted
+    (Jsonx.to_string parsed)
+
+let test_json_nan_is_null () =
+  Alcotest.(check string) "nan emits null" "null" (Jsonx.to_string (Jsonx.Float nan));
+  Alcotest.(check string) "inf emits null" "null"
+    (Jsonx.to_string (Jsonx.Float infinity))
+
+let test_report_json_parses () =
+  let c = Metrics.counter "t.report.c" in
+  let h = Metrics.histogram "t.report.h" in
+  Metrics.incr ~by:3 c;
+  Span.with_ ~name:"t.report.span" (fun () -> Metrics.observe h 12.5);
+  let doc = Report.to_json () in
+  let parsed = parse_json (Jsonx.to_string doc) in
+  let metrics =
+    match Jsonx.member "metrics" parsed with
+    | Some m -> m
+    | None -> Alcotest.fail "no metrics key"
+  in
+  (match Jsonx.member "counters" metrics with
+  | Some (Jsonx.Obj fields) ->
+      Alcotest.(check bool) "counter present" true
+        (List.assoc_opt "t.report.c" fields = Some (Jsonx.Int 3))
+  | _ -> Alcotest.fail "no counters object");
+  (match Jsonx.member "histograms" metrics with
+  | Some (Jsonx.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "no histogram entries");
+  match Jsonx.member "trace" parsed with
+  | Some (Jsonx.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "no trace entries"
+
+(* ---- determinism: tracing must not perturb simulation output ---- *)
+
+let test_tracing_does_not_perturb_fig1 () =
+  let sizes = Beatbgp.Scenario.test_sizes in
+  let run () =
+    let fb = Beatbgp.Scenario.facebook ~sizes () in
+    let r = Beatbgp.Fig1_pop_egress.run fb in
+    Beatbgp.Figure.to_csv r.Beatbgp.Fig1_pop_egress.figure
+  in
+  Metrics.set_enabled false;
+  let untraced = run () in
+  Report.reset ();
+  Metrics.set_enabled true;
+  let traced = run () in
+  Metrics.set_enabled false;
+  Alcotest.(check bool) "tracing recorded spans" true (Span.span_names () <> []);
+  Alcotest.(check string) "identical figure data with tracing on" untraced
+    traced
+
+let suite =
+  [
+    Alcotest.test_case "counter disabled"
+      `Quick (with_clean ~enabled:false test_counter_disabled);
+    Alcotest.test_case "counter enabled" `Quick (with_clean test_counter_enabled);
+    Alcotest.test_case "gauge" `Quick (with_clean test_gauge);
+    Alcotest.test_case "histogram summary exact" `Quick
+      (with_clean test_histogram_summary_exact);
+    Alcotest.test_case "histogram quantile bucketed" `Quick
+      (with_clean test_histogram_quantile_bucketed);
+    Alcotest.test_case "histogram quantiles monotone" `Quick
+      (with_clean test_histogram_quantiles_monotone);
+    Alcotest.test_case "histogram extremes" `Quick
+      (with_clean test_histogram_extremes);
+    Alcotest.test_case "histogram empty" `Quick
+      (with_clean test_histogram_empty);
+    Alcotest.test_case "span disabled transparent" `Quick
+      (with_clean ~enabled:false test_span_disabled_transparent);
+    Alcotest.test_case "span nesting + exclusive time" `Quick
+      (with_clean test_span_nesting);
+    Alcotest.test_case "span counter deltas" `Quick
+      (with_clean test_span_counter_deltas);
+    Alcotest.test_case "span exception safety" `Quick
+      (with_clean test_span_exception_safe);
+    Alcotest.test_case "json round-trip" `Quick
+      (with_clean test_json_roundtrip_structural);
+    Alcotest.test_case "json nan -> null" `Quick
+      (with_clean test_json_nan_is_null);
+    Alcotest.test_case "report json parses" `Quick
+      (with_clean test_report_json_parses);
+    Alcotest.test_case "tracing does not perturb fig1" `Slow
+      (with_clean test_tracing_does_not_perturb_fig1);
+  ]

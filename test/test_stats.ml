@@ -90,6 +90,27 @@ let test_summary_merge_empty () =
   let m = Summary.merge a b in
   checkf "merge with empty" 7. (Summary.mean m)
 
+let test_pretty_float () =
+  let check what expect v =
+    Alcotest.(check string) what expect (Summary.pretty_float v)
+  in
+  check "integer" "42" 42.;
+  check "negative integer" "-3" (-3.);
+  check "zero" "0" 0.;
+  check "fraction" "2.5" 2.5;
+  check "small" "0.001234" 0.001234;
+  check "large integer uses %g" "1.235e+08" 123456789.;
+  check "nan" "nan" Float.nan;
+  check "inf" "inf" Float.infinity;
+  check "-inf" "-inf" Float.neg_infinity
+
+let test_one_line () =
+  let s = Summary.create () in
+  Alcotest.(check string) "empty" "n=0" (Summary.one_line s);
+  List.iter (Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check string)
+    "basic" "n=4 mean=2.5 min=1 max=4 total=10" (Summary.one_line s)
+
 (* ---- Cdf ---- *)
 
 let test_cdf_fraction_below () =
@@ -321,6 +342,8 @@ let suite =
     Alcotest.test_case "summary empty" `Quick test_summary_empty;
     Alcotest.test_case "summary merge" `Quick test_summary_merge;
     Alcotest.test_case "summary merge empty" `Quick test_summary_merge_empty;
+    Alcotest.test_case "summary pretty float" `Quick test_pretty_float;
+    Alcotest.test_case "summary one line" `Quick test_one_line;
     Alcotest.test_case "cdf fraction below" `Quick test_cdf_fraction_below;
     Alcotest.test_case "cdf fraction above" `Quick test_cdf_fraction_above;
     Alcotest.test_case "cdf weighted" `Quick test_cdf_weighted;
