@@ -21,6 +21,9 @@ verify: build test
 	grep -q "latency.rtt.ms" /tmp/beatbgp_verify.out
 	dune exec bin/beatbgp_cli.exe -- fig1 --small --metrics-out /tmp/beatbgp_verify.json > /dev/null
 	grep -q '"counters"' /tmp/beatbgp_verify.json
+	dune exec bin/beatbgp_cli.exe -- dynamics --small > /tmp/beatbgp_dynamics.out
+	diff -u test/golden/dynamics_small.txt /tmp/beatbgp_dynamics.out
+	dune exec bench/micro_dynamics.exe -- --check
 	@echo "verify: OK"
 
 clean:

@@ -1,0 +1,191 @@
+(* Microbenchmark of the dynamics engine and incremental reconvergence:
+
+     dune exec bench/micro_dynamics.exe -- [--check] [--out FILE] [iters]
+
+   Measures (a) full Propagate.run vs Propagate.reconverge on a single
+   link flap, for links drawn from the origin's routing tree (worst
+   case: the failure actually reroutes traffic) and (b) raw engine
+   throughput in events/second over a scripted flap storm.  Writes the
+   numbers as JSON (default BENCH_dynamics.json).
+
+   --check runs the incremental-vs-full equivalence suite instead: 50
+   seeded random single-link failures (and the flap back up) must give
+   identical routing (best route, AS path, class for every AS); exits
+   non-zero on any divergence. *)
+
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Propagate = Netsim_bgp.Propagate
+module Route = Netsim_bgp.Route
+module Announce = Netsim_bgp.Announce
+module Sm = Netsim_prng.Splitmix
+module Jsonx = Netsim_obs.Jsonx
+module Event = Netsim_dynamics.Event
+module Engine = Netsim_dynamics.Engine
+module Script = Netsim_dynamics.Script
+
+let setup () =
+  let topo = Netsim_topo.Generator.generate Netsim_topo.Generator.default_params in
+  let origin = List.hd (Topology.by_klass topo Netsim_topo.Asn.Eyeball) in
+  let config = Announce.default ~origin in
+  (topo, config, Propagate.run topo config)
+
+(* Link ids that carry some AS's selected route — failing one forces
+   real rerouting, unlike a random (likely unused) link. *)
+let tree_links topo state =
+  let used = Hashtbl.create 256 in
+  for asid = 0 to Topology.as_count topo - 1 do
+    match Propagate.best state asid with
+    | Some (r : Route.t) -> Hashtbl.replace used r.Route.via_link.Relation.id ()
+    | None -> ()
+  done;
+  Hashtbl.fold (fun id () acc -> id :: acc) used []
+  |> List.sort compare |> Array.of_list
+
+let route_key s asid =
+  ( (match Propagate.best s asid with
+    | Some r ->
+        Some (r.Route.next_hop, r.Route.via_link.Relation.id, r.Route.path_len)
+    | None -> None),
+    Propagate.as_path s asid,
+    Propagate.selected_class s asid )
+
+let states_equal topo a b =
+  let ok = ref true in
+  for asid = 0 to Topology.as_count topo - 1 do
+    if route_key a asid <> route_key b asid then ok := false
+  done;
+  !ok
+
+let check () =
+  let topo, config, state = setup () in
+  let rng = Sm.create 20250806 in
+  let n_links = Topology.link_count topo in
+  let failures = ref 0 in
+  for i = 1 to 50 do
+    let l = Sm.next_int rng n_links in
+    let failed_topo = Topology.remove_links topo [ l ] in
+    let full = Propagate.run failed_topo config in
+    let incr_down, _ =
+      Propagate.reconverge state ~topo:failed_topo (Propagate.Link_removed l)
+    in
+    if not (states_equal topo full incr_down) then begin
+      Printf.printf "MISMATCH after removing link %d (case %d)\n" l i;
+      incr failures
+    end;
+    (* And back up: restoring must reproduce the original state. *)
+    let incr_up, _ =
+      Propagate.reconverge incr_down ~topo (Propagate.Link_added l)
+    in
+    if not (states_equal topo state incr_up) then begin
+      Printf.printf "MISMATCH after restoring link %d (case %d)\n" l i;
+      incr failures
+    end
+  done;
+  Printf.printf "equivalence: 50 single-link failures + restores, %d mismatches\n"
+    !failures;
+  if !failures > 0 then exit 1
+
+let time_ns f iters =
+  f ();  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+(* Time full [run] vs incremental [reconverge] over the same seeded
+   rotation of single-link removals drawn from [links]. *)
+let flap_pair topo config state links iters =
+  let picker () =
+    let rng = Sm.create 7 in
+    fun () -> links.(Sm.next_int rng (Array.length links))
+  in
+  let pick = picker () in
+  let full_ns =
+    time_ns
+      (fun () ->
+        let l = pick () in
+        ignore (Propagate.run (Topology.remove_links topo [ l ]) config))
+      iters
+  in
+  let pick = picker () in
+  let incr_ns =
+    time_ns
+      (fun () ->
+        let l = pick () in
+        let failed_topo = Topology.remove_links topo [ l ] in
+        ignore
+          (Propagate.reconverge state ~topo:failed_topo (Propagate.Link_removed l)))
+      iters
+  in
+  (full_ns, incr_ns, full_ns /. incr_ns)
+
+let bench ~out ~iters =
+  let topo, config, state = setup () in
+  (* Two flap distributions: uniform over every link (what the engine's
+     flap scripts draw — most links carry no selected route, so the
+     dirty set is tiny) and the worst case of links on the origin's
+     routing tree (every failure actually reroutes traffic). *)
+  let all_links =
+    Array.init (Topology.link_count topo) (fun i -> i)
+  in
+  let full_ns, incr_ns, speedup = flap_pair topo config state all_links iters in
+  let tree_full_ns, tree_incr_ns, tree_speedup =
+    flap_pair topo config state (tree_links topo state) iters
+  in
+  (* Engine throughput: one tracked prefix under a dense flap storm. *)
+  let eng = Engine.create topo in
+  Engine.track eng config;
+  Script.schedule_all eng
+    (Script.flaps (Sm.create 11) ~link_ids:all_links ~mean_interval_min:2.
+       ~mean_down_min:10. ~days:2);
+  let t0 = Unix.gettimeofday () in
+  Engine.run eng ~until:(2. *. 24. *. 60.);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let events = Engine.events_processed eng in
+  let events_per_sec = float_of_int events /. elapsed in
+  Printf.printf
+    "reconverge (uniform links): full %.0f ns  incremental %.0f ns  speedup %.1fx\n\
+     reconverge (on-tree links): full %.0f ns  incremental %.0f ns  speedup %.1fx\n\
+     engine: %d events in %.3f s  (%.0f events/s)\n"
+    full_ns incr_ns speedup tree_full_ns tree_incr_ns tree_speedup events
+    elapsed events_per_sec;
+  let json =
+    Jsonx.Obj
+      [
+        ("bench", Jsonx.String "dynamics");
+        ("iters", Jsonx.Int iters);
+        ("full_reconverge_ns", Jsonx.Float full_ns);
+        ("incremental_reconverge_ns", Jsonx.Float incr_ns);
+        ("speedup", Jsonx.Float speedup);
+        ("tree_full_reconverge_ns", Jsonx.Float tree_full_ns);
+        ("tree_incremental_reconverge_ns", Jsonx.Float tree_incr_ns);
+        ("tree_speedup", Jsonx.Float tree_speedup);
+        ("engine_events", Jsonx.Int events);
+        ("engine_events_per_sec", Jsonx.Float events_per_sec);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  if speedup < 5. then begin
+    Printf.printf
+      "FAIL: incremental reconvergence under 5x faster than full on \
+       uniform single-link flaps\n";
+    exit 1
+  end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse ~check_mode ~out ~iters = function
+    | [] -> (check_mode, out, iters)
+    | "--check" :: rest -> parse ~check_mode:true ~out ~iters rest
+    | "--out" :: file :: rest -> parse ~check_mode ~out:file ~iters rest
+    | n :: rest -> parse ~check_mode ~out ~iters:(int_of_string n) rest
+  in
+  let check_mode, out, iters =
+    parse ~check_mode:false ~out:"BENCH_dynamics.json" ~iters:200 args
+  in
+  if check_mode then check () else bench ~out ~iters

@@ -138,11 +138,18 @@ let run_availability ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
   let result = Beatbgp.Availability.run ms in
   ignore (emit ~csv result.Beatbgp.Availability.figure);
+  let asid =
+    (Netsim_cdn.Anycast.deployment ms.Beatbgp.Scenario.ms_system)
+      .Netsim_cdn.Deployment.asid
+  in
   if not csv then
     List.iter
       (fun (f : Beatbgp.Availability.site_failure) ->
         Printf.printf
-          "  site %-14s affected %5.1f%%  anycast +%6.1f ms  DNS-pinned %5.1f%% for %gs\n"
+          "  %-22s %-14s affected %5.1f%%  anycast +%6.1f ms  DNS-pinned %5.1f%% for %gs\n"
+          (Netsim_dynamics.Event.label
+             (Netsim_dynamics.Event.Site_down
+                { asid; metro = f.Beatbgp.Availability.site }))
           (Netsim_geo.World.cities.(f.Beatbgp.Availability.site)).Netsim_geo.City.name
           (100. *. f.Beatbgp.Availability.affected_share)
           f.Beatbgp.Availability.anycast_delta_ms
@@ -150,6 +157,23 @@ let run_availability ~sizes ~csv =
           (f.Beatbgp.Availability.dns_outage_client_seconds
           /. Float.max 1e-9 f.Beatbgp.Availability.dns_outage_share))
       result.Beatbgp.Availability.failures
+
+let run_dynamics ~sizes ~csv =
+  let fb = Beatbgp.Scenario.facebook ~sizes () in
+  let result = Beatbgp.Dynamics_stale.run fb in
+  ignore (emit ~csv result.Beatbgp.Dynamics_stale.figure);
+  if not csv then
+    List.iter
+      (fun (c : Beatbgp.Dynamics_stale.cell) ->
+        Printf.printf
+          "  %-5s staleness %6.0f min  mean %+7.2f ms  p10 %+7.2f ms  \
+           ticks %4d  events %5d  dirty %6d\n"
+          c.Beatbgp.Dynamics_stale.churn c.Beatbgp.Dynamics_stale.staleness_min
+          c.Beatbgp.Dynamics_stale.mean_advantage_ms
+          c.Beatbgp.Dynamics_stale.p10_advantage_ms
+          c.Beatbgp.Dynamics_stale.ticks c.Beatbgp.Dynamics_stale.events
+          c.Beatbgp.Dynamics_stale.dirty_entries)
+      result.Beatbgp.Dynamics_stale.cells
 
 let run_hybrid ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
@@ -304,6 +328,7 @@ let main =
       cmd "wanfrac" "Section 3.3.2: single-WAN-fraction hypothesis" run_wanfrac;
       cmd "goodput" "Footnote 3: Figure 1 repeated for TCP goodput" run_goodput;
       cmd "availability" "Section 4: site failures, anycast vs DNS pinning" run_availability;
+      cmd "dynamics" "Section 4: stale controller vs BGP under failures and congestion churn" run_dynamics;
       cmd "hybrid" "Section 4: hybrid anycast+redirection margin sweep" run_hybrid;
       cmd "splittcp" "Section 4: split TCP over WAN vs public backend" run_splittcp;
       cmd "sites" "Section 3.2.2: how many anycast sites are enough" run_sites;

@@ -187,6 +187,280 @@ let run topo config =
   end;
   { topo; config; cust; peer; prov }
 
+(* ---- Incremental reconvergence ------------------------------------ *)
+
+type delta = Link_removed of int | Link_added of int
+
+type reconverge_stats = {
+  rs_dirty_cust : int;
+  rs_dirty_peer : int;
+  rs_dirty_prov : int;
+  rs_as_count : int;
+}
+
+let rs_dirty r = r.rs_dirty_cust + r.rs_dirty_peer + r.rs_dirty_prov
+
+let c_reconverges = Netsim_obs.Metrics.counter "bgp.reconverges"
+let c_reconverge_dirty = Netsim_obs.Metrics.counter "bgp.reconverge_dirty_ases"
+
+(* A single-link topology delta invalidates only the routes that
+   (transitively) depend on the changed link.  [reconverge] computes a
+   conservative per-class dirty set, clears those entries, and re-runs
+   the three propagation phases restricted to the dirty ASes, with
+   boundary exports seeded from the untouched entries.  The result is
+   provably identical to a full [run] on the new topology (see
+   doc/dynamics.md for the closure argument; test_dynamics checks it
+   on random single-link failures and flap restores).
+
+   Dirty closure rules, per delta direction:
+
+   - removal only {e worsens} customer/peer candidates, so a worse
+     export from [p] can only affect ASes whose current entry already
+     goes through [p] (the recorded [parent] back-pointers);
+   - addition can {e improve} customer/peer candidates, so an improved
+     export from [p] can be adopted by {e any} provider/peer neighbor
+     of [p];
+   - in both directions a dirty entry of [p] can flip [p]'s overall
+     selection between route classes, which changes the length of the
+     route [p] exports downhill in either direction — so every
+     customer neighbor of a dirty AS joins the provider-class dirty
+     set. *)
+let reconverge s ~topo delta =
+  Netsim_obs.Span.with_ ~name:"bgp.reconverge" @@ fun () ->
+  let n = Topology.as_count topo in
+  if n <> Topology.as_count s.topo then
+    invalid_arg "Propagate.reconverge: AS count changed";
+  let origin = s.config.Announce.origin in
+  let config = s.config in
+  let dc = Array.make n false
+  and dp = Array.make n false
+  and dv = Array.make n false in
+  let queue = Queue.create () in
+  let mark d tag x =
+    if x <> origin && not d.(x) then begin
+      d.(x) <- true;
+      Queue.add (tag, x) queue
+    end
+  in
+  let mark_c = mark dc `C and mark_p = mark dp `P and mark_v = mark dv `V in
+  (* Reverse dependency index over the old state (removals follow the
+     recorded parent pointers; additions walk the live adjacency). *)
+  let cust_children = Array.make n [] and peer_children = Array.make n [] in
+  (match delta with
+  | Link_removed _ ->
+      for x = n - 1 downto 0 do
+        (match s.cust.(x) with
+        | Some e when e.parent <> origin ->
+            cust_children.(e.parent) <- x :: cust_children.(e.parent)
+        | _ -> ());
+        match s.peer.(x) with
+        | Some e when e.parent <> origin ->
+            peer_children.(e.parent) <- x :: peer_children.(e.parent)
+        | _ -> ()
+      done
+  | Link_added _ -> ());
+  (* Base dirty set: entries riding the removed link, or the potential
+     first adopters of the added one. *)
+  (match delta with
+  | Link_removed l ->
+      for x = 0 to n - 1 do
+        (match s.cust.(x) with
+        | Some e when e.link.Relation.id = l -> mark_c x
+        | _ -> ());
+        (match s.peer.(x) with
+        | Some e when e.link.Relation.id = l -> mark_p x
+        | _ -> ());
+        match s.prov.(x) with
+        | Some e when e.link.Relation.id = l -> mark_v x
+        | _ -> ()
+      done
+  | Link_added l -> (
+      let link =
+        match
+          Array.find_opt
+            (fun (lk : Relation.link) -> lk.Relation.id = l)
+            (Topology.links topo)
+        with
+        | Some lk -> lk
+        | None -> invalid_arg "Propagate.reconverge: added link not in topology"
+      in
+      match link.Relation.kind with
+      | Relation.C2p ->
+          (* [a] is the customer: [b] may gain a customer-learned
+             route, [a] a provider-learned one. *)
+          mark_c link.Relation.b;
+          mark_v link.Relation.a
+      | Relation.Peer_private | Relation.Peer_public ->
+          mark_p link.Relation.a;
+          mark_p link.Relation.b));
+  let improving = match delta with Link_added _ -> true | Link_removed _ -> false in
+  while not (Queue.is_empty queue) do
+    let tag, p = Queue.pop queue in
+    (match tag with
+    | `C ->
+        if improving then
+          List.iter
+            (fun (nb : Topology.neighbor) ->
+              match nb.rel with
+              | Relation.To_provider -> mark_c nb.peer
+              | Relation.Priv_peer | Relation.Pub_peer -> mark_p nb.peer
+              | Relation.To_customer -> ())
+            (Topology.neighbors topo p)
+        else begin
+          List.iter mark_c cust_children.(p);
+          List.iter mark_p peer_children.(p)
+        end
+    | `P | `V -> ());
+    (* Any dirty class can flip p's selection, changing what it
+       exports to its customers. *)
+    List.iter
+      (fun (nb : Topology.neighbor) ->
+        if nb.rel = Relation.To_customer then mark_v nb.peer)
+      (Topology.neighbors topo p)
+  done;
+  (* Clear the dirty entries; everything else is final and acts as the
+     re-run's boundary. *)
+  let cust = Array.copy s.cust
+  and peer = Array.copy s.peer
+  and prov = Array.copy s.prov in
+  let nd_c = ref 0 and nd_p = ref 0 and nd_v = ref 0 in
+  for x = 0 to n - 1 do
+    if dc.(x) then begin
+      cust.(x) <- None;
+      Stdlib.incr nd_c
+    end;
+    if dp.(x) then begin
+      peer.(x) <- None;
+      Stdlib.incr nd_p
+    end;
+    if dv.(x) then begin
+      prov.(x) <- None;
+      Stdlib.incr nd_v
+    end
+  done;
+  (* ---- Phase 1 (restricted): customer-learned routes. ---- *)
+  let pq = ref Pq.empty in
+  let push (target, len, parent, link, no_export) =
+    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
+  in
+  List.iter
+    (fun ((target, _, _, _, _) as seed) -> if dc.(target) then push seed)
+    (seeds topo config ~klass:Route.Customer);
+  for t = 0 to n - 1 do
+    if dc.(t) then
+      List.iter
+        (fun (nb : Topology.neighbor) ->
+          if nb.rel = Relation.To_customer && not dc.(nb.peer) then
+            match cust.(nb.peer) with
+            | Some e when not e.no_export ->
+                push (t, e.len + 1, nb.peer, nb.link, false)
+            | _ -> ())
+        (Topology.neighbors topo t)
+  done;
+  while not (Pq.is_empty !pq) do
+    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if target <> origin && dc.(target) && cust.(target) = None then begin
+      cust.(target) <- Some { len; parent; link; no_export };
+      if not no_export then
+        List.iter
+          (fun (nb : Topology.neighbor) ->
+            if nb.rel = Relation.To_provider && nb.peer <> origin && dc.(nb.peer)
+            then push (nb.peer, len + 1, target, nb.link, false))
+          (Topology.neighbors topo target)
+    end
+  done;
+  (* ---- Phase 2 (restricted): peer-learned routes, pulled per dirty
+     target over its full lateral candidate set. ---- *)
+  let better (candidate : entry) current =
+    match current with
+    | None -> true
+    | Some e ->
+        candidate.len < e.len
+        || (candidate.len = e.len
+           && (candidate.parent, candidate.link.Relation.id)
+              < (e.parent, e.link.Relation.id))
+  in
+  let peer_seeds = seeds topo config ~klass:Route.Peer in
+  for t = 0 to n - 1 do
+    if dp.(t) then begin
+      let best = ref None in
+      let consider c = if better c !best then best := Some c in
+      List.iter
+        (fun (target, len, parent, link, no_export) ->
+          if target = t then consider { len; parent; link; no_export })
+        peer_seeds;
+      List.iter
+        (fun (nb : Topology.neighbor) ->
+          match nb.rel with
+          | Relation.Priv_peer | Relation.Pub_peer -> (
+              match cust.(nb.peer) with
+              | Some e when not e.no_export ->
+                  consider
+                    { len = e.len + 1; parent = nb.peer; link = nb.link;
+                      no_export = false }
+              | _ -> ())
+          | Relation.To_customer | Relation.To_provider -> ())
+        (Topology.neighbors topo t);
+      peer.(t) <- !best
+    end
+  done;
+  (* ---- Phase 3 (restricted): provider-learned routes. ---- *)
+  let sel_fixed x =
+    match cust.(x) with Some e -> Some e | None -> peer.(x)
+  in
+  let pq = ref Pq.empty in
+  let push (target, len, parent, link, no_export) =
+    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
+  in
+  List.iter
+    (fun ((target, _, _, _, _) as seed) -> if dv.(target) then push seed)
+    (seeds topo config ~klass:Route.Provider);
+  for t = 0 to n - 1 do
+    if dv.(t) then
+      List.iter
+        (fun (nb : Topology.neighbor) ->
+          if nb.rel = Relation.To_provider then begin
+            let y = nb.peer in
+            match sel_fixed y with
+            | Some e ->
+                if not e.no_export then push (t, e.len + 1, y, nb.link, false)
+            | None -> (
+                if not dv.(y) then
+                  match prov.(y) with
+                  | Some e when not e.no_export ->
+                      push (t, e.len + 1, y, nb.link, false)
+                  | _ -> ())
+          end)
+        (Topology.neighbors topo t)
+  done;
+  while not (Pq.is_empty !pq) do
+    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if target <> origin && dv.(target) && prov.(target) = None then begin
+      prov.(target) <- Some { len; parent; link; no_export };
+      if sel_fixed target = None && not no_export then
+        List.iter
+          (fun (nb : Topology.neighbor) ->
+            if nb.rel = Relation.To_customer && nb.peer <> origin && dv.(nb.peer)
+            then push (nb.peer, len + 1, target, nb.link, false))
+          (Topology.neighbors topo target)
+    end
+  done;
+  let stats =
+    {
+      rs_dirty_cust = !nd_c;
+      rs_dirty_peer = !nd_p;
+      rs_dirty_prov = !nd_v;
+      rs_as_count = n;
+    }
+  in
+  if Netsim_obs.Metrics.enabled () then begin
+    Netsim_obs.Metrics.incr c_reconverges;
+    Netsim_obs.Metrics.add c_reconverge_dirty (rs_dirty stats)
+  end;
+  ({ topo; config; cust; peer; prov }, stats)
+
 let selected_entry s x =
   if x = origin s then None
   else

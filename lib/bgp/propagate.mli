@@ -17,6 +17,42 @@ type state
 val run : Netsim_topo.Topology.t -> Announce.t -> state
 (** Compute routes from every AS to the configured origin. *)
 
+(** {1 Incremental reconvergence}
+
+    The dynamics engine mutates topologies one link at a time (flaps,
+    failures, repairs).  [reconverge] updates an existing state for
+    such a delta by re-running propagation only over the {e dirty} ASes
+    — those whose routes can possibly change — seeded from the
+    untouched boundary.  Equivalent to a full [run] on the new
+    topology, typically an order of magnitude cheaper for a single
+    link event (see [bench/micro_dynamics.ml]). *)
+
+type delta =
+  | Link_removed of int
+      (** The link with this id was removed; the new topology must be
+          the old one minus exactly that link
+          ({!Netsim_topo.Topology.remove_links} preserves ids). *)
+  | Link_added of int
+      (** The link with this id is present again in the new topology
+          (a repair restoring a previously removed link). *)
+
+type reconverge_stats = {
+  rs_dirty_cust : int;  (** ASes whose customer-learned entry was re-derived. *)
+  rs_dirty_peer : int;
+  rs_dirty_prov : int;
+  rs_as_count : int;
+}
+
+val rs_dirty : reconverge_stats -> int
+(** Total dirty entries across the three classes. *)
+
+val reconverge :
+  state -> topo:Netsim_topo.Topology.t -> delta -> state * reconverge_stats
+(** [reconverge s ~topo delta] is the routing state on [topo], where
+    [topo] differs from [s]'s topology by exactly [delta].  The input
+    state is not modified.  @raise Invalid_argument if the AS count
+    changed or an added link id is absent from [topo]. *)
+
 val topology : state -> Netsim_topo.Topology.t
 val config : state -> Announce.t
 val origin : state -> int

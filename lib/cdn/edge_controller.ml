@@ -52,6 +52,18 @@ let measure_window cong ~rng ~samples_per_route window (entry : Egress.entry) =
       in
       { entry; window; per_route; bgp; best_alternate }
 
+let decide cong ~rng ~samples_per_route ~time_min options =
+  List.fold_left
+    (fun acc (o : Egress.option_route) ->
+      let m =
+        Rtt.median_of_samples cong ~rng ~time_min ~count:samples_per_route
+          o.Egress.flow
+      in
+      match acc with
+      | Some (_, best) when best <= m -> acc
+      | _ -> Some (o, m))
+    None options
+
 let improvement_ms r =
   match r.best_alternate with
   | None -> None

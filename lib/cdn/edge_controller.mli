@@ -32,6 +32,19 @@ val measure_window :
   Egress.entry ->
   window_result
 
+val decide :
+  Netsim_latency.Congestion.t ->
+  rng:Netsim_prng.Splitmix.t ->
+  samples_per_route:int ->
+  time_min:float ->
+  Egress.option_route list ->
+  (Egress.option_route * float) option
+(** One controller decision at a point in time: measure each candidate
+    (median of [samples_per_route] MinRTT samples) and return the
+    measured-best with its median; [None] on an empty candidate list.
+    Earlier (higher-ranked) options win ties.  This is the re-decision
+    the dynamics experiments run on each measurement tick. *)
+
 val improvement_ms : window_result -> float option
 (** Median difference, BGP − best alternate (positive = an alternate
     was faster); [None] for single-route entries. *)

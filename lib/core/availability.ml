@@ -124,6 +124,10 @@ let run ?(ttl_seconds = 300.) ?(max_sites = 8) (ms : Scenario.microsoft) =
   in
   let failures =
     List.map (fun site -> fail_site ms ~table ~ttl_seconds ~site) sites
+    (* Order the figure by failed-site identity (metro id) so the
+       x-axis is a stable label, not a rank that reshuffles whenever
+       catchment shares move. *)
+    |> List.sort (fun a b -> compare a.site b.site)
   in
   let mean f =
     match failures with
@@ -143,12 +147,12 @@ let run ?(ttl_seconds = 300.) ?(max_sites = 8) (ms : Scenario.microsoft) =
   in
   let series f name =
     Series.make name
-      (List.mapi (fun i x -> (float_of_int i, f x)) failures)
+      (List.map (fun x -> (float_of_int x.site, f x)) failures)
   in
   let figure =
     Figure.make ~id:"availability"
       ~title:"Site failures: anycast reconvergence vs DNS pinning"
-      ~x_label:"Failed site (rank by catchment share)"
+      ~x_label:"Failed site (metro id)"
       ~y_label:"Impact" ~stats
       [
         series (fun f -> f.affected_share) "affected traffic share";

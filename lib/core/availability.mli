@@ -35,7 +35,8 @@ type site_failure = {
 
 type result = {
   figure : Figure.t;
-  failures : site_failure list;
+  failures : site_failure list;  (** Ordered by site (metro id), which
+                                     is also the figure's x-axis. *)
   mean_anycast_delta_ms : float;
   mean_dns_outage_share : float;
 }

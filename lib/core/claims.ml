@@ -89,6 +89,21 @@ let of_figure figure =
             ~paper_value:"qualitatively similar to latency (footnote 3)"
             ~band:(0.5, 1.) figure "frac_bgp_at_least_as_fast";
         ]
+    | "dynamics" ->
+        [
+          mk ~id:"dyn-fresh-positive"
+            ~description:"fresh controller beats BGP on average"
+            ~paper_value:"controllers win while measurements are fresh"
+            ~band:(0.01, 500.) figure "advantage_fresh_ms";
+          mk ~id:"dyn-staleness-drop"
+            ~description:"advantage shrinks as staleness outlives the churn"
+            ~paper_value:"stale measurements erode the edge (section 4)"
+            ~band:(0.005, 500.) figure "advantage_drop_ms";
+          mk ~id:"dyn-tail-negative"
+            ~description:"stalest controller develops a losing tail (p10)"
+            ~paper_value:"beating BGP requires reacting faster than the churn"
+            ~band:(-500., -0.001) figure "tail_p10_stalest_ms";
+        ]
     | _ -> []
   in
   List.filter_map (fun c -> c) candidates

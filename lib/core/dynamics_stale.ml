@@ -1,0 +1,287 @@
+module Sm = Netsim_prng.Splitmix
+module Series = Netsim_stats.Series
+module Quantile = Netsim_stats.Quantile
+module Relation = Netsim_topo.Relation
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Decision = Netsim_bgp.Decision
+module Walk = Netsim_bgp.Walk
+module Deployment = Netsim_cdn.Deployment
+module Egress = Netsim_cdn.Egress
+module Edge_controller = Netsim_cdn.Edge_controller
+module Rtt = Netsim_latency.Rtt
+module Congestion = Netsim_latency.Congestion
+module Prefix = Netsim_traffic.Prefix
+module Event = Netsim_dynamics.Event
+module Engine = Netsim_dynamics.Engine
+module Script = Netsim_dynamics.Script
+
+type churn = {
+  churn_name : string;
+  flap_interval_min : float;  (** Mean between link flaps, fleet-wide. *)
+  burst_interval_min : float;  (** Mean between congestion onsets. *)
+}
+
+type cell = {
+  staleness_min : float;
+  churn : string;
+  mean_advantage_ms : float;
+  p10_advantage_ms : float;
+  ticks : int;
+  events : int;
+  dirty_entries : int;
+  full_runs : int;
+}
+
+type result = {
+  figure : Figure.t;
+  cells : cell list;
+}
+
+let staleness_sweep = [ 5.; 15.; 30.; 60.; 120.; 240. ]
+
+let churns =
+  [
+    { churn_name = "fast"; flap_interval_min = 45.; burst_interval_min = 8. };
+    { churn_name = "slow"; flap_interval_min = 180.; burst_interval_min = 30. };
+  ]
+
+let max_entries = 24
+let eval_period_min = 10.
+let decide_samples = 5
+let eval_samples = 3
+
+(* The provider/client pairs under study: the heaviest multi-route
+   egress entries, so the controller has a real choice to make. *)
+let select_entries (fb : Scenario.facebook) =
+  Array.to_list fb.Scenario.fb_entries
+  |> List.filter (fun (e : Egress.entry) -> List.length e.Egress.options >= 2)
+  |> List.sort (fun (a : Egress.entry) (b : Egress.entry) ->
+         let c =
+           compare b.Egress.prefix.Prefix.weight a.Egress.prefix.Prefix.weight
+         in
+         if c <> 0 then c
+         else compare a.Egress.prefix.Prefix.id b.Egress.prefix.Prefix.id)
+  |> List.filteri (fun i _ -> i < max_entries)
+
+let egress_links entries =
+  List.concat_map
+    (fun (e : Egress.entry) ->
+      List.map
+        (fun (o : Egress.option_route) ->
+          o.Egress.flow.Rtt.walk.Walk.hops |> List.hd |> fun h ->
+          h.Walk.link.Relation.id)
+        e.Egress.options)
+    entries
+  |> List.sort_uniq compare |> Array.of_list
+
+let walk_up eng (w : Walk.t) =
+  List.for_all
+    (fun (h : Walk.hop) -> Engine.link_is_up eng h.Walk.link.Relation.id)
+    w.Walk.hops
+
+let available_options eng (e : Egress.entry) =
+  List.filter
+    (fun (o : Egress.option_route) -> walk_up eng o.Egress.flow.Rtt.walk)
+    e.Egress.options
+
+(* BGP's serving flow right now: the highest-ranked precomputed option
+   whose path is intact, else a fresh walk over the reconverged state
+   (BGP has no stale-measurement problem — it reroutes immediately). *)
+let bgp_flow eng d (e : Egress.entry) =
+  match available_options eng e with
+  | o :: _ -> Some o.Egress.flow
+  | [] -> (
+      let state = Engine.routing eng ~origin:e.Egress.prefix.Prefix.asid in
+      let candidates =
+        match
+          Propagate.received_at_metro state d.Deployment.asid
+            ~metro:e.Egress.pop
+        with
+        | [] -> Propagate.received state d.Deployment.asid
+        | l -> l
+      in
+      match Decision.sort Decision.content_provider candidates with
+      | [] -> None
+      | route :: _ -> (
+          match Walk.of_route state ~src:d.Deployment.asid ~route with
+          | None -> None
+          | Some walk -> (
+              match e.Egress.options with
+              | o :: _ -> Some { o.Egress.flow with Rtt.walk }
+              | [] -> None)))
+
+let simulate (fb : Scenario.facebook) ~entries ~links ~days
+    ~(churn : churn) ~staleness_min =
+  Netsim_obs.Span.with_ ~name:"dynamics.cell" @@ fun () ->
+  let cong = fb.Scenario.fb_congestion in
+  Congestion.clear_event_delays cong;
+  let d = fb.Scenario.fb_deployment in
+  let eng = Engine.create ~congestion:cong d.Deployment.topo in
+  List.iter
+    (fun origin -> Engine.track eng (Announce.default ~origin))
+    (List.sort_uniq compare
+       (List.map
+          (fun (e : Egress.entry) -> e.Egress.prefix.Prefix.asid)
+          entries));
+  (* Event scripts are seeded per churn rate only, so every staleness
+     cell of a row replays the identical timeline and the sweep
+     isolates the controller's measurement age. *)
+  let rng_of label =
+    Sm.of_label fb.Scenario.fb_root
+      (Printf.sprintf "dynamics.%s.%s" churn.churn_name label)
+  in
+  Script.schedule_all eng
+    (Script.flaps (rng_of "flaps") ~link_ids:links
+       ~mean_interval_min:churn.flap_interval_min ~mean_down_min:20. ~days);
+  Script.schedule_all eng
+    (Script.congestion_bursts (rng_of "bursts") ~link_ids:links
+       ~mean_interval_min:churn.burst_interval_min ~median_extra_ms:35.
+       ~sigma:0.7 ~mean_duration_min:30. ~days);
+  Script.schedule_all eng
+    (Script.measurement_ticks ~controller:0 ~period_min:staleness_min ~days);
+  let horizon = float_of_int days *. 24. *. 60. in
+  let rec eval_marks t acc =
+    if t >= horizon then List.rev acc
+    else eval_marks (t +. eval_period_min) ((t, Event.Mark "eval") :: acc)
+  in
+  Script.schedule_all eng (eval_marks (eval_period_min /. 2.) []);
+  let entries = Array.of_list entries in
+  let picks = Array.make (Array.length entries) None in
+  let ticks = ref 0 in
+  let redecide ~time =
+    Array.iteri
+      (fun i e ->
+        let rng =
+          Sm.of_label fb.Scenario.fb_root
+            (Printf.sprintf "dynamics.%s.decide.%g.%d" churn.churn_name time i)
+        in
+        picks.(i) <-
+          (match
+             Edge_controller.decide cong ~rng ~samples_per_route:decide_samples
+               ~time_min:time
+               (available_options eng e)
+           with
+          | Some (o, _) -> Some o
+          | None -> None))
+      entries
+  in
+  (* The controller starts fresh: a decision at t = 0. *)
+  redecide ~time:0.;
+  let advantages = ref [] in
+  let evaluate ~time =
+    Array.iteri
+      (fun i e ->
+        match bgp_flow eng d e with
+        | None -> ()
+        | Some bf ->
+            let cf =
+              match picks.(i) with
+              | Some (o : Egress.option_route)
+                when walk_up eng o.Egress.flow.Rtt.walk ->
+                  o.Egress.flow
+              | Some _ | None -> bf
+            in
+            let sample tag flow =
+              let rng =
+                Sm.of_label fb.Scenario.fb_root
+                  (Printf.sprintf "dynamics.%s.eval.%g.%d.%s"
+                     churn.churn_name time i tag)
+              in
+              Rtt.median_of_samples cong ~rng ~time_min:time
+                ~count:eval_samples flow
+            in
+            let b = sample "bgp" bf in
+            let c = if cf == bf then b else sample "ctrl" cf in
+            advantages :=
+              (b -. c, e.Egress.prefix.Prefix.weight) :: !advantages)
+      entries
+  in
+  Engine.subscribe eng (fun _ ~time ev ->
+      match ev with
+      | Event.Measurement_tick _ ->
+          incr ticks;
+          redecide ~time
+      | Event.Mark "eval" -> evaluate ~time
+      | _ -> ());
+  Engine.run eng ~until:horizon;
+  Congestion.clear_event_delays cong;
+  let adv = Array.of_list (List.rev !advantages) in
+  let total_w = Array.fold_left (fun acc (_, w) -> acc +. w) 0. adv in
+  let mean =
+    if total_w <= 0. then 0.
+    else
+      Array.fold_left (fun acc (v, w) -> acc +. (v *. w)) 0. adv /. total_w
+  in
+  let p10 = if adv = [||] then 0. else Quantile.weighted_quantile adv 0.1 in
+  let dirty, full_runs =
+    List.fold_left
+      (fun (d0, f0) (cv : Engine.convergence) ->
+        (d0 + cv.Engine.cv_dirty, f0 + cv.Engine.cv_full_runs))
+      (0, 0) (Engine.convergence_log eng)
+  in
+  {
+    staleness_min;
+    churn = churn.churn_name;
+    mean_advantage_ms = mean;
+    p10_advantage_ms = p10;
+    ticks = !ticks;
+    events = Engine.events_processed eng;
+    dirty_entries = dirty;
+    full_runs;
+  }
+
+let run (fb : Scenario.facebook) =
+  Netsim_obs.Span.with_ ~name:"dynamics.run" @@ fun () ->
+  let entries = select_entries fb in
+  let links = egress_links entries in
+  let days = max 1 (int_of_float (Float.min fb.Scenario.fb_days 2.)) in
+  let cells =
+    List.concat_map
+      (fun churn ->
+        List.map
+          (fun staleness_min ->
+            simulate fb ~entries ~links ~days ~churn ~staleness_min)
+          staleness_sweep)
+      churns
+  in
+  let row name = List.filter (fun c -> c.churn = name) cells in
+  let series name f cs =
+    Series.make name (List.map (fun c -> (c.staleness_min, f c)) cs)
+  in
+  let fast = row "fast" and slow = row "slow" in
+  let first l = List.nth l 0 in
+  let last l = List.nth l (List.length l - 1) in
+  let fresh = first fast and stalest = last fast in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 cells in
+  let fast_churn = List.find (fun c -> c.churn_name = "fast") churns in
+  let stats =
+    [
+      ("advantage_fresh_ms", fresh.mean_advantage_ms);
+      ("advantage_stalest_ms", stalest.mean_advantage_ms);
+      ( "advantage_drop_ms",
+        fresh.mean_advantage_ms -. stalest.mean_advantage_ms );
+      ("tail_p10_stalest_ms", stalest.p10_advantage_ms);
+      ("slow_advantage_drop_ms",
+        (first slow).mean_advantage_ms -. (last slow).mean_advantage_ms);
+      ("flap_interval_min", fast_churn.flap_interval_min);
+      ("events_total", float_of_int (sum (fun c -> c.events)));
+      ("dirty_entries_total", float_of_int (sum (fun c -> c.dirty_entries)));
+      ("full_runs_total", float_of_int (sum (fun c -> c.full_runs)));
+    ]
+  in
+  let figure =
+    Figure.make ~id:"dynamics"
+      ~title:"Controller advantage vs measurement staleness under churn"
+      ~x_label:"Controller measurement staleness (minutes)"
+      ~y_label:"BGP - controller latency (ms)" ~stats
+      [
+        series "mean advantage (fast churn)" (fun c -> c.mean_advantage_ms)
+          fast;
+        series "mean advantage (slow churn)" (fun c -> c.mean_advantage_ms)
+          slow;
+        series "p10 advantage (fast churn)" (fun c -> c.p10_advantage_ms) fast;
+        series "p10 advantage (slow churn)" (fun c -> c.p10_advantage_ms) slow;
+      ]
+  in
+  { figure; cells }

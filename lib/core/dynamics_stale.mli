@@ -1,0 +1,40 @@
+(** Stale-measurement routing over time (§4's "can you beat BGP in
+    practice" question, under dynamics).
+
+    Replays identical failure/congestion timelines through the
+    discrete-event engine while sweeping the controller's measurement
+    period: BGP reroutes the instant a path breaks, while the
+    Edge-Fabric-style controller keeps serving its last measured-best
+    egress until the next tick.  The figure plots the weighted mean
+    and 10th-percentile latency advantage (BGP − controller, positive
+    = controller wins) against staleness, one series per churn rate.
+    The tracked claims assert that the fresh controller wins, that the
+    advantage shrinks as staleness exceeds the churn timescale, and
+    that the stale controller develops a losing tail. *)
+
+type churn = {
+  churn_name : string;
+  flap_interval_min : float;  (** Mean between link flaps, fleet-wide. *)
+  burst_interval_min : float;  (** Mean between congestion onsets. *)
+}
+
+type cell = {
+  staleness_min : float;
+  churn : string;
+  mean_advantage_ms : float;  (** Weighted mean of BGP − controller. *)
+  p10_advantage_ms : float;
+  ticks : int;  (** Controller re-decisions. *)
+  events : int;  (** Timeline events processed. *)
+  dirty_entries : int;  (** Route entries re-derived incrementally. *)
+  full_runs : int;  (** Full repropagations. *)
+}
+
+type result = {
+  figure : Figure.t;
+  cells : cell list;  (** One per (churn, staleness) pair. *)
+}
+
+val staleness_sweep : float list
+val churns : churn list
+
+val run : Scenario.facebook -> result

@@ -1,0 +1,71 @@
+(** Discrete-event network dynamics engine.
+
+    The engine owns a base topology, a set of currently-failed links,
+    an optional congestion state (whose event overlay it maintains),
+    and any number of {e tracked prefixes} — announcement configs whose
+    BGP routing state it keeps continuously converged.  Events are
+    processed strictly in (time, insertion) order from a {!Timeline};
+    each topology delta triggers {!Netsim_bgp.Propagate.reconverge} of
+    every tracked state (a dirty-set incremental re-run, not a full
+    repropagation), with per-event convergence accounting.
+
+    Pluggable {e processes} observe every processed event after the
+    engine has applied it and may schedule follow-on events — this is
+    how controllers, flap generators and scenario scripts compose. *)
+
+type t
+
+type process = t -> time:float -> Event.t -> unit
+
+(** Per-event reconvergence accounting. *)
+type convergence = {
+  cv_time : float;
+  cv_event : Event.t;
+  cv_dirty : int;
+      (** Route entries re-derived across all tracked prefixes. *)
+  cv_states : int;  (** Tracked states touched (incremental runs). *)
+  cv_full_runs : int;  (** Full repropagations (withdraw/re-announce). *)
+}
+
+val create : ?congestion:Netsim_latency.Congestion.t -> Netsim_topo.Topology.t -> t
+(** The congestion state, when given, must have been built on the same
+    (base) topology; the engine drives its event-delay overlay. *)
+
+val track : t -> Netsim_bgp.Announce.t -> unit
+(** Start tracking a prefix: one full propagation now, incremental
+    reconvergence on every subsequent topology event. *)
+
+val routing : t -> origin:int -> Netsim_bgp.Propagate.state
+(** Current routing state of a tracked origin.
+    @raise Not_found if the origin is not tracked. *)
+
+val subscribe : t -> process -> unit
+(** Processes run in subscription order, after the engine applied the
+    event. *)
+
+val schedule : t -> at:float -> Event.t -> unit
+
+val run : t -> until:float -> unit
+(** Process every scheduled event with time <= [until] (including
+    events that processes schedule along the way) and advance the
+    clock to [until]. *)
+
+val step : t -> (float * Event.t) option
+(** Process exactly the next event, if any. *)
+
+val now : t -> float
+val topology : t -> Netsim_topo.Topology.t
+(** Current topology (base minus failed links). *)
+
+val base_topology : t -> Netsim_topo.Topology.t
+val congestion : t -> Netsim_latency.Congestion.t option
+val link_is_up : t -> int -> bool
+val down_links : t -> int list
+(** Currently failed link ids, ascending. *)
+
+val events_processed : t -> int
+val event_log : t -> (float * Event.t) list
+(** Processed events, chronological. *)
+
+val convergence_log : t -> convergence list
+(** One record per event that touched routing, chronological. *)

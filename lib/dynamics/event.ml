@@ -1,0 +1,42 @@
+type t =
+  | Link_down of int
+  | Link_up of int
+  | Link_flap of { link_id : int; down_minutes : float }
+  | Site_down of { asid : int; metro : int }
+  | Site_up of { asid : int; metro : int }
+  | Congestion_onset of { link_id : int; extra_ms : float; duration_min : float }
+  | Congestion_decay of { link_id : int; extra_ms : float }
+  | Withdraw_prefix of { origin : int }
+  | Reannounce_prefix of { origin : int }
+  | Measurement_tick of { controller : int }
+  | Mark of string
+
+let kind = function
+  | Link_down _ -> "link-down"
+  | Link_up _ -> "link-up"
+  | Link_flap _ -> "link-flap"
+  | Site_down _ -> "site-down"
+  | Site_up _ -> "site-up"
+  | Congestion_onset _ -> "congestion-onset"
+  | Congestion_decay _ -> "congestion-decay"
+  | Withdraw_prefix _ -> "withdraw"
+  | Reannounce_prefix _ -> "reannounce"
+  | Measurement_tick _ -> "tick"
+  | Mark _ -> "mark"
+
+let label = function
+  | Link_down l -> Printf.sprintf "link-down:%d" l
+  | Link_up l -> Printf.sprintf "link-up:%d" l
+  | Link_flap { link_id; down_minutes } ->
+      Printf.sprintf "link-flap:%d(%gm)" link_id down_minutes
+  | Site_down { asid; metro } -> Printf.sprintf "site-down:AS%d@%d" asid metro
+  | Site_up { asid; metro } -> Printf.sprintf "site-up:AS%d@%d" asid metro
+  | Congestion_onset { link_id; extra_ms; duration_min } ->
+      Printf.sprintf "congestion-onset:%d(+%gms,%gm)" link_id extra_ms
+        duration_min
+  | Congestion_decay { link_id; extra_ms } ->
+      Printf.sprintf "congestion-decay:%d(-%gms)" link_id extra_ms
+  | Withdraw_prefix { origin } -> Printf.sprintf "withdraw:AS%d" origin
+  | Reannounce_prefix { origin } -> Printf.sprintf "reannounce:AS%d" origin
+  | Measurement_tick { controller } -> Printf.sprintf "tick:%d" controller
+  | Mark s -> Printf.sprintf "mark:%s" s

@@ -1,0 +1,37 @@
+(** Typed timeline events.
+
+    Every change the network undergoes over simulated time is one of
+    these.  Topology events (link/site down/up, flaps) trigger
+    incremental BGP reconvergence of the engine's tracked prefixes;
+    congestion events drive the {!Netsim_latency.Congestion} overlay;
+    announcement events toggle a tracked prefix; measurement ticks and
+    marks carry no engine semantics and exist for processes (e.g. the
+    stale edge controller) to react to. *)
+
+type t =
+  | Link_down of int  (** Fail the link with this id. *)
+  | Link_up of int  (** Restore a previously failed link. *)
+  | Link_flap of { link_id : int; down_minutes : float }
+      (** Fail the link now and schedule its repair [down_minutes]
+          later. *)
+  | Site_down of { asid : int; metro : int }
+      (** Fail every link of [asid] at [metro] (a PoP outage). *)
+  | Site_up of { asid : int; metro : int }
+  | Congestion_onset of { link_id : int; extra_ms : float; duration_min : float }
+      (** Add [extra_ms] of delay to the link now and schedule the
+          matching decay [duration_min] later. *)
+  | Congestion_decay of { link_id : int; extra_ms : float }
+  | Withdraw_prefix of { origin : int }
+      (** The tracked origin withdraws its announcement everywhere. *)
+  | Reannounce_prefix of { origin : int }
+  | Measurement_tick of { controller : int }
+      (** A controller's periodic measurement instant; engine no-op. *)
+  | Mark of string  (** Free-form scripting marker; engine no-op. *)
+
+val kind : t -> string
+(** Short kind tag, e.g. ["link-down"] — used for span names and
+    per-kind counters. *)
+
+val label : t -> string
+(** Stable human-readable label, e.g. ["link-down:17"] or
+    ["site-down:AS12@33"] — used in event logs and figures. *)

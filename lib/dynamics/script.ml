@@ -1,0 +1,58 @@
+module Splitmix = Netsim_prng.Splitmix
+module Dist = Netsim_prng.Dist
+
+let minutes_per_day = 24. *. 60.
+
+let flaps rng ~link_ids ~mean_interval_min ~mean_down_min ~days =
+  if link_ids = [||] || mean_interval_min <= 0. then []
+  else begin
+    let rng = Splitmix.of_label rng "script.flaps" in
+    let horizon = float_of_int days *. minutes_per_day in
+    let rec go t acc =
+      let t = t +. Dist.exponential rng ~rate:(1. /. mean_interval_min) in
+      if t >= horizon then List.rev acc
+      else
+        let link_id = link_ids.(Splitmix.next_int rng (Array.length link_ids)) in
+        let down_minutes =
+          Float.max 0.5 (Dist.exponential rng ~rate:(1. /. mean_down_min))
+        in
+        go t ((t, Event.Link_flap { link_id; down_minutes }) :: acc)
+    in
+    go 0. []
+  end
+
+let congestion_bursts rng ~link_ids ~mean_interval_min ~median_extra_ms ~sigma
+    ~mean_duration_min ~days =
+  if link_ids = [||] || mean_interval_min <= 0. then []
+  else begin
+    let rng = Splitmix.of_label rng "script.congestion" in
+    let horizon = float_of_int days *. minutes_per_day in
+    let mu = Float.log median_extra_ms in
+    let rec go t acc =
+      let t = t +. Dist.exponential rng ~rate:(1. /. mean_interval_min) in
+      if t >= horizon then List.rev acc
+      else
+        let link_id = link_ids.(Splitmix.next_int rng (Array.length link_ids)) in
+        let extra_ms = Dist.lognormal rng ~mu ~sigma in
+        let duration_min =
+          Float.max 1. (Dist.exponential rng ~rate:(1. /. mean_duration_min))
+        in
+        go t
+          ((t, Event.Congestion_onset { link_id; extra_ms; duration_min }) :: acc)
+    in
+    go 0. []
+  end
+
+let measurement_ticks ~controller ~period_min ~days =
+  if period_min <= 0. then invalid_arg "Script.measurement_ticks: period <= 0";
+  let horizon = float_of_int days *. minutes_per_day in
+  let rec go t acc =
+    if t >= horizon then List.rev acc
+    else go (t +. period_min) ((t, Event.Measurement_tick { controller }) :: acc)
+  in
+  (* First tick at [period_min]: at t=0 the controller is fresh by
+     construction, so the cycle starts after one full period. *)
+  go period_min []
+
+let schedule_all engine events =
+  List.iter (fun (at, ev) -> Engine.schedule engine ~at ev) events

@@ -1,0 +1,37 @@
+(** Stochastic event scripts.
+
+    Generators for common event mixes, all driven by explicit
+    {!Netsim_prng.Splitmix} substreams so the same seed always yields
+    the same script.  Times are simulated minutes from 0; [days] sets
+    the horizon. *)
+
+val flaps :
+  Netsim_prng.Splitmix.t ->
+  link_ids:int array ->
+  mean_interval_min:float ->
+  mean_down_min:float ->
+  days:int ->
+  (float * Event.t) list
+(** Poisson arrivals of {!Event.Link_flap} on uniformly-chosen links:
+    exponential inter-arrival times with the given mean, exponential
+    down-times (floored at 30 s).  Empty if [link_ids] is empty. *)
+
+val congestion_bursts :
+  Netsim_prng.Splitmix.t ->
+  link_ids:int array ->
+  mean_interval_min:float ->
+  median_extra_ms:float ->
+  sigma:float ->
+  mean_duration_min:float ->
+  days:int ->
+  (float * Event.t) list
+(** Poisson arrivals of {!Event.Congestion_onset}: lognormal severity
+    (median [median_extra_ms], log-space [sigma]) and exponential
+    duration (floored at 1 min). *)
+
+val measurement_ticks :
+  controller:int -> period_min:float -> days:int -> (float * Event.t) list
+(** Periodic {!Event.Measurement_tick}, first at [period_min].
+    @raise Invalid_argument if [period_min <= 0]. *)
+
+val schedule_all : Engine.t -> (float * Event.t) list -> unit

@@ -1,0 +1,74 @@
+type 'a item = { at : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a item array;  (** Valid entries are [0 .. size-1]. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~at payload =
+  if Float.is_nan at then invalid_arg "Timeline.schedule: NaN time";
+  let item = { at; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * t.size) in
+    let heap = Array.make cap item in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- item;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let item = t.heap.(0) in
+    Some (item.at, item.payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let item = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (item.at, item.payload)
+  end
+
+let drain t =
+  let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
+  go []

@@ -1,0 +1,24 @@
+(** Deterministic priority-queue timeline.
+
+    A binary min-heap of timed items ordered by (time, insertion
+    sequence): earlier times first, and among equal times strict FIFO,
+    so replaying the same schedule always yields the same order.  Times
+    are simulated minutes (matching {!Netsim_traffic.Window}). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:float -> 'a -> unit
+(** @raise Invalid_argument on a NaN time. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Next item without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val drain : 'a t -> (float * 'a) list
+(** Pop everything, in order (leaves the timeline empty). *)

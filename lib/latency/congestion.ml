@@ -16,6 +16,10 @@ type t = {
       (** Chronically saturated links are demand-bound all day: their
           utilization ignores the diurnal swing. *)
   offered_load : float option array;
+  event_extra : float array;
+      (** Timeline-driven extra delay per link (ms), maintained by the
+          dynamics engine's congestion onset/decay events.  Additive so
+          overlapping episodes compose. *)
   access_base : (int, float) Hashtbl.t;
 }
 
@@ -52,6 +56,7 @@ let create params topo ~seed =
     base_util;
     chronic;
     offered_load = Array.make n_links None;
+    event_extra = Array.make n_links 0.;
     access_base = Hashtbl.create 256;
   }
 
@@ -62,6 +67,17 @@ let set_offered_load t ~link_id ~gbps = t.offered_load.(link_id) <- Some gbps
 
 let clear_offered_loads t =
   Array.fill t.offered_load 0 (Array.length t.offered_load) None
+
+let add_event_delay_ms t ~link_id ~ms =
+  t.event_extra.(link_id) <- t.event_extra.(link_id) +. ms
+
+let remove_event_delay_ms t ~link_id ~ms =
+  t.event_extra.(link_id) <- Float.max 0. (t.event_extra.(link_id) -. ms)
+
+let event_delay_ms t ~link_id = t.event_extra.(link_id)
+
+let clear_event_delays t =
+  Array.fill t.event_extra 0 (Array.length t.event_extra) 0.
 
 let minutes_per_day = 1440.
 
@@ -159,5 +175,5 @@ let entity_delay_ms t entity ~time_min =
   let episode = episode_delay_ms t entity ~time_min in
   if episode > 0. then Netsim_obs.Metrics.incr c_episodes;
   match entity with
-  | Link i -> episode +. queue_delay_ms t ~link_id:i ~time_min
+  | Link i -> episode +. queue_delay_ms t ~link_id:i ~time_min +. t.event_extra.(i)
   | Access _ | Dest_net _ -> episode

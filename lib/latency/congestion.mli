@@ -31,6 +31,24 @@ val set_offered_load : t -> link_id:int -> gbps:float -> unit
 
 val clear_offered_loads : t -> unit
 
+(** {1 Timeline-driven congestion}
+
+    The dynamics engine overlays event-driven extra delay on top of
+    the derived diurnal/episode model: a congestion-onset event adds
+    delay to a link, the matching decay removes it.  Deltas are
+    additive so overlapping episodes compose; a decay never drives the
+    overlay negative. *)
+
+val add_event_delay_ms : t -> link_id:int -> ms:float -> unit
+val remove_event_delay_ms : t -> link_id:int -> ms:float -> unit
+
+val event_delay_ms : t -> link_id:int -> float
+(** Current overlay on a link (0 when no event is in force). *)
+
+val clear_event_delays : t -> unit
+(** Reset the overlay on every link (used between timeline runs that
+    share one congestion state). *)
+
 val utilization : t -> link_id:int -> time_min:float -> float
 (** Current utilization in [0, 0.97], including the diurnal cycle at
     the link's metro. *)

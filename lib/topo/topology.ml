@@ -93,13 +93,20 @@ let add_links t specs =
 let remove_links t ids =
   let module S = Set.Make (Int) in
   let failed = S.of_list ids in
-  let links =
-    Array.of_list
-      (List.filter
-         (fun (l : Relation.link) -> not (S.mem l.Relation.id failed))
-         (Array.to_list t.links))
+  let keep (l : Relation.link) = not (S.mem l.Relation.id failed) in
+  let links = Array.of_list (List.filter keep (Array.to_list t.links)) in
+  (* Adjacency changes only at the endpoints of removed links; every
+     other AS shares its neighbor list with [t].  Filtering preserves
+     order, so the result is identical to a full rebuild. *)
+  let touched =
+    Array.fold_left
+      (fun acc (l : Relation.link) ->
+        if keep l then acc else S.add l.Relation.a (S.add l.Relation.b acc))
+      S.empty t.links
   in
-  { t with links; adj = build_adjacency (Array.length t.ases) links }
+  let adj = Array.copy t.adj in
+  S.iter (fun x -> adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x)) touched;
+  { t with links; adj }
 
 let remove_links_of_as t asid =
   let ids =

@@ -98,6 +98,23 @@ let test_grooming_nurture () =
   Alcotest.(check bool) "grooming used a modest number of actions" true
     (stat "total_actions" > 0. && stat "total_actions" < 500.)
 
+let test_dynamics_claims () =
+  (* §4 under dynamics: fresh controllers win, stale ones stop
+     winning.  Also sanity-check the sweep itself: every cell ran its
+     events, and all reconvergence was incremental (no full runs). *)
+  let r = Beatbgp.Dynamics_stale.run (Lazy.force fb) in
+  check_all_claims r.Beatbgp.Dynamics_stale.figure;
+  List.iter
+    (fun (c : Beatbgp.Dynamics_stale.cell) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %s/%g processed events" c.Beatbgp.Dynamics_stale.churn
+           c.Beatbgp.Dynamics_stale.staleness_min)
+        true
+        (c.Beatbgp.Dynamics_stale.events > 0
+        && c.Beatbgp.Dynamics_stale.ticks > 0
+        && c.Beatbgp.Dynamics_stale.full_runs = 0))
+    r.Beatbgp.Dynamics_stale.cells
+
 let test_wan_fraction_hypothesis () =
   (* §3.3.2's hypothesis: Premium's advantage shrinks when the BGP
      path already behaves like a single WAN.  We check the bucket
@@ -135,4 +152,5 @@ let suite =
     Alcotest.test_case "grooming nurture" `Slow test_grooming_nurture;
     Alcotest.test_case "goodput footnote-3" `Slow test_goodput_claims;
     Alcotest.test_case "single-WAN hypothesis" `Slow test_wan_fraction_hypothesis;
+    Alcotest.test_case "dynamics staleness claims" `Slow test_dynamics_claims;
   ]

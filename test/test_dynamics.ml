@@ -1,0 +1,292 @@
+(* Dynamics engine tests: timeline ordering, event semantics on the
+   hand-built fixture, determinism (traced and untraced), and the
+   incremental-reconvergence-equals-full-run property on random
+   single-link failures. *)
+
+module Sm = Netsim_prng.Splitmix
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Topology = Netsim_topo.Topology
+module Generator = Netsim_topo.Generator
+module Announce = Netsim_bgp.Announce
+module Route = Netsim_bgp.Route
+module Propagate = Netsim_bgp.Propagate
+module Params = Netsim_latency.Params
+module Congestion = Netsim_latency.Congestion
+module Event = Netsim_dynamics.Event
+module Timeline = Netsim_dynamics.Timeline
+module Engine = Netsim_dynamics.Engine
+module Script = Netsim_dynamics.Script
+open Fixture
+
+(* Routing digest: selection-relevant facts for every AS, rendered so
+   mismatches show up as readable diffs. *)
+let digest topo state =
+  let buf = Buffer.create 256 in
+  for asid = 0 to Topology.as_count topo - 1 do
+    let best =
+      match Propagate.best state asid with
+      | Some (r : Route.t) ->
+          Printf.sprintf "%d/%d/%d" r.Route.next_hop
+            r.Route.via_link.Relation.id r.Route.path_len
+      | None -> "-"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%d:%s:%s:%s\n" asid best
+         (String.concat "." (List.map string_of_int (Propagate.as_path state asid)))
+         (match Propagate.selected_class state asid with
+         | Some k -> Route.klass_to_string k
+         | None -> "-"))
+  done;
+  Buffer.contents buf
+
+(* ---- Timeline ---- *)
+
+let test_timeline_order () =
+  let tl = Timeline.create () in
+  Timeline.schedule tl ~at:3. "c";
+  Timeline.schedule tl ~at:1. "a";
+  Timeline.schedule tl ~at:2. "b";
+  Timeline.schedule tl ~at:1. "a2";
+  Alcotest.(check int) "length" 4 (Timeline.length tl);
+  Alcotest.(check (list (pair (float 0.) string)))
+    "time order, FIFO on ties"
+    [ (1., "a"); (1., "a2"); (2., "b"); (3., "c") ]
+    (Timeline.drain tl);
+  Alcotest.(check bool) "empty after drain" true (Timeline.is_empty tl)
+
+let test_timeline_nan_rejected () =
+  let tl = Timeline.create () in
+  Alcotest.check_raises "NaN time" (Invalid_argument "Timeline.schedule: NaN time")
+    (fun () -> Timeline.schedule tl ~at:Float.nan ())
+
+let test_timeline_interleaved () =
+  (* FIFO among equal times must survive interleaved pops. *)
+  let tl = Timeline.create () in
+  Timeline.schedule tl ~at:1. 0;
+  Timeline.schedule tl ~at:1. 1;
+  Alcotest.(check (option (pair (float 0.) int))) "first" (Some (1., 0))
+    (Timeline.pop tl);
+  Timeline.schedule tl ~at:1. 2;
+  Alcotest.(check (option (pair (float 0.) int))) "second" (Some (1., 1))
+    (Timeline.pop tl);
+  Alcotest.(check (option (pair (float 0.) int))) "third" (Some (1., 2))
+    (Timeline.pop tl)
+
+(* ---- Engine event semantics on the fixture ---- *)
+
+let engine_cp () =
+  let t = topo () in
+  let eng = Engine.create t in
+  Engine.track eng (Announce.default ~origin:cp);
+  (t, eng)
+
+let test_flap_restores_state () =
+  let t, eng = engine_cp () in
+  let before = digest t (Engine.routing eng ~origin:cp) in
+  Engine.schedule eng ~at:10.
+    (Event.Link_flap { link_id = l_cp_t1a_ny; down_minutes = 5. });
+  Engine.run eng ~until:12.;
+  Alcotest.(check bool) "link down" false (Engine.link_is_up eng l_cp_t1a_ny);
+  let during = digest t (Engine.routing eng ~origin:cp) in
+  Alcotest.(check bool) "routing changed while down" true (before <> during);
+  Engine.run eng ~until:20.;
+  Alcotest.(check bool) "link back up" true (Engine.link_is_up eng l_cp_t1a_ny);
+  Alcotest.(check string) "routing restored" before
+    (digest t (Engine.routing eng ~origin:cp));
+  Alcotest.(check int) "down+up processed" 2 (Engine.events_processed eng)
+
+let test_duplicate_down_ignored () =
+  let t, eng = engine_cp () in
+  ignore t;
+  Engine.schedule eng ~at:1. (Event.Link_down l_st_eb);
+  Engine.schedule eng ~at:2. (Event.Link_down l_st_eb);
+  Engine.run eng ~until:3.;
+  Alcotest.(check (list int)) "down once" [ l_st_eb ] (Engine.down_links eng);
+  (* Only the first down touched routing. *)
+  Alcotest.(check int) "one convergence record" 1
+    (List.length (Engine.convergence_log eng))
+
+let test_site_down_up () =
+  let t, eng = engine_cp () in
+  Engine.schedule eng ~at:1. (Event.Site_down { asid = cp; metro = ny });
+  Engine.run eng ~until:2.;
+  (* All CP sessions at NY fail together: transit and the public peering. *)
+  Alcotest.(check (list int)) "ny links down"
+    (List.sort compare [ l_cp_t1a_ny; l_cp_eb_pub ])
+    (Engine.down_links eng);
+  let before = digest t (Engine.routing eng ~origin:cp) in
+  Engine.schedule eng ~at:3. (Event.Site_up { asid = cp; metro = ny });
+  Engine.run eng ~until:4.;
+  Alcotest.(check (list int)) "restored" [] (Engine.down_links eng);
+  Alcotest.(check bool) "routing differs while site down" true
+    (before <> digest t (Engine.routing eng ~origin:cp))
+
+let test_withdraw_reannounce () =
+  let t, eng = engine_cp () in
+  let before = digest t (Engine.routing eng ~origin:cp) in
+  Engine.schedule eng ~at:1. (Event.Withdraw_prefix { origin = cp });
+  Engine.run eng ~until:2.;
+  let st_state = Engine.routing eng ~origin:cp in
+  Alcotest.(check bool) "unreachable after withdraw" false
+    (Propagate.reachable st_state st);
+  Engine.schedule eng ~at:3. (Event.Reannounce_prefix { origin = cp });
+  Engine.run eng ~until:4.;
+  Alcotest.(check string) "reannounce restores routing" before
+    (digest t (Engine.routing eng ~origin:cp));
+  let full_runs =
+    List.fold_left
+      (fun acc (c : Engine.convergence) -> acc + c.Engine.cv_full_runs)
+      0 (Engine.convergence_log eng)
+  in
+  Alcotest.(check int) "two full repropagations" 2 full_runs
+
+let test_congestion_overlay () =
+  let t = topo () in
+  let cong = Congestion.create Params.default t ~seed:5 in
+  let eng = Engine.create ~congestion:cong t in
+  Engine.schedule eng ~at:1.
+    (Event.Congestion_onset
+       { link_id = l_eb_tr; extra_ms = 30.; duration_min = 10. });
+  Engine.schedule eng ~at:5.
+    (Event.Congestion_onset
+       { link_id = l_eb_tr; extra_ms = 12.; duration_min = 2. });
+  Engine.run eng ~until:6.;
+  Alcotest.(check (float 1e-9)) "overlapping onsets add" 42.
+    (Congestion.event_delay_ms cong ~link_id:l_eb_tr);
+  Engine.run eng ~until:8.;
+  Alcotest.(check (float 1e-9)) "first decay" 30.
+    (Congestion.event_delay_ms cong ~link_id:l_eb_tr);
+  Engine.run eng ~until:20.;
+  Alcotest.(check (float 1e-9)) "fully decayed" 0.
+    (Congestion.event_delay_ms cong ~link_id:l_eb_tr)
+
+let test_processes_observe_and_schedule () =
+  let _, eng = engine_cp () in
+  let seen = ref [] in
+  Engine.subscribe eng (fun e ~time ev ->
+      seen := (time, Event.label ev) :: !seen;
+      (* A process may schedule follow-on events (controller style). *)
+      match ev with
+      | Event.Mark "ping" -> Engine.schedule e ~at:(time +. 1.) (Event.Mark "pong")
+      | _ -> ());
+  Engine.schedule eng ~at:1. (Event.Mark "ping");
+  Engine.run eng ~until:5.;
+  Alcotest.(check (list (pair (float 0.) string)))
+    "process saw both events"
+    [ (1., "mark:ping"); (2., "mark:pong") ]
+    (List.rev !seen)
+
+(* ---- Determinism ---- *)
+
+let storm_script topo rng =
+  let link_ids = Array.init (Topology.link_count topo) (fun i -> i) in
+  Script.flaps rng ~link_ids ~mean_interval_min:30. ~mean_down_min:15. ~days:1
+  @ Script.congestion_bursts rng ~link_ids ~mean_interval_min:60.
+      ~median_extra_ms:25. ~sigma:0.5 ~mean_duration_min:20. ~days:1
+  @ Script.measurement_ticks ~controller:0 ~period_min:45. ~days:1
+
+let run_storm () =
+  let topo = Generator.generate Generator.small_params in
+  let origin = List.hd (Topology.by_klass topo Asn.Eyeball) in
+  let cong = Congestion.create Params.default topo ~seed:3 in
+  let eng = Engine.create ~congestion:cong topo in
+  Engine.track eng (Announce.default ~origin);
+  Script.schedule_all eng (storm_script topo (Sm.create 99));
+  Engine.run eng ~until:(24. *. 60.);
+  let log =
+    Engine.event_log eng
+    |> List.map (fun (at, ev) -> Printf.sprintf "%.6f %s" at (Event.label ev))
+    |> String.concat "\n"
+  in
+  (log, digest topo (Engine.routing eng ~origin), Engine.events_processed eng)
+
+let test_determinism_untraced () =
+  let log1, d1, n1 = run_storm () in
+  let log2, d2, n2 = run_storm () in
+  Alcotest.(check string) "event logs byte-identical" log1 log2;
+  Alcotest.(check string) "routing digests identical" d1 d2;
+  Alcotest.(check int) "event counts equal" n1 n2;
+  Alcotest.(check bool) "storm non-trivial" true (n1 > 10)
+
+let test_determinism_traced () =
+  let log1, d1, _ = run_storm () in
+  Netsim_obs.Metrics.set_enabled true;
+  let log2, d2, _ =
+    Fun.protect
+      ~finally:(fun () -> Netsim_obs.Metrics.set_enabled false)
+      run_storm
+  in
+  Alcotest.(check string) "tracing does not perturb events" log1 log2;
+  Alcotest.(check string) "tracing does not perturb routing" d1 d2
+
+(* ---- Incremental == full (property) ---- *)
+
+let test_incremental_equals_full () =
+  let topo = Generator.generate Generator.small_params in
+  let origin = List.hd (Topology.by_klass topo Asn.Eyeball) in
+  let config = Announce.default ~origin in
+  let state = Propagate.run topo config in
+  let base = digest topo state in
+  let rng = Sm.create 1234 in
+  let n_links = Topology.link_count topo in
+  for case = 1 to 50 do
+    let l = Sm.next_int rng n_links in
+    let failed = Topology.remove_links topo [ l ] in
+    let full = Propagate.run failed config in
+    let inc, stats =
+      Propagate.reconverge state ~topo:failed (Propagate.Link_removed l)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d: removal of link %d (dirty %d)" case l
+         (Propagate.rs_dirty stats))
+      (digest failed full) (digest failed inc);
+    let restored, _ = Propagate.reconverge inc ~topo (Propagate.Link_added l) in
+    Alcotest.(check string)
+      (Printf.sprintf "case %d: restore of link %d" case l)
+      base (digest topo restored)
+  done
+
+let test_script_generators_deterministic () =
+  let link_ids = [| 0; 1; 2; 3 |] in
+  let gen () =
+    Script.flaps (Sm.create 7) ~link_ids ~mean_interval_min:10.
+      ~mean_down_min:5. ~days:1
+    |> List.map (fun (at, ev) -> (at, Event.label ev))
+  in
+  Alcotest.(check (list (pair (float 0.) string)))
+    "same seed, same script" (gen ()) (gen ());
+  Alcotest.(check bool) "non-empty" true (gen () <> []);
+  List.iter
+    (fun (at, _) ->
+      Alcotest.(check bool) "within horizon" true (at >= 0. && at < 1440.))
+    (gen ())
+
+let suite =
+  [
+    Alcotest.test_case "timeline: time order, FIFO ties" `Quick
+      test_timeline_order;
+    Alcotest.test_case "timeline: NaN rejected" `Quick test_timeline_nan_rejected;
+    Alcotest.test_case "timeline: interleaved pops keep FIFO" `Quick
+      test_timeline_interleaved;
+    Alcotest.test_case "engine: flap restores routing" `Quick
+      test_flap_restores_state;
+    Alcotest.test_case "engine: duplicate down is a no-op" `Quick
+      test_duplicate_down_ignored;
+    Alcotest.test_case "engine: site down/up fails metro links" `Quick
+      test_site_down_up;
+    Alcotest.test_case "engine: withdraw and reannounce" `Quick
+      test_withdraw_reannounce;
+    Alcotest.test_case "engine: congestion overlay add/decay" `Quick
+      test_congestion_overlay;
+    Alcotest.test_case "engine: processes observe and schedule" `Quick
+      test_processes_observe_and_schedule;
+    Alcotest.test_case "determinism: same seed, same storm" `Quick
+      test_determinism_untraced;
+    Alcotest.test_case "determinism: tracing does not perturb" `Quick
+      test_determinism_traced;
+    Alcotest.test_case "property: incremental == full on 50 random failures"
+      `Quick test_incremental_equals_full;
+    Alcotest.test_case "script: generators deterministic" `Quick
+      test_script_generators_deterministic;
+  ]

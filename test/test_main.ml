@@ -17,5 +17,6 @@ let () =
       ("scheme", Test_scheme.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);
+      ("dynamics", Test_dynamics.suite);
       ("paper-claims", Test_claims.suite);
     ]
