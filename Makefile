@@ -23,6 +23,10 @@ verify: build test
 	grep -q '"counters"' /tmp/beatbgp_verify.json
 	dune exec bin/beatbgp_cli.exe -- dynamics --small > /tmp/beatbgp_dynamics.out
 	diff -u test/golden/dynamics_small.txt /tmp/beatbgp_dynamics.out
+	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- robustness --small > /tmp/beatbgp_robustness_d1.out
+	diff -u test/golden/robustness_small.txt /tmp/beatbgp_robustness_d1.out
+	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- robustness --small > /tmp/beatbgp_robustness_d4.out
+	diff -u test/golden/robustness_small.txt /tmp/beatbgp_robustness_d4.out
 	dune exec bench/micro_dynamics.exe -- --check
 	@echo "verify: OK"
 

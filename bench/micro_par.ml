@@ -1,0 +1,177 @@
+(* Microbenchmark of the domain pool (Netsim_par.Pool):
+
+     dune exec bench/micro_par.exe -- [--out FILE] [--quick]
+
+   Two workloads, each run at domain counts {1, 2, 4, 8} (clamped to
+   what the machine offers):
+
+     - propagate-shard: the Egress.compute inner loop — one
+       Propagate.run per origin AS, sharded with Pool.map.
+     - robustness-sweep: Robustness.run over several seeds at test
+       sizes — the per-seed figure pipelines sharded with Pool.map.
+
+   Also measures the observability fan-out cost: the propagate shard
+   with tracing enabled (per-worker capture + ordered replay at the
+   join) vs untraced, at the highest domain count.
+
+   Writes BENCH_par.json and prints a table.  Exits non-zero if the
+   robustness-sweep speedup at 4 domains falls below 2.5x — but only
+   when the machine actually has >= 4 cores
+   (Domain.recommended_domain_count); on smaller machines the gate is
+   reported as skipped so single-core CI boxes don't fail vacuously. *)
+
+module Pool = Netsim_par.Pool
+module Topology = Netsim_topo.Topology
+module Propagate = Netsim_bgp.Propagate
+module Announce = Netsim_bgp.Announce
+module Jsonx = Netsim_obs.Jsonx
+module Metrics = Netsim_obs.Metrics
+
+let time_s f =
+  ignore (f ());  (* warm-up *)
+  let t0 = Unix.gettimeofday () in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t in
+    if dt < !best then best := dt
+  done;
+  ignore t0;
+  !best
+
+let with_domains n f =
+  let saved = Pool.domain_count () in
+  Pool.set_domain_count n;
+  Fun.protect ~finally:(fun () -> Pool.set_domain_count saved) f
+
+(* Workload 1: one deterministic BGP propagation per origin AS —
+   exactly the shard Egress.compute hands to the pool. *)
+let propagate_shard ~quick () =
+  let topo =
+    Netsim_topo.Generator.generate
+      (if quick then
+         { Netsim_topo.Generator.default_params with n_stub = 60; n_eyeball = 30 }
+       else Netsim_topo.Generator.default_params)
+  in
+  let origins =
+    Topology.by_klass topo Netsim_topo.Asn.Eyeball
+    |> List.filteri (fun i _ -> i < if quick then 8 else 32)
+    |> Array.of_list
+  in
+  fun () ->
+    Pool.map (fun o -> Propagate.run topo (Announce.default ~origin:o)) origins
+
+(* Workload 2: the full per-seed robustness sweep at test sizes. *)
+let robustness_sweep ~quick () =
+  let sizes = Beatbgp.Scenario.test_sizes in
+  let seeds =
+    if quick then [ 42; 43; 44; 45 ] else [ 42; 43; 44; 45; 46; 47; 48; 49 ]
+  in
+  fun () -> Beatbgp.Robustness.run ~seeds ~sizes ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse ~out ~quick = function
+    | [] -> (out, quick)
+    | "--out" :: file :: rest -> parse ~out:file ~quick rest
+    | "--quick" :: rest -> parse ~out ~quick:true rest
+    | a :: _ -> Printf.eprintf "micro_par: unknown argument %s\n" a; exit 2
+  in
+  let out, quick = parse ~out:"BENCH_par.json" ~quick:false args in
+  let cores = Domain.recommended_domain_count () in
+  let counts = [ 1; 2; 4; 8 ] in
+  Printf.printf "cores: %d  domain counts: %s\n" cores
+    (String.concat " " (List.map string_of_int counts));
+  let shard_work = propagate_shard ~quick () in
+  let sweep_work = robustness_sweep ~quick () in
+  let workloads =
+    [ ("propagate_shard", fun () -> ignore (shard_work ()));
+      ("robustness_sweep", fun () -> ignore (sweep_work ())) ]
+  in
+  let results =
+    List.map
+      (fun (name, work) ->
+        let base = ref nan in
+        let rows =
+          List.map
+            (fun d ->
+              let t = with_domains d (fun () -> time_s (fun () -> ignore (work ()))) in
+              if d = 1 then base := t;
+              let speedup = !base /. t in
+              Printf.printf "  %-16s domains=%d  %8.1f ms  speedup %.2fx\n%!"
+                name d (1e3 *. t) speedup;
+              (d, t, speedup))
+            counts
+        in
+        (name, rows))
+      workloads
+  in
+  (* Observability overhead: traced vs untraced propagate shard at the
+     widest domain count (capture + ordered replay at the join). *)
+  let shard = propagate_shard ~quick () in
+  let dmax = List.fold_left max 1 counts in
+  let untraced = with_domains dmax (fun () -> time_s (fun () -> ignore (shard ()))) in
+  let traced =
+    with_domains dmax (fun () ->
+        Metrics.set_enabled true;
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.set_enabled false;
+            Metrics.reset ();
+            Netsim_obs.Span.reset ())
+          (fun () -> time_s (fun () -> ignore (shard ()))))
+  in
+  let merge_overhead = (traced -. untraced) /. untraced in
+  Printf.printf "  obs merge overhead at %d domains: %.1f%% (traced %.1f ms, untraced %.1f ms)\n"
+    dmax (100. *. merge_overhead) (1e3 *. traced) (1e3 *. untraced);
+  let speedup_at name d =
+    match List.assoc_opt name results with
+    | None -> None
+    | Some rows ->
+        List.find_map (fun (d', _, s) -> if d' = d then Some s else None) rows
+  in
+  let gate_enforced = cores >= 4 in
+  let json =
+    Jsonx.Obj
+      [
+        ("bench", Jsonx.String "par");
+        ("cores", Jsonx.Int cores);
+        ("quick", Jsonx.Bool quick);
+        ( "workloads",
+          Jsonx.Obj
+            (List.map
+               (fun (name, rows) ->
+                 ( name,
+                   Jsonx.Arr
+                     (List.map
+                        (fun (d, t, s) ->
+                          Jsonx.Obj
+                            [
+                              ("domains", Jsonx.Int d);
+                              ("seconds", Jsonx.Float t);
+                              ("speedup", Jsonx.Float s);
+                            ])
+                        rows) ))
+               results) );
+        ("obs_merge_overhead", Jsonx.Float merge_overhead);
+        ("gate_enforced", Jsonx.Bool gate_enforced);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  if gate_enforced then begin
+    match speedup_at "robustness_sweep" 4 with
+    | Some s when s < 2.5 ->
+        Printf.printf "FAIL: robustness-sweep speedup at 4 domains is %.2fx (< 2.5x)\n" s;
+        exit 1
+    | Some s -> Printf.printf "gate: robustness-sweep %.2fx at 4 domains (>= 2.5x) OK\n" s
+    | None -> ()
+  end
+  else
+    Printf.printf
+      "gate: skipped (machine has %d core(s); need >= 4 to enforce the 2.5x \
+       speedup check)\n"
+      cores

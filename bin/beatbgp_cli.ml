@@ -1,6 +1,13 @@
 (* Command-line driver: regenerate every figure and analysis of the
    paper from the simulator, print ASCII plots / CSV, and check the
-   tracked prose claims. *)
+   tracked prose claims.
+
+   Every runner renders to a string instead of printing directly: this
+   is what lets `beatbgp all` shard whole figures across the domain
+   pool (Netsim_par.Pool) and still emit byte-identical stdout — the
+   fan-in concatenates the per-figure strings in submission order.
+   The pool size comes from NETSIM_DOMAINS (default: all cores; 1
+   reproduces the serial path exactly). *)
 
 open Cmdliner
 
@@ -16,16 +23,17 @@ let sizes_of ~seed ~prefixes ~days ~small =
   }
 
 let emit ~csv figure =
-  if csv then print_string (Beatbgp.Figure.to_csv figure)
+  if csv then Beatbgp.Figure.to_csv figure
   else begin
-    print_string (Beatbgp.Figure.render figure);
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Beatbgp.Figure.render figure);
     let claims = Beatbgp.Claims.of_figure figure in
     if claims <> [] then begin
-      print_endline "  paper-claim checks:";
-      print_string (Beatbgp.Claims.render claims)
-    end
-  end;
-  figure
+      Buffer.add_string buf "  paper-claim checks:\n";
+      Buffer.add_string buf (Beatbgp.Claims.render claims)
+    end;
+    Buffer.contents buf
+  end
 
 (* ---- common options ---- *)
 
@@ -65,13 +73,26 @@ let metrics_out_t =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the recorded metrics and trace as JSON to \\$(docv).")
 
-let with_sizes f seed prefixes days small csv trace metrics_out =
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Size of the parallel domain pool (default: \\$(b,NETSIM_DOMAINS) \
+           or all cores; 1 = serial). Output is byte-identical for any \
+           value.")
+
+let with_sizes f seed prefixes days small csv trace metrics_out domains =
   let sizes = sizes_of ~seed ~prefixes ~days ~small in
+  (match domains with
+  | Some n -> Netsim_par.Pool.set_domain_count n
+  | None -> ());
   let tracing =
     trace || metrics_out <> None || Netsim_obs.Metrics.enabled ()
   in
   if tracing then Netsim_obs.Metrics.set_enabled true;
-  f ~sizes ~csv;
+  print_string (f ~sizes ~csv);
   if tracing then begin
     print_newline ();
     print_string (Netsim_obs.Report.render ())
@@ -86,142 +107,145 @@ let with_sizes f seed prefixes days small csv trace metrics_out =
 
 let run_fig1 ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
-  ignore (emit ~csv (Beatbgp.Fig1_pop_egress.run fb).Beatbgp.Fig1_pop_egress.figure)
+  emit ~csv (Beatbgp.Fig1_pop_egress.run fb).Beatbgp.Fig1_pop_egress.figure
 
 let run_fig2 ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
-  ignore
-    (emit ~csv (Beatbgp.Fig2_route_classes.run fb).Beatbgp.Fig2_route_classes.figure)
+  emit ~csv (Beatbgp.Fig2_route_classes.run fb).Beatbgp.Fig2_route_classes.figure
 
 let run_fig3 ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  ignore (emit ~csv (Beatbgp.Fig3_anycast_gap.run ms).Beatbgp.Fig3_anycast_gap.figure)
+  emit ~csv (Beatbgp.Fig3_anycast_gap.run ms).Beatbgp.Fig3_anycast_gap.figure
 
 let run_fig4 ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  ignore
-    (emit ~csv (Beatbgp.Fig4_dns_redirection.run ms).Beatbgp.Fig4_dns_redirection.figure)
+  emit ~csv (Beatbgp.Fig4_dns_redirection.run ms).Beatbgp.Fig4_dns_redirection.figure
 
 let run_fig5 ~sizes ~csv =
   let gc = Beatbgp.Scenario.google ~sizes () in
   let result = Beatbgp.Fig5_cloud_tiers.run gc in
-  ignore (emit ~csv result.Beatbgp.Fig5_cloud_tiers.figure);
-  if not csv then begin
-    print_endline "";
-    print_string (Beatbgp.Fig5_cloud_tiers.render_map result)
-  end
+  emit ~csv result.Beatbgp.Fig5_cloud_tiers.figure
+  ^
+  if not csv then "\n" ^ Beatbgp.Fig5_cloud_tiers.render_map result else ""
 
 let run_degrade ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
   let fig1 = Beatbgp.Fig1_pop_egress.run fb in
-  ignore
-    (emit ~csv (Beatbgp.Degrade_together.analyze fig1).Beatbgp.Degrade_together.figure)
+  emit ~csv (Beatbgp.Degrade_together.analyze fig1).Beatbgp.Degrade_together.figure
 
 let run_peering ~sizes ~csv =
-  ignore
-    (emit ~csv
-       (Beatbgp.Peering_ablation.run ~sizes ()).Beatbgp.Peering_ablation.figure)
+  emit ~csv (Beatbgp.Peering_ablation.run ~sizes ()).Beatbgp.Peering_ablation.figure
 
 let run_grooming ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  ignore (emit ~csv (Beatbgp.Grooming.run ms).Beatbgp.Grooming.figure)
+  emit ~csv (Beatbgp.Grooming.run ms).Beatbgp.Grooming.figure
 
 let run_wanfrac ~sizes ~csv =
   let gc = Beatbgp.Scenario.google ~sizes () in
-  ignore (emit ~csv (Beatbgp.Wan_fraction.run gc).Beatbgp.Wan_fraction.figure)
+  emit ~csv (Beatbgp.Wan_fraction.run gc).Beatbgp.Wan_fraction.figure
 
 let run_goodput ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
-  ignore (emit ~csv (Beatbgp.Goodput_egress.run fb).Beatbgp.Goodput_egress.figure)
+  emit ~csv (Beatbgp.Goodput_egress.run fb).Beatbgp.Goodput_egress.figure
 
 let run_availability ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
   let result = Beatbgp.Availability.run ms in
-  ignore (emit ~csv result.Beatbgp.Availability.figure);
+  let out = emit ~csv result.Beatbgp.Availability.figure in
   let asid =
     (Netsim_cdn.Anycast.deployment ms.Beatbgp.Scenario.ms_system)
       .Netsim_cdn.Deployment.asid
   in
-  if not csv then
-    List.iter
-      (fun (f : Beatbgp.Availability.site_failure) ->
-        Printf.printf
-          "  %-22s %-14s affected %5.1f%%  anycast +%6.1f ms  DNS-pinned %5.1f%% for %gs\n"
-          (Netsim_dynamics.Event.label
-             (Netsim_dynamics.Event.Site_down
-                { asid; metro = f.Beatbgp.Availability.site }))
-          (Netsim_geo.World.cities.(f.Beatbgp.Availability.site)).Netsim_geo.City.name
-          (100. *. f.Beatbgp.Availability.affected_share)
-          f.Beatbgp.Availability.anycast_delta_ms
-          (100. *. f.Beatbgp.Availability.dns_outage_share)
-          (f.Beatbgp.Availability.dns_outage_client_seconds
-          /. Float.max 1e-9 f.Beatbgp.Availability.dns_outage_share))
-      result.Beatbgp.Availability.failures
+  if csv then out
+  else
+    out
+    ^ String.concat ""
+        (List.map
+           (fun (f : Beatbgp.Availability.site_failure) ->
+             Printf.sprintf
+               "  %-22s %-14s affected %5.1f%%  anycast +%6.1f ms  DNS-pinned %5.1f%% for %gs\n"
+               (Netsim_dynamics.Event.label
+                  (Netsim_dynamics.Event.Site_down
+                     { asid; metro = f.Beatbgp.Availability.site }))
+               (Netsim_geo.World.cities.(f.Beatbgp.Availability.site)).Netsim_geo.City.name
+               (100. *. f.Beatbgp.Availability.affected_share)
+               f.Beatbgp.Availability.anycast_delta_ms
+               (100. *. f.Beatbgp.Availability.dns_outage_share)
+               (f.Beatbgp.Availability.dns_outage_client_seconds
+               /. Float.max 1e-9 f.Beatbgp.Availability.dns_outage_share))
+           result.Beatbgp.Availability.failures)
 
 let run_dynamics ~sizes ~csv =
   let fb = Beatbgp.Scenario.facebook ~sizes () in
   let result = Beatbgp.Dynamics_stale.run fb in
-  ignore (emit ~csv result.Beatbgp.Dynamics_stale.figure);
-  if not csv then
-    List.iter
-      (fun (c : Beatbgp.Dynamics_stale.cell) ->
-        Printf.printf
-          "  %-5s staleness %6.0f min  mean %+7.2f ms  p10 %+7.2f ms  \
-           ticks %4d  events %5d  dirty %6d\n"
-          c.Beatbgp.Dynamics_stale.churn c.Beatbgp.Dynamics_stale.staleness_min
-          c.Beatbgp.Dynamics_stale.mean_advantage_ms
-          c.Beatbgp.Dynamics_stale.p10_advantage_ms
-          c.Beatbgp.Dynamics_stale.ticks c.Beatbgp.Dynamics_stale.events
-          c.Beatbgp.Dynamics_stale.dirty_entries)
-      result.Beatbgp.Dynamics_stale.cells
+  let out = emit ~csv result.Beatbgp.Dynamics_stale.figure in
+  if csv then out
+  else
+    out
+    ^ String.concat ""
+        (List.map
+           (fun (c : Beatbgp.Dynamics_stale.cell) ->
+             Printf.sprintf
+               "  %-5s staleness %6.0f min  mean %+7.2f ms  p10 %+7.2f ms  \
+                ticks %4d  events %5d  dirty %6d\n"
+               c.Beatbgp.Dynamics_stale.churn c.Beatbgp.Dynamics_stale.staleness_min
+               c.Beatbgp.Dynamics_stale.mean_advantage_ms
+               c.Beatbgp.Dynamics_stale.p10_advantage_ms
+               c.Beatbgp.Dynamics_stale.ticks c.Beatbgp.Dynamics_stale.events
+               c.Beatbgp.Dynamics_stale.dirty_entries)
+           result.Beatbgp.Dynamics_stale.cells)
 
 let run_hybrid ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  ignore (emit ~csv (Beatbgp.Hybrid.run ms).Beatbgp.Hybrid.figure)
+  emit ~csv (Beatbgp.Hybrid.run ms).Beatbgp.Hybrid.figure
 
 let run_splittcp ~sizes ~csv =
   let gc = Beatbgp.Scenario.google ~sizes () in
-  ignore (emit ~csv (Beatbgp.Split_tcp.run gc).Beatbgp.Split_tcp.figure)
+  emit ~csv (Beatbgp.Split_tcp.run gc).Beatbgp.Split_tcp.figure
 
 let run_sites ~sizes ~csv =
-  ignore (emit ~csv (Beatbgp.Site_density.run ~sizes ()).Beatbgp.Site_density.figure)
+  emit ~csv (Beatbgp.Site_density.run ~sizes ()).Beatbgp.Site_density.figure
 
 let run_ecs ~sizes ~csv =
-  ignore (emit ~csv (Beatbgp.Ecs_ablation.run ~sizes ()).Beatbgp.Ecs_ablation.figure)
+  emit ~csv (Beatbgp.Ecs_ablation.run ~sizes ()).Beatbgp.Ecs_ablation.figure
 
 let run_robustness ~sizes ~csv =
   let result = Beatbgp.Robustness.run ~sizes () in
-  ignore (emit ~csv result.Beatbgp.Robustness.figure);
-  if not csv then
-    List.iter
-      (fun (c : Beatbgp.Robustness.claim_summary) ->
-        Printf.printf "  %-28s pass %.2f  mean %10.3f  std %8.3f  [%g, %g]\n"
-          c.Beatbgp.Robustness.claim_id c.Beatbgp.Robustness.pass_rate
-          c.Beatbgp.Robustness.mean c.Beatbgp.Robustness.std
-          c.Beatbgp.Robustness.min c.Beatbgp.Robustness.max)
-      result.Beatbgp.Robustness.claims
+  let out = emit ~csv result.Beatbgp.Robustness.figure in
+  if csv then out
+  else
+    out
+    ^ String.concat ""
+        (List.map
+           (fun (c : Beatbgp.Robustness.claim_summary) ->
+             Printf.sprintf
+               "  %-28s pass %.2f  mean %10.3f  std %8.3f  [%g, %g]\n"
+               c.Beatbgp.Robustness.claim_id c.Beatbgp.Robustness.pass_rate
+               c.Beatbgp.Robustness.mean c.Beatbgp.Robustness.std
+               c.Beatbgp.Robustness.min c.Beatbgp.Robustness.max)
+           result.Beatbgp.Robustness.claims)
 
 let run_groompredict ~sizes ~csv =
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  ignore (emit ~csv (Beatbgp.Groom_predict.run ms).Beatbgp.Groom_predict.figure)
+  emit ~csv (Beatbgp.Groom_predict.run ms).Beatbgp.Groom_predict.figure
 
 let run_all ~sizes ~csv =
-  run_fig1 ~sizes ~csv;
-  run_fig2 ~sizes ~csv;
-  run_fig3 ~sizes ~csv;
-  run_fig4 ~sizes ~csv;
-  run_fig5 ~sizes ~csv;
-  run_degrade ~sizes ~csv;
-  run_grooming ~sizes ~csv;
-  run_wanfrac ~sizes ~csv;
-  run_goodput ~sizes ~csv;
-  run_availability ~sizes ~csv;
-  run_hybrid ~sizes ~csv;
-  run_splittcp ~sizes ~csv;
-  run_ecs ~sizes ~csv
+  (* Per-figure fan-out across the domain pool: every runner is an
+     independent pipeline (each re-derives its scenario from the same
+     sizes), and the string fan-in keeps stdout in the serial order. *)
+  let runners =
+    [|
+      run_fig1; run_fig2; run_fig3; run_fig4; run_fig5; run_degrade;
+      run_grooming; run_wanfrac; run_goodput; run_availability; run_hybrid;
+      run_splittcp; run_ecs;
+    |]
+  in
+  Netsim_par.Pool.map (fun run -> run ~sizes ~csv) runners
+  |> Array.to_list |> String.concat ""
 
 let run_compare ~sizes ~csv =
   ignore csv;
+  let buf = Buffer.create 4096 in
   let module Sch = Beatbgp.Scheme in
   let rng = Netsim_prng.Splitmix.create (sizes.Beatbgp.Scenario.seed + 9) in
   let windows =
@@ -229,29 +253,31 @@ let run_compare ~sizes ~csv =
       ~length_min:60.
   in
   let fb = Beatbgp.Scenario.facebook ~sizes () in
-  print_endline "=== egress setting (Figure 1's cast) ===";
-  print_string
+  Buffer.add_string buf "=== egress setting (Figure 1's cast) ===\n";
+  Buffer.add_string buf
     (Sch.render
        (Sch.compare_schemes
           [ Sch.egress_bgp fb; Sch.egress_static_oracle fb; Sch.egress_oracle fb ]
           ~prefixes:fb.Beatbgp.Scenario.fb_prefixes ~rng ~windows));
   let ms = Beatbgp.Scenario.microsoft ~sizes () in
-  print_endline "";
-  print_endline "=== anycast CDN setting (Figures 3-4's cast) ===";
-  print_string
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf "=== anycast CDN setting (Figures 3-4's cast) ===\n";
+  Buffer.add_string buf
     (Sch.render
        (Sch.compare_schemes
           [
             Sch.anycast ms; Sch.unicast_oracle ms; Sch.dns_redirection ms;
             Sch.dns_redirection ~margin:25. ~name:"hybrid-25ms" ms;
           ]
-          ~prefixes:ms.Beatbgp.Scenario.ms_prefixes ~rng ~windows))
+          ~prefixes:ms.Beatbgp.Scenario.ms_prefixes ~rng ~windows));
+  Buffer.contents buf
 
 let run_rib ~sizes ~csv =
   (* Inspect the content provider's Adj-RIB-In toward a few client
      prefixes, at the serving PoP — the `show ip bgp` view of the
      Figure 1 setting. *)
   ignore csv;
+  let buf = Buffer.create 4096 in
   let fb = Beatbgp.Scenario.facebook ~sizes () in
   let topo = fb.Beatbgp.Scenario.fb_deployment.Netsim_cdn.Deployment.topo in
   Array.iteri
@@ -262,55 +288,63 @@ let run_rib ~sizes ~csv =
           Netsim_bgp.Propagate.run topo
             (Netsim_bgp.Announce.default ~origin:p.Netsim_traffic.Prefix.asid)
         in
-        print_string
+        Buffer.add_string buf
           (Netsim_bgp.Show.rib_at_metro topo state
              fb.Beatbgp.Scenario.fb_deployment.Netsim_cdn.Deployment.asid
              ~metro:e.Netsim_cdn.Egress.pop);
         (match e.Netsim_cdn.Egress.options with
         | (o : Netsim_cdn.Egress.option_route) :: _ ->
-            print_endline "serving flow:";
-            print_string
+            Buffer.add_string buf "serving flow:\n";
+            Buffer.add_string buf
               (Netsim_bgp.Show.walk topo
                  o.Netsim_cdn.Egress.flow.Netsim_latency.Rtt.walk)
         | [] -> ());
-        print_endline ""
+        Buffer.add_string buf "\n"
       end)
-    fb.Beatbgp.Scenario.fb_entries
+    fb.Beatbgp.Scenario.fb_entries;
+  Buffer.contents buf
 
 let run_topo ~sizes ~csv =
   ignore csv;
+  let buf = Buffer.create 2048 in
   let params =
     { sizes.Beatbgp.Scenario.base with Netsim_topo.Generator.seed = sizes.Beatbgp.Scenario.seed }
   in
   let topo = Netsim_topo.Generator.generate params in
-  Printf.printf "ASes: %d  links: %d\n" (Netsim_topo.Topology.as_count topo)
-    (Netsim_topo.Topology.link_count topo);
+  Buffer.add_string buf
+    (Printf.sprintf "ASes: %d  links: %d\n" (Netsim_topo.Topology.as_count topo)
+       (Netsim_topo.Topology.link_count topo));
   List.iter
     (fun klass ->
-      Printf.printf "  %-8s %d\n"
-        (Netsim_topo.Asn.klass_to_string klass)
-        (List.length (Netsim_topo.Topology.by_klass topo klass)))
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s %d\n"
+           (Netsim_topo.Asn.klass_to_string klass)
+           (List.length (Netsim_topo.Topology.by_klass topo klass))))
     [
       Netsim_topo.Asn.Tier1; Netsim_topo.Asn.Transit; Netsim_topo.Asn.Eyeball;
       Netsim_topo.Asn.Stub;
     ];
   (match Netsim_topo.Invariants.check topo with
-  | [] -> print_endline "invariants: OK"
+  | [] -> Buffer.add_string buf "invariants: OK\n"
   | violations ->
-      Printf.printf "invariants: %d violations\n" (List.length violations);
-      List.iter print_endline violations);
-  print_string
+      Buffer.add_string buf
+        (Printf.sprintf "invariants: %d violations\n" (List.length violations));
+      List.iter
+        (fun v -> Buffer.add_string buf (v ^ "\n"))
+        violations);
+  Buffer.add_string buf
     (Netsim_bgp.Metrics.render
        (Netsim_bgp.Metrics.compute
           ~rng:(Netsim_prng.Splitmix.create sizes.Beatbgp.Scenario.seed)
-          topo))
+          topo));
+  Buffer.contents buf
 
 let cmd name doc f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
       const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t
-      $ trace_t $ metrics_out_t)
+      $ trace_t $ metrics_out_t $ domains_t)
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in

@@ -20,8 +20,10 @@ let make (d : Deployment.t) =
   let topo = d.Deployment.topo in
   let anycast_config = Announce.default ~origin:d.Deployment.asid in
   let anycast_state = Propagate.run topo anycast_config in
+  (* One propagation per unicast site, sharded across the domain pool
+     (independent runs; fan-in is in site order, like the serial map). *)
   let unicast_states =
-    List.map
+    Netsim_par.Pool.map_list
       (fun site ->
         let config = Announce.only_at_metros ~origin:d.Deployment.asid [ site ] in
         (site, Propagate.run topo config))

@@ -39,16 +39,29 @@ let c_entries = Netsim_obs.Metrics.counter "cdn.egress.entries"
 let compute (d : Deployment.t) ~prefixes ~k =
   Netsim_obs.Span.with_ ~name:"cdn.egress.compute" @@ fun () ->
   let topo = d.Deployment.topo in
-  (* One propagation per distinct client AS. *)
-  let states = Hashtbl.create 64 in
-  let state_for asid =
-    match Hashtbl.find_opt states asid with
-    | Some s -> s
-    | None ->
-        let s = Propagate.run topo (Announce.default ~origin:asid) in
-        Hashtbl.replace states asid s;
-        s
+  (* One propagation per distinct client AS — each an independent,
+     deterministic Gao-Rexford run, so the set is sharded across the
+     domain pool (first-appearance order keeps the fan-in, and hence
+     the merged trace, identical to the serial loop). *)
+  let asids =
+    let seen = Hashtbl.create 64 in
+    Array.to_list prefixes
+    |> List.filter_map (fun (p : Prefix.t) ->
+           if Hashtbl.mem seen p.Prefix.asid then None
+           else begin
+             Hashtbl.replace seen p.Prefix.asid ();
+             Some p.Prefix.asid
+           end)
+    |> Array.of_list
   in
+  let shard =
+    Netsim_par.Pool.map
+      (fun asid -> Propagate.run topo (Announce.default ~origin:asid))
+      asids
+  in
+  let states = Hashtbl.create 64 in
+  Array.iteri (fun i asid -> Hashtbl.replace states asid shard.(i)) asids;
+  let state_for asid = Hashtbl.find states asid in
   let entries =
     Array.to_list prefixes
     |> List.filter_map (fun (prefix : Prefix.t) ->

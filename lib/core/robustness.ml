@@ -31,27 +31,37 @@ let figures_for sizes =
 
 let run ?(seeds = [ 42; 43; 44; 45; 46 ]) ?(sizes = Scenario.default_sizes) ()
     =
+  (* Each seed draws an independent Internet and reruns the full figure
+     pipeline — perfectly parallel, so the sweep is sharded across the
+     domain pool.  Results come back in seed-submission order and are
+     folded exactly as the serial loop did, so summaries (and the
+     merged trace) are byte-identical for any domain count. *)
+  let per_seed_claims =
+    Netsim_par.Pool.map
+      (fun seed ->
+        let figures = figures_for { sizes with Scenario.seed } in
+        List.concat_map
+          (fun fig ->
+            List.map
+              (fun (c : Claims.t) ->
+                (c.Claims.id, c.Claims.measured, Claims.passes c))
+              (Claims.of_figure fig))
+          figures)
+      (Array.of_list seeds)
+  in
   (* claim id -> (measured values, pass flags) accumulated over seeds *)
   let per_claim : (string, float list * bool list) Hashtbl.t =
     Hashtbl.create 32
   in
-  List.iter
-    (fun seed ->
-      let figures = figures_for { sizes with Scenario.seed } in
-      List.iter
-        (fun fig ->
-          List.iter
-            (fun (c : Claims.t) ->
-              let values, passes =
-                match Hashtbl.find_opt per_claim c.Claims.id with
-                | Some acc -> acc
-                | None -> ([], [])
-              in
-              Hashtbl.replace per_claim c.Claims.id
-                (c.Claims.measured :: values, Claims.passes c :: passes))
-            (Claims.of_figure fig))
-        figures)
-    seeds;
+  Array.iter
+    (List.iter (fun (id, measured, pass) ->
+         let values, passes =
+           match Hashtbl.find_opt per_claim id with
+           | Some acc -> acc
+           | None -> ([], [])
+         in
+         Hashtbl.replace per_claim id (measured :: values, pass :: passes)))
+    per_seed_claims;
   let claims =
     Hashtbl.fold
       (fun claim_id (values, passes) acc ->

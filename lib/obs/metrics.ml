@@ -14,6 +14,33 @@ let on =
 let set_enabled b = on := b
 let enabled () = !on
 
+(* ---- domain-local capture buffers ------------------------------------ *)
+
+(* The registry below is owned by the main domain.  Worker domains (the
+   Netsim_par pool) must not touch it concurrently, so every record
+   site first consults a domain-local slot: [None] (the default in
+   every domain) means "write straight into the global registry";
+   [Some buf] means "append to this buffer".  [capture] installs a
+   fresh buffer around a task and returns the ordered event list;
+   [absorb] replays it through the normal record path.  Replaying the
+   per-task buffers in submission order reproduces, event for event,
+   the sequence of record calls a sequential run would have made — so
+   the merged registry is byte-identical regardless of domain count. *)
+
+type event =
+  | Ev_counter of string * int
+  | Ev_gauge of string * float
+  | Ev_observe of string * float
+
+type buffer = {
+  mutable events : event list;  (** newest first *)
+  live : (string, int ref) Hashtbl.t;
+      (** running counter values, for span counter deltas *)
+}
+
+let buffer_key : buffer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 (* ---- counters -------------------------------------------------------- *)
 
 type counter = { c_id : int; c_name : string; mutable c_value : int }
@@ -25,16 +52,47 @@ let n_counters = ref 0
 let counter name =
   match Hashtbl.find_opt counters name with
   | Some c -> c
-  | None ->
-      let c = { c_id = !n_counters; c_name = name; c_value = 0 } in
-      incr n_counters;
-      Hashtbl.replace counters name c;
-      counter_list := c :: !counter_list;
-      c
+  | None -> (
+      match Domain.DLS.get buffer_key with
+      | Some _ ->
+          (* Inside a capture: never mutate the global table.  The
+             detached handle still records by name, and [absorb]
+             registers the name (in deterministic replay order) when
+             the buffer is merged. *)
+          { c_id = -1; c_name = name; c_value = 0 }
+      | None ->
+          let c = { c_id = !n_counters; c_name = name; c_value = 0 } in
+          incr n_counters;
+          Hashtbl.replace counters name c;
+          counter_list := c :: !counter_list;
+          c)
 
-let incr ?(by = 1) c = if !on then c.c_value <- c.c_value + by
-let add c by = if !on then c.c_value <- c.c_value + by
-let counter_value c = c.c_value
+let buffer_incr buf name by =
+  buf.events <- Ev_counter (name, by) :: buf.events;
+  match Hashtbl.find_opt buf.live name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace buf.live name (ref by)
+
+let incr ?(by = 1) c =
+  if !on then
+    match Domain.DLS.get buffer_key with
+    | None -> c.c_value <- c.c_value + by
+    | Some buf -> buffer_incr buf c.c_name by
+
+let add c by =
+  if !on then
+    match Domain.DLS.get buffer_key with
+    | None -> c.c_value <- c.c_value + by
+    | Some buf -> buffer_incr buf c.c_name by
+
+let counter_value c =
+  match Domain.DLS.get buffer_key with
+  | None -> c.c_value
+  | Some buf -> (
+      (* Within a capture only the task's own increments are visible. *)
+      match Hashtbl.find_opt buf.live c.c_name with
+      | Some r -> !r
+      | None -> 0)
 
 (* ---- gauges ---------------------------------------------------------- *)
 
@@ -45,12 +103,20 @@ let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let gauge name =
   match Hashtbl.find_opt gauges name with
   | Some g -> g
-  | None ->
-      let g = { g_name = name; g_value = 0. } in
-      Hashtbl.replace gauges name g;
-      g
+  | None -> (
+      match Domain.DLS.get buffer_key with
+      | Some _ -> { g_name = name; g_value = 0. }
+      | None ->
+          let g = { g_name = name; g_value = 0. } in
+          Hashtbl.replace gauges name g;
+          g)
 
-let set g v = if !on then g.g_value <- v
+let set g v =
+  if !on then
+    match Domain.DLS.get buffer_key with
+    | None -> g.g_value <- v
+    | Some buf -> buf.events <- Ev_gauge (g.g_name, v) :: buf.events
+
 let gauge_value g = g.g_value
 
 (* ---- histograms ------------------------------------------------------ *)
@@ -78,7 +144,7 @@ let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let histogram name =
   match Hashtbl.find_opt histograms name with
   | Some h -> h
-  | None ->
+  | None -> (
       let h =
         {
           h_name = name;
@@ -86,8 +152,11 @@ let histogram name =
           h_summary = Summary.create ();
         }
       in
-      Hashtbl.replace histograms name h;
-      h
+      match Domain.DLS.get buffer_key with
+      | Some _ -> h
+      | None ->
+          Hashtbl.replace histograms name h;
+          h)
 
 let bucket_index v =
   if v <= 0. then 0
@@ -111,12 +180,16 @@ let bucket_mid i =
     ** (float_of_int lo_decade
        +. ((float_of_int (i - 1) +. 0.5) /. float_of_int buckets_per_decade))
 
+let observe_direct h v =
+  let i = bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  Summary.add h.h_summary v
+
 let observe h v =
-  if !on then begin
-    let i = bucket_index v in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
-    Summary.add h.h_summary v
-  end
+  if !on then
+    match Domain.DLS.get buffer_key with
+    | None -> observe_direct h v
+    | Some buf -> buf.events <- Ev_observe (h.h_name, v) :: buf.events
 
 let histogram_count h = Summary.count h.h_summary
 let histogram_summary h = h.h_summary
@@ -133,19 +206,74 @@ let histogram_quantile h q =
 
 (* ---- snapshots (for per-span counter deltas) ------------------------- *)
 
+type snapshot =
+  | Snap_global of int array  (** values indexed by [c_id] *)
+  | Snap_buffered of (string * int) list  (** sorted buffer values *)
+
+let buffer_values buf =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) buf.live []
+  |> List.sort compare
+
 let counter_snapshot () =
-  let a = Array.make (Stdlib.max 1 !n_counters) 0 in
-  List.iter (fun c -> a.(c.c_id) <- c.c_value) !counter_list;
-  a
+  match Domain.DLS.get buffer_key with
+  | None ->
+      let a = Array.make (Stdlib.max 1 !n_counters) 0 in
+      List.iter (fun c -> a.(c.c_id) <- c.c_value) !counter_list;
+      Snap_global a
+  | Some buf -> Snap_buffered (buffer_values buf)
 
 let counter_deltas snap =
-  List.filter_map
-    (fun c ->
-      let base = if c.c_id < Array.length snap then snap.(c.c_id) else 0 in
-      let d = c.c_value - base in
-      if d = 0 then None else Some (c.c_name, d))
-    !counter_list
-  |> List.sort compare
+  match (snap, Domain.DLS.get buffer_key) with
+  | Snap_global a, None ->
+      List.filter_map
+        (fun c ->
+          let base = if c.c_id < Array.length a then a.(c.c_id) else 0 in
+          let d = c.c_value - base in
+          if d = 0 then None else Some (c.c_name, d))
+        !counter_list
+      |> List.sort compare
+  | Snap_buffered base, Some buf ->
+      List.filter_map
+        (fun (name, v) ->
+          let b =
+            match List.assoc_opt name base with Some b -> b | None -> 0
+          in
+          if v = b then None else Some (name, v - b))
+        (buffer_values buf)
+  | Snap_global _, Some _ | Snap_buffered _, None ->
+      (* Snapshot crossed a capture boundary; spans never do this. *)
+      []
+
+(* ---- capture / absorb ------------------------------------------------ *)
+
+type captured = event list  (** oldest first *)
+
+let capture f =
+  let saved = Domain.DLS.get buffer_key in
+  let buf = { events = []; live = Hashtbl.create 32 } in
+  Domain.DLS.set buffer_key (Some buf);
+  match f () with
+  | v ->
+      Domain.DLS.set buffer_key saved;
+      (v, List.rev buf.events)
+  | exception e ->
+      Domain.DLS.set buffer_key saved;
+      raise e
+
+let absorb events =
+  List.iter
+    (fun ev ->
+      match (ev, Domain.DLS.get buffer_key) with
+      | Ev_counter (name, by), None ->
+          let c = counter name in
+          c.c_value <- c.c_value + by
+      | Ev_gauge (name, v), None -> (gauge name).g_value <- v
+      | Ev_observe (name, v), None -> observe_direct (histogram name) v
+      (* Absorbing inside an outer capture just re-buffers, so nested
+         fan-outs compose. *)
+      | Ev_counter (name, by), Some buf -> buffer_incr buf name by
+      | (Ev_gauge _ | Ev_observe _), Some buf -> buf.events <- ev :: buf.events)
+    events
 
 (* ---- report rows ----------------------------------------------------- *)
 

@@ -11,7 +11,15 @@
 
     Metric objects are interned by name: [counter "x"] returns the same
     counter everywhere, so modules declare their metrics at top level
-    and pay only the flag check per event. *)
+    and pay only the flag check per event.
+
+    The registry is owned by the main domain.  Worker domains (the
+    {!Netsim_par.Pool}) wrap each task in {!capture}, which redirects
+    every record site in that domain to a private ordered event
+    buffer; the pool then {!absorb}s the buffers in task-submission
+    order.  Replay reproduces the exact sequence of record calls a
+    sequential run would make, so the merged registry — and its JSON —
+    is byte-identical for any domain count. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -53,9 +61,32 @@ val histogram_quantile : histogram -> float -> float
 
 (** {1 Snapshots} — used by {!Span} to attribute counter deltas. *)
 
-val counter_snapshot : unit -> int array
-val counter_deltas : int array -> (string * int) list
-(** Counters that changed since the snapshot, sorted by name. *)
+type snapshot
+
+val counter_snapshot : unit -> snapshot
+val counter_deltas : snapshot -> (string * int) list
+(** Counters that changed since the snapshot, sorted by name.  Inside
+    a {!capture}, both operate on the capture buffer, so span counter
+    deltas keep working in pool workers. *)
+
+(** {1 Capture} — domain-local buffering for the parallel pool. *)
+
+type captured
+(** An ordered log of the record events a task performed. *)
+
+val capture : (unit -> 'a) -> 'a * captured
+(** [capture f] runs [f] with every record site in the current domain
+    redirected to a fresh buffer and returns the buffer alongside
+    [f]'s result.  The global registry is untouched.  On exception the
+    buffer is discarded and the exception re-raised.  Captures nest
+    (the inner buffer simply shadows the outer for the duration). *)
+
+val absorb : captured -> unit
+(** Replay a captured log through the normal record path: counters
+    add, gauges overwrite, histogram observations re-bucket, and
+    unseen names register — all in the captured order.  Absorbing
+    per-task logs in submission order therefore leaves the registry
+    byte-identical to a sequential run. *)
 
 (** {1 Reporting} *)
 

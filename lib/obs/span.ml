@@ -23,15 +23,21 @@ type info = {
 let make_node name =
   { name; calls = 0; total_ms = 0.; children = []; counters = [] }
 
-let root = ref (make_node "root")
+type frame = { node : node; start : float; snap : Metrics.snapshot }
 
-type frame = { node : node; start : float; snap : int array }
+(* The tree and the open-span stack are domain-local: the main domain
+   owns the tree that [render]/[to_json] report on, while each pool
+   worker accumulates into its own scratch tree inside [capture] and
+   the pool re-parents it under the fan-out span via [absorb]. *)
+type dstate = { mutable root : node; mutable stack : frame list }
 
-let stack : frame list ref = ref []
+let dstate_key : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { root = make_node "root"; stack = [] })
 
 let reset () =
-  root := make_node "root";
-  stack := []
+  let st = Domain.DLS.get dstate_key in
+  st.root <- make_node "root";
+  st.stack <- []
 
 let now_ms () = Unix.gettimeofday () *. 1000.
 
@@ -59,17 +65,18 @@ let merge_counters old deltas =
 let with_ ~name f =
   if not (Metrics.enabled ()) then f ()
   else begin
-    let parent = match !stack with fr :: _ -> fr.node | [] -> !root in
+    let st = Domain.DLS.get dstate_key in
+    let parent = match st.stack with fr :: _ -> fr.node | [] -> st.root in
     let node = find_child parent name in
     let frame =
       { node; start = now_ms (); snap = Metrics.counter_snapshot () }
     in
-    stack := frame :: !stack;
+    st.stack <- frame :: st.stack;
     Fun.protect
       ~finally:(fun () ->
-        (match !stack with
-        | fr :: rest when fr == frame -> stack := rest
-        | _ -> stack := []);
+        (match st.stack with
+        | fr :: rest when fr == frame -> st.stack <- rest
+        | _ -> st.stack <- []);
         node.calls <- node.calls + 1;
         node.total_ms <- node.total_ms +. (now_ms () -. frame.start);
         node.counters <-
@@ -91,7 +98,43 @@ let rec info_of n =
     i_children = children;
   }
 
-let tree () = List.rev_map info_of !root.children
+let tree () = List.rev_map info_of (Domain.DLS.get dstate_key).root.children
+
+(* ---- capture / absorb ------------------------------------------------ *)
+
+type captured = node
+
+let capture f =
+  let st = Domain.DLS.get dstate_key in
+  let saved_root = st.root and saved_stack = st.stack in
+  let fresh = make_node "root" in
+  st.root <- fresh;
+  st.stack <- [];
+  let restore () =
+    st.root <- saved_root;
+    st.stack <- saved_stack
+  in
+  match f () with
+  | v ->
+      restore ();
+      (v, fresh)
+  | exception e ->
+      restore ();
+      raise e
+
+let absorb cap =
+  let st = Domain.DLS.get dstate_key in
+  let parent = match st.stack with fr :: _ -> fr.node | [] -> st.root in
+  let rec merge parent n =
+    let dst = find_child parent n.name in
+    dst.calls <- dst.calls + n.calls;
+    dst.total_ms <- dst.total_ms +. n.total_ms;
+    dst.counters <- merge_counters dst.counters n.counters;
+    (* children is newest-first; merge oldest-first to reproduce the
+       sequential creation order. *)
+    List.iter (merge dst) (List.rev n.children)
+  in
+  List.iter (merge parent) (List.rev cap.children)
 
 let rec names_of acc i =
   let acc = if List.mem i.i_name acc then acc else i.i_name :: acc in

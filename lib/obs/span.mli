@@ -32,3 +32,19 @@ val render : unit -> string
 
 val to_json : unit -> Jsonx.t
 val reset : unit -> unit
+
+(** {1 Capture} — domain-local trees for the parallel pool.
+
+    The span tree and open-span stack are per-domain, so concurrent
+    workers never race.  {!capture} runs a task against a fresh
+    scratch tree; {!absorb} re-parents the captured subtree under the
+    currently open span (the fan-out point), merging same-name nodes
+    exactly as sequential execution would have. *)
+
+type captured
+
+val capture : (unit -> 'a) -> 'a * captured
+(** Exception-safe; the surrounding tree/stack are restored either way
+    (the partial capture is discarded on exception). *)
+
+val absorb : captured -> unit

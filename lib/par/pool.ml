@@ -1,0 +1,181 @@
+module Metrics = Netsim_obs.Metrics
+module Span = Netsim_obs.Span
+
+let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
+
+let default_domains () =
+  match Sys.getenv_opt "NETSIM_DOMAINS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.eprintf
+            "netsim: ignoring non-numeric NETSIM_DOMAINS=%S\n%!" s;
+          Domain.recommended_domain_count ())
+
+let requested = ref (clamp 1 64 (default_domains ()))
+let domain_count () = !requested
+let set_domain_count n = requested := clamp 1 64 n
+
+(* Per-domain flag: true while running a pool task.  Workers set it for
+   their lifetime; the main domain sets it only while it participates
+   in draining a job.  Nested [map]s check it and run sequentially. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+(* ---- work queue ------------------------------------------------------ *)
+
+(* One job at a time: [map] is only ever entered from the main domain
+   (nested calls short-circuit to sequential), so a single slot
+   guarded by [mu]/[cond] suffices.  Tasks are claimed by atomic
+   fetch-and-add on [next]; [completed] counts finished tasks and the
+   last finisher wakes the main domain. *)
+type job = {
+  n : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  run : int -> unit;
+}
+
+let mu = Mutex.create ()
+let cond = Condition.create ()
+let current : job option ref = ref None
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let n_workers = ref 0
+
+let drain job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.run i;
+      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished = job.n then begin
+        Mutex.lock mu;
+        Condition.broadcast cond;
+        Mutex.unlock mu
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop () =
+  Domain.DLS.set in_worker_key true;
+  let rec next_job () =
+    Mutex.lock mu;
+    let rec wait () =
+      if !shutting_down then begin
+        Mutex.unlock mu;
+        None
+      end
+      else
+        match !current with
+        | Some j when Atomic.get j.next < j.n ->
+            Mutex.unlock mu;
+            Some j
+        | _ ->
+            Condition.wait cond mu;
+            wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some j ->
+        drain j;
+        next_job ()
+  in
+  next_job ()
+
+let ensure_workers k =
+  while !n_workers < k do
+    incr n_workers;
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock mu;
+      shutting_down := true;
+      Condition.broadcast cond;
+      Mutex.unlock mu;
+      List.iter Domain.join !workers)
+
+(* ---- deterministic map ----------------------------------------------- *)
+
+let map (type a b) (f : a -> b) (arr : a array) : b array =
+  let n = Array.length arr in
+  let d = Stdlib.min (domain_count ()) n in
+  if d <= 1 || in_worker () then Array.map f arr
+  else begin
+    let tracing = Metrics.enabled () in
+    let results : b option array = Array.make n None in
+    let obs : (Metrics.captured * Span.captured) option array =
+      Array.make n None
+    in
+    let errors : exn option array = Array.make n None in
+    let run i =
+      try
+        if tracing then begin
+          let (r, spans), events =
+            Metrics.capture (fun () -> Span.capture (fun () -> f arr.(i)))
+          in
+          results.(i) <- Some r;
+          obs.(i) <- Some (events, spans)
+        end
+        else results.(i) <- Some (f arr.(i))
+      with e -> errors.(i) <- Some e
+    in
+    let job = { n; next = Atomic.make 0; completed = Atomic.make 0; run } in
+    Mutex.lock mu;
+    ensure_workers (d - 1);
+    current := Some job;
+    Condition.broadcast cond;
+    Mutex.unlock mu;
+    (* The main domain participates as the d-th worker. *)
+    Domain.DLS.set in_worker_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker_key false)
+      (fun () -> drain job);
+    Mutex.lock mu;
+    while Atomic.get job.completed < n do
+      Condition.wait cond mu
+    done;
+    current := None;
+    Mutex.unlock mu;
+    (* Fan-in: merge per-task observability in submission order, then
+       surface the lowest-index failure (sequential semantics: obs of
+       the tasks "before" the failure are kept). *)
+    let first_error = ref None in
+    Array.iteri
+      (fun i e ->
+        match (!first_error, e) with
+        | None, Some _ -> first_error := Some i
+        | _ -> ())
+      errors;
+    let merge_until =
+      match !first_error with Some i -> i | None -> n
+    in
+    if tracing then
+      for i = 0 to merge_until - 1 do
+        match obs.(i) with
+        | Some (events, spans) ->
+            Metrics.absorb events;
+            Span.absorb spans
+        | None -> ()
+      done;
+    (match !first_error with
+    | Some i -> ( match errors.(i) with Some e -> raise e | None -> ())
+    | None -> ());
+    Array.map
+      (function
+        | Some r -> r
+        | None -> invalid_arg "Pool.map: missing result")
+      results
+  end
+
+let mapi f arr =
+  let idx = Array.mapi (fun i x -> (i, x)) arr in
+  map (fun (i, x) -> f i x) idx
+
+let map_list f l = Array.to_list (map f (Array.of_list l))

@@ -527,23 +527,23 @@ let test_show_route_line () =
   | Some r ->
       let line = Netsim_bgp.Show.route t r in
       Alcotest.(check bool) "mentions class" true
-        (Astring_contains.contains line "provider");
+        (Test_util.contains line "provider");
       Alcotest.(check bool) "mentions path names" true
-        (Astring_contains.contains line "CP")
+        (Test_util.contains line "CP")
 
 let test_show_rib_marks_best () =
   let t, s = state_to_cp () in
   let out = Netsim_bgp.Show.rib t s eb in
   Alcotest.(check bool) "best marked with >" true
-    (Astring_contains.contains out "> ");
+    (Test_util.contains out "> ");
   Alcotest.(check bool) "shows receiver name" true
-    (Astring_contains.contains out "EB")
+    (Test_util.contains out "EB")
 
 let test_show_rib_empty () =
   let t, s = state_to_cp () in
   let out = Netsim_bgp.Show.rib t s cp in
   Alcotest.(check bool) "origin has empty rib" true
-    (Astring_contains.contains out "(no routes)")
+    (Test_util.contains out "(no routes)")
 
 let test_show_walk () =
   let t, s = state_to_cp () in
@@ -552,9 +552,9 @@ let test_show_walk () =
   | Some w ->
       let out = Netsim_bgp.Show.walk t w in
       Alcotest.(check bool) "mentions entry" true
-        (Astring_contains.contains out "enters CP");
+        (Test_util.contains out "enters CP");
       Alcotest.(check bool) "mentions metros" true
-        (Astring_contains.contains out "Chicago")
+        (Test_util.contains out "Chicago")
 
 (* ---- Valley-freeness property on generated topologies ---- *)
 

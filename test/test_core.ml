@@ -103,10 +103,10 @@ let test_figure_render_and_csv () =
   in
   let out = Figure.render f in
   Alcotest.(check bool) "title shown" true
-    (Astring_contains.contains out "demo title");
-  Alcotest.(check bool) "stats shown" true (Astring_contains.contains out "k");
+    (Test_util.contains out "demo title");
+  Alcotest.(check bool) "stats shown" true (Test_util.contains out "k");
   Alcotest.(check bool) "csv has header" true
-    (Astring_contains.contains (Figure.to_csv f) "series,x,y")
+    (Test_util.contains (Figure.to_csv f) "series,x,y")
 
 (* ---- Fig1 on the small scenario ---- *)
 
@@ -234,7 +234,7 @@ let test_fig5_ingress_contrast () =
 let test_fig5_render_map () =
   let out = Beatbgp.Fig5_cloud_tiers.render_map (Lazy.force fig5) in
   Alcotest.(check bool) "table header" true
-    (Astring_contains.contains out "std-prem")
+    (Test_util.contains out "std-prem")
 
 (* ---- Claims ---- *)
 
@@ -271,7 +271,7 @@ let test_claims_render () =
   in
   let out = Claims.render claims in
   Alcotest.(check bool) "mentions PASS or FAIL" true
-    (Astring_contains.contains out "PASS" || Astring_contains.contains out "FAIL")
+    (Test_util.contains out "PASS" || Test_util.contains out "FAIL")
 
 let test_claims_unknown_figure_empty () =
   let f = Figure.make ~id:"nope" ~title:"" ~x_label:"" ~y_label:"" [] in

@@ -19,26 +19,8 @@ module Engine = Netsim_dynamics.Engine
 module Script = Netsim_dynamics.Script
 open Fixture
 
-(* Routing digest: selection-relevant facts for every AS, rendered so
-   mismatches show up as readable diffs. *)
-let digest topo state =
-  let buf = Buffer.create 256 in
-  for asid = 0 to Topology.as_count topo - 1 do
-    let best =
-      match Propagate.best state asid with
-      | Some (r : Route.t) ->
-          Printf.sprintf "%d/%d/%d" r.Route.next_hop
-            r.Route.via_link.Relation.id r.Route.path_len
-      | None -> "-"
-    in
-    Buffer.add_string buf
-      (Printf.sprintf "%d:%s:%s:%s\n" asid best
-         (String.concat "." (List.map string_of_int (Propagate.as_path state asid)))
-         (match Propagate.selected_class state asid with
-         | Some k -> Route.klass_to_string k
-         | None -> "-"))
-  done;
-  Buffer.contents buf
+(* Routing digest (shared): see Test_util.digest. *)
+let digest = Test_util.digest
 
 (* ---- Timeline ---- *)
 

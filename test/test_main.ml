@@ -4,6 +4,7 @@ let () =
       ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("geo", Test_geo.suite);
       ("topo", Test_topo.suite);
       ("bgp", Test_bgp.suite);

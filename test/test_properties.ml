@@ -11,6 +11,7 @@ module Announce = Netsim_bgp.Announce
 module Route = Netsim_bgp.Route
 module Propagate = Netsim_bgp.Propagate
 module Walk = Netsim_bgp.Walk
+module Timeline = Netsim_dynamics.Timeline
 
 (* Randomized small Internets: vary the seed and the class counts. *)
 let random_topo seed =
@@ -246,6 +247,46 @@ let prop_congestion_delay_nonnegative =
       done;
       !ok)
 
+let prop_timeline_pop_sorted =
+  QCheck.Test.make
+    ~name:"Timeline pops in (time, seq) order for arbitrary pushes" ~count:100
+    QCheck.(list (int_range 0 50))
+    (fun times ->
+      let tl = Timeline.create () in
+      List.iteri
+        (fun i t -> Timeline.schedule tl ~at:(float_of_int t) i)
+        times;
+      let popped = Timeline.drain tl in
+      (* Expected: stable sort by time of the pushes in push order —
+         i.e. ties break by schedule sequence (FIFO). *)
+      let expected =
+        List.mapi (fun i t -> (float_of_int t, i)) times
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+      in
+      popped = expected)
+
+let prop_reconverge_equals_full =
+  QCheck.Test.make
+    ~name:"incremental reconvergence equals full run on random link deltas"
+    ~count:20
+    (QCheck.pair seed_gen (QCheck.int_range 0 10_000))
+    (fun (seed, lseed) ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      let config = Announce.default ~origin in
+      let state = Propagate.run topo config in
+      let l = lseed mod Topology.link_count topo in
+      let failed = Topology.remove_links topo [ l ] in
+      let full = Propagate.run failed config in
+      let incr_down, _ =
+        Propagate.reconverge state ~topo:failed (Propagate.Link_removed l)
+      in
+      let restored, _ =
+        Propagate.reconverge incr_down ~topo (Propagate.Link_added l)
+      in
+      Test_util.digest failed full = Test_util.digest failed incr_down
+      && Test_util.digest topo state = Test_util.digest topo restored)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -259,4 +300,6 @@ let suite =
       prop_walk_matches_selected_path;
       prop_link_failure_monotone;
       prop_congestion_delay_nonnegative;
+      prop_timeline_pop_sorted;
+      prop_reconverge_equals_full;
     ]

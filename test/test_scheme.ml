@@ -99,9 +99,9 @@ let test_serve_interface () =
 let test_render_contains_names_and_matrix () =
   let out = Sch.render (Lazy.force egress_report) in
   Alcotest.(check bool) "mentions schemes" true
-    (Astring_contains.contains out "oracle-dynamic");
+    (Test_util.contains out "oracle-dynamic");
   Alcotest.(check bool) "has win matrix" true
-    (Astring_contains.contains out "win matrix")
+    (Test_util.contains out "win matrix")
 
 let test_empty_schemes_rejected () =
   let fb = Lazy.force fb in

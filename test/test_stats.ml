@@ -289,12 +289,12 @@ let test_plot_contains_title_and_legend () =
     (String.length out > 0
     && String.sub out 0 7 = "my plot");
   Alcotest.(check bool) "mentions series" true
-    (Astring_contains.contains out "demo-series")
+    (Test_util.contains out "demo-series")
 
 let test_plot_empty () =
   let out = Ascii_plot.plot ~title:"t" [] in
   Alcotest.(check bool) "reports no data" true
-    (Astring_contains.contains out "(no data)")
+    (Test_util.contains out "(no data)")
 
 (* ---- qcheck properties ---- *)
 

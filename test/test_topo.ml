@@ -259,7 +259,7 @@ let test_serialize_rejects_garbage () =
   (match Netsim_topo.Serialize.of_string "nonsense record here" with
   | Error e ->
       Alcotest.(check bool) "names the line" true
-        (Astring_contains.contains e "line 1")
+        (Test_util.contains e "line 1")
   | Ok _ -> Alcotest.fail "accepted garbage");
   match Netsim_topo.Serialize.of_string "as x tier1 T1 0" with
   | Error _ -> ()
@@ -320,7 +320,7 @@ let test_invariants_detect_orphan () =
   let violations = Invariants.check t in
   Alcotest.(check bool) "orphan stub flagged" true
     (List.exists
-       (fun v -> Astring_contains.contains v "no provider chain")
+       (fun v -> Test_util.contains v "no provider chain")
        violations)
 
 let test_invariants_detect_missing_clique () =
@@ -333,7 +333,7 @@ let test_invariants_detect_missing_clique () =
   let t = Topology.make ases [] in
   Alcotest.(check bool) "missing clique flagged" true
     (List.exists
-       (fun v -> Astring_contains.contains v "not interconnected")
+       (fun v -> Test_util.contains v "not interconnected")
        (Invariants.check t))
 
 let suite =
