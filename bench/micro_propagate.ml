@@ -1,31 +1,111 @@
-(* Standalone microbenchmark of the hottest algorithm, Propagate.run,
-   with a plain wall-clock loop (no Bechamel) so before/after numbers
-   for instrumentation changes are quick to produce:
+(* Microbenchmark of the propagation core and the RIB cache:
 
-     dune exec bench/micro_propagate.exe -- [iters]
+     dune exec bench/micro_propagate.exe -- [--out FILE] [--gate] [iters]
 
-   Prints ns/run over [iters] propagations (default 2000) after a
-   warm-up pass.  NETSIM_TRACE=1 enables instrumentation to measure
-   its enabled-mode cost. *)
+   Measures (a) ns/run of the optimized Dial-queue/flat-array core
+   ([Propagate.run]) against the retained Set-based
+   [Propagate.run_reference] on the default topology scale, verifying
+   bit-identical results while at it, and (b) the RIB-cache hit rate
+   on a figure-shaped workload (the repeated per-origin runs the
+   egress / anycast / availability layers issue).  Writes the numbers
+   as JSON (default BENCH_core.json).
 
-let () =
-  let iters =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2000
-  in
-  let topo = Netsim_topo.Generator.generate Netsim_topo.Generator.default_params in
-  let dest =
-    List.hd (Netsim_topo.Topology.by_klass topo Netsim_topo.Asn.Eyeball)
-  in
-  let config = Netsim_bgp.Announce.default ~origin:dest in
-  (* Warm-up. *)
-  for _ = 1 to 200 do
-    ignore (Netsim_bgp.Propagate.run topo config)
-  done;
+   --gate additionally enforces the PR acceptance bound: the optimized
+   core must be >= 2x faster than the reference; exits non-zero
+   otherwise (used by the CI bench smoke).  NETSIM_TRACE=1 measures
+   enabled-instrumentation cost instead. *)
+
+module Topology = Netsim_topo.Topology
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
+module Jsonx = Netsim_obs.Jsonx
+
+let time_ns f iters =
+  f () (* warm-up *);
   let t0 = Unix.gettimeofday () in
   for _ = 1 to iters do
-    ignore (Netsim_bgp.Propagate.run topo config)
+    f ()
   done;
-  let t1 = Unix.gettimeofday () in
-  let ns = (t1 -. t0) *. 1e9 /. float_of_int iters in
-  Printf.printf "propagate: %d iters, %.0f ns/run (%.3f ms/run)\n" iters ns
-    (ns /. 1e6)
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse ~out ~gate ~iters = function
+    | [] -> (out, gate, iters)
+    | "--out" :: file :: rest -> parse ~out:file ~gate ~iters rest
+    | "--gate" :: rest -> parse ~out ~gate:true ~iters rest
+    | n :: rest -> parse ~out ~gate ~iters:(int_of_string n) rest
+  in
+  let out, gate, iters = parse ~out:"BENCH_core.json" ~gate:false ~iters:500 args in
+  let topo =
+    Netsim_topo.Generator.generate Netsim_topo.Generator.default_params
+  in
+  let dest =
+    List.hd (Topology.by_klass topo Netsim_topo.Asn.Eyeball)
+  in
+  let config = Announce.default ~origin:dest in
+  (* The two cores must agree before their timings mean anything. *)
+  if not (Propagate.equal (Propagate.run topo config) (Propagate.run_reference topo config))
+  then begin
+    print_string "FAIL: optimized and reference propagation disagree\n";
+    exit 1
+  end;
+  let opt_ns = time_ns (fun () -> ignore (Propagate.run topo config)) iters in
+  let ref_ns =
+    time_ns (fun () -> ignore (Propagate.run_reference topo config)) iters
+  in
+  let speedup = ref_ns /. opt_ns in
+  (* Figure-shaped cache workload: the availability sweep recomputes
+     the same healthy baseline for every failed site, the egress and
+     anycast layers re-run a handful of per-origin configs.  Model it
+     as [sites] rounds of (1 baseline + 1 fresh per-site config),
+     measured against a cold private shard. *)
+  let sites = 20 in
+  let eyeballs =
+    Array.of_list (Topology.by_klass topo Netsim_topo.Asn.Eyeball)
+  in
+  let hit_rate, cached_ns =
+    Rib_cache.capture (Rib_cache.fresh_shard ()) @@ fun () ->
+    Rib_cache.clear ();
+    let t0 = Unix.gettimeofday () in
+    for s = 0 to sites - 1 do
+      ignore (Rib_cache.run topo config);
+      ignore
+        (Rib_cache.run topo
+           (Announce.default ~origin:eyeballs.(s mod Array.length eyeballs)))
+    done;
+    let elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let lookups = Rib_cache.hits () + Rib_cache.misses () in
+    ( float_of_int (Rib_cache.hits ()) /. float_of_int lookups,
+      elapsed_ns /. float_of_int lookups )
+  in
+  Printf.printf
+    "propagate: %d iters  optimized %.0f ns/run  reference %.0f ns/run  \
+     speedup %.2fx\n\
+     rib-cache: figure-shaped workload  hit rate %.2f  %.0f ns/lookup\n"
+    iters opt_ns ref_ns speedup hit_rate cached_ns;
+  let json =
+    Jsonx.Obj
+      [
+        ("bench", Jsonx.String "core");
+        ("iters", Jsonx.Int iters);
+        ("as_count", Jsonx.Int (Topology.as_count topo));
+        ("link_count", Jsonx.Int (Topology.link_count topo));
+        ("optimized_ns", Jsonx.Float opt_ns);
+        ("reference_ns", Jsonx.Float ref_ns);
+        ("speedup", Jsonx.Float speedup);
+        ("cache_hit_rate", Jsonx.Float hit_rate);
+        ("cache_ns_per_lookup", Jsonx.Float cached_ns);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  if gate && speedup < 2. then begin
+    Printf.printf
+      "FAIL: optimized propagation under 2x faster than the Set-based \
+       reference\n";
+    exit 1
+  end

@@ -83,11 +83,22 @@ let domains_t =
            or all cores; 1 = serial). Output is byte-identical for any \
            value.")
 
-let with_sizes f seed prefixes days small csv trace metrics_out domains =
+let no_rib_cache_t =
+  Arg.(
+    value & flag
+    & info [ "no-rib-cache" ]
+        ~doc:
+          "Disable the content-addressed RIB cache and recompute every \
+           propagation from scratch (also \\$(b,NETSIM_RIB_CACHE=0)). \
+           Output is byte-identical either way.")
+
+let with_sizes f seed prefixes days small csv trace metrics_out domains
+    no_rib_cache =
   let sizes = sizes_of ~seed ~prefixes ~days ~small in
   (match domains with
   | Some n -> Netsim_par.Pool.set_domain_count n
   | None -> ());
+  if no_rib_cache then Netsim_bgp.Rib_cache.set_enabled false;
   let tracing =
     trace || metrics_out <> None || Netsim_obs.Metrics.enabled ()
   in
@@ -285,7 +296,7 @@ let run_rib ~sizes ~csv =
       if i < 5 then begin
         let p = e.Netsim_cdn.Egress.prefix in
         let state =
-          Netsim_bgp.Propagate.run topo
+          Netsim_bgp.Rib_cache.run topo
             (Netsim_bgp.Announce.default ~origin:p.Netsim_traffic.Prefix.asid)
         in
         Buffer.add_string buf
@@ -344,7 +355,7 @@ let cmd name doc f =
     (Cmd.info name ~doc)
     Term.(
       const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t
-      $ trace_t $ metrics_out_t $ domains_t)
+      $ trace_t $ metrics_out_t $ domains_t $ no_rib_cache_t)
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in

@@ -1,6 +1,15 @@
 module Topology = Netsim_topo.Topology
 
-type t = { state : Propagate.state; walks : Walk.t option array }
+type t = {
+  state : Propagate.state;
+  walks : Walk.t option array;
+  covered : int;  (** ASes with a walk (never counts the origin). *)
+  by_site : (int, int list) Hashtbl.t;
+      (** metro -> client AS ids, ascending — built once in [compute]
+          so [sites] / [clients_of_site] are index lookups instead of
+          per-query scans over every AS. *)
+  site_list : int list;  (** distinct metros, ascending *)
+}
 
 let compute state =
   let topo = Propagate.topology state in
@@ -10,7 +19,27 @@ let compute state =
     Array.init n (fun i ->
         if i = origin then None else Walk.of_source state ~src:i)
   in
-  { state; walks }
+  let covered = ref 0 in
+  let by_site = Hashtbl.create 32 in
+  (* Descending loop + cons keeps each per-site list ascending. *)
+  for i = n - 1 downto 0 do
+    match walks.(i) with
+    | None -> ()
+    | Some walk ->
+        incr covered;
+        let metro = Walk.entry_metro walk in
+        let tail =
+          match Hashtbl.find_opt by_site metro with
+          | Some l -> l
+          | None -> []
+        in
+        Hashtbl.replace by_site metro (i :: tail)
+  done;
+  let site_list =
+    Hashtbl.fold (fun metro _ acc -> metro :: acc) by_site []
+    |> List.sort Stdlib.compare
+  in
+  { state; walks; covered = !covered; by_site; site_list }
 
 let walk_of t asid = t.walks.(asid)
 
@@ -21,28 +50,10 @@ let site_of t asid =
 
 let coverage t =
   let n = Array.length t.walks in
-  let covered =
-    Array.fold_left (fun acc w -> if w <> None then acc + 1 else acc) 0 t.walks
-  in
   (* The origin itself never has a walk; exclude it from the base. *)
-  float_of_int covered /. float_of_int (max 1 (n - 1))
+  float_of_int t.covered /. float_of_int (max 1 (n - 1))
 
 let clients_of_site t metro =
-  let acc = ref [] in
-  Array.iteri
-    (fun i w ->
-      match w with
-      | Some walk when Walk.entry_metro walk = metro -> acc := i :: !acc
-      | Some _ | None -> ())
-    t.walks;
-  List.rev !acc
+  match Hashtbl.find_opt t.by_site metro with Some l -> l | None -> []
 
-let sites t =
-  let module S = Set.Make (Int) in
-  let s =
-    Array.fold_left
-      (fun s w ->
-        match w with Some walk -> S.add (Walk.entry_metro walk) s | None -> s)
-      S.empty t.walks
-  in
-  S.elements s
+let sites t = t.site_list

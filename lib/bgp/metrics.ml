@@ -71,7 +71,7 @@ let compute ?(path_samples = 5) ~rng topo =
   let total_len = ref 0 and total_paths = ref 0 in
   for _ = 1 to path_samples do
     let dest = Sm.next_int rng n in
-    let state = Propagate.run topo (Announce.default ~origin:dest) in
+    let state = Rib_cache.run topo (Announce.default ~origin:dest) in
     for x = 0 to n - 1 do
       if x <> dest then begin
         match Propagate.as_path state x with

@@ -9,26 +9,199 @@ type entry = {
       (** The route carries NO_EXPORT: usable here, never re-exported. *)
 }
 
+(* ---- bit-packed routing entries -------------------------------------- *)
+
+(* Per-AS, per-class routing state lives in flat int arrays instead of
+   [entry option array]s: one immediate word per entry, no pointer
+   chasing and no per-entry allocation in the hot loops.  Layout (an
+   empty slot is -1, so the sign bit doubles as the presence flag):
+
+     bit  0      no_export
+     bits 1-21   link id        (21 bits; Topology caps ids at 2^21)
+     bits 22-41  parent AS id   (20 bits; Topology caps ASes at 2^20)
+     bits 42-61  path length    (20 bits)
+
+   Integer comparison of two packed entries is exactly the
+   deterministic route preference (len, parent, link id) the Set-based
+   implementation used, so "is this candidate better" is one compare. *)
+
+let e_pack ~len ~parent ~link ~ne =
+  (len lsl 42) lor (parent lsl 22) lor (link lsl 1) lor (if ne then 1 else 0)
+
+let e_len v = v lsr 42
+let e_parent v = (v lsr 22) land 0xF_FFFF
+let e_link v = (v lsr 1) land 0x1F_FFFF
+let e_ne v = v land 1 = 1
+
+let max_path_len = (1 lsl 20) - 1
+
 type state = {
   topo : Topology.t;
   config : Announce.t;
-  cust : entry option array;
-  peer : entry option array;
-  prov : entry option array;
+  link_by_id : Relation.link array;
+      (** Link records indexed by id (ids survive [remove_links], so
+          this is {e not} the topology's [links] array). *)
+  cust : int array;
+  peer : int array;
+  prov : int array;
 }
 
 let topology s = s.topo
 let config s = s.config
 let origin s = s.config.Announce.origin
 
-(* Priority queue of candidates with deterministic ordering;
-   implemented over Set since candidate counts are small. *)
-module Pq = Set.Make (struct
-  type t = int * int * int * int * Relation.link * bool
+let dummy_link =
+  { Relation.id = -1; a = -1; b = -1; kind = Relation.C2p; metro = 0;
+    capacity_gbps = 0. }
 
-  let compare (l1, p1, k1, t1, _, _) (l2, p2, k2, t2, _, _) =
-    compare (l1, p1, k1, t1) (l2, p2, k2, t2)
-end)
+let link_index topo =
+  let links = Topology.links topo in
+  let max_id =
+    Array.fold_left
+      (fun m (l : Relation.link) -> Stdlib.max m l.Relation.id)
+      (-1) links
+  in
+  let t = Array.make (max_id + 1) dummy_link in
+  Array.iter (fun (l : Relation.link) -> t.(l.Relation.id) <- l) links;
+  t
+
+let entry_of s v =
+  {
+    len = e_len v;
+    parent = e_parent v;
+    link = s.link_by_id.(e_link v);
+    no_export = e_ne v;
+  }
+
+let get s (arr : int array) x =
+  let v = arr.(x) in
+  if v < 0 then None else Some (entry_of s v)
+
+(* ---- monotone bucket (Dial) queue ------------------------------------ *)
+
+(* Export candidates queue up in per-path-length buckets: lengths only
+   ever grow by one hop, so the scan over buckets is monotone and the
+   whole priority queue is append + one sort per bucket — no [Set]
+   node churn, no tuple allocation.  A queued candidate is one packed
+   int (the bucket index carries the length):
+
+     bit  0      no_export
+     bits 1-20   target AS id
+     bits 21-41  link id
+     bits 42-61  parent AS id
+
+   Ascending int order is (parent, link, target): exactly the
+   tie-break order the Set-based queue popped in within one length.
+   Every push from a bucket goes to a strictly higher bucket, so a
+   bucket is complete when the scan reaches it, and one sort there
+   reproduces the full (len, parent, link, target) pop order —
+   results are bit-identical to [run_reference]. *)
+
+let q_pack ~parent ~link ~target ~ne =
+  (parent lsl 42) lor (link lsl 21) lor (target lsl 1)
+  lor (if ne then 1 else 0)
+
+let q_parent v = v lsr 42
+let q_link v = (v lsr 21) land 0x1F_FFFF
+let q_target v = (v lsr 1) land 0xF_FFFF
+let q_ne v = v land 1 = 1
+
+type dial = {
+  mutable buckets : int array array;
+  mutable sizes : int array;
+  mutable cur : int;  (** buckets below this are drained *)
+  mutable pending : int;
+}
+
+let dial_create () =
+  { buckets = Array.make 16 [||]; sizes = Array.make 16 0; cur = 0; pending = 0 }
+
+let dial_push q ~len packed =
+  if len < 0 || len > max_path_len then
+    invalid_arg "Propagate: path length out of packed range";
+  if len < q.cur then invalid_arg "Propagate: non-monotone queue push";
+  let cap = Array.length q.buckets in
+  if len >= cap then begin
+    let ncap = Stdlib.max (len + 1) (2 * cap) in
+    let nb = Array.make ncap [||] and ns = Array.make ncap 0 in
+    Array.blit q.buckets 0 nb 0 cap;
+    Array.blit q.sizes 0 ns 0 cap;
+    q.buckets <- nb;
+    q.sizes <- ns
+  end;
+  let b = q.buckets.(len) and sz = q.sizes.(len) in
+  let b =
+    if sz = Array.length b then begin
+      let nb = Array.make (Stdlib.max 8 (2 * sz)) 0 in
+      Array.blit b 0 nb 0 sz;
+      q.buckets.(len) <- nb;
+      nb
+    end
+    else b
+  in
+  b.(sz) <- packed;
+  q.sizes.(len) <- sz + 1;
+  q.pending <- q.pending + 1
+
+(* Ascending in-place sort of a.(lo..hi-1): insertion sort for small
+   ranges, median-of-three quicksort above — monomorphic int compares
+   throughout. *)
+let rec sort_range (a : int array) lo hi =
+  if hi - lo <= 12 then
+    for i = lo + 1 to hi - 1 do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    let mid = lo + ((hi - lo) lsr 1) in
+    let x = a.(lo) and y = a.(mid) and z = a.(hi - 1) in
+    let pivot =
+      if x < y then if y < z then y else if x < z then z else x
+      else if x < z then x
+      else if y < z then z
+      else y
+    in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo (!j + 1);
+    sort_range a !i hi
+  end
+
+let dial_drain q f =
+  while q.pending > 0 do
+    while q.sizes.(q.cur) = 0 do
+      q.cur <- q.cur + 1
+    done;
+    let len = q.cur in
+    let b = q.buckets.(len) and sz = q.sizes.(len) in
+    sort_range b 0 sz;
+    (* Processing can only push to higher buckets, so [sz] is final. *)
+    q.pending <- q.pending - sz;
+    q.sizes.(len) <- 0;
+    q.cur <- len + 1;
+    for i = 0 to sz - 1 do
+      f ~len b.(i)
+    done
+  done
 
 (* Seeds: announcements the origin sends on its own sessions, grouped
    by the class in which the receiving AS learns them. *)
@@ -62,11 +235,172 @@ let c_exported = Netsim_obs.Metrics.counter "bgp.announcements_exported"
 let c_selected = Netsim_obs.Metrics.counter "bgp.routes_selected"
 let c_visited = Netsim_obs.Metrics.counter "bgp.ases_visited"
 
+let record_run_stats ~tracing n (cust : int array) peer prov =
+  if tracing then begin
+    let selected = ref 0 and visited = ref 0 in
+    for x = 0 to n - 1 do
+      let c = cust.(x) >= 0 and p = peer.(x) >= 0 and v = prov.(x) >= 0 in
+      if c then Stdlib.incr selected;
+      if p then Stdlib.incr selected;
+      if v then Stdlib.incr selected;
+      if c || p || v then Stdlib.incr visited
+    done;
+    Netsim_obs.Metrics.add c_selected !selected;
+    Netsim_obs.Metrics.add c_visited !visited
+  end
+
 let run topo config =
   Netsim_obs.Span.with_ ~name:"bgp.propagate" @@ fun () ->
   (* One flag read per run: record sites below are guarded by this
      immutable local so the disabled-mode cost in the hot loops is a
      single well-predicted branch. *)
+  let tracing = Netsim_obs.Metrics.enabled () in
+  let n = Topology.as_count topo in
+  let origin = config.Announce.origin in
+  let cust = Array.make n (-1) in
+  let peer = Array.make n (-1) in
+  let prov = Array.make n (-1) in
+  (* ---- Phase 1: customer-learned routes (propagate upward). ---- *)
+  let q = dial_create () in
+  let push_seed (target, len, (_ : int), link, ne) =
+    if tracing then Netsim_obs.Metrics.incr c_exported;
+    dial_push q ~len (q_pack ~parent:origin ~link:link.Relation.id ~target ~ne)
+  in
+  List.iter push_seed (seeds topo config ~klass:Route.Customer);
+  dial_drain q (fun ~len v ->
+      let target = q_target v in
+      if target <> origin && cust.(target) < 0 then begin
+        cust.(target) <-
+          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+        (* target exports its best customer route to its providers —
+           unless the announcement was scoped with NO_EXPORT. *)
+        if not (q_ne v) then begin
+          let pns = Topology.packed_neighbors topo target in
+          for i = 0 to Array.length pns - 1 do
+            let pn = pns.(i) in
+            match Topology.pn_rel pn with
+            | Relation.To_provider ->
+                let up = Topology.pn_peer pn in
+                if up <> origin then begin
+                  if tracing then Netsim_obs.Metrics.incr c_exported;
+                  dial_push q ~len:(len + 1)
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:up ~ne:false)
+                end
+            | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer ->
+                ()
+          done
+        end
+      end);
+  (* ---- Phase 2: peer-learned routes (single lateral step). ---- *)
+  List.iter
+    (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+      if target <> origin then begin
+        let cand = e_pack ~len ~parent:origin ~link:link.Relation.id ~ne in
+        let cur = peer.(target) in
+        if cur < 0 || cand < cur then peer.(target) <- cand
+      end)
+    (seeds topo config ~klass:Route.Peer);
+  for x = 0 to n - 1 do
+    let ex = cust.(x) in
+    if ex >= 0 && not (e_ne ex) then begin
+      let len1 = e_len ex + 1 in
+      let pns = Topology.packed_neighbors topo x in
+      for i = 0 to Array.length pns - 1 do
+        let pn = pns.(i) in
+        match Topology.pn_rel pn with
+        | Relation.Priv_peer | Relation.Pub_peer ->
+            let lateral = Topology.pn_peer pn in
+            if lateral <> origin then begin
+              let cand =
+                e_pack ~len:len1 ~parent:x ~link:(Topology.pn_link pn) ~ne:false
+              in
+              let cur = peer.(lateral) in
+              if cur < 0 || cand < cur then peer.(lateral) <- cand
+            end
+        | Relation.To_customer | Relation.To_provider -> ()
+      done
+    end
+  done;
+  (* ---- Phase 3: provider-learned routes (propagate downward). ---- *)
+  let q = dial_create () in
+  List.iter
+    (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+      if tracing then Netsim_obs.Metrics.incr c_exported;
+      dial_push q ~len (q_pack ~parent:origin ~link:link.Relation.id ~target ~ne))
+    (seeds topo config ~klass:Route.Provider);
+  (* ASes whose selection is already final export to their customers
+     regardless of phase-3 progress. *)
+  for x = 0 to n - 1 do
+    let ex = if cust.(x) >= 0 then cust.(x) else peer.(x) in
+    if ex >= 0 && not (e_ne ex) then begin
+      let len1 = e_len ex + 1 in
+      let pns = Topology.packed_neighbors topo x in
+      for i = 0 to Array.length pns - 1 do
+        let pn = pns.(i) in
+        match Topology.pn_rel pn with
+        | Relation.To_customer ->
+            let down = Topology.pn_peer pn in
+            if down <> origin then begin
+              if tracing then Netsim_obs.Metrics.incr c_exported;
+              dial_push q ~len:len1
+                (q_pack ~parent:x ~link:(Topology.pn_link pn) ~target:down
+                   ~ne:false)
+            end
+        | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer -> ()
+      done
+    end
+  done;
+  dial_drain q (fun ~len v ->
+      let target = q_target v in
+      if target <> origin && prov.(target) < 0 then begin
+        prov.(target) <-
+          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+        (* If the provider route is the target's selected best, it now
+           exports that route to its customers. *)
+        if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
+          let pns = Topology.packed_neighbors topo target in
+          for i = 0 to Array.length pns - 1 do
+            let pn = pns.(i) in
+            match Topology.pn_rel pn with
+            | Relation.To_customer ->
+                let down = Topology.pn_peer pn in
+                if down <> origin then begin
+                  if tracing then Netsim_obs.Metrics.incr c_exported;
+                  dial_push q ~len:(len + 1)
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:down ~ne:false)
+                end
+            | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer ->
+                ()
+          done
+        end
+      end);
+  record_run_stats ~tracing n cust peer prov;
+  { topo; config; link_by_id = link_index topo; cust; peer; prov }
+
+(* ---- reference implementation ---------------------------------------- *)
+
+(* The original Set-based priority queue and [entry option] arrays,
+   kept verbatim behind the same interface: the differential QCheck
+   property in the test suite and bench/micro_propagate hold the
+   optimized core to bit-identical results against this. *)
+module Pq = Set.Make (struct
+  type t = int * int * int * int * Relation.link * bool
+
+  let compare (l1, p1, k1, t1, _, _) (l2, p2, k2, t2, _, _) =
+    compare (l1, p1, k1, t1) (l2, p2, k2, t2)
+end)
+
+type ref_entry = {
+  r_len : int;
+  r_parent : int;
+  r_link : Relation.link;
+  r_ne : bool;
+}
+
+let run_reference topo config =
+  Netsim_obs.Span.with_ ~name:"bgp.propagate" @@ fun () ->
   let tracing = Netsim_obs.Metrics.enabled () in
   let n = Topology.as_count topo in
   let origin = config.Announce.origin in
@@ -84,9 +418,7 @@ let run topo config =
     let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
     pq := Pq.remove elt !pq;
     if target <> origin && cust.(target) = None then begin
-      cust.(target) <- Some { len; parent; link; no_export };
-      (* target exports its best customer route to its providers —
-         unless the announcement was scoped with NO_EXPORT. *)
+      cust.(target) <- Some { r_len = len; r_parent = parent; r_link = link; r_ne = no_export };
       if not no_export then
         List.iter
           (fun (nb : Topology.neighbor) ->
@@ -96,19 +428,21 @@ let run topo config =
     end
   done;
   (* ---- Phase 2: peer-learned routes (single lateral step). ---- *)
-  let better (candidate : entry) (current : entry option) =
+  let better (candidate : ref_entry) (current : ref_entry option) =
     match current with
     | None -> true
     | Some e ->
-        candidate.len < e.len
-        || (candidate.len = e.len
-           && (candidate.parent, candidate.link.Relation.id)
-              < (e.parent, e.link.Relation.id))
+        candidate.r_len < e.r_len
+        || (candidate.r_len = e.r_len
+           && (candidate.r_parent, candidate.r_link.Relation.id)
+              < (e.r_parent, e.r_link.Relation.id))
   in
   List.iter
     (fun (target, len, parent, link, no_export) ->
       if target <> origin then begin
-        let candidate = { len; parent; link; no_export } in
+        let candidate =
+          { r_len = len; r_parent = parent; r_link = link; r_ne = no_export }
+        in
         if better candidate peer.(target) then peer.(target) <- Some candidate
       end)
     (seeds topo config ~klass:Route.Peer);
@@ -116,15 +450,15 @@ let run topo config =
     match cust.(x) with
     | None -> ()
     | Some ex ->
-        if not ex.no_export then
+        if not ex.r_ne then
           List.iter
             (fun (nb : Topology.neighbor) ->
               match nb.rel with
               | Relation.Priv_peer | Relation.Pub_peer ->
                   if nb.peer <> origin then begin
                     let candidate =
-                      { len = ex.len + 1; parent = x; link = nb.link;
-                        no_export = false }
+                      { r_len = ex.r_len + 1; r_parent = x; r_link = nb.link;
+                        r_ne = false }
                     in
                     if better candidate peer.(nb.peer) then
                       peer.(nb.peer) <- Some candidate
@@ -134,7 +468,6 @@ let run topo config =
   done;
   (* ---- Phase 3: provider-learned routes (propagate downward). ---- *)
   let sel_fixed x =
-    (* Selected best among the already-final classes. *)
     match cust.(x) with Some e -> Some e | None -> peer.(x)
   in
   let pq = ref Pq.empty in
@@ -143,26 +476,22 @@ let run topo config =
     pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
   in
   List.iter push (seeds topo config ~klass:Route.Provider);
-  (* ASes whose selection is already final export to their customers
-     regardless of phase-3 progress. *)
   for x = 0 to n - 1 do
     match sel_fixed x with
     | None -> ()
     | Some ex ->
-        if not ex.no_export then
+        if not ex.r_ne then
           List.iter
             (fun (nb : Topology.neighbor) ->
               if nb.rel = Relation.To_customer && nb.peer <> origin then
-                push (nb.peer, ex.len + 1, x, nb.link, false))
+                push (nb.peer, ex.r_len + 1, x, nb.link, false))
             (Topology.neighbors topo x)
   done;
   while not (Pq.is_empty !pq) do
     let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
     pq := Pq.remove elt !pq;
     if target <> origin && prov.(target) = None then begin
-      prov.(target) <- Some { len; parent; link; no_export };
-      (* If the provider route is the target's selected best, it now
-         exports that route to its customers. *)
+      prov.(target) <- Some { r_len = len; r_parent = parent; r_link = link; r_ne = no_export };
       if sel_fixed target = None && not no_export then
         List.iter
           (fun (nb : Topology.neighbor) ->
@@ -171,21 +500,21 @@ let run topo config =
           (Topology.neighbors topo target)
     end
   done;
-  if tracing then begin
-    let selected = ref 0 and visited = ref 0 in
-    for x = 0 to n - 1 do
-      let c = cust.(x) <> None
-      and p = peer.(x) <> None
-      and v = prov.(x) <> None in
-      if c then Stdlib.incr selected;
-      if p then Stdlib.incr selected;
-      if v then Stdlib.incr selected;
-      if c || p || v then Stdlib.incr visited
-    done;
-    Netsim_obs.Metrics.add c_selected !selected;
-    Netsim_obs.Metrics.add c_visited !visited
-  end;
-  { topo; config; cust; peer; prov }
+  let pack_opt = function
+    | None -> -1
+    | Some e ->
+        e_pack ~len:e.r_len ~parent:e.r_parent ~link:e.r_link.Relation.id
+          ~ne:e.r_ne
+  in
+  let cust = Array.map pack_opt cust
+  and peer = Array.map pack_opt peer
+  and prov = Array.map pack_opt prov in
+  record_run_stats ~tracing n cust peer prov;
+  { topo; config; link_by_id = link_index topo; cust; peer; prov }
+
+let equal a b =
+  a.config.Announce.origin = b.config.Announce.origin
+  && a.cust = b.cust && a.peer = b.peer && a.prov = b.prov
 
 (* ---- Incremental reconvergence ------------------------------------ *)
 
@@ -235,28 +564,27 @@ let reconverge s ~topo delta =
   let dc = Array.make n false
   and dp = Array.make n false
   and dv = Array.make n false in
+  (* Work queue of (AS, class) marks, one packed int each. *)
   let queue = Queue.create () in
   let mark d tag x =
     if x <> origin && not d.(x) then begin
       d.(x) <- true;
-      Queue.add (tag, x) queue
+      Queue.add ((x lsl 2) lor tag) queue
     end
   in
-  let mark_c = mark dc `C and mark_p = mark dp `P and mark_v = mark dv `V in
+  let mark_c = mark dc 0 and mark_p = mark dp 1 and mark_v = mark dv 2 in
   (* Reverse dependency index over the old state (removals follow the
      recorded parent pointers; additions walk the live adjacency). *)
   let cust_children = Array.make n [] and peer_children = Array.make n [] in
   (match delta with
   | Link_removed _ ->
       for x = n - 1 downto 0 do
-        (match s.cust.(x) with
-        | Some e when e.parent <> origin ->
-            cust_children.(e.parent) <- x :: cust_children.(e.parent)
-        | _ -> ());
-        match s.peer.(x) with
-        | Some e when e.parent <> origin ->
-            peer_children.(e.parent) <- x :: peer_children.(e.parent)
-        | _ -> ()
+        let e = s.cust.(x) in
+        if e >= 0 && e_parent e <> origin then
+          cust_children.(e_parent e) <- x :: cust_children.(e_parent e);
+        let e = s.peer.(x) in
+        if e >= 0 && e_parent e <> origin then
+          peer_children.(e_parent e) <- x :: peer_children.(e_parent e)
       done
   | Link_added _ -> ());
   (* Base dirty set: entries riding the removed link, or the potential
@@ -264,15 +592,9 @@ let reconverge s ~topo delta =
   (match delta with
   | Link_removed l ->
       for x = 0 to n - 1 do
-        (match s.cust.(x) with
-        | Some e when e.link.Relation.id = l -> mark_c x
-        | _ -> ());
-        (match s.peer.(x) with
-        | Some e when e.link.Relation.id = l -> mark_p x
-        | _ -> ());
-        match s.prov.(x) with
-        | Some e when e.link.Relation.id = l -> mark_v x
-        | _ -> ()
+        if s.cust.(x) >= 0 && e_link s.cust.(x) = l then mark_c x;
+        if s.peer.(x) >= 0 && e_link s.peer.(x) = l then mark_p x;
+        if s.prov.(x) >= 0 && e_link s.prov.(x) = l then mark_v x
       done
   | Link_added l -> (
       let link =
@@ -295,28 +617,33 @@ let reconverge s ~topo delta =
           mark_p link.Relation.b));
   let improving = match delta with Link_added _ -> true | Link_removed _ -> false in
   while not (Queue.is_empty queue) do
-    let tag, p = Queue.pop queue in
-    (match tag with
-    | `C ->
-        if improving then
-          List.iter
-            (fun (nb : Topology.neighbor) ->
-              match nb.rel with
-              | Relation.To_provider -> mark_c nb.peer
-              | Relation.Priv_peer | Relation.Pub_peer -> mark_p nb.peer
-              | Relation.To_customer -> ())
-            (Topology.neighbors topo p)
-        else begin
-          List.iter mark_c cust_children.(p);
-          List.iter mark_p peer_children.(p)
-        end
-    | `P | `V -> ());
+    let packed = Queue.pop queue in
+    let tag = packed land 3 and p = packed lsr 2 in
+    if tag = 0 then
+      if improving then begin
+        let pns = Topology.packed_neighbors topo p in
+        for i = 0 to Array.length pns - 1 do
+          let pn = pns.(i) in
+          match Topology.pn_rel pn with
+          | Relation.To_provider -> mark_c (Topology.pn_peer pn)
+          | Relation.Priv_peer | Relation.Pub_peer ->
+              mark_p (Topology.pn_peer pn)
+          | Relation.To_customer -> ()
+        done
+      end
+      else begin
+        List.iter mark_c cust_children.(p);
+        List.iter mark_p peer_children.(p)
+      end;
     (* Any dirty class can flip p's selection, changing what it
        exports to its customers. *)
-    List.iter
-      (fun (nb : Topology.neighbor) ->
-        if nb.rel = Relation.To_customer then mark_v nb.peer)
-      (Topology.neighbors topo p)
+    let pns = Topology.packed_neighbors topo p in
+    for i = 0 to Array.length pns - 1 do
+      let pn = pns.(i) in
+      match Topology.pn_rel pn with
+      | Relation.To_customer -> mark_v (Topology.pn_peer pn)
+      | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer -> ()
+    done
   done;
   (* Clear the dirty entries; everything else is final and acts as the
      re-run's boundary. *)
@@ -326,127 +653,153 @@ let reconverge s ~topo delta =
   let nd_c = ref 0 and nd_p = ref 0 and nd_v = ref 0 in
   for x = 0 to n - 1 do
     if dc.(x) then begin
-      cust.(x) <- None;
+      cust.(x) <- -1;
       Stdlib.incr nd_c
     end;
     if dp.(x) then begin
-      peer.(x) <- None;
+      peer.(x) <- -1;
       Stdlib.incr nd_p
     end;
     if dv.(x) then begin
-      prov.(x) <- None;
+      prov.(x) <- -1;
       Stdlib.incr nd_v
     end
   done;
   (* ---- Phase 1 (restricted): customer-learned routes. ---- *)
-  let pq = ref Pq.empty in
-  let push (target, len, parent, link, no_export) =
-    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
-  in
+  let q = dial_create () in
   List.iter
-    (fun ((target, _, _, _, _) as seed) -> if dc.(target) then push seed)
+    (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+      if dc.(target) then
+        dial_push q ~len
+          (q_pack ~parent:origin ~link:link.Relation.id ~target ~ne))
     (seeds topo config ~klass:Route.Customer);
   for t = 0 to n - 1 do
-    if dc.(t) then
-      List.iter
-        (fun (nb : Topology.neighbor) ->
-          if nb.rel = Relation.To_customer && not dc.(nb.peer) then
-            match cust.(nb.peer) with
-            | Some e when not e.no_export ->
-                push (t, e.len + 1, nb.peer, nb.link, false)
-            | _ -> ())
-        (Topology.neighbors topo t)
-  done;
-  while not (Pq.is_empty !pq) do
-    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
-    pq := Pq.remove elt !pq;
-    if target <> origin && dc.(target) && cust.(target) = None then begin
-      cust.(target) <- Some { len; parent; link; no_export };
-      if not no_export then
-        List.iter
-          (fun (nb : Topology.neighbor) ->
-            if nb.rel = Relation.To_provider && nb.peer <> origin && dc.(nb.peer)
-            then push (nb.peer, len + 1, target, nb.link, false))
-          (Topology.neighbors topo target)
+    if dc.(t) then begin
+      let pns = Topology.packed_neighbors topo t in
+      for i = 0 to Array.length pns - 1 do
+        let pn = pns.(i) in
+        match Topology.pn_rel pn with
+        | Relation.To_customer ->
+            let y = Topology.pn_peer pn in
+            if not dc.(y) then begin
+              let e = cust.(y) in
+              if e >= 0 && not (e_ne e) then
+                dial_push q ~len:(e_len e + 1)
+                  (q_pack ~parent:y ~link:(Topology.pn_link pn) ~target:t
+                     ~ne:false)
+            end
+        | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer -> ()
+      done
     end
   done;
+  dial_drain q (fun ~len v ->
+      let target = q_target v in
+      if target <> origin && dc.(target) && cust.(target) < 0 then begin
+        cust.(target) <-
+          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+        if not (q_ne v) then begin
+          let pns = Topology.packed_neighbors topo target in
+          for i = 0 to Array.length pns - 1 do
+            let pn = pns.(i) in
+            match Topology.pn_rel pn with
+            | Relation.To_provider ->
+                let up = Topology.pn_peer pn in
+                if up <> origin && dc.(up) then
+                  dial_push q ~len:(len + 1)
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:up ~ne:false)
+            | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer ->
+                ()
+          done
+        end
+      end);
   (* ---- Phase 2 (restricted): peer-learned routes, pulled per dirty
      target over its full lateral candidate set. ---- *)
-  let better (candidate : entry) current =
-    match current with
-    | None -> true
-    | Some e ->
-        candidate.len < e.len
-        || (candidate.len = e.len
-           && (candidate.parent, candidate.link.Relation.id)
-              < (e.parent, e.link.Relation.id))
-  in
   let peer_seeds = seeds topo config ~klass:Route.Peer in
   for t = 0 to n - 1 do
     if dp.(t) then begin
-      let best = ref None in
-      let consider c = if better c !best then best := Some c in
+      let best = ref max_int in
       List.iter
-        (fun (target, len, parent, link, no_export) ->
-          if target = t then consider { len; parent; link; no_export })
+        (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+          if target = t then begin
+            let cand = e_pack ~len ~parent:origin ~link:link.Relation.id ~ne in
+            if cand < !best then best := cand
+          end)
         peer_seeds;
-      List.iter
-        (fun (nb : Topology.neighbor) ->
-          match nb.rel with
-          | Relation.Priv_peer | Relation.Pub_peer -> (
-              match cust.(nb.peer) with
-              | Some e when not e.no_export ->
-                  consider
-                    { len = e.len + 1; parent = nb.peer; link = nb.link;
-                      no_export = false }
-              | _ -> ())
-          | Relation.To_customer | Relation.To_provider -> ())
-        (Topology.neighbors topo t);
-      peer.(t) <- !best
+      let pns = Topology.packed_neighbors topo t in
+      for i = 0 to Array.length pns - 1 do
+        let pn = pns.(i) in
+        match Topology.pn_rel pn with
+        | Relation.Priv_peer | Relation.Pub_peer ->
+            let y = Topology.pn_peer pn in
+            let e = cust.(y) in
+            if e >= 0 && not (e_ne e) then begin
+              let cand =
+                e_pack ~len:(e_len e + 1) ~parent:y ~link:(Topology.pn_link pn)
+                  ~ne:false
+              in
+              if cand < !best then best := cand
+            end
+        | Relation.To_customer | Relation.To_provider -> ()
+      done;
+      peer.(t) <- (if !best = max_int then -1 else !best)
     end
   done;
   (* ---- Phase 3 (restricted): provider-learned routes. ---- *)
-  let sel_fixed x =
-    match cust.(x) with Some e -> Some e | None -> peer.(x)
-  in
-  let pq = ref Pq.empty in
-  let push (target, len, parent, link, no_export) =
-    pq := Pq.add (len, parent, link.Relation.id, target, link, no_export) !pq
-  in
+  let q = dial_create () in
   List.iter
-    (fun ((target, _, _, _, _) as seed) -> if dv.(target) then push seed)
+    (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+      if dv.(target) then
+        dial_push q ~len
+          (q_pack ~parent:origin ~link:link.Relation.id ~target ~ne))
     (seeds topo config ~klass:Route.Provider);
   for t = 0 to n - 1 do
-    if dv.(t) then
-      List.iter
-        (fun (nb : Topology.neighbor) ->
-          if nb.rel = Relation.To_provider then begin
-            let y = nb.peer in
-            match sel_fixed y with
-            | Some e ->
-                if not e.no_export then push (t, e.len + 1, y, nb.link, false)
-            | None -> (
-                if not dv.(y) then
-                  match prov.(y) with
-                  | Some e when not e.no_export ->
-                      push (t, e.len + 1, y, nb.link, false)
-                  | _ -> ())
-          end)
-        (Topology.neighbors topo t)
-  done;
-  while not (Pq.is_empty !pq) do
-    let ((len, parent, _, target, link, no_export) as elt) = Pq.min_elt !pq in
-    pq := Pq.remove elt !pq;
-    if target <> origin && dv.(target) && prov.(target) = None then begin
-      prov.(target) <- Some { len; parent; link; no_export };
-      if sel_fixed target = None && not no_export then
-        List.iter
-          (fun (nb : Topology.neighbor) ->
-            if nb.rel = Relation.To_customer && nb.peer <> origin && dv.(nb.peer)
-            then push (nb.peer, len + 1, target, nb.link, false))
-          (Topology.neighbors topo target)
+    if dv.(t) then begin
+      let pns = Topology.packed_neighbors topo t in
+      for i = 0 to Array.length pns - 1 do
+        let pn = pns.(i) in
+        match Topology.pn_rel pn with
+        | Relation.To_provider ->
+            let y = Topology.pn_peer pn in
+            let e = if cust.(y) >= 0 then cust.(y) else peer.(y) in
+            if e >= 0 then begin
+              if not (e_ne e) then
+                dial_push q ~len:(e_len e + 1)
+                  (q_pack ~parent:y ~link:(Topology.pn_link pn) ~target:t
+                     ~ne:false)
+            end
+            else if not dv.(y) then begin
+              let e = prov.(y) in
+              if e >= 0 && not (e_ne e) then
+                dial_push q ~len:(e_len e + 1)
+                  (q_pack ~parent:y ~link:(Topology.pn_link pn) ~target:t
+                     ~ne:false)
+            end
+        | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer -> ()
+      done
     end
   done;
+  dial_drain q (fun ~len v ->
+      let target = q_target v in
+      if target <> origin && dv.(target) && prov.(target) < 0 then begin
+        prov.(target) <-
+          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+        if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
+          let pns = Topology.packed_neighbors topo target in
+          for i = 0 to Array.length pns - 1 do
+            let pn = pns.(i) in
+            match Topology.pn_rel pn with
+            | Relation.To_customer ->
+                let down = Topology.pn_peer pn in
+                if down <> origin && dv.(down) then
+                  dial_push q ~len:(len + 1)
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:down ~ne:false)
+            | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer ->
+                ()
+          done
+        end
+      end);
   let stats =
     {
       rs_dirty_cust = !nd_c;
@@ -459,20 +812,14 @@ let reconverge s ~topo delta =
     Netsim_obs.Metrics.incr c_reconverges;
     Netsim_obs.Metrics.add c_reconverge_dirty (rs_dirty stats)
   end;
-  ({ topo; config; cust; peer; prov }, stats)
+  ({ topo; config; link_by_id = link_index topo; cust; peer; prov }, stats)
 
 let selected_entry s x =
   if x = origin s then None
-  else
-    match s.cust.(x) with
-    | Some e -> Some (Route.Customer, e)
-    | None -> (
-        match s.peer.(x) with
-        | Some e -> Some (Route.Peer, e)
-        | None -> (
-            match s.prov.(x) with
-            | Some e -> Some (Route.Provider, e)
-            | None -> None))
+  else if s.cust.(x) >= 0 then Some (Route.Customer, entry_of s s.cust.(x))
+  else if s.peer.(x) >= 0 then Some (Route.Peer, entry_of s s.peer.(x))
+  else if s.prov.(x) >= 0 then Some (Route.Provider, entry_of s s.prov.(x))
+  else None
 
 let selected_class s x =
   match selected_entry s x with Some (k, _) -> Some k | None -> None
@@ -483,9 +830,9 @@ let rec path_of s x klass =
   (* AS path from x's route of the given class: next hop ... origin. *)
   let entry =
     match klass with
-    | Route.Customer -> s.cust.(x)
-    | Route.Peer -> s.peer.(x)
-    | Route.Provider -> s.prov.(x)
+    | Route.Customer -> get s s.cust x
+    | Route.Peer -> get s s.peer x
+    | Route.Provider -> get s s.prov x
   in
   match entry with
   | None -> []

@@ -15,7 +15,19 @@
 type state
 
 val run : Netsim_topo.Topology.t -> Announce.t -> state
-(** Compute routes from every AS to the configured origin. *)
+(** Compute routes from every AS to the configured origin.  The core
+    runs on a monotone bucket (Dial) queue over bit-packed flat
+    arrays; see doc/performance.md. *)
+
+val run_reference : Netsim_topo.Topology.t -> Announce.t -> state
+(** The original [Set]-based implementation, kept as the oracle for
+    the differential property tests and benchmarks.  Produces results
+    [equal] to {!run} — bit-identical routing entries — at a higher
+    cost. *)
+
+val equal : state -> state -> bool
+(** Same origin and identical per-AS routing entries in all three
+    route classes (length, parent, link and NO_EXPORT flag). *)
 
 (** {1 Incremental reconvergence}
 

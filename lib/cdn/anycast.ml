@@ -1,4 +1,5 @@
 module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
 module Announce = Netsim_bgp.Announce
 module Catchment = Netsim_bgp.Catchment
 module Walk = Netsim_bgp.Walk
@@ -19,14 +20,14 @@ let make (d : Deployment.t) =
   Netsim_obs.Span.with_ ~name:"cdn.anycast.make" @@ fun () ->
   let topo = d.Deployment.topo in
   let anycast_config = Announce.default ~origin:d.Deployment.asid in
-  let anycast_state = Propagate.run topo anycast_config in
+  let anycast_state = Rib_cache.run topo anycast_config in
   (* One propagation per unicast site, sharded across the domain pool
      (independent runs; fan-in is in site order, like the serial map). *)
   let unicast_states =
     Netsim_par.Pool.map_list
       (fun site ->
         let config = Announce.only_at_metros ~origin:d.Deployment.asid [ site ] in
-        (site, Propagate.run topo config))
+        (site, Rib_cache.run topo config))
       d.Deployment.pops
   in
   {
@@ -73,7 +74,7 @@ let unicast_flow t (prefix : Prefix.t) ~site =
 
 let with_grooming t config =
   let topo = t.deployment.Deployment.topo in
-  let anycast_state = Propagate.run topo config in
+  let anycast_state = Rib_cache.run topo config in
   {
     t with
     anycast_config = config;

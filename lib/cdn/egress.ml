@@ -1,6 +1,7 @@
 module Topology = Netsim_topo.Topology
 module Relation = Netsim_topo.Relation
 module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
 module Announce = Netsim_bgp.Announce
 module Decision = Netsim_bgp.Decision
 module Route = Netsim_bgp.Route
@@ -56,7 +57,7 @@ let compute (d : Deployment.t) ~prefixes ~k =
   in
   let shard =
     Netsim_par.Pool.map
-      (fun asid -> Propagate.run topo (Announce.default ~origin:asid))
+      (fun asid -> Rib_cache.run topo (Announce.default ~origin:asid))
       asids
   in
   let states = Hashtbl.create 64 in

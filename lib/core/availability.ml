@@ -5,6 +5,7 @@ module Topology = Netsim_topo.Topology
 module Relation = Netsim_topo.Relation
 module Announce = Netsim_bgp.Announce
 module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
 module Walk = Netsim_bgp.Walk
 module Anycast = Netsim_cdn.Anycast
 module Deployment = Netsim_cdn.Deployment
@@ -54,11 +55,15 @@ let fail_site (ms : Scenario.microsoft) ~table ~ttl_seconds ~site =
   let d = Anycast.deployment system in
   let topo = d.Deployment.topo in
   let asid = d.Deployment.asid in
-  let before = Propagate.run topo (Announce.default ~origin:asid) in
+  let before = Rib_cache.run topo (Announce.default ~origin:asid) in
   let failed_topo =
     Topology.remove_links topo (provider_links_at topo asid site)
   in
-  let after = Propagate.run failed_topo (Announce.default ~origin:asid) in
+  (* The failed topology has a fresh generation stamp, so this can
+     never hit a stale entry; [before], by contrast, is the same
+     (topo, config) for every site in the sweep and hits after the
+     first. *)
+  let after = Rib_cache.run failed_topo (Announce.default ~origin:asid) in
   let affected = ref 0. and stranded = ref 0. in
   let deltas = ref [] in
   let dns_outage = ref 0. in

@@ -43,7 +43,10 @@ let congestion_ms cong ~time_min flow =
 let c_samples = Netsim_obs.Metrics.counter "latency.rtt.samples"
 let h_rtt = Netsim_obs.Metrics.histogram "latency.rtt.ms"
 
-let sample_ms cong ~rng ~time_min flow =
+(* [tracing] is hoisted out of the sampling loops (the convention of
+   [Propagate.run]): one [Metrics.enabled] read per call, a single
+   immutable local guarding the record sites inside the loop. *)
+let sample_traced cong ~tracing ~rng ~time_min flow =
   let params = Congestion.params cong in
   let topo = Congestion.topology cong in
   let base = floor_ms params topo cong flow in
@@ -51,12 +54,19 @@ let sample_ms cong ~rng ~time_min flow =
   let sigma = params.Params.minrtt_jitter_sigma in
   let jitter = if sigma <= 0. then 1. else Dist.lognormal rng ~mu:0. ~sigma in
   let v = (base +. congested) *. jitter in
-  Netsim_obs.Metrics.incr c_samples;
-  Netsim_obs.Metrics.observe h_rtt v;
+  if tracing then begin
+    Netsim_obs.Metrics.incr c_samples;
+    Netsim_obs.Metrics.observe h_rtt v
+  end;
   v
 
+let sample_ms cong ~rng ~time_min flow =
+  let tracing = Netsim_obs.Metrics.enabled () in
+  sample_traced cong ~tracing ~rng ~time_min flow
+
 let median_of_samples cong ~rng ~time_min ~count flow =
+  let tracing = Netsim_obs.Metrics.enabled () in
   let samples =
-    Array.init count (fun _ -> sample_ms cong ~rng ~time_min flow)
+    Array.init count (fun _ -> sample_traced cong ~tracing ~rng ~time_min flow)
   in
   Netsim_stats.Quantile.median samples

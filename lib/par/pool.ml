@@ -1,5 +1,6 @@
 module Metrics = Netsim_obs.Metrics
 module Span = Netsim_obs.Span
+module Rib_cache = Netsim_bgp.Rib_cache
 
 let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
 
@@ -106,16 +107,31 @@ let () =
 let map (type a b) (f : a -> b) (arr : a array) : b array =
   let n = Array.length arr in
   let d = Stdlib.min (domain_count ()) n in
-  if d <= 1 || in_worker () then Array.map f arr
+  if d <= 1 || in_worker () then
+    (* Sequential, but with the same per-task RIB-cache shard
+       discipline as the parallel path, so cache hit/miss behaviour —
+       and therefore traced metrics — is byte-identical for any domain
+       count. *)
+    Array.map
+      (fun x ->
+        let shard = Rib_cache.fresh_shard () in
+        let r = Rib_cache.capture shard (fun () -> f x) in
+        Rib_cache.absorb shard;
+        r)
+      arr
   else begin
     let tracing = Metrics.enabled () in
     let results : b option array = Array.make n None in
     let obs : (Metrics.captured * Span.captured) option array =
       Array.make n None
     in
+    let ribs : Rib_cache.shard array =
+      Array.init n (fun _ -> Rib_cache.fresh_shard ())
+    in
     let errors : exn option array = Array.make n None in
     let run i =
       try
+        Rib_cache.capture ribs.(i) @@ fun () ->
         if tracing then begin
           let (r, spans), events =
             Metrics.capture (fun () -> Span.capture (fun () -> f arr.(i)))
@@ -156,14 +172,15 @@ let map (type a b) (f : a -> b) (arr : a array) : b array =
     let merge_until =
       match !first_error with Some i -> i | None -> n
     in
-    if tracing then
-      for i = 0 to merge_until - 1 do
+    for i = 0 to merge_until - 1 do
+      Rib_cache.absorb ribs.(i);
+      if tracing then
         match obs.(i) with
         | Some (events, spans) ->
             Metrics.absorb events;
             Span.absorb spans
         | None -> ()
-      done;
+    done;
     (match !first_error with
     | Some i -> ( match errors.(i) with Some e -> raise e | None -> ())
     | None -> ());

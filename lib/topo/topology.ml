@@ -1,10 +1,49 @@
 type neighbor = { peer : int; rel : Relation.rel; link : Relation.link }
 
 type t = {
+  gen : int;
   ases : Asn.t array;
   links : Relation.link array;
   adj : neighbor list array;
+  padj : int array array;
 }
+
+(* Every constructed topology gets a unique generation stamp, so a
+   value derived by [remove_links] (the dynamics engine's reconverge
+   path) can never alias a cache entry built on its parent.  Atomic:
+   scenario construction happens inside pool workers. *)
+let gen_counter = Atomic.make 0
+let next_gen () = Atomic.fetch_and_add gen_counter 1
+
+(* Packed neighbor word, for allocation-free adjacency scans in the
+   propagation hot loops: link id in bits 0-20, peer AS id in bits
+   21-40, relation code in bits 41-42. *)
+let max_as_count = 1 lsl 20
+let max_link_count = 1 lsl 21
+
+let rel_code = function
+  | Relation.To_customer -> 0
+  | Relation.To_provider -> 1
+  | Relation.Priv_peer -> 2
+  | Relation.Pub_peer -> 3
+
+let pn_link pn = pn land 0x1F_FFFF
+let pn_peer pn = (pn lsr 21) land 0xF_FFFF
+
+let pn_rel pn =
+  match pn lsr 41 with
+  | 0 -> Relation.To_customer
+  | 1 -> Relation.To_provider
+  | 2 -> Relation.Priv_peer
+  | _ -> Relation.Pub_peer
+
+let pack_neighbor ~rel ~peer ~link_id =
+  (rel_code rel lsl 41) lor (peer lsl 21) lor link_id
+
+let pack_of_nb (nb : neighbor) =
+  pack_neighbor ~rel:nb.rel ~peer:nb.peer ~link_id:nb.link.Relation.id
+
+let padj_of_adj adj = Array.map (fun l -> Array.of_list (List.map pack_of_nb l)) adj
 
 let build_adjacency n links =
   let adj = Array.make n [] in
@@ -16,6 +55,15 @@ let build_adjacency n links =
         { peer = l.a; rel = Relation.rel_of l l.b; link = l } :: adj.(l.b))
     links;
   adj
+
+let check_packing_limits n links =
+  if n > max_as_count then
+    invalid_arg "Topology: AS count exceeds packed-adjacency limit (2^20)";
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.Relation.id < 0 || l.Relation.id >= max_link_count then
+        invalid_arg "Topology: link id exceeds packed-adjacency limit (2^21)")
+    links
 
 let make ases link_list =
   let n = Array.length ases in
@@ -35,14 +83,18 @@ let make ases link_list =
         invalid_arg "Topology.make: link endpoint out of range";
       if l.a = l.b then invalid_arg "Topology.make: self-link")
     links;
-  { ases; links; adj = build_adjacency n links }
+  check_packing_limits n links;
+  let adj = build_adjacency n links in
+  { gen = next_gen (); ases; links; adj; padj = padj_of_adj adj }
 
 let as_count t = Array.length t.ases
 let link_count t = Array.length t.links
+let generation t = t.gen
 let asn t i = t.ases.(i)
 let ases t = t.ases
 let links t = t.links
 let neighbors t i = t.adj.(i)
+let packed_neighbors t i = t.padj.(i)
 
 let filter_rel t i want =
   List.filter_map
@@ -70,8 +122,17 @@ let add_as t ~klass ~name ~footprint =
   if Array.length footprint = 0 then
     invalid_arg "Topology.add_as: empty footprint";
   let id = Array.length t.ases in
+  if id + 1 > max_as_count then
+    invalid_arg "Topology.add_as: AS count exceeds packed-adjacency limit";
   let ases = Array.append t.ases [| { Asn.id; klass; name; footprint } |] in
-  ({ ases; links = t.links; adj = Array.append t.adj [| [] |] }, id)
+  ( {
+      gen = next_gen ();
+      ases;
+      links = t.links;
+      adj = Array.append t.adj [| [] |];
+      padj = Array.append t.padj [| [||] |];
+    },
+    id )
 
 let add_links t specs =
   let base = Array.length t.links in
@@ -88,7 +149,9 @@ let add_links t specs =
       if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a = l.b then
         invalid_arg "Topology.add_links: bad endpoints")
     links;
-  { t with links; adj = build_adjacency n links }
+  check_packing_limits n links;
+  let adj = build_adjacency n links in
+  { t with gen = next_gen (); links; adj; padj = padj_of_adj adj }
 
 let remove_links t ids =
   let module S = Set.Make (Int) in
@@ -105,8 +168,13 @@ let remove_links t ids =
       S.empty t.links
   in
   let adj = Array.copy t.adj in
-  S.iter (fun x -> adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x)) touched;
-  { t with links; adj }
+  let padj = Array.copy t.padj in
+  S.iter
+    (fun x ->
+      adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x);
+      padj.(x) <- Array.of_list (List.map pack_of_nb adj.(x)))
+    touched;
+  { t with gen = next_gen (); links; adj; padj }
 
 let remove_links_of_as t asid =
   let ids =

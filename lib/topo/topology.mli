@@ -20,10 +20,37 @@ val make : Asn.t array -> Relation.link list -> t
 
 val as_count : t -> int
 val link_count : t -> int
+
+val generation : t -> int
+(** Unique stamp of this topology value.  Every constructor —
+    including {!remove_links}, the dynamics engine's reconvergence
+    path — returns a value with a fresh stamp, so a stamp equality
+    check is a sound (and precise) cache-invalidation test: two equal
+    stamps always denote the very same link set.  Stamps carry no
+    meaning beyond identity. *)
+
 val asn : t -> int -> Asn.t
 val ases : t -> Asn.t array
 val links : t -> Relation.link array
 val neighbors : t -> int -> neighbor list
+
+(** {2 Packed adjacency}
+
+    Allocation-free mirror of {!neighbors} for hot loops: each
+    neighbor is one immediate int with the link id in bits 0-20, the
+    peer AS id in bits 21-40 and the relation in bits 41-42, decoded
+    with the [pn_*] accessors.  AS count is capped at 2^20 and link
+    ids at 2^21 by the constructors to keep the packing valid. *)
+
+val packed_neighbors : t -> int -> int array
+(** Same sessions as {!neighbors} (same order); do not mutate. *)
+
+val pn_peer : int -> int
+val pn_link : int -> int
+(** Link {e id} (stable across {!remove_links}), not an index into
+    {!links}. *)
+
+val pn_rel : int -> Relation.rel
 
 val customers : t -> int -> int list
 val providers : t -> int -> int list

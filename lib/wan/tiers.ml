@@ -1,4 +1,5 @@
 module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
 module Announce = Netsim_bgp.Announce
 module Walk = Netsim_bgp.Walk
 module Rtt = Netsim_latency.Rtt
@@ -18,9 +19,9 @@ type t = {
 let make cloud ~params =
   let topo = Cloud.topo cloud in
   let asid = Cloud.asid cloud in
-  let premium = Propagate.run topo (Announce.default ~origin:asid) in
+  let premium = Rib_cache.run topo (Announce.default ~origin:asid) in
   let standard =
-    Propagate.run topo
+    Rib_cache.run topo
       (Announce.only_at_metros ~origin:asid [ cloud.Cloud.dc_metro ])
   in
   { cloud; params; backbone = Backbone.default (); premium; standard }

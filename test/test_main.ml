@@ -8,6 +8,7 @@ let () =
       ("geo", Test_geo.suite);
       ("topo", Test_topo.suite);
       ("bgp", Test_bgp.suite);
+      ("rib-cache", Test_rib_cache.suite);
       ("latency", Test_latency.suite);
       ("traffic", Test_traffic.suite);
       ("measure", Test_measure.suite);

@@ -10,6 +10,7 @@ module Generator = Netsim_topo.Generator
 module Announce = Netsim_bgp.Announce
 module Route = Netsim_bgp.Route
 module Propagate = Netsim_bgp.Propagate
+module Catchment = Netsim_bgp.Catchment
 module Walk = Netsim_bgp.Walk
 module Timeline = Netsim_dynamics.Timeline
 
@@ -287,6 +288,46 @@ let prop_reconverge_equals_full =
       Test_util.digest failed full = Test_util.digest failed incr_down
       && Test_util.digest topo state = Test_util.digest topo restored)
 
+let prop_optimized_equals_reference =
+  QCheck.Test.make
+    ~name:
+      "optimized propagation equals Set-based reference (entries, walks, \
+       coverage)"
+    ~count:25
+    (QCheck.pair seed_gen (QCheck.int_range 0 1000))
+    (fun (seed, cseed) ->
+      let topo = random_topo seed in
+      let origin = pick_origin topo seed in
+      (* Vary the announcement shape across runs: plain anycast,
+         random withholding, prepending. *)
+      let config =
+        let base = Announce.default ~origin in
+        match cseed mod 3 with
+        | 0 -> base
+        | 1 ->
+            let wrng = Sm.create cseed in
+            Topology.neighbors topo origin
+            |> List.filter_map (fun (nb : Topology.neighbor) ->
+                   if Netsim_prng.Dist.bernoulli wrng ~p:0.3 then
+                     Some nb.Topology.link.Relation.id
+                   else None)
+            |> Announce.withhold_links base
+        | _ ->
+            let metros =
+              (Topology.asn topo origin).Asn.footprint |> Array.to_list
+            in
+            Announce.prepend_at_metros base metros (1 + (cseed mod 4))
+      in
+      let opt = Propagate.run topo config in
+      let reference = Propagate.run_reference topo config in
+      let co = Catchment.compute opt and cr = Catchment.compute reference in
+      Propagate.equal opt reference
+      && Catchment.coverage co = Catchment.coverage cr
+      && Catchment.sites co = Catchment.sites cr
+      && List.for_all
+           (fun m -> Catchment.clients_of_site co m = Catchment.clients_of_site cr m)
+           (Catchment.sites co))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -302,4 +343,5 @@ let suite =
       prop_congestion_delay_nonnegative;
       prop_timeline_pop_sorted;
       prop_reconverge_equals_full;
+      prop_optimized_equals_reference;
     ]

@@ -1,0 +1,134 @@
+(* RIB-cache semantics: hits on repeated (topology, config), misses
+   after a topology change (generation bump via remove_links /
+   reconverge), LRU eviction at the capacity bound, and isolation of
+   the disable switch.  The returned states must always be the exact
+   cached-or-fresh [Propagate.run] result — callers cannot tell the
+   difference. *)
+
+module Topology = Netsim_topo.Topology
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every test runs against a private shard with a saved/restored
+   capacity, so tests neither see each other's entries nor the
+   session shard of the surrounding suite. *)
+let isolated ?(capacity = 64) f =
+  let saved_cap = Rib_cache.capacity () in
+  let saved_enabled = Rib_cache.enabled () in
+  Rib_cache.set_capacity capacity;
+  Rib_cache.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Rib_cache.set_capacity saved_cap;
+      Rib_cache.set_enabled saved_enabled)
+    (fun () -> Rib_cache.capture (Rib_cache.fresh_shard ()) f)
+
+let test_hit_on_repeat () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let config = Announce.default ~origin:Fixture.cp in
+  let s1 = Rib_cache.run topo config in
+  let s2 = Rib_cache.run topo config in
+  check_int "one miss" 1 (Rib_cache.misses ());
+  check_int "one hit" 1 (Rib_cache.hits ());
+  check "cached state is the same value" true (s1 == s2);
+  (* A structurally equal but distinct config hits too: the key is
+     content-addressed, not physical. *)
+  let s3 = Rib_cache.run topo (Announce.default ~origin:Fixture.cp) in
+  check_int "content hit" 2 (Rib_cache.hits ());
+  check "still the same value" true (s1 == s3)
+
+let test_distinct_configs_miss () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let _ = Rib_cache.run topo (Announce.default ~origin:Fixture.cp) in
+  let _ = Rib_cache.run topo (Announce.default ~origin:Fixture.eb) in
+  let _ =
+    Rib_cache.run topo
+      (Announce.only_at_metros ~origin:Fixture.cp [ Fixture.ny ])
+  in
+  check_int "three distinct keys" 3 (Rib_cache.misses ());
+  check_int "no hits" 0 (Rib_cache.hits ())
+
+let test_generation_invalidates () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let config = Announce.default ~origin:Fixture.cp in
+  let s_before = Rib_cache.run topo config in
+  (* Same link set rebuilt from scratch: still a different topology
+     value, so it must miss (stamps are identity, not content). *)
+  let failed = Topology.remove_links topo [ 0 ] in
+  let s_failed = Rib_cache.run failed config in
+  check_int "failed topology misses" 2 (Rib_cache.misses ());
+  check "failed state differs" false (Propagate.equal s_before s_failed);
+  (* The original topology value still hits: removal did not disturb
+     its entry. *)
+  let s_again = Rib_cache.run topo config in
+  check "original still cached" true (s_before == s_again);
+  check_int "original hits" 1 (Rib_cache.hits ());
+  (* The failed state matches a direct uncached run. *)
+  check "failed state correct" true
+    (Propagate.equal s_failed (Propagate.run failed config))
+
+let test_lru_eviction () =
+  isolated ~capacity:2 @@ fun () ->
+  let topo = Fixture.topo () in
+  let cfg origin = Announce.default ~origin in
+  let _ = Rib_cache.run topo (cfg Fixture.cp) in
+  let _ = Rib_cache.run topo (cfg Fixture.eb) in
+  check_int "at capacity" 2 (Rib_cache.size ());
+  (* Touch cp so eb becomes the LRU victim. *)
+  let _ = Rib_cache.run topo (cfg Fixture.cp) in
+  let _ = Rib_cache.run topo (cfg Fixture.st) in
+  check_int "bounded" 2 (Rib_cache.size ());
+  let _ = Rib_cache.run topo (cfg Fixture.cp) in
+  check_int "cp survived (recently used)" 2 (Rib_cache.hits ());
+  let misses_before = Rib_cache.misses () in
+  let _ = Rib_cache.run topo (cfg Fixture.eb) in
+  check_int "eb was evicted" (misses_before + 1) (Rib_cache.misses ())
+
+let test_disabled_bypasses () =
+  isolated @@ fun () ->
+  Rib_cache.set_enabled false;
+  let topo = Fixture.topo () in
+  let config = Announce.default ~origin:Fixture.cp in
+  let s1 = Rib_cache.run topo config in
+  let s2 = Rib_cache.run topo config in
+  check_int "no entries" 0 (Rib_cache.size ());
+  check_int "no hits" 0 (Rib_cache.hits ());
+  check_int "no misses" 0 (Rib_cache.misses ());
+  check "distinct states" true (s1 != s2);
+  check "equal results" true (Propagate.equal s1 s2)
+
+let test_absorb_merges () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let config = Announce.default ~origin:Fixture.cp in
+  (* A task computes into its own shard; after absorb the parent hits
+     on the same key — the cross-Pool.map reuse path. *)
+  let task = Rib_cache.fresh_shard () in
+  let s_task = Rib_cache.capture task (fun () -> Rib_cache.run topo config) in
+  check_int "parent untouched during capture" 0 (Rib_cache.size ());
+  Rib_cache.absorb task;
+  check_int "entry merged" 1 (Rib_cache.size ());
+  check_int "miss total merged" 1 (Rib_cache.misses ());
+  let s_parent = Rib_cache.run topo config in
+  check "parent hits the task's entry" true (s_task == s_parent);
+  check_int "hit recorded" 1 (Rib_cache.hits ())
+
+let suite =
+  [
+    Alcotest.test_case "hit on repeated (topo, config)" `Quick
+      test_hit_on_repeat;
+    Alcotest.test_case "distinct configs are distinct keys" `Quick
+      test_distinct_configs_miss;
+    Alcotest.test_case "generation bump invalidates" `Quick
+      test_generation_invalidates;
+    Alcotest.test_case "LRU eviction at the bound" `Quick test_lru_eviction;
+    Alcotest.test_case "disabled cache bypasses" `Quick test_disabled_bypasses;
+    Alcotest.test_case "absorb merges task shards" `Quick test_absorb_merges;
+  ]
