@@ -38,6 +38,23 @@ verify: build test
 	diff -u /tmp/beatbgp_all_d1.out /tmp/beatbgp_all_d4.out
 	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- all --small --no-rib-cache > /tmp/beatbgp_all_d4_nocache.out
 	diff -u /tmp/beatbgp_all_d1.out /tmp/beatbgp_all_d4_nocache.out
+	# Flight-recorder determinism: the event log must be byte-identical
+	# run-to-run and across domain counts.
+	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- dynamics --small --event-log /tmp/beatbgp_events_a.jsonl > /dev/null
+	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- dynamics --small --event-log /tmp/beatbgp_events_b.jsonl > /dev/null
+	diff -q /tmp/beatbgp_events_a.jsonl /tmp/beatbgp_events_b.jsonl
+	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- dynamics --small --event-log /tmp/beatbgp_events_d4.jsonl > /dev/null
+	diff -q /tmp/beatbgp_events_a.jsonl /tmp/beatbgp_events_d4.jsonl
+	head -1 /tmp/beatbgp_events_a.jsonl | grep -q '"schema":"beatbgp.events/1"'
+	# Exporter smoke: Prometheus text format and a parseable Perfetto trace.
+	dune exec bin/beatbgp_cli.exe -- fig1 --small --metrics-prom /tmp/beatbgp_verify.prom --trace-perfetto /tmp/beatbgp_verify_trace.json > /dev/null
+	grep -q '# TYPE netsim_bgp_announcements_exported_total counter' /tmp/beatbgp_verify.prom
+	grep -q 'netsim_latency_rtt_ms_bucket{le="+Inf"}' /tmp/beatbgp_verify.prom
+	grep -q '"traceEvents"' /tmp/beatbgp_verify_trace.json
+	grep -q '"name":"bgp.propagate"' /tmp/beatbgp_verify_trace.json
+	# obs.overhead self-check: disabled-telemetry core ns/run within 2% of
+	# its history median (skipped until BENCH_history.jsonl has 3 records).
+	dune exec bench/micro_propagate.exe -- --gate-overhead 200
 	@echo "verify: OK"
 
 clean:

@@ -1,0 +1,30 @@
+(* Shared writer for the BENCH_*.json result files.  Every micro_*
+   bench emits one object through here, so the files carry a uniform
+   schema_version / bench / host-context header instead of three
+   hand-rolled layouts. *)
+
+module Jsonx = Netsim_obs.Jsonx
+
+let schema_version = 1
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+      let sha = try String.trim (input_line ic) with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      if status = Unix.WEXITED 0 && sha <> "" then sha else "unknown"
+
+let json ~bench fields =
+  Jsonx.Obj
+    (("schema_version", Jsonx.Int schema_version)
+    :: ("bench", Jsonx.String bench)
+    :: fields)
+
+let write ~out ~bench fields =
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string (json ~bench fields));
+      output_char oc '\n')

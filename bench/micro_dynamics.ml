@@ -1,6 +1,7 @@
 (* Microbenchmark of the dynamics engine and incremental reconvergence:
 
-     dune exec bench/micro_dynamics.exe -- [--check] [--out FILE] [iters]
+     dune exec bench/micro_dynamics.exe -- [--check] [--out FILE]
+       [--history FILE] [--gate-trend] [iters]
 
    Measures (a) full Propagate.run vs Propagate.reconverge on a single
    link flap, for links drawn from the origin's routing tree (worst
@@ -121,7 +122,7 @@ let flap_pair topo config state links iters =
   in
   (full_ns, incr_ns, full_ns /. incr_ns)
 
-let bench ~out ~iters =
+let bench ~out ~history ~gate_trend ~iters =
   let topo, config, state = setup () in
   (* Two flap distributions: uniform over every link (what the engine's
      flap scripts draw — most links carry no selected route, so the
@@ -151,25 +152,33 @@ let bench ~out ~iters =
      engine: %d events in %.3f s  (%.0f events/s)\n"
     full_ns incr_ns speedup tree_full_ns tree_incr_ns tree_speedup events
     elapsed events_per_sec;
-  let json =
-    Jsonx.Obj
+  Bench_support.Bench_out.write ~out ~bench:"dynamics"
+    [
+      ("iters", Jsonx.Int iters);
+      ("full_reconverge_ns", Jsonx.Float full_ns);
+      ("incremental_reconverge_ns", Jsonx.Float incr_ns);
+      ("speedup", Jsonx.Float speedup);
+      ("tree_full_reconverge_ns", Jsonx.Float tree_full_ns);
+      ("tree_incremental_reconverge_ns", Jsonx.Float tree_incr_ns);
+      ("tree_speedup", Jsonx.Float tree_speedup);
+      ("engine_events", Jsonx.Int events);
+      ("engine_events_per_sec", Jsonx.Float events_per_sec);
+    ];
+  let metrics =
+    Bench_support.Trend.
       [
-        ("bench", Jsonx.String "dynamics");
-        ("iters", Jsonx.Int iters);
-        ("full_reconverge_ns", Jsonx.Float full_ns);
-        ("incremental_reconverge_ns", Jsonx.Float incr_ns);
-        ("speedup", Jsonx.Float speedup);
-        ("tree_full_reconverge_ns", Jsonx.Float tree_full_ns);
-        ("tree_incremental_reconverge_ns", Jsonx.Float tree_incr_ns);
-        ("tree_speedup", Jsonx.Float tree_speedup);
-        ("engine_events", Jsonx.Int events);
-        ("engine_events_per_sec", Jsonx.Float events_per_sec);
+        metric "incremental_reconverge_ns" incr_ns;
+        metric "tree_incremental_reconverge_ns" tree_incr_ns;
+        metric ~lower_better:false "engine_events_per_sec" events_per_sec;
       ]
   in
-  let oc = open_out out in
-  output_string oc (Jsonx.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  let trend_ok =
+    (not gate_trend)
+    || Bench_support.Trend.gate ~history ~bench:"dynamics" ~label:"gate-trend"
+         metrics
+  in
+  Bench_support.Trend.append ~history ~bench:"dynamics" metrics;
+  if not trend_ok then exit 1;
   if speedup < 5. then begin
     Printf.printf
       "FAIL: incremental reconvergence under 5x faster than full on \
@@ -179,13 +188,22 @@ let bench ~out ~iters =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let history = ref Bench_support.Trend.default_history in
+  let gate_trend = ref false in
   let rec parse ~check_mode ~out ~iters = function
     | [] -> (check_mode, out, iters)
     | "--check" :: rest -> parse ~check_mode:true ~out ~iters rest
     | "--out" :: file :: rest -> parse ~check_mode ~out:file ~iters rest
+    | "--history" :: file :: rest ->
+        history := file;
+        parse ~check_mode ~out ~iters rest
+    | "--gate-trend" :: rest ->
+        gate_trend := true;
+        parse ~check_mode ~out ~iters rest
     | n :: rest -> parse ~check_mode ~out ~iters:(int_of_string n) rest
   in
   let check_mode, out, iters =
     parse ~check_mode:false ~out:"BENCH_dynamics.json" ~iters:200 args
   in
-  if check_mode then check () else bench ~out ~iters
+  if check_mode then check ()
+  else bench ~out ~history:!history ~gate_trend:!gate_trend ~iters

@@ -1,6 +1,7 @@
 (* Microbenchmark of the domain pool (Netsim_par.Pool):
 
-     dune exec bench/micro_par.exe -- [--out FILE] [--quick]
+     dune exec bench/micro_par.exe -- [--out FILE] [--history FILE]
+       [--gate-trend] [--quick]
 
    Two workloads, each run at domain counts {1, 2, 4, 8} (clamped to
    what the machine offers):
@@ -72,9 +73,17 @@ let robustness_sweep ~quick () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let history = ref Bench_support.Trend.default_history in
+  let gate_trend = ref false in
   let rec parse ~out ~quick = function
     | [] -> (out, quick)
     | "--out" :: file :: rest -> parse ~out:file ~quick rest
+    | "--history" :: file :: rest ->
+        history := file;
+        parse ~out ~quick rest
+    | "--gate-trend" :: rest ->
+        gate_trend := true;
+        parse ~out ~quick rest
     | "--quick" :: rest -> parse ~out ~quick:true rest
     | a :: _ -> Printf.eprintf "micro_par: unknown argument %s\n" a; exit 2
   in
@@ -132,36 +141,48 @@ let () =
         List.find_map (fun (d', _, s) -> if d' = d then Some s else None) rows
   in
   let gate_enforced = cores >= 4 in
-  let json =
-    Jsonx.Obj
-      [
-        ("bench", Jsonx.String "par");
-        ("cores", Jsonx.Int cores);
-        ("quick", Jsonx.Bool quick);
-        ( "workloads",
-          Jsonx.Obj
-            (List.map
-               (fun (name, rows) ->
-                 ( name,
-                   Jsonx.Arr
-                     (List.map
-                        (fun (d, t, s) ->
-                          Jsonx.Obj
-                            [
-                              ("domains", Jsonx.Int d);
-                              ("seconds", Jsonx.Float t);
-                              ("speedup", Jsonx.Float s);
-                            ])
-                        rows) ))
-               results) );
-        ("obs_merge_overhead", Jsonx.Float merge_overhead);
-        ("gate_enforced", Jsonx.Bool gate_enforced);
-      ]
+  Bench_support.Bench_out.write ~out ~bench:"par"
+    [
+      ("cores", Jsonx.Int cores);
+      ("quick", Jsonx.Bool quick);
+      ( "workloads",
+        Jsonx.Obj
+          (List.map
+             (fun (name, rows) ->
+               ( name,
+                 Jsonx.Arr
+                   (List.map
+                      (fun (d, t, s) ->
+                        Jsonx.Obj
+                          [
+                            ("domains", Jsonx.Int d);
+                            ("seconds", Jsonx.Float t);
+                            ("speedup", Jsonx.Float s);
+                          ])
+                      rows) ))
+             results) );
+      ("obs_merge_overhead", Jsonx.Float merge_overhead);
+      ("gate_enforced", Jsonx.Bool gate_enforced);
+    ];
+  (* Trend history: the serial propagate-shard time (lower is better)
+     and the merge overhead.  Multi-domain speedups depend on the
+     machine's core count, so they stay out of the gated set. *)
+  let shard_1d_s =
+    match List.assoc_opt "propagate_shard" results with
+    | Some ((1, t, _) :: _) -> t
+    | _ -> nan
   in
-  let oc = open_out out in
-  output_string oc (Jsonx.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  let gated = [ Bench_support.Trend.metric "propagate_shard_1d_s" shard_1d_s ] in
+  let trend_ok =
+    (not !gate_trend)
+    || Bench_support.Trend.gate ~history:!history ~bench:"par"
+         ~label:"gate-trend" gated
+  in
+  (* The merge overhead is recorded for the history (it hovers around
+     zero, so a relative-change gate on it would be noise). *)
+  Bench_support.Trend.append ~history:!history ~bench:"par"
+    (gated @ [ Bench_support.Trend.metric "obs_merge_overhead" merge_overhead ]);
+  if not trend_ok then exit 1;
   if gate_enforced then begin
     match speedup_at "robustness_sweep" 4 with
     | Some s when s < 2.5 ->

@@ -1,6 +1,7 @@
 (* Microbenchmark of the propagation core and the RIB cache:
 
-     dune exec bench/micro_propagate.exe -- [--out FILE] [--gate] [iters]
+     dune exec bench/micro_propagate.exe -- [--out FILE] [--history FILE]
+       [--gate] [--gate-trend] [--gate-overhead] [iters]
 
    Measures (a) ns/run of the optimized Dial-queue/flat-array core
    ([Propagate.run]) against the retained Set-based
@@ -8,12 +9,17 @@
    bit-identical results while at it, and (b) the RIB-cache hit rate
    on a figure-shaped workload (the repeated per-origin runs the
    egress / anycast / availability layers issue).  Writes the numbers
-   as JSON (default BENCH_core.json).
+   as JSON (default BENCH_core.json) and appends a history record to
+   BENCH_history.jsonl.
 
-   --gate additionally enforces the PR acceptance bound: the optimized
-   core must be >= 2x faster than the reference; exits non-zero
-   otherwise (used by the CI bench smoke).  NETSIM_TRACE=1 measures
-   enabled-instrumentation cost instead. *)
+   --gate enforces the PR acceptance bound: the optimized core must be
+   >= 2x faster than the reference; exits non-zero otherwise (used by
+   the CI bench smoke).  --gate-trend fails when a tracked metric
+   regresses > 15% against the median of the last 5 history records.
+   --gate-overhead is the obs.overhead self-check: the
+   disabled-telemetry core ns/run must stay within 2% of its history
+   median (the "instrumentation stays free when off" bound).
+   NETSIM_TRACE=1 measures enabled-instrumentation cost instead. *)
 
 module Topology = Netsim_topo.Topology
 module Announce = Netsim_bgp.Announce
@@ -31,10 +37,22 @@ let time_ns f iters =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let history = ref Bench_support.Trend.default_history in
+  let gate_trend = ref false in
+  let gate_overhead = ref false in
   let rec parse ~out ~gate ~iters = function
     | [] -> (out, gate, iters)
     | "--out" :: file :: rest -> parse ~out:file ~gate ~iters rest
+    | "--history" :: file :: rest ->
+        history := file;
+        parse ~out ~gate ~iters rest
     | "--gate" :: rest -> parse ~out ~gate:true ~iters rest
+    | "--gate-trend" :: rest ->
+        gate_trend := true;
+        parse ~out ~gate ~iters rest
+    | "--gate-overhead" :: rest ->
+        gate_overhead := true;
+        parse ~out ~gate ~iters rest
     | n :: rest -> parse ~out ~gate ~iters:(int_of_string n) rest
   in
   let out, gate, iters = parse ~out:"BENCH_core.json" ~gate:false ~iters:500 args in
@@ -85,27 +103,44 @@ let () =
      speedup %.2fx\n\
      rib-cache: figure-shaped workload  hit rate %.2f  %.0f ns/lookup\n"
     iters opt_ns ref_ns speedup hit_rate cached_ns;
-  let json =
-    Jsonx.Obj
+  Bench_support.Bench_out.write ~out ~bench:"core"
+    [
+      ("iters", Jsonx.Int iters);
+      ("as_count", Jsonx.Int (Topology.as_count topo));
+      ("link_count", Jsonx.Int (Topology.link_count topo));
+      ("optimized_ns", Jsonx.Float opt_ns);
+      ("reference_ns", Jsonx.Float ref_ns);
+      ("speedup", Jsonx.Float speedup);
+      ("cache_hit_rate", Jsonx.Float hit_rate);
+      ("cache_ns_per_lookup", Jsonx.Float cached_ns);
+    ];
+  let metrics =
+    Bench_support.Trend.
       [
-        ("bench", Jsonx.String "core");
-        ("iters", Jsonx.Int iters);
-        ("as_count", Jsonx.Int (Topology.as_count topo));
-        ("link_count", Jsonx.Int (Topology.link_count topo));
-        ("optimized_ns", Jsonx.Float opt_ns);
-        ("reference_ns", Jsonx.Float ref_ns);
-        ("speedup", Jsonx.Float speedup);
-        ("cache_hit_rate", Jsonx.Float hit_rate);
-        ("cache_ns_per_lookup", Jsonx.Float cached_ns);
+        metric "optimized_ns" opt_ns;
+        metric "cache_ns_per_lookup" cached_ns;
+        metric ~lower_better:false "cache_hit_rate" hit_rate;
       ]
   in
-  let oc = open_out out in
-  output_string oc (Jsonx.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  (* Gates read the records that existed before this run; the current
+     run is appended after, so a regression can't dilute its own
+     baseline. *)
+  let trend_ok =
+    (not !gate_trend)
+    || Bench_support.Trend.gate ~history:!history ~bench:"core"
+         ~label:"gate-trend" metrics
+  in
+  let overhead_ok =
+    (not !gate_overhead)
+    || Bench_support.Trend.gate ~history:!history ~tolerance:0.02
+         ~bench:"core" ~label:"gate-overhead"
+         [ Bench_support.Trend.metric "optimized_ns" opt_ns ]
+  in
+  Bench_support.Trend.append ~history:!history ~bench:"core" metrics;
   if gate && speedup < 2. then begin
     Printf.printf
       "FAIL: optimized propagation under 2x faster than the Set-based \
        reference\n";
     exit 1
-  end
+  end;
+  if not (trend_ok && overhead_ok) then exit 1

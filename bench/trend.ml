@@ -1,0 +1,281 @@
+(* Bench-history regression tracking.
+
+   Every micro_* run appends one schema-versioned JSONL record (git
+   sha, timestamp, named metrics with their improvement direction) to
+   BENCH_history.jsonl; [gate] compares the current run against the
+   median of the last 5 records for the same bench and fails when any
+   metric regresses by more than the tolerance.  Gating happens
+   against the records that existed BEFORE the current run, so callers
+   gate first and append after. *)
+
+module Jsonx = Netsim_obs.Jsonx
+
+let schema_version = 1
+let default_history = "BENCH_history.jsonl"
+let window = 5
+let min_records = 3
+
+type metric = {
+  m_name : string;
+  m_value : float;
+  m_lower_better : bool;
+}
+
+let metric ?(lower_better = true) name value =
+  { m_name = name; m_value = value; m_lower_better = lower_better }
+
+(* ---- a tiny JSON parser (history records only) ----------------------- *)
+
+(* The emitter side is Jsonx; history lines only ever contain objects
+   of strings / numbers / booleans / one nested metrics object, so a
+   small recursive-descent parser is enough — no external dependency,
+   and bench binaries stay self-contained. *)
+
+exception Bad_record
+
+let parse (s : string) : Jsonx.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise Bad_record
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise Bad_record
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then raise Bad_record;
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_string buf ("\\u" ^ hex)
+              | None -> raise Bad_record);
+              go ()
+          | _ -> raise Bad_record)
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let raw = String.sub s start (!pos - start) in
+    match int_of_string_opt raw with
+    | Some i -> Jsonx.Int i
+    | None -> (
+        match float_of_string_opt raw with
+        | Some f -> Jsonx.Float f
+        | None -> raise Bad_record)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some 'n' -> literal "null" Jsonx.Null
+    | Some 't' -> literal "true" (Jsonx.Bool true)
+    | Some 'f' -> literal "false" (Jsonx.Bool false)
+    | Some '"' -> Jsonx.String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Jsonx.Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> raise Bad_record
+          in
+          Jsonx.Arr (items [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Jsonx.Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let rec fields acc =
+            let kv = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields (kv :: acc)
+            | Some '}' -> advance (); List.rev (kv :: acc)
+            | _ -> raise Bad_record
+          in
+          Jsonx.Obj (fields [])
+        end
+    | _ -> raise Bad_record
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise Bad_record;
+  v
+
+(* ---- history I/O ------------------------------------------------------ *)
+
+let num = function
+  | Jsonx.Int i -> Some (float_of_int i)
+  | Jsonx.Float f -> Some f
+  | _ -> None
+
+(* Records for [bench], oldest first.  Unreadable or foreign lines are
+   skipped: the history file survives schema evolution and manual
+   edits. *)
+let records ~history ~bench =
+  if not (Sys.file_exists history) then []
+  else begin
+    let ic = open_in history in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let out = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match parse line with
+               | exception Bad_record -> ()
+               | doc ->
+                   if Jsonx.member "bench" doc = Some (Jsonx.String bench) then
+                     out := doc :: !out
+           done
+         with End_of_file -> ());
+        List.rev !out)
+  end
+
+let metric_values ~history ~bench name =
+  List.filter_map
+    (fun doc ->
+      match Jsonx.member "metrics" doc with
+      | Some m -> Option.bind (Jsonx.member name m) num
+      | None -> None)
+    (records ~history ~bench)
+
+let median l =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let a = List.nth sorted ((n - 1) / 2) and b = List.nth sorted (n / 2) in
+      (a +. b) /. 2.
+
+let last k l =
+  let n = List.length l in
+  if n <= k then l else List.filteri (fun i _ -> i >= n - k) l
+
+let append ?(history = default_history) ~bench metrics =
+  let doc =
+    Jsonx.Obj
+      [
+        ("schema_version", Jsonx.Int schema_version);
+        ("bench", Jsonx.String bench);
+        ("git_sha", Jsonx.String (Bench_out.git_sha ()));
+        ("unix_time", Jsonx.Int (int_of_float (Unix.time ())));
+        ( "metrics",
+          Jsonx.Obj
+            (List.map (fun m -> (m.m_name, Jsonx.Float m.m_value)) metrics) );
+        ( "lower_better",
+          Jsonx.Obj
+            (List.map (fun m -> (m.m_name, Jsonx.Bool m.m_lower_better)) metrics)
+        );
+      ]
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Jsonx.to_string doc);
+      output_char oc '\n')
+
+(* [gate] returns true when every metric is within [tolerance] of the
+   median of its last [window] history values.  Metrics with fewer
+   than [min_records] prior values are reported as skipped rather than
+   failed, so fresh checkouts don't trip the gate. *)
+let gate ?(history = default_history) ?(tolerance = 0.15) ~bench ~label metrics
+    =
+  let ok = ref true in
+  List.iter
+    (fun m ->
+      let values = last window (metric_values ~history ~bench m.m_name) in
+      if List.length values < min_records then
+        Printf.printf
+          "%s: %s/%s skipped (%d history record(s), need %d)\n" label bench
+          m.m_name (List.length values) min_records
+      else begin
+        let med = median values in
+        let change =
+          if m.m_lower_better then (m.m_value -. med) /. med
+          else (med -. m.m_value) /. med
+        in
+        if change > tolerance then begin
+          ok := false;
+          Printf.printf
+            "%s: FAIL %s/%s regressed %.1f%% (current %.4g vs median-of-%d \
+             %.4g, tolerance %.0f%%)\n"
+            label bench m.m_name (100. *. change) m.m_value
+            (List.length values) med (100. *. tolerance)
+        end
+        else
+          Printf.printf
+            "%s: %s/%s OK (%+.1f%% vs median-of-%d %.4g)\n" label bench
+            m.m_name (100. *. change) (List.length values) med
+      end)
+    metrics;
+  !ok

@@ -73,6 +73,34 @@ let metrics_out_t =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:"Write the recorded metrics and trace as JSON to \\$(docv).")
 
+let metrics_prom_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-prom" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded metrics in Prometheus text-exposition format \
+           (v0.0.4) to \\$(docv).  Implies tracing.")
+
+let trace_perfetto_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-perfetto" ] ~docv:"FILE"
+        ~doc:
+          "Write the span tree as Chrome trace-event JSON to \\$(docv), \
+           openable in Perfetto / chrome://tracing.  Implies tracing.")
+
+let event_log_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "event-log" ] ~docv:"FILE"
+        ~doc:
+          "Record the structured event stream (flight recorder) and flush \
+           it as JSONL to \\$(docv).  Deterministic: byte-identical \
+           run-to-run and for any \\$(b,NETSIM_DOMAINS).")
+
 let domains_t =
   Arg.(
     value
@@ -92,28 +120,51 @@ let no_rib_cache_t =
            propagation from scratch (also \\$(b,NETSIM_RIB_CACHE=0)). \
            Output is byte-identical either way.")
 
-let with_sizes f seed prefixes days small csv trace metrics_out domains
-    no_rib_cache =
+let with_sizes f seed prefixes days small csv trace metrics_out metrics_prom
+    trace_perfetto event_log domains no_rib_cache =
   let sizes = sizes_of ~seed ~prefixes ~days ~small in
   (match domains with
   | Some n -> Netsim_par.Pool.set_domain_count n
   | None -> ());
   if no_rib_cache then Netsim_bgp.Rib_cache.set_enabled false;
   let tracing =
-    trace || metrics_out <> None || Netsim_obs.Metrics.enabled ()
+    trace || metrics_out <> None || metrics_prom <> None
+    || trace_perfetto <> None
+    || Netsim_obs.Metrics.enabled ()
   in
   if tracing then Netsim_obs.Metrics.set_enabled true;
+  if event_log <> None then Netsim_obs.Recorder.set_enabled true;
+  (* Telemetry writes fail with an actionable message (bad directory,
+     permissions) instead of a raw Sys_error backtrace. *)
+  let write_or_die what write =
+    try write ()
+    with Failure msg | Sys_error msg ->
+      Printf.eprintf "beatbgp: cannot write %s: %s\n" what msg;
+      exit 1
+  in
   print_string (f ~sizes ~csv);
   if tracing then begin
     print_newline ();
     print_string (Netsim_obs.Report.render ())
   end;
-  match metrics_out with
-  | Some path -> (
-      try Netsim_obs.Report.write_json path
-      with Sys_error msg ->
-        Printf.eprintf "beatbgp: cannot write metrics file: %s\n" msg;
-        exit 1)
+  (match metrics_out with
+  | Some path ->
+      write_or_die "metrics file" (fun () -> Netsim_obs.Report.write_json path)
+  | None -> ());
+  (match metrics_prom with
+  | Some path ->
+      write_or_die "Prometheus file" (fun () ->
+          Netsim_obs.Export_prom.write path)
+  | None -> ());
+  (match trace_perfetto with
+  | Some path ->
+      write_or_die "Perfetto trace" (fun () ->
+          Netsim_obs.Export_trace.write path)
+  | None -> ());
+  match event_log with
+  | Some path ->
+      write_or_die "event log" (fun () ->
+          Netsim_obs.Report.write_text path (Netsim_obs.Recorder.to_jsonl ()))
   | None -> ()
 
 let run_fig1 ~sizes ~csv =
@@ -355,7 +406,8 @@ let cmd name doc f =
     (Cmd.info name ~doc)
     Term.(
       const (with_sizes f) $ seed_t $ prefixes_t $ days_t $ small_t $ csv_t
-      $ trace_t $ metrics_out_t $ domains_t $ no_rib_cache_t)
+      $ trace_t $ metrics_out_t $ metrics_prom_t $ trace_perfetto_t
+      $ event_log_t $ domains_t $ no_rib_cache_t)
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in

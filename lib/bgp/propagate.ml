@@ -556,6 +556,10 @@ let c_reconverge_dirty = Netsim_obs.Metrics.counter "bgp.reconverge_dirty_ases"
      set. *)
 let reconverge s ~topo delta =
   Netsim_obs.Span.with_ ~name:"bgp.reconverge" @@ fun () ->
+  let t0 =
+    if Netsim_obs.Recorder.(enabled () && timing ()) then Unix.gettimeofday ()
+    else 0.
+  in
   let n = Topology.as_count topo in
   if n <> Topology.as_count s.topo then
     invalid_arg "Propagate.reconverge: AS count changed";
@@ -811,6 +815,26 @@ let reconverge s ~topo delta =
   if Netsim_obs.Metrics.enabled () then begin
     Netsim_obs.Metrics.incr c_reconverges;
     Netsim_obs.Metrics.add c_reconverge_dirty (rs_dirty stats)
+  end;
+  if Netsim_obs.Recorder.enabled () then begin
+    let open Netsim_obs.Recorder in
+    (* ns only under NETSIM_EVENT_NS: wall clock breaks the log's
+       byte-for-byte determinism. *)
+    let fields =
+      [
+        I ("dirty_cust", stats.rs_dirty_cust);
+        I ("dirty_peer", stats.rs_dirty_peer);
+        I ("dirty_prov", stats.rs_dirty_prov);
+        I ("as_count", stats.rs_as_count);
+      ]
+    in
+    let fields =
+      if timing () then
+        fields
+        @ [ I ("ns", int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)) ]
+      else fields
+    in
+    record ~kind:"bgp.reconverge" fields
   end;
   ({ topo; config; link_by_id = link_index topo; cust; peer; prov }, stats)
 

@@ -1,6 +1,7 @@
 module Topology = Netsim_topo.Topology
 module Relation = Netsim_topo.Relation
 module Metrics = Netsim_obs.Metrics
+module Recorder = Netsim_obs.Recorder
 
 (* Content-addressed memoization of [Propagate.run].  The key is exact
    — no lossy hashing — so a hit can never return the state of a
@@ -120,7 +121,15 @@ let insert shard key st =
         | Some _ | None -> victim := Some (k, n.n_used))
       shard.tbl;
     match !victim with
-    | Some (k, _) -> Hashtbl.remove shard.tbl k
+    | Some (k, _) ->
+        Hashtbl.remove shard.tbl k;
+        (* Event logs carry the victim's origin, not its generation
+           stamp: stamps come from a global atomic and are
+           nondeterministic when topologies are built inside parallel
+           pool tasks. *)
+        if Recorder.enabled () then
+          Recorder.record ~kind:"bgp.rib_cache.evict"
+            [ Recorder.I ("origin", k.k_origin) ]
     | None -> ()
   end;
   Hashtbl.replace shard.tbl key { n_state = st; n_used = shard.tick }
@@ -151,11 +160,17 @@ let run topo config =
         node.n_used <- shard.tick;
         shard.s_hits <- shard.s_hits + 1;
         if Metrics.enabled () then Metrics.incr c_hits;
+        if Recorder.enabled () then
+          Recorder.record ~kind:"bgp.rib_cache.hit"
+            [ Recorder.I ("origin", key.k_origin) ];
         node.n_state
     | None ->
         let st = Propagate.run topo config in
         shard.s_misses <- shard.s_misses + 1;
         if Metrics.enabled () then Metrics.incr c_misses;
+        if Recorder.enabled () then
+          Recorder.record ~kind:"bgp.rib_cache.miss"
+            [ Recorder.I ("origin", key.k_origin) ];
         insert shard key st;
         st
   end

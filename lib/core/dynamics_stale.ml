@@ -163,7 +163,32 @@ let simulate (fb : Scenario.facebook) ~entries ~links ~days
                (available_options eng e)
            with
           | Some (o, _) -> Some o
-          | None -> None))
+          | None -> None);
+        if Netsim_obs.Recorder.enabled () then begin
+          (* [pick] is the chosen route's rank among the entry's
+             precomputed options (-1 when nothing is available), so
+             the log shows each decision alongside the measurement
+             staleness it was made under. *)
+          let pick =
+            match picks.(i) with
+            | None -> -1
+            | Some o ->
+                let rec idx k = function
+                  | [] -> -1
+                  | o' :: rest -> if o' == o then k else idx (k + 1) rest
+                in
+                idx 0 e.Egress.options
+          in
+          Netsim_obs.Recorder.(
+            record ~kind:"controller.decide"
+              [
+                F ("t_min", time);
+                F ("staleness_min", staleness_min);
+                S ("churn", churn.churn_name);
+                I ("entry", i);
+                I ("pick", pick);
+              ])
+        end)
       entries
   in
   (* The controller starts fresh: a decision at t = 0. *)

@@ -142,7 +142,7 @@ let site_links t ~asid ~metro =
   |> List.sort_uniq compare
 
 let record_convergence t ~time ~event ~dirty ~states ~full_runs =
-  if states > 0 || full_runs > 0 then
+  if states > 0 || full_runs > 0 then begin
     t.convergence <-
       {
         cv_time = time;
@@ -151,7 +151,17 @@ let record_convergence t ~time ~event ~dirty ~states ~full_runs =
         cv_states = states;
         cv_full_runs = full_runs;
       }
-      :: t.convergence
+      :: t.convergence;
+    if Netsim_obs.Recorder.enabled () then
+      Netsim_obs.Recorder.(
+        record ~kind:"dynamics.converge"
+          [
+            F ("t_min", time);
+            I ("dirty", dirty);
+            I ("states", states);
+            I ("full_runs", full_runs);
+          ])
+  end
 
 let handle t ~time ev =
   let acc_dirty = ref 0 and acc_states = ref 0 and acc_full = ref 0 in
@@ -218,6 +228,14 @@ let step t =
       let time = t.now_min in
       Netsim_obs.Span.with_ ~name:("dynamics." ^ Event.kind ev) (fun () ->
           Netsim_obs.Metrics.incr c_events;
+          if Netsim_obs.Recorder.enabled () then
+            Netsim_obs.Recorder.(
+              record ~kind:"dynamics.event"
+                [
+                  F ("t_min", time);
+                  S ("event", Event.kind ev);
+                  S ("label", Event.label ev);
+                ]);
           handle t ~time ev;
           List.iter (fun p -> p t ~time ev) t.processes);
       t.processed <- t.processed + 1;

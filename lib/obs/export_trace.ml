@@ -1,0 +1,73 @@
+(* Chrome trace-event JSON from the aggregated span tree, openable in
+   Perfetto / chrome://tracing.
+
+   The span tree stores merged totals (calls, total_ms), not raw begin
+   and end timestamps, so the export synthesizes a plausible timeline:
+   a depth-first walk places each node as one "X" (complete) event,
+   children laid out sequentially from the parent's start.  A parent's
+   duration is stretched to max(own total, sum of children) so nesting
+   is always valid, and durations below 1us are clamped up so Perfetto
+   renders a visible slice.  Counter deltas ride along as event
+   args. *)
+
+let us_of_ms ms = ms *. 1000.
+
+let span_args (i : Span.info) =
+  ("calls", Jsonx.Int i.Span.i_calls)
+  :: ("total_ms", Jsonx.Float i.Span.i_total_ms)
+  :: ("self_ms", Jsonx.Float i.Span.i_self_ms)
+  :: List.map (fun (n, v) -> (n, Jsonx.Int v)) i.Span.i_counters
+
+let rec duration_us (i : Span.info) =
+  let children = List.fold_left (fun a c -> a +. duration_us c) 0. i.Span.i_children in
+  Float.max 1. (Float.max (us_of_ms i.Span.i_total_ms) children)
+
+let to_json () =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  let rec walk ts (i : Span.info) =
+    let dur = duration_us i in
+    emit
+      (Jsonx.Obj
+         [
+           ("name", Jsonx.String i.Span.i_name);
+           ("ph", Jsonx.String "X");
+           ("cat", Jsonx.String "span");
+           ("ts", Jsonx.Float ts);
+           ("dur", Jsonx.Float dur);
+           ("pid", Jsonx.Int 1);
+           ("tid", Jsonx.Int 1);
+           ("args", Jsonx.Obj (span_args i));
+         ]);
+    let child_ts = ref ts in
+    List.iter
+      (fun c ->
+        walk !child_ts c;
+        child_ts := !child_ts +. duration_us c)
+      i.Span.i_children
+  in
+  let ts = ref 0. in
+  List.iter
+    (fun root ->
+      walk !ts root;
+      ts := !ts +. duration_us root)
+    (Span.tree ());
+  let meta =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String "process_name");
+        ("ph", Jsonx.String "M");
+        ("pid", Jsonx.Int 1);
+        ("tid", Jsonx.Int 1);
+        ( "args",
+          Jsonx.Obj [ ("name", Jsonx.String "beatbgp") ] );
+      ]
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.Arr (meta :: List.rev !events));
+      ("displayTimeUnit", Jsonx.String "ms");
+    ]
+
+let to_string () = Jsonx.to_string (to_json ())
+let write path = Report.write_text path (to_string () ^ "\n")

@@ -1,0 +1,12 @@
+(** Chrome trace-event JSON export of the {!Span} tree, for Perfetto
+    and chrome://tracing.  The aggregated tree holds merged totals
+    rather than raw timestamps, so the exporter synthesizes a timeline
+    ("X" complete events, children placed sequentially inside their
+    parent) that preserves nesting and relative durations. *)
+
+val to_json : unit -> Jsonx.t
+val to_string : unit -> string
+
+val write : string -> unit
+(** Render to a file via {!Report.write_text} (clear error on a
+    missing directory). *)

@@ -194,6 +194,17 @@ let observe h v =
 let histogram_count h = Summary.count h.h_summary
 let histogram_summary h = h.h_summary
 
+(* Upper bound of bucket [i], for Prometheus-style cumulative export.
+   The underflow bucket's bound is the histogram floor; the overflow
+   bucket is unbounded. *)
+let bucket_upper i =
+  if i = 0 then 10. ** float_of_int lo_decade
+  else if i = n_buckets - 1 then infinity
+  else
+    10.
+    ** (float_of_int lo_decade
+       +. (float_of_int i /. float_of_int buckets_per_decade))
+
 let histogram_quantile h q =
   let pairs = ref [] in
   Array.iteri
@@ -275,6 +286,32 @@ let absorb events =
       | (Ev_gauge _ | Ev_observe _), Some buf -> buf.events <- ev :: buf.events)
     events
 
+(* ---- runtime gauges -------------------------------------------------- *)
+
+(* Process-level numbers (GC stats, pool utilization) that vary with
+   wall clock and domain count.  They live in a side table that is
+   deliberately NOT part of [to_json], so the deterministic merged
+   metrics document stays byte-identical across runs and NETSIM_DOMAINS
+   settings; exporters and the human-readable report read them via
+   [runtime_rows].  Writes from inside a capture are dropped rather
+   than buffered — worker-domain samples would race and are not
+   meaningful to merge. *)
+
+let runtime : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let set_runtime name v =
+  if !on then
+    match Domain.DLS.get buffer_key with
+    | Some _ -> ()
+    | None -> (
+        match Hashtbl.find_opt runtime name with
+        | Some r -> r := v
+        | None -> Hashtbl.replace runtime name (ref v))
+
+let runtime_rows () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) runtime []
+  |> List.sort compare
+
 (* ---- report rows ----------------------------------------------------- *)
 
 let counter_rows () =
@@ -308,7 +345,18 @@ let histogram_rows () =
     histograms []
   |> List.sort compare |> List.map snd
 
+let histogram_export () =
+  Hashtbl.fold
+    (fun name h acc ->
+      let buckets =
+        List.init n_buckets (fun i -> (bucket_upper i, h.h_buckets.(i)))
+      in
+      (name, buckets, h.h_summary) :: acc)
+    histograms []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let reset () =
+  Hashtbl.reset runtime;
   Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
   Hashtbl.iter (fun _ g -> g.g_value <- 0.) gauges;
   Hashtbl.iter

@@ -103,7 +103,26 @@ type hist_row = {
 
 val histogram_rows : unit -> hist_row list
 
+val histogram_export : unit -> (string * (float * int) list * Netsim_stats.Summary.t) list
+(** Per-histogram raw bucket contents for exporters: [(name, (upper
+    bound, count) per bucket, summary)], sorted by name.  The last
+    bucket's bound is [infinity]. *)
+
+(** {1 Runtime gauges}
+
+    Process-level samples (GC stats, pool utilization) that depend on
+    wall clock and domain count.  Kept out of {!to_json} so the merged
+    deterministic metrics stay byte-identical across runs; read them
+    with {!runtime_rows} (exporters, human-readable report). *)
+
+val set_runtime : string -> float -> unit
+(** No-op when disabled or inside a {!capture} (worker domains never
+    write runtime samples). *)
+
+val runtime_rows : unit -> (string * float) list
+
 val reset : unit -> unit
-(** Zero every registered metric (objects stay registered). *)
+(** Zero every registered metric (objects stay registered); drop all
+    runtime gauges. *)
 
 val to_json : unit -> Jsonx.t

@@ -80,7 +80,17 @@ let with_ ~name f =
         node.calls <- node.calls + 1;
         node.total_ms <- node.total_ms +. (now_ms () -. frame.start);
         node.counters <-
-          merge_counters node.counters (Metrics.counter_deltas frame.snap))
+          merge_counters node.counters (Metrics.counter_deltas frame.snap);
+        (* Sample GC state at every span boundary.  [set_runtime] is a
+           no-op inside a capture, so pool workers skip the sample and
+           the runtime table only ever sees main-domain values. *)
+        let gc = Gc.quick_stat () in
+        Metrics.set_runtime "gc.minor_collections"
+          (float_of_int gc.Gc.minor_collections);
+        Metrics.set_runtime "gc.major_collections"
+          (float_of_int gc.Gc.major_collections);
+        Metrics.set_runtime "gc.promoted_words" gc.Gc.promoted_words;
+        Metrics.set_runtime "gc.heap_words" (float_of_int gc.Gc.heap_words))
       f
   end
 

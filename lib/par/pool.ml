@@ -1,5 +1,6 @@
 module Metrics = Netsim_obs.Metrics
 module Span = Netsim_obs.Span
+module Recorder = Netsim_obs.Recorder
 module Rib_cache = Netsim_bgp.Rib_cache
 
 let clamp lo hi v = Stdlib.max lo (Stdlib.min hi v)
@@ -24,6 +25,11 @@ let set_domain_count n = requested := clamp 1 64 n
    in draining a job.  Nested [map]s check it and run sequentially. *)
 let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
+
+(* Stable worker id for utilization reporting: 0 is the main domain,
+   spawned workers get 1..k in spawn order. *)
+let worker_id_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let worker_id () = Domain.DLS.get worker_id_key
 
 (* ---- work queue ------------------------------------------------------ *)
 
@@ -62,8 +68,9 @@ let drain job =
   in
   go ()
 
-let worker_loop () =
+let worker_loop wid () =
   Domain.DLS.set in_worker_key true;
+  Domain.DLS.set worker_id_key wid;
   let rec next_job () =
     Mutex.lock mu;
     let rec wait () =
@@ -91,7 +98,7 @@ let worker_loop () =
 let ensure_workers k =
   while !n_workers < k do
     incr n_workers;
-    workers := Domain.spawn worker_loop :: !workers
+    workers := Domain.spawn (worker_loop !n_workers) :: !workers
   done
 
 let () =
@@ -104,9 +111,17 @@ let () =
 
 (* ---- deterministic map ----------------------------------------------- *)
 
+(* Job/task counters are deterministic (same increments in the
+   sequential and parallel paths), so they live in the regular
+   registry; wall-clock utilization goes to runtime gauges only. *)
+let c_jobs = Metrics.counter "par.jobs"
+let c_tasks = Metrics.counter "par.tasks"
+
 let map (type a b) (f : a -> b) (arr : a array) : b array =
   let n = Array.length arr in
   let d = Stdlib.min (domain_count ()) n in
+  Metrics.incr c_jobs;
+  Metrics.incr ~by:n c_tasks;
   if d <= 1 || in_worker () then
     (* Sequential, but with the same per-task RIB-cache shard
        discipline as the parallel path, so cache hit/miss behaviour —
@@ -121,27 +136,44 @@ let map (type a b) (f : a -> b) (arr : a array) : b array =
       arr
   else begin
     let tracing = Metrics.enabled () in
+    let recording = Recorder.enabled () in
     let results : b option array = Array.make n None in
     let obs : (Metrics.captured * Span.captured) option array =
       Array.make n None
     in
+    let rec_bufs : Recorder.captured option array = Array.make n None in
     let ribs : Rib_cache.shard array =
       Array.init n (fun _ -> Rib_cache.fresh_shard ())
     in
+    let task_s = Array.make n 0. in
+    let task_worker = Array.make n 0 in
     let errors : exn option array = Array.make n None in
     let run i =
       try
-        Rib_cache.capture ribs.(i) @@ fun () ->
+        let t0 = if tracing then Unix.gettimeofday () else 0. in
+        (Rib_cache.capture ribs.(i) @@ fun () ->
+         let go () =
+           if tracing then begin
+             let (r, spans), events =
+               Metrics.capture (fun () -> Span.capture (fun () -> f arr.(i)))
+             in
+             results.(i) <- Some r;
+             obs.(i) <- Some (events, spans)
+           end
+           else results.(i) <- Some (f arr.(i))
+         in
+         if recording then begin
+           let (), events = Recorder.capture go in
+           rec_bufs.(i) <- Some events
+         end
+         else go ());
         if tracing then begin
-          let (r, spans), events =
-            Metrics.capture (fun () -> Span.capture (fun () -> f arr.(i)))
-          in
-          results.(i) <- Some r;
-          obs.(i) <- Some (events, spans)
+          task_s.(i) <- Unix.gettimeofday () -. t0;
+          task_worker.(i) <- worker_id ()
         end
-        else results.(i) <- Some (f arr.(i))
       with e -> errors.(i) <- Some e
     in
+    let t_job = if tracing then Unix.gettimeofday () else 0. in
     let job = { n; next = Atomic.make 0; completed = Atomic.make 0; run } in
     Mutex.lock mu;
     ensure_workers (d - 1);
@@ -173,17 +205,54 @@ let map (type a b) (f : a -> b) (arr : a array) : b array =
       match !first_error with Some i -> i | None -> n
     in
     for i = 0 to merge_until - 1 do
-      Rib_cache.absorb ribs.(i);
-      if tracing then
-        match obs.(i) with
-        | Some (events, spans) ->
-            Metrics.absorb events;
-            Span.absorb spans
-        | None -> ()
+      (* Recorder events first: the task's own events must land in the
+         ring before the evict events that [Rib_cache.absorb] emits
+         while re-inserting the task's shard — that is the order a
+         sequential run produces. *)
+      (if recording then
+         match rec_bufs.(i) with
+         | Some events -> Recorder.absorb events
+         | None -> ());
+      (if tracing then
+         match obs.(i) with
+         | Some (events, spans) ->
+             Metrics.absorb events;
+             Span.absorb spans
+         | None -> ());
+      Rib_cache.absorb ribs.(i)
     done;
     (match !first_error with
     | Some i -> ( match errors.(i) with Some e -> raise e | None -> ())
     | None -> ());
+    (* Utilization summary: wall-clock numbers, so runtime gauges only
+       (kept out of the deterministic metrics document). *)
+    if tracing then begin
+      let wall_ms = (Unix.gettimeofday () -. t_job) *. 1000. in
+      let busy_ms = ref 0. in
+      let by_worker = Hashtbl.create 8 in
+      Array.iteri
+        (fun i s ->
+          busy_ms := !busy_ms +. (s *. 1000.);
+          let w = task_worker.(i) in
+          let b, t =
+            match Hashtbl.find_opt by_worker w with
+            | Some (b, t) -> (b, t)
+            | None -> (0., 0)
+          in
+          Hashtbl.replace by_worker w (b +. (s *. 1000.), t + 1))
+        task_s;
+      Metrics.set_runtime "par.job.wall_ms" wall_ms;
+      Metrics.set_runtime "par.job.busy_ms" !busy_ms;
+      Metrics.set_runtime "par.job.idle_ms"
+        (Float.max 0. ((wall_ms *. float_of_int d) -. !busy_ms));
+      Metrics.set_runtime "par.job.tasks" (float_of_int n);
+      Hashtbl.iter
+        (fun w (b, t) ->
+          Metrics.set_runtime (Printf.sprintf "par.d%d.busy_ms" w) b;
+          Metrics.set_runtime (Printf.sprintf "par.d%d.tasks" w)
+            (float_of_int t))
+        by_worker
+    end;
     Array.map
       (function
         | Some r -> r

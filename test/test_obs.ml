@@ -8,6 +8,9 @@ module Metrics = Netsim_obs.Metrics
 module Span = Netsim_obs.Span
 module Report = Netsim_obs.Report
 module Jsonx = Netsim_obs.Jsonx
+module Recorder = Netsim_obs.Recorder
+module Export_prom = Netsim_obs.Export_prom
+module Export_trace = Netsim_obs.Export_trace
 
 let checkf = Alcotest.(check (float 1e-9))
 
@@ -222,6 +225,314 @@ let test_report_json_parses () =
   | Some (Jsonx.Arr (_ :: _)) -> ()
   | _ -> Alcotest.fail "no trace entries"
 
+(* ---- Jsonx string escaping ---- *)
+
+let test_json_escape_control_chars () =
+  let s = String.init 32 Char.chr in
+  let emitted = Jsonx.to_string (Jsonx.String s) in
+  (* Every byte below 0x20 must be escaped — no raw control chars in
+     the output. *)
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 then
+        Alcotest.failf "raw control char %d leaked into %S" (Char.code c)
+          emitted)
+    emitted;
+  match parse_json emitted with
+  | Jsonx.String s' -> Alcotest.(check string) "round-trips" s s'
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_escape_quotes_backslash () =
+  let s = "a\"b\\c/d\ne\tf" in
+  match parse_json (Jsonx.to_string (Jsonx.String s)) with
+  | Jsonx.String s' -> Alcotest.(check string) "round-trips" s s'
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_escape_non_ascii () =
+  (* Bytes >= 0x80 (UTF-8 payload) pass through the emitter raw, per
+     RFC 8259 (JSON text is Unicode; only control chars need
+     escaping). *)
+  let s = "caf\xc3\xa9 \xe2\x82\xac" in
+  let emitted = Jsonx.to_string (Jsonx.String s) in
+  Alcotest.(check bool) "high bytes not escaped" true
+    (Test_util.contains emitted "caf\xc3\xa9");
+  match parse_json emitted with
+  | Jsonx.String s' -> Alcotest.(check string) "round-trips" s s'
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_unicode_escape_parses () =
+  (* The tiny parser maps \uXXXX below 0x80 back to the raw char, so
+     emitter escapes of ASCII control chars round-trip exactly. *)
+  (match parse_json "\"A\\u000a\"" with
+  | Jsonx.String s -> Alcotest.(check string) "A + newline" "A\n" s
+  | _ -> Alcotest.fail "expected a string");
+  match parse_json "\"\\u20ac\"" with
+  | Jsonx.String s ->
+      Alcotest.(check string) "non-ASCII escape kept as placeholder"
+        "\\u20ac" s
+  | _ -> Alcotest.fail "expected a string"
+
+(* ---- Report.write_text error paths ---- *)
+
+let test_write_text_missing_dir () =
+  match Report.write_text "/nonexistent-dir-xyz/out.json" "{}" with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the directory: %s" msg)
+        true
+        (Test_util.contains msg "directory"
+        && Test_util.contains msg "/nonexistent-dir-xyz")
+
+let test_write_text_roundtrip () =
+  let path = Filename.temp_file "netsim_obs" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Report.write_text path "hello";
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "content written" "hello" s)
+
+(* ---- Prometheus exporter ---- *)
+
+(* Structural validation of the text-exposition output: HELP/TYPE
+   precede every metric, histogram buckets are cumulative (monotone),
+   and the +Inf bucket equals _count. *)
+let test_prom_format_valid () =
+  Metrics.incr ~by:7 (Metrics.counter "t.prom.count");
+  Metrics.set (Metrics.gauge "t.prom.gauge") 2.5;
+  let h = Metrics.histogram "t.prom.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.; 10.; 100.; 1e9 ];
+  let text = Export_prom.to_string () in
+  let lines = String.split_on_char '\n' text in
+  (* Every non-comment line's metric family must have been declared by
+     a preceding TYPE line. *)
+  let declared = Hashtbl.create 16 in
+  let strip_family name =
+    List.fold_left
+      (fun n suffix ->
+        if Filename.check_suffix n suffix then Filename.chop_suffix n suffix
+        else n)
+      name
+      [ "_bucket"; "_sum"; "_count" ]
+  in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        if String.length line > 6 && String.sub line 0 6 = "# TYPE" then begin
+          match String.split_on_char ' ' line with
+          | _ :: _ :: name :: _ -> Hashtbl.replace declared name ()
+          | _ -> Alcotest.failf "malformed TYPE line %S" line
+        end
+        else if line.[0] <> '#' then begin
+          let name =
+            match String.index_opt line '{' with
+            | Some i -> String.sub line 0 i
+            | None -> (
+                match String.index_opt line ' ' with
+                | Some i -> String.sub line 0 i
+                | None -> line)
+          in
+          if not (Hashtbl.mem declared (strip_family name)) then
+            Alcotest.failf "sample %S lacks a TYPE declaration" name
+        end)
+    lines;
+  (* Bucket monotonicity + consistency for t.prom.hist. *)
+  let prefix = Export_prom.sanitize "t.prom.hist" in
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if
+          String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+          && Test_util.contains line "_bucket{"
+        then
+          match String.rindex_opt line ' ' with
+          | Some i ->
+              int_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "has buckets" true (List.length bucket_counts >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets cumulative (monotone)" true
+    (monotone bucket_counts);
+  let last_bucket = List.nth bucket_counts (List.length bucket_counts - 1) in
+  Alcotest.(check int) "+Inf bucket equals _count" 5 last_bucket;
+  Alcotest.(check bool) "_count line present" true
+    (Test_util.contains text (prefix ^ "_count 5"));
+  Alcotest.(check bool) "+Inf bucket line present" true
+    (Test_util.contains text (prefix ^ "_bucket{le=\"+Inf\"} 5"))
+
+let test_prom_sanitize () =
+  Alcotest.(check string) "dots to underscores" "netsim_a_b_c"
+    (Export_prom.sanitize "a.b-c");
+  Alcotest.(check string) "leading digit prefixed" "netsim__9lives"
+    (Export_prom.sanitize "9lives")
+
+(* ---- Perfetto exporter ---- *)
+
+let test_perfetto_nesting () =
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"inner" (fun () -> spin 2.);
+      Span.with_ ~name:"inner2" (fun () -> spin 1.));
+  let doc = parse_json (Export_trace.to_string ()) in
+  let events =
+    match Jsonx.member "traceEvents" doc with
+    | Some (Jsonx.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let span_events =
+    List.filter
+      (fun e -> Jsonx.member "ph" e = Some (Jsonx.String "X"))
+      events
+  in
+  Alcotest.(check int) "three X events" 3 (List.length span_events);
+  let find name =
+    match
+      List.find_opt
+        (fun e -> Jsonx.member "name" e = Some (Jsonx.String name))
+        span_events
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "no event %s" name
+  in
+  let ts e =
+    match Jsonx.member "ts" e with
+    | Some (Jsonx.Float f) -> f
+    | Some (Jsonx.Int i) -> float_of_int i
+    | _ -> Alcotest.fail "no ts"
+  in
+  let dur e =
+    match Jsonx.member "dur" e with
+    | Some (Jsonx.Float f) -> f
+    | Some (Jsonx.Int i) -> float_of_int i
+    | _ -> Alcotest.fail "no dur"
+  in
+  let outer = find "outer" and inner = find "inner" and inner2 = find "inner2" in
+  Alcotest.(check bool) "inner starts at/after outer" true
+    (ts inner >= ts outer);
+  Alcotest.(check bool) "inner ends within outer" true
+    (ts inner +. dur inner <= ts outer +. dur outer +. 1e-6);
+  Alcotest.(check bool) "inner2 starts after inner ends" true
+    (ts inner2 >= ts inner +. dur inner -. 1e-6);
+  Alcotest.(check bool) "inner2 ends within outer" true
+    (ts inner2 +. dur inner2 <= ts outer +. dur outer +. 1e-6)
+
+(* ---- flight recorder ---- *)
+
+let with_recorder f () =
+  Report.reset ();
+  Recorder.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.set_enabled false;
+      Report.reset ())
+    f
+
+let test_recorder_disabled_zero_cost () =
+  Recorder.set_enabled false;
+  Recorder.record ~kind:"t.ev" [ Recorder.I ("x", 1) ];
+  Alcotest.(check int) "nothing recorded when disabled" 0 (Recorder.size ())
+
+let test_recorder_seq_and_jsonl () =
+  Recorder.record ~kind:"t.a" [ Recorder.I ("x", 1) ];
+  Recorder.record ~kind:"t.b"
+    [ Recorder.F ("y", 2.5); Recorder.S ("s", "hi") ];
+  Alcotest.(check int) "two events" 2 (Recorder.size ());
+  Alcotest.(check int) "no drops" 0 (Recorder.dropped ());
+  let lines =
+    String.split_on_char '\n' (String.trim (Recorder.to_jsonl ()))
+  in
+  Alcotest.(check int) "header + 2 events" 3 (List.length lines);
+  (match parse_json (List.nth lines 0) with
+  | Jsonx.Obj fields ->
+      Alcotest.(check bool) "schema header" true
+        (List.assoc_opt "schema" fields
+        = Some (Jsonx.String "beatbgp.events/1"))
+  | _ -> Alcotest.fail "bad header");
+  match (parse_json (List.nth lines 1), parse_json (List.nth lines 2)) with
+  | Jsonx.Obj a, Jsonx.Obj b ->
+      Alcotest.(check bool) "seq 0 then 1" true
+        (List.assoc_opt "seq" a = Some (Jsonx.Int 0)
+        && List.assoc_opt "seq" b = Some (Jsonx.Int 1));
+      Alcotest.(check bool) "fields survive" true
+        (List.assoc_opt "s" b = Some (Jsonx.String "hi"))
+  | _ -> Alcotest.fail "bad event lines"
+
+let test_recorder_ring_drops () =
+  let saved = Recorder.capacity () in
+  Fun.protect
+    ~finally:(fun () -> Recorder.set_capacity saved)
+    (fun () ->
+      Recorder.set_capacity 4;
+      for i = 0 to 9 do
+        Recorder.record ~kind:"t.ring" [ Recorder.I ("i", i) ]
+      done;
+      Alcotest.(check int) "ring holds capacity" 4 (Recorder.size ());
+      Alcotest.(check int) "dropped the rest" 6 (Recorder.dropped ());
+      let jsonl = Recorder.to_jsonl () in
+      Alcotest.(check bool) "oldest surviving seq is 6" true
+        (Test_util.contains jsonl "{\"seq\":6,");
+      Alcotest.(check bool) "newest seq is 9" true
+        (Test_util.contains jsonl "{\"seq\":9,");
+      Alcotest.(check bool) "seq 5 was dropped" false
+        (Test_util.contains jsonl "{\"seq\":5,"))
+
+let test_recorder_capture_absorb () =
+  Recorder.record ~kind:"t.before" [];
+  let (), cap =
+    Recorder.capture (fun () ->
+        Recorder.record ~kind:"t.inside" [ Recorder.I ("i", 1) ];
+        Recorder.record ~kind:"t.inside" [ Recorder.I ("i", 2) ])
+  in
+  Alcotest.(check int) "captured events not yet in ring" 1 (Recorder.size ());
+  Recorder.absorb cap;
+  Recorder.record ~kind:"t.after" [];
+  let jsonl = Recorder.to_jsonl () in
+  Alcotest.(check int) "all four in ring" 4 (Recorder.size ());
+  (* Submission-order replay: before, inside(1), inside(2), after. *)
+  let idx s =
+    let rec go i =
+      if i + String.length s > String.length jsonl then -1
+      else if String.sub jsonl i (String.length s) = s then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "ordered replay" true
+    (idx "t.before" < idx "\"i\":1"
+    && idx "\"i\":1" < idx "\"i\":2"
+    && idx "\"i\":2" < idx "t.after")
+
+let test_recorder_pool_domain_invariant () =
+  let run d =
+    let saved = Netsim_par.Pool.domain_count () in
+    Netsim_par.Pool.set_domain_count d;
+    Fun.protect
+      ~finally:(fun () -> Netsim_par.Pool.set_domain_count saved)
+      (fun () ->
+        Recorder.reset ();
+        ignore
+          (Netsim_par.Pool.mapi
+             (fun i _ ->
+               Recorder.record ~kind:"t.pool" [ Recorder.I ("task", i) ];
+               if i mod 2 = 0 then
+                 Recorder.record ~kind:"t.pool.even" [ Recorder.I ("task", i) ];
+               i)
+             (Array.make 16 ()));
+        Recorder.to_jsonl ())
+  in
+  Alcotest.(check string) "event log byte-identical (1 vs 4 domains)"
+    (run 1) (run 4)
+
 (* ---- determinism: tracing must not perturb simulation output ---- *)
 
 let test_tracing_does_not_perturb_fig1 () =
@@ -271,6 +582,34 @@ let suite =
       (with_clean test_json_nan_is_null);
     Alcotest.test_case "report json parses" `Quick
       (with_clean test_report_json_parses);
+    Alcotest.test_case "json escape: control chars" `Quick
+      (with_clean test_json_escape_control_chars);
+    Alcotest.test_case "json escape: quotes and backslash" `Quick
+      (with_clean test_json_escape_quotes_backslash);
+    Alcotest.test_case "json escape: non-ascii bytes" `Quick
+      (with_clean test_json_escape_non_ascii);
+    Alcotest.test_case "json \\u escapes parse" `Quick
+      (with_clean test_json_unicode_escape_parses);
+    Alcotest.test_case "write_text: missing directory fails clearly" `Quick
+      (with_clean test_write_text_missing_dir);
+    Alcotest.test_case "write_text: roundtrip" `Quick
+      (with_clean test_write_text_roundtrip);
+    Alcotest.test_case "prometheus format valid" `Quick
+      (with_clean test_prom_format_valid);
+    Alcotest.test_case "prometheus name sanitization" `Quick
+      (with_clean test_prom_sanitize);
+    Alcotest.test_case "perfetto spans nest" `Quick
+      (with_clean test_perfetto_nesting);
+    Alcotest.test_case "recorder disabled is a no-op" `Quick
+      (with_recorder test_recorder_disabled_zero_cost);
+    Alcotest.test_case "recorder seq numbers + jsonl" `Quick
+      (with_recorder test_recorder_seq_and_jsonl);
+    Alcotest.test_case "recorder ring drops oldest" `Quick
+      (with_recorder test_recorder_ring_drops);
+    Alcotest.test_case "recorder capture/absorb ordering" `Quick
+      (with_recorder test_recorder_capture_absorb);
+    Alcotest.test_case "recorder pool domain-invariant" `Quick
+      (with_recorder test_recorder_pool_domain_invariant);
     Alcotest.test_case "tracing does not perturb fig1" `Slow
       (with_clean test_tracing_does_not_perturb_fig1);
   ]
