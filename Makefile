@@ -55,6 +55,21 @@ verify: build test
 	# obs.overhead self-check: disabled-telemetry core ns/run within 2% of
 	# its history median (skipped until BENCH_history.jsonl has 3 records).
 	dune exec bench/micro_propagate.exe -- --gate-overhead 200
+	# Serve smoke: one query of each type against the golden transcript,
+	# a Prometheus scrape through the wire protocol, and the two load
+	# paths — snapshot writing must be deterministic across processes,
+	# and a snapshot-loaded daemon must answer the churned query stream
+	# byte-identically to the seed-built daemon it was saved from.
+	dune exec bin/beatbgp_cli.exe -- serve --small --churn < test/golden/serve_smoke_queries.txt > /tmp/beatbgp_serve_smoke.out
+	diff -u test/golden/serve_smoke.txt /tmp/beatbgp_serve_smoke.out
+	printf 'PROM\nQUIT\n' | dune exec bin/beatbgp_cli.exe -- serve --small > /tmp/beatbgp_serve_prom.out
+	grep -q '# TYPE netsim_serve_requests_total counter' /tmp/beatbgp_serve_prom.out
+	dune exec bin/beatbgp_cli.exe -- serve --small --churn --save-snapshot /tmp/beatbgp_serve_a.snap < /dev/null > /dev/null
+	dune exec bin/beatbgp_cli.exe -- serve --small --churn --save-snapshot /tmp/beatbgp_serve_b.snap < /dev/null > /dev/null
+	cmp /tmp/beatbgp_serve_a.snap /tmp/beatbgp_serve_b.snap
+	dune exec bin/beatbgp_cli.exe -- serve --small --churn --snapshot /tmp/beatbgp_serve_a.snap < test/golden/serve_smoke_queries.txt > /tmp/beatbgp_serve_loaded.out
+	diff -u /tmp/beatbgp_serve_smoke.out /tmp/beatbgp_serve_loaded.out
+	dune exec bin/beatbgp_cli.exe -- --version | grep -q 'snapshot BBGPSNAP/1'
 	@echo "verify: OK"
 
 clean:

@@ -7,13 +7,7 @@ module Jsonx = Netsim_obs.Jsonx
 
 let schema_version = 1
 
-let git_sha () =
-  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
-  | exception _ -> "unknown"
-  | ic ->
-      let sha = try String.trim (input_line ic) with End_of_file -> "" in
-      let status = Unix.close_process_in ic in
-      if status = Unix.WEXITED 0 && sha <> "" then sha else "unknown"
+let git_sha = Netsim_serve.Version.git_sha
 
 let json ~bench fields =
   Jsonx.Obj

@@ -1,0 +1,98 @@
+(* Microbenchmark of the warm-RIB query daemon:
+
+     dune exec bench/micro_serve.exe -- [--out FILE] [--history FILE]
+       [--gate-trend] [queries]
+
+   Drives a seed-built server through a round-robin CATCHMENT / RTT /
+   EGRESS / STATS request mix via the real request loop (parsing,
+   framing, counters, batch advances) and reports throughput and tail
+   latency, once on a quiet timeline and once with the churn timeline
+   applying link flaps and congestion bursts between request batches.
+   Writes BENCH_serve.json and appends to the bench history for
+   median-of-last-5 trend gating. *)
+
+module Server = Netsim_serve.Server
+module Jsonx = Netsim_obs.Jsonx
+
+let mix server =
+  let prefixes = Array.length (Server.prefixes server) in
+  let pop = List.hd (Server.pops server) in
+  fun i ->
+    match i mod 4 with
+    | 0 -> Printf.sprintf "CATCHMENT %d" (i mod prefixes)
+    | 1 -> Printf.sprintf "RTT %d anycast" (i mod prefixes)
+    | 2 -> Printf.sprintf "EGRESS %d" pop
+    | _ -> "STATS"
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Throughput and p99 over [queries] requests against a fresh server.
+   The first round of the mix is warm-up (it faults states into the
+   RIB cache), then every request is timed individually. *)
+let drive ~churn ~queries =
+  let cfg = { Server.default_config with Server.churn } in
+  let server = Server.build cfg in
+  let query = mix server in
+  for i = 0 to 3 do
+    ignore (Server.handle_line server (query i))
+  done;
+  let lat_us = Array.make queries 0. in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to queries - 1 do
+    let q0 = Unix.gettimeofday () in
+    ignore (Server.handle_line server (query i));
+    lat_us.(i) <- (Unix.gettimeofday () -. q0) *. 1e6
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Array.sort compare lat_us;
+  (float_of_int queries /. elapsed, percentile lat_us 0.99)
+
+let bench ~out ~history ~gate_trend ~queries =
+  let qps, p99_us = drive ~churn:false ~queries in
+  let churn_qps, churn_p99_us = drive ~churn:true ~queries in
+  Printf.printf
+    "serve: quiet %.0f q/s (p99 %.0f us)  churn %.0f q/s (p99 %.0f us)\n" qps
+    p99_us churn_qps churn_p99_us;
+  Bench_support.Bench_out.write ~out ~bench:"serve"
+    [
+      ("queries", Jsonx.Int queries);
+      ("qps", Jsonx.Float qps);
+      ("p99_us", Jsonx.Float p99_us);
+      ("churn_qps", Jsonx.Float churn_qps);
+      ("churn_p99_us", Jsonx.Float churn_p99_us);
+    ];
+  let metrics =
+    Bench_support.Trend.
+      [
+        metric ~lower_better:false "qps" qps;
+        metric "p99_us" p99_us;
+        metric ~lower_better:false "churn_qps" churn_qps;
+      ]
+  in
+  let trend_ok =
+    (not gate_trend)
+    || Bench_support.Trend.gate ~history ~bench:"serve" ~label:"gate-trend"
+         metrics
+  in
+  Bench_support.Trend.append ~history ~bench:"serve" metrics;
+  if not trend_ok then exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let history = ref Bench_support.Trend.default_history in
+  let gate_trend = ref false in
+  let rec parse ~out ~queries = function
+    | [] -> (out, queries)
+    | "--out" :: file :: rest -> parse ~out:file ~queries rest
+    | "--history" :: file :: rest ->
+        history := file;
+        parse ~out ~queries rest
+    | "--gate-trend" :: rest ->
+        gate_trend := true;
+        parse ~out ~queries rest
+    | n :: rest -> parse ~out ~queries:(int_of_string n) rest
+  in
+  let out, queries = parse ~out:"BENCH_serve.json" ~queries:2000 args in
+  bench ~out ~history:!history ~gate_trend:!gate_trend ~queries

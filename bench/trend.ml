@@ -174,8 +174,9 @@ let num = function
   | _ -> None
 
 (* Records for [bench], oldest first.  Unreadable or foreign lines are
-   skipped: the history file survives schema evolution and manual
-   edits. *)
+   skipped with a warning on stderr: the history file survives schema
+   evolution, manual edits and a truncated last line (a run killed
+   mid-append), and never takes the gate down with it. *)
 let records ~history ~bench =
   if not (Sys.file_exists history) then []
   else begin
@@ -183,18 +184,22 @@ let records ~history ~bench =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let out = ref [] in
+        let out = ref [] and corrupt = ref 0 in
         (try
            while true do
              let line = input_line ic in
              if String.trim line <> "" then
                match parse line with
-               | exception Bad_record -> ()
+               | exception Bad_record -> incr corrupt
                | doc ->
                    if Jsonx.member "bench" doc = Some (Jsonx.String bench) then
                      out := doc :: !out
            done
          with End_of_file -> ());
+        if !corrupt > 0 then
+          Printf.eprintf
+            "trend: warning: skipped %d corrupt line(s) in %s\n%!" !corrupt
+            history;
         List.rev !out)
   end
 

@@ -401,6 +401,135 @@ let run_topo ~sizes ~csv =
           topo));
   Buffer.contents buf
 
+(* ---- the query daemon ---- *)
+
+let run_serve small seed prefixes pops track snapshot save_snapshot listen_port
+    churn churn_days batch batch_min event_log =
+  let module Server = Netsim_serve.Server in
+  let module Snapshot = Netsim_serve.Snapshot in
+  (* The daemon always meters itself: PROM answers come from the
+     registry.  Responses stay deterministic — wall-clock values only
+     ever appear in PROM bodies. *)
+  Netsim_obs.Metrics.set_enabled true;
+  if event_log <> None then Netsim_obs.Recorder.set_enabled true;
+  let base = if small then Server.small_config else Server.default_config in
+  let pick v default = match v with Some v -> v | None -> default in
+  let cfg =
+    {
+      base with
+      Server.seed = pick seed base.Server.seed;
+      n_prefixes = pick prefixes base.Server.n_prefixes;
+      pop_count = pick pops base.Server.pop_count;
+      track = pick track base.Server.track;
+      churn;
+      churn_days = pick churn_days base.Server.churn_days;
+      batch = pick batch base.Server.batch;
+      batch_minutes = pick batch_min base.Server.batch_minutes;
+    }
+  in
+  let die msg =
+    Printf.eprintf "beatbgp serve: %s\n" msg;
+    exit 1
+  in
+  let server =
+    match snapshot with
+    | None -> Server.build cfg
+    | Some path -> (
+        match Snapshot.load ~path with
+        | Error e -> die e
+        | Ok snap -> (
+            match Server.of_snapshot cfg snap with
+            | Error e -> die e
+            | Ok s -> s))
+  in
+  (match save_snapshot with
+  | Some path -> (
+      try Snapshot.save (Server.snapshot server) ~path
+      with Sys_error e -> die e)
+  | None -> ());
+  (match listen_port with
+  | Some port -> Server.listen server ~port
+  | None -> Server.serve_channels server stdin stdout);
+  match event_log with
+  | Some path -> (
+      try Netsim_obs.Report.write_text path (Netsim_obs.Recorder.to_jsonl ())
+      with Failure msg | Sys_error msg -> die ("cannot write event log: " ^ msg))
+  | None -> ()
+
+let serve_cmd =
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~doc)
+  in
+  let seed_t = opt_int [ "seed" ] "Scenario seed (default: 42, or 7 with $(b,--small))." in
+  let prefixes_t = opt_int [ "prefixes" ] "Number of client prefixes." in
+  let pops_t = opt_int [ "pops" ] "Number of provider PoP metros." in
+  let track_t =
+    opt_int [ "track" ]
+      "Client-AS prefixes kept continuously converged in the engine."
+  in
+  let snapshot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:"Load the serving state from a binary snapshot instead of \
+                building it from the seed.")
+  in
+  let save_snapshot_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-snapshot" ] ~docv:"FILE"
+          ~doc:"Write a binary snapshot of the serving state at startup, \
+                then serve.")
+  in
+  let listen_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:"Serve the line protocol on localhost:$(docv) instead of \
+                stdin/stdout.")
+  in
+  let churn_t =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"Schedule a link-flap and congestion-burst timeline; it is \
+                applied incrementally between request batches.")
+  in
+  let churn_days_t = opt_int [ "churn-days" ] "Horizon of the churn scripts in days." in
+  let batch_t =
+    opt_int [ "batch" ]
+      "Requests per dynamics advance (0 = the clock never moves on its own)."
+  in
+  let batch_min_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "batch-min" ] ~docv:"MINUTES"
+          ~doc:"Simulated minutes the engine advances per batch.")
+  in
+  let doc = "Warm-RIB query daemon over the simulated Internet" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Answers CATCHMENT, EGRESS, RTT, STATS, SNAPSHOT, PROM, ADVANCE and \
+         QUIT queries over a length-delimited line protocol (see \
+         doc/serving.md) from continuously-converged BGP routing state.  \
+         State comes from the seed or from a binary snapshot; with \
+         $(b,--churn), a dynamics timeline is applied incrementally between \
+         request batches.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run_serve $ small_t $ seed_t $ prefixes_t $ pops_t $ track_t
+      $ snapshot_t $ save_snapshot_t $ listen_t $ churn_t $ churn_days_t
+      $ batch_t $ batch_min_t $ event_log_t)
+
 let cmd name doc f =
   Cmd.v
     (Cmd.info name ~doc)
@@ -409,10 +538,20 @@ let cmd name doc f =
       $ trace_t $ metrics_out_t $ metrics_prom_t $ trace_perfetto_t
       $ event_log_t $ domains_t $ no_rib_cache_t)
 
+(* One line carrying every schema an artifact of this build can emit,
+   so `beatbgp --version` answers "which build wrote this file?" for
+   snapshots, event logs and bench JSON alike. *)
+let version_string =
+  Printf.sprintf
+    "%s (events %s, snapshot %s/%d, bench schema %d)"
+    (Netsim_serve.Version.git_sha ())
+    Netsim_obs.Recorder.schema Netsim_serve.Snapshot.magic
+    Netsim_serve.Snapshot.schema_version Bench_support.Bench_out.schema_version
+
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in
   Cmd.group
-    (Cmd.info "beatbgp" ~doc)
+    (Cmd.info "beatbgp" ~doc ~version:version_string)
     [
       cmd "fig1" "Figure 1: alternate-route improvement at PoPs" run_fig1;
       cmd "fig2" "Figure 2: peer vs transit, private vs public" run_fig2;
@@ -436,6 +575,7 @@ let main =
       cmd "rib" "Inspect PoP Adj-RIB-Ins and serving flows (show ip bgp style)" run_rib;
       cmd "compare" "Unified scheme comparison: BGP vs oracles vs redirection" run_compare;
       cmd "all" "Run every figure and analysis" run_all;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -516,6 +516,52 @@ let equal a b =
   a.config.Announce.origin = b.config.Announce.origin
   && a.cust = b.cust && a.peer = b.peer && a.prov = b.prov
 
+(* ---- RIB snapshot views ----------------------------------------------- *)
+
+let rib_arrays s = (Array.copy s.cust, Array.copy s.peer, Array.copy s.prov)
+
+let of_rib_arrays ~topo ~config ~cust ~peer ~prov =
+  let n = Topology.as_count topo in
+  if Array.length cust <> n || Array.length peer <> n || Array.length prov <> n
+  then invalid_arg "Propagate.of_rib_arrays: table length <> AS count";
+  let link_by_id = link_index topo in
+  let check_table name (t : int array) =
+    Array.iteri
+      (fun x v ->
+        if v >= 0 then begin
+          if x = config.Announce.origin then
+            invalid_arg
+              (Printf.sprintf
+                 "Propagate.of_rib_arrays: %s entry at the origin" name);
+          let l = e_link v in
+          if l >= Array.length link_by_id || link_by_id.(l).Relation.id <> l
+          then
+            invalid_arg
+              (Printf.sprintf
+                 "Propagate.of_rib_arrays: %s entry of AS %d references \
+                  unknown link %d"
+                 name x l);
+          if e_parent v >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Propagate.of_rib_arrays: %s entry of AS %d has parent out \
+                  of range"
+                 name x)
+        end)
+      t
+  in
+  check_table "customer" cust;
+  check_table "peer" peer;
+  check_table "provider" prov;
+  {
+    topo;
+    config;
+    link_by_id;
+    cust = Array.copy cust;
+    peer = Array.copy peer;
+    prov = Array.copy prov;
+  }
+
 (* ---- Incremental reconvergence ------------------------------------ *)
 
 type delta = Link_removed of int | Link_added of int

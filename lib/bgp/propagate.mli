@@ -69,6 +69,31 @@ val topology : state -> Netsim_topo.Topology.t
 val config : state -> Announce.t
 val origin : state -> int
 
+(** {1 RIB snapshot views}
+
+    The three per-class routing tables are flat arrays of bit-packed
+    entries (one immediate int per AS, [-1] when absent) — see the
+    layout comment in [propagate.ml].  [rib_arrays]/[of_rib_arrays]
+    expose them for binary snapshotting: saving a state is three array
+    copies, and loading validates every entry against the topology, so
+    a reconstructed state answers queries identically to the one that
+    was saved. *)
+
+val rib_arrays : state -> int array * int array * int array
+(** Copies of the (customer, peer, provider) routing tables, indexed
+    by AS id. *)
+
+val of_rib_arrays :
+  topo:Netsim_topo.Topology.t ->
+  config:Announce.t ->
+  cust:int array ->
+  peer:int array ->
+  prov:int array ->
+  state
+(** Rebuild a state from snapshotted tables.  The arrays are copied.
+    Every present entry must reference a link that exists in [topo]
+    and a parent AS in range.  @raise Invalid_argument otherwise. *)
+
 val best : state -> int -> Route.t option
 (** The selected best route of an AS ([None] for the origin itself and
     for ASes that cannot reach the prefix). *)

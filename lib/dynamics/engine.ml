@@ -55,6 +55,20 @@ let create ?congestion base_topo =
     processes = [];
   }
 
+let restore ?congestion ~base ~down ~now () =
+  let n_links = Topology.link_count base in
+  List.iter
+    (fun l ->
+      if l < 0 || l >= n_links then
+        invalid_arg "Engine.restore: down link id not in base topology")
+    down;
+  let down = List.sort_uniq compare down in
+  let t = create ?congestion base in
+  t.down <- down;
+  if down <> [] then t.topo <- Topology.remove_links base down;
+  t.now_min <- now;
+  t
+
 let withdrawn_of config =
   Announce.with_overrides config (fun _ ->
       Some { Announce.export = false; prepend = 0; no_export = false })
@@ -72,6 +86,26 @@ let track t config =
           t_active = true;
         };
       ]
+
+let track_state t config ~state ~active =
+  if Propagate.origin state <> config.Announce.origin then
+    invalid_arg "Engine.track_state: state origin <> config origin";
+  t.tracked <-
+    t.tracked
+    @ [
+        {
+          t_origin = config.Announce.origin;
+          t_config = config;
+          t_withdrawn = withdrawn_of config;
+          t_state = state;
+          t_active = active;
+        };
+      ]
+
+let pending t = Timeline.to_list t.timeline
+
+let tracked_prefixes t =
+  List.map (fun tr -> (tr.t_origin, tr.t_active, tr.t_state)) t.tracked
 
 let routing t ~origin =
   match List.find_opt (fun tr -> tr.t_origin = origin) t.tracked with

@@ -31,9 +31,43 @@ val create : ?congestion:Netsim_latency.Congestion.t -> Netsim_topo.Topology.t -
 (** The congestion state, when given, must have been built on the same
     (base) topology; the engine drives its event-delay overlay. *)
 
+val restore :
+  ?congestion:Netsim_latency.Congestion.t ->
+  base:Netsim_topo.Topology.t ->
+  down:int list ->
+  now:float ->
+  unit ->
+  t
+(** Rebuild an engine from persisted parts (the snapshot-load path):
+    the base topology, the currently-failed link ids and the clock.
+    The current topology is [base] minus [down]; no reconvergence
+    happens — tracked states are installed afterwards with
+    {!track_state} and pending events re-{!schedule}d.
+    @raise Invalid_argument on an unknown down link id. *)
+
 val track : t -> Netsim_bgp.Announce.t -> unit
 (** Start tracking a prefix: one full propagation now, incremental
     reconvergence on every subsequent topology event. *)
+
+val track_state :
+  t -> Netsim_bgp.Announce.t -> state:Netsim_bgp.Propagate.state ->
+  active:bool -> unit
+(** Like {!track}, but install an already-computed routing state
+    (loaded from a snapshot) instead of propagating — the state must
+    have been computed on the engine's {e current} topology for the
+    given config.  [active = false] registers the prefix as withdrawn
+    (the state then reflects the withdrawn announcement).
+    @raise Invalid_argument if the state's origin differs from the
+    config's. *)
+
+val pending : t -> (float * Event.t) list
+(** Scheduled-but-unprocessed events in pop order — the persistable
+    view of the timeline.  Re-scheduling them into a {!restore}d
+    engine reproduces the remaining run exactly. *)
+
+val tracked_prefixes : t -> (int * bool * Netsim_bgp.Propagate.state) list
+(** [(origin, active, state)] per tracked prefix, insertion order —
+    the persistable counterpart of {!track_state}. *)
 
 val routing : t -> origin:int -> Netsim_bgp.Propagate.state
 (** Current routing state of a tracked origin.

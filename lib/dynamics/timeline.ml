@@ -72,3 +72,9 @@ let pop t =
 let drain t =
   let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
   go []
+
+let to_list t =
+  Array.sub t.heap 0 t.size |> Array.to_list
+  |> List.sort (fun a b ->
+         if before a b then -1 else if before b a then 1 else 0)
+  |> List.map (fun item -> (item.at, item.payload))

@@ -22,3 +22,9 @@ val is_empty : 'a t -> bool
 
 val drain : 'a t -> (float * 'a) list
 (** Pop everything, in order (leaves the timeline empty). *)
+
+val to_list : 'a t -> (float * 'a) list
+(** Every pending item in pop order, without removing anything —
+    the snapshot view used to persist a timeline.  Re-[schedule]-ing
+    the result into a fresh timeline reproduces the pop order exactly
+    (ties keep their FIFO rank). *)

@@ -147,12 +147,14 @@ let event_json seq ev =
     :: ("kind", Jsonx.String ev.e_kind)
     :: List.map field_json ev.e_fields)
 
+let schema = "beatbgp.events/1"
+
 let to_jsonl () =
   let buf = Buffer.create 4096 in
   let header =
     Jsonx.Obj
       [
-        ("schema", Jsonx.String "beatbgp.events/1");
+        ("schema", Jsonx.String schema);
         ("events", Jsonx.Int ring.count);
         ("dropped", Jsonx.Int (dropped ()));
         ("cap", Jsonx.Int !capacity_ref);

@@ -43,6 +43,10 @@ val dropped : unit -> int
 
 val reset : unit -> unit
 
+val schema : string
+(** The event-log schema tag (["beatbgp.events/1"]), also reported by
+    [beatbgp --version]. *)
+
 val to_jsonl : unit -> string
 (** Header line [{"schema":"beatbgp.events/1",...}] then one JSON
     object per event ([seq], [kind], then the event's fields). *)

@@ -1,0 +1,70 @@
+type request =
+  | Catchment of string
+  | Egress of int
+  | Rtt of string * string
+  | Stats
+  | Snapshot_to of string
+  | Prom
+  | Advance of float
+  | Quit
+
+let max_line = 4096
+
+let verb = function
+  | Catchment _ -> "catchment"
+  | Egress _ -> "egress"
+  | Rtt _ -> "rtt"
+  | Stats -> "stats"
+  | Snapshot_to _ -> "snapshot"
+  | Prom -> "prom"
+  | Advance _ -> "advance"
+  | Quit -> "quit"
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse line =
+  if String.length line > max_line then
+    Error
+      (Printf.sprintf "request exceeds %d bytes (%d)" max_line
+         (String.length line))
+  else begin
+    let words =
+      String.split_on_char ' ' (strip_cr line)
+      |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | [] -> Error "empty request"
+    | verb :: args -> (
+        match (String.uppercase_ascii verb, args) with
+        | "CATCHMENT", [ p ] -> Ok (Catchment p)
+        | "CATCHMENT", _ -> Error "usage: CATCHMENT <prefix>"
+        | "EGRESS", [ pop ] -> (
+            match int_of_string_opt pop with
+            | Some m -> Ok (Egress m)
+            | None -> Error ("EGRESS: not a metro id: " ^ pop))
+        | "EGRESS", _ -> Error "usage: EGRESS <pop>"
+        | "RTT", [ client; prefix ] -> Ok (Rtt (client, prefix))
+        | "RTT", _ -> Error "usage: RTT <client> <prefix>"
+        | "STATS", [] -> Ok Stats
+        | "STATS", _ -> Error "usage: STATS"
+        | "SNAPSHOT", [ path ] -> Ok (Snapshot_to path)
+        | "SNAPSHOT", _ -> Error "usage: SNAPSHOT <path>"
+        | "PROM", [] -> Ok Prom
+        | "PROM", _ -> Error "usage: PROM"
+        | "ADVANCE", [ m ] -> (
+            match float_of_string_opt m with
+            | Some minutes when minutes >= 0. && Float.is_finite minutes ->
+                Ok (Advance minutes)
+            | Some _ -> Error "ADVANCE: minutes must be finite and >= 0"
+            | None -> Error ("ADVANCE: not a number: " ^ m))
+        | "ADVANCE", _ -> Error "usage: ADVANCE <minutes>"
+        | "QUIT", [] -> Ok Quit
+        | "QUIT", _ -> Error "usage: QUIT"
+        | v, _ -> Error ("unknown command " ^ v))
+  end
+
+let frame ~ok body =
+  Printf.sprintf "%s %d\n%s\n" (if ok then "OK" else "ERR")
+    (String.length body) body

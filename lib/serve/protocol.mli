@@ -1,0 +1,41 @@
+(** The serve wire protocol.
+
+    Requests are single LF-terminated lines (an optional trailing CR
+    is stripped): a verb and space-separated arguments.  Responses are
+    length-delimited so multi-line bodies (STATS, PROM) are
+    unambiguous:
+
+    {v
+    OK <n>\n<n bytes of body>\n
+    ERR <n>\n<n bytes of error message>\n
+    v}
+
+    Parsing is total — malformed input yields [Error] with a usage
+    message, never an exception — and the server loop frames every
+    error as an [ERR] response, so a broken client cannot take the
+    daemon down.  See doc/serving.md for the full reference. *)
+
+type request =
+  | Catchment of string  (** [CATCHMENT <prefix>]: anycast catchment site. *)
+  | Egress of int  (** [EGRESS <pop>]: egress mix at a PoP metro. *)
+  | Rtt of string * string
+      (** [RTT <client> <prefix>]: deterministic RTT floor plus the
+          current churn overlay for a client/prefix pair. *)
+  | Stats  (** [STATS]: deterministic daemon counters. *)
+  | Snapshot_to of string  (** [SNAPSHOT <path>]: write a binary snapshot. *)
+  | Prom  (** [PROM]: Prometheus text exposition of the registry. *)
+  | Advance of float  (** [ADVANCE <minutes>]: step the dynamics engine. *)
+  | Quit  (** [QUIT]: close the session. *)
+
+val max_line : int
+(** Longest accepted request line in bytes (longer lines are answered
+    with a protocol error, not read into memory unboundedly). *)
+
+val verb : request -> string
+(** Lower-case verb tag, e.g. ["catchment"] — used for per-query-type
+    metrics and recorder events. *)
+
+val parse : string -> (request, string) result
+
+val frame : ok:bool -> string -> string
+(** Frame a response body (or error message) for the wire. *)

@@ -1,0 +1,565 @@
+module Sm = Netsim_prng.Splitmix
+module Generator = Netsim_topo.Generator
+module Topology = Netsim_topo.Topology
+module Relation = Netsim_topo.Relation
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
+module Walk = Netsim_bgp.Walk
+module Route = Netsim_bgp.Route
+module Deployment = Netsim_cdn.Deployment
+module Population = Netsim_traffic.Population
+module Prefix = Netsim_traffic.Prefix
+module Congestion = Netsim_latency.Congestion
+module Params = Netsim_latency.Params
+module Propagation = Netsim_latency.Propagation
+module Rtt = Netsim_latency.Rtt
+module World = Netsim_geo.World
+module City = Netsim_geo.City
+module Engine = Netsim_dynamics.Engine
+module Script = Netsim_dynamics.Script
+module Metrics = Netsim_obs.Metrics
+module Recorder = Netsim_obs.Recorder
+module Scenario = Beatbgp.Scenario
+
+type config = {
+  seed : int;
+  base_params : Generator.params;
+  n_prefixes : int;
+  pop_count : int;
+  track : int;
+  churn : bool;
+  churn_days : int;
+  batch : int;
+  batch_minutes : float;
+}
+
+let config_of_sizes (s : Scenario.sizes) ~pop_count ~track =
+  {
+    seed = s.Scenario.seed;
+    base_params = s.Scenario.base;
+    n_prefixes = s.Scenario.n_prefixes;
+    pop_count;
+    track;
+    churn = false;
+    churn_days = max 1 (int_of_float s.Scenario.days);
+    batch = 16;
+    batch_minutes = 15.;
+  }
+
+let default_config = config_of_sizes Scenario.default_sizes ~pop_count:40 ~track:8
+let small_config = config_of_sizes Scenario.test_sizes ~pop_count:12 ~track:4
+
+type counts = {
+  mutable q_catchment : int;
+  mutable q_egress : int;
+  mutable q_rtt : int;
+  mutable q_stats : int;
+  mutable q_snapshot : int;
+  mutable q_prom : int;
+  mutable q_advance : int;
+  mutable q_quit : int;
+  mutable q_invalid : int;
+}
+
+let zero_counts () =
+  {
+    q_catchment = 0;
+    q_egress = 0;
+    q_rtt = 0;
+    q_stats = 0;
+    q_snapshot = 0;
+    q_prom = 0;
+    q_advance = 0;
+    q_quit = 0;
+    q_invalid = 0;
+  }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  cong : Congestion.t;
+  asid : int;
+  pops : int list;
+  prefixes : Prefix.t array;
+  counts : counts;
+  mutable queries : int;
+  mutable stopped : bool;
+}
+
+(* ---- construction ----------------------------------------------------- *)
+
+let schedule_churn cfg ~root ~topo engine =
+  let link_ids = Array.init (Topology.link_count topo) (fun i -> i) in
+  Script.schedule_all engine
+    (Script.flaps
+       (Sm.of_label root "serve.flaps")
+       ~link_ids ~mean_interval_min:120. ~mean_down_min:15. ~days:cfg.churn_days);
+  Script.schedule_all engine
+    (Script.congestion_bursts
+       (Sm.of_label root "serve.bursts")
+       ~link_ids ~mean_interval_min:90. ~median_extra_ms:30. ~sigma:0.6
+       ~mean_duration_min:45. ~days:cfg.churn_days)
+
+(* The first [track] distinct client ASes in prefix order. *)
+let client_origins cfg prefixes =
+  let seen = Hashtbl.create 64 and acc = ref [] in
+  Array.iter
+    (fun (p : Prefix.t) ->
+      if Hashtbl.length seen < cfg.track && not (Hashtbl.mem seen p.Prefix.asid)
+      then begin
+        Hashtbl.add seen p.Prefix.asid ();
+        acc := p.Prefix.asid :: !acc
+      end)
+    prefixes;
+  List.rev !acc
+
+let build cfg =
+  let root = Sm.create cfg.seed in
+  let base =
+    Generator.generate { cfg.base_params with Generator.seed = cfg.seed }
+  in
+  let spec =
+    Deployment.default_spec ~name:"CONTENT"
+      ~pop_metros:(Scenario.spread_metros cfg.pop_count)
+  in
+  let deployment = Deployment.deploy base ~rng:(Sm.of_label root "deploy") spec in
+  let topo = deployment.Deployment.topo in
+  let prefixes =
+    Population.generate topo
+      ~rng:(Sm.of_label root "population")
+      ~n_prefixes:cfg.n_prefixes
+  in
+  let cong = Congestion.create Params.default topo ~seed:(cfg.seed + 1) in
+  let engine = Engine.create ~congestion:cong topo in
+  Engine.track engine (Announce.default ~origin:deployment.Deployment.asid);
+  List.iter
+    (fun origin -> Engine.track engine (Announce.default ~origin))
+    (client_origins cfg prefixes);
+  if cfg.churn then schedule_churn cfg ~root ~topo engine;
+  {
+    cfg;
+    engine;
+    cong;
+    asid = deployment.Deployment.asid;
+    pops = deployment.Deployment.pops;
+    prefixes;
+    counts = zero_counts ();
+    queries = 0;
+    stopped = false;
+  }
+
+exception Bad of string
+
+let of_snapshot cfg (snap : Snapshot.t) =
+  try
+    let n = Topology.as_count snap.Snapshot.base in
+    let n_cities = Array.length World.cities in
+    if snap.Snapshot.asid < 0 || snap.Snapshot.asid >= n then
+      raise (Bad (Printf.sprintf "provider AS %d out of range" snap.Snapshot.asid));
+    List.iter
+      (fun m ->
+        if m < 0 || m >= n_cities then
+          raise (Bad (Printf.sprintf "PoP metro %d out of range" m)))
+      snap.Snapshot.pops;
+    Array.iter
+      (fun (p : Prefix.t) ->
+        if p.Prefix.asid < 0 || p.Prefix.asid >= n then
+          raise (Bad (Printf.sprintf "prefix %d: AS %d out of range" p.Prefix.id p.Prefix.asid));
+        if p.Prefix.city < 0 || p.Prefix.city >= n_cities then
+          raise (Bad (Printf.sprintf "prefix %d: city %d out of range" p.Prefix.id p.Prefix.city)))
+      snap.Snapshot.prefixes;
+    let cong =
+      Congestion.create Params.default snap.Snapshot.base
+        ~seed:(snap.Snapshot.seed + 1)
+    in
+    List.iter
+      (fun (l, ms) -> Congestion.add_event_delay_ms cong ~link_id:l ~ms)
+      snap.Snapshot.overlays;
+    let engine =
+      try
+        Engine.restore ~congestion:cong ~base:snap.Snapshot.base
+          ~down:snap.Snapshot.down_links ~now:snap.Snapshot.now_min ()
+      with Invalid_argument msg -> raise (Bad msg)
+    in
+    List.iter
+      (fun (r : Snapshot.rib) ->
+        let config = Announce.default ~origin:r.Snapshot.rib_origin in
+        let state =
+          try
+            Propagate.of_rib_arrays ~topo:(Engine.topology engine) ~config
+              ~cust:r.Snapshot.rib_cust ~peer:r.Snapshot.rib_peer
+              ~prov:r.Snapshot.rib_prov
+          with Invalid_argument msg ->
+            raise
+              (Bad
+                 (Printf.sprintf "tracked origin %d: %s" r.Snapshot.rib_origin
+                    msg))
+        in
+        Engine.track_state engine config ~state ~active:r.Snapshot.rib_active)
+      snap.Snapshot.ribs;
+    Script.schedule_all engine snap.Snapshot.pending;
+    Ok
+      {
+        cfg = { cfg with seed = snap.Snapshot.seed };
+        engine;
+        cong;
+        asid = snap.Snapshot.asid;
+        pops = snap.Snapshot.pops;
+        prefixes = snap.Snapshot.prefixes;
+        counts = zero_counts ();
+        queries = 0;
+        stopped = false;
+      }
+  with Bad msg -> Error ("snapshot: " ^ msg)
+
+let snapshot t =
+  let base = Engine.base_topology t.engine in
+  let overlays =
+    Array.to_list (Topology.links base)
+    |> List.filter_map (fun (l : Relation.link) ->
+           let ms = Congestion.event_delay_ms t.cong ~link_id:l.Relation.id in
+           if ms > 0. then Some (l.Relation.id, ms) else None)
+  in
+  {
+    Snapshot.git_sha = Version.git_sha ();
+    created_gen = Topology.generation base;
+    seed = t.cfg.seed;
+    now_min = Engine.now t.engine;
+    base;
+    down_links = Engine.down_links t.engine;
+    asid = t.asid;
+    pops = t.pops;
+    prefixes = t.prefixes;
+    ribs =
+      Engine.tracked_prefixes t.engine
+      |> List.map (fun (origin, active, state) ->
+             let cust, peer, prov = Propagate.rib_arrays state in
+             {
+               Snapshot.rib_origin = origin;
+               rib_active = active;
+               rib_cust = cust;
+               rib_peer = peer;
+               rib_prov = prov;
+             });
+    pending = Engine.pending t.engine;
+    overlays;
+  }
+
+(* ---- query answering -------------------------------------------------- *)
+
+(* Warm state toward an origin: the engine's continuously-reconverged
+   state for tracked origins, the RIB cache (exact memoized
+   Propagate.run on the current topology) for everything else. *)
+let state_for t ~origin =
+  match Engine.routing t.engine ~origin with
+  | s -> s
+  | exception Not_found ->
+      Rib_cache.run (Engine.topology t.engine) (Announce.default ~origin)
+
+let prefix_of t s =
+  match int_of_string_opt s with
+  | Some id when id >= 0 && id < Array.length t.prefixes -> Ok t.prefixes.(id)
+  | Some id ->
+      Error
+        (Printf.sprintf "unknown prefix %d (known: 0..%d)" id
+           (Array.length t.prefixes - 1))
+  | None -> Error ("not a prefix id: " ^ s)
+
+let city_name m = World.cities.(m).City.name
+
+(* The provider's client-to-PoP map: geographically nearest PoP, ties
+   broken by PoP list order (deterministic; the list is persisted). *)
+let nearest_pop t ~city =
+  let c = World.cities.(city) in
+  match t.pops with
+  | [] -> invalid_arg "nearest_pop: no PoPs"
+  | p0 :: rest ->
+      let best = ref p0 and best_d = ref (City.distance_km c World.cities.(p0)) in
+      List.iter
+        (fun m ->
+          let d = City.distance_km c World.cities.(m) in
+          if d < !best_d then begin
+            best := m;
+            best_d := d
+          end)
+        rest;
+      !best
+
+let catchment t arg =
+  Result.bind (prefix_of t arg) (fun (p : Prefix.t) ->
+      if p.Prefix.asid = t.asid then
+        Error (Printf.sprintf "prefix %d sits in the provider AS" p.Prefix.id)
+      else
+        let st = state_for t ~origin:t.asid in
+        match Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city with
+        | None ->
+            Ok
+              (Printf.sprintf "prefix=%d client_as=%d site=unreachable"
+                 p.Prefix.id p.Prefix.asid)
+        | Some w ->
+            let m = Walk.entry_metro w in
+            Ok
+              (Printf.sprintf "prefix=%d client_as=%d site=%d site_city=%s"
+                 p.Prefix.id p.Prefix.asid m (city_name m)))
+
+(* Private peering beats public peering beats transit — the provider
+   egress-preference order used throughout the paper. *)
+let kind_rank = function
+  | Relation.Peer_private -> 0
+  | Relation.Peer_public -> 1
+  | Relation.C2p -> 2
+
+let best_received routes =
+  List.sort
+    (fun (a : Route.t) (b : Route.t) ->
+      compare
+        ( kind_rank a.Route.via_link.Relation.kind,
+          a.Route.path_len,
+          a.Route.via_link.Relation.id )
+        ( kind_rank b.Route.via_link.Relation.kind,
+          b.Route.path_len,
+          b.Route.via_link.Relation.id ))
+    routes
+  |> function
+  | [] -> None
+  | r :: _ -> Some r
+
+let egress t pop =
+  if not (List.mem pop t.pops) then
+    Error (Printf.sprintf "unknown pop %d (not a provider PoP metro)" pop)
+  else begin
+    let total = ref 0
+    and priv = ref 0
+    and pub = ref 0
+    and transit = ref 0
+    and unreachable = ref 0 in
+    Array.iter
+      (fun (p : Prefix.t) ->
+        if p.Prefix.asid <> t.asid && nearest_pop t ~city:p.Prefix.city = pop
+        then begin
+          incr total;
+          let st = state_for t ~origin:p.Prefix.asid in
+          match best_received (Propagate.received_at_metro st t.asid ~metro:pop)
+          with
+          | None -> incr unreachable
+          | Some r -> (
+              match r.Route.via_link.Relation.kind with
+              | Relation.Peer_private -> incr priv
+              | Relation.Peer_public -> incr pub
+              | Relation.C2p -> incr transit)
+        end)
+      t.prefixes;
+    Ok
+      (Printf.sprintf
+         "pop=%d city=%s prefixes=%d private=%d public=%d transit=%d \
+          unreachable=%d"
+         pop (city_name pop) !total !priv !pub !transit !unreachable)
+  end
+
+let origin_of t arg =
+  match String.lowercase_ascii arg with
+  | "anycast" -> Ok t.asid
+  | _ -> (
+      match int_of_string_opt arg with
+      | Some o
+        when List.exists
+               (fun (og, _, _) -> og = o)
+               (Engine.tracked_prefixes t.engine) ->
+          Ok o
+      | Some o ->
+          Error
+            (Printf.sprintf
+               "origin %d is not tracked (use 'anycast' or a tracked origin AS)"
+               o)
+      | None -> Error ("not an origin: " ^ arg))
+
+let rtt t client arg =
+  Result.bind (prefix_of t client) (fun (p : Prefix.t) ->
+      Result.bind (origin_of t arg) (fun origin ->
+          if p.Prefix.asid = origin then
+            Error
+              (Printf.sprintf "client prefix %d sits in origin AS %d"
+                 p.Prefix.id origin)
+          else
+            let st = state_for t ~origin in
+            match
+              Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city
+            with
+            | None ->
+                Ok
+                  (Printf.sprintf "client=%d origin=%d rtt=unreachable"
+                     p.Prefix.id origin)
+            | Some w ->
+                let flow =
+                  Rtt.make_flow
+                    ~access:(Congestion.Access p.Prefix.id)
+                    ~terminal:Propagation.At_entry w
+                in
+                let floor =
+                  Rtt.floor_ms (Congestion.params t.cong)
+                    (Engine.topology t.engine) t.cong flow
+                in
+                let churn =
+                  List.fold_left
+                    (fun acc (h : Walk.hop) ->
+                      acc
+                      +. Congestion.event_delay_ms t.cong
+                           ~link_id:h.Walk.link.Relation.id)
+                    0. w.Walk.hops
+                in
+                Ok
+                  (Printf.sprintf
+                     "client=%d origin=%d floor_ms=%.3f churn_ms=%.3f \
+                      rtt_ms=%.3f"
+                     p.Prefix.id origin floor churn (floor +. churn))))
+
+(* Only fields that are a deterministic function of (seed, request
+   sequence) — so a seed-built and a snapshot-loaded server answer
+   STATS byte-identically to the same request stream. *)
+let stats t =
+  let topo = Engine.topology t.engine in
+  let c = t.counts in
+  Ok
+    (String.concat "\n"
+       [
+         Printf.sprintf "server seed=%d snapshot_schema=%d" t.cfg.seed
+           Snapshot.schema_version;
+         Printf.sprintf "topology ases=%d links=%d down=%d"
+           (Topology.as_count topo) (Topology.link_count topo)
+           (List.length (Engine.down_links t.engine));
+         Printf.sprintf "engine now_min=%.3f tracked=%d pending=%d"
+           (Engine.now t.engine)
+           (List.length (Engine.tracked_prefixes t.engine))
+           (List.length (Engine.pending t.engine));
+         Printf.sprintf "population prefixes=%d pops=%d"
+           (Array.length t.prefixes) (List.length t.pops);
+         Printf.sprintf
+           "queries total=%d catchment=%d egress=%d rtt=%d stats=%d \
+            snapshot=%d prom=%d advance=%d quit=%d invalid=%d"
+           t.queries c.q_catchment c.q_egress c.q_rtt c.q_stats c.q_snapshot
+           c.q_prom c.q_advance c.q_quit c.q_invalid;
+         Printf.sprintf "rib_cache hits=%d misses=%d size=%d" (Rib_cache.hits ())
+           (Rib_cache.misses ()) (Rib_cache.size ());
+       ])
+
+let handle t (req : Protocol.request) =
+  match req with
+  | Protocol.Catchment arg -> catchment t arg
+  | Protocol.Egress pop -> egress t pop
+  | Protocol.Rtt (client, origin) -> rtt t client origin
+  | Protocol.Stats -> stats t
+  | Protocol.Snapshot_to path -> (
+      try
+        Snapshot.save (snapshot t) ~path;
+        Ok ("snapshot written to " ^ path)
+      with Sys_error e -> Error e)
+  | Protocol.Prom -> Ok (Netsim_obs.Export_prom.to_string ())
+  | Protocol.Advance minutes ->
+      Engine.run t.engine ~until:(Engine.now t.engine +. minutes);
+      Ok (Printf.sprintf "now_min=%.3f" (Engine.now t.engine))
+  | Protocol.Quit -> Ok "bye"
+
+(* ---- the request loop ------------------------------------------------- *)
+
+let count_verb c = function
+  | "catchment" -> c.q_catchment <- c.q_catchment + 1
+  | "egress" -> c.q_egress <- c.q_egress + 1
+  | "rtt" -> c.q_rtt <- c.q_rtt + 1
+  | "stats" -> c.q_stats <- c.q_stats + 1
+  | "snapshot" -> c.q_snapshot <- c.q_snapshot + 1
+  | "prom" -> c.q_prom <- c.q_prom + 1
+  | "advance" -> c.q_advance <- c.q_advance + 1
+  | "quit" -> c.q_quit <- c.q_quit + 1
+  | _ -> c.q_invalid <- c.q_invalid + 1
+
+let c_requests = Metrics.counter "serve.requests"
+let c_errors = Metrics.counter "serve.errors"
+
+let record_query t ~verb ~ok =
+  if Recorder.enabled () then
+    Recorder.(
+      record ~kind:"serve.query"
+        [
+          I ("q", t.queries);
+          S ("verb", verb);
+          S ("status", (if ok then "ok" else "err"));
+          F ("t_min", Engine.now t.engine);
+        ])
+
+let handle_line t line =
+  t.queries <- t.queries + 1;
+  Metrics.incr c_requests;
+  let framed, cont =
+    match Protocol.parse line with
+    | Error e ->
+        t.counts.q_invalid <- t.counts.q_invalid + 1;
+        Metrics.incr c_errors;
+        record_query t ~verb:"invalid" ~ok:false;
+        (Protocol.frame ~ok:false e, true)
+    | Ok req ->
+        let verb = Protocol.verb req in
+        count_verb t.counts verb;
+        let t0 = Unix.gettimeofday () in
+        let result =
+          try handle t req
+          with exn ->
+            Error (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+        in
+        if Metrics.enabled () then begin
+          Metrics.incr (Metrics.counter ("serve.query." ^ verb));
+          Metrics.observe
+            (Metrics.histogram ("serve." ^ verb ^ ".us"))
+            ((Unix.gettimeofday () -. t0) *. 1e6)
+        end;
+        let cont = req <> Protocol.Quit in
+        (match result with
+        | Ok body ->
+            record_query t ~verb ~ok:true;
+            (Protocol.frame ~ok:true body, cont)
+        | Error e ->
+            Metrics.incr c_errors;
+            record_query t ~verb ~ok:false;
+            (Protocol.frame ~ok:false e, cont))
+  in
+  (* Churn advances on request-count boundaries, never wall clock, so
+     the response stream is a pure function of the request stream. *)
+  if t.cfg.batch > 0 && t.queries mod t.cfg.batch = 0 then
+    Engine.run t.engine ~until:(Engine.now t.engine +. t.cfg.batch_minutes);
+  if not cont then t.stopped <- true;
+  (framed, cont)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let resp, cont = handle_line t line in
+        output_string oc resp;
+        flush oc;
+        if cont then loop ()
+  in
+  loop ()
+
+let listen t ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not t.stopped do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd
+        and oc = Unix.out_channel_of_descr fd in
+        (try serve_channels t ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+        (try flush oc with Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done)
+
+let provider t = t.asid
+let pops t = t.pops
+let prefixes t = t.prefixes
+let engine t = t.engine
+let queries t = t.queries

@@ -1,0 +1,79 @@
+(** The warm-RIB query daemon.
+
+    A server owns a dynamics {!Netsim_dynamics.Engine} whose tracked
+    prefixes (the provider's anycast prefix plus the first [track]
+    client-AS prefixes) stay continuously converged, and answers
+    {!Protocol} queries against that warm state.  Between request
+    batches it applies the scheduled churn timeline incrementally —
+    every [batch] requests the engine advances [batch_minutes] of
+    simulated time, so responses are a deterministic function of the
+    seed and the request sequence (never of wall clock).
+
+    A server is built either from a seed ({!build}, the scenario
+    construction path) or from a binary {!Snapshot} ({!of_snapshot}).
+    Both produce byte-identical responses to the same request stream:
+    the snapshot stores the exact routing tables, pending timeline and
+    congestion overlays, and everything else (congestion model,
+    batching) is rebuilt deterministically from the stored seed. *)
+
+type config = {
+  seed : int;
+  base_params : Netsim_topo.Generator.params;  (** Base-Internet shape. *)
+  n_prefixes : int;
+  pop_count : int;  (** Provider PoP metros to deploy. *)
+  track : int;  (** Client-AS prefixes kept warm in the engine. *)
+  churn : bool;  (** Schedule a flap + congestion-burst timeline. *)
+  churn_days : int;  (** Horizon of the churn scripts. *)
+  batch : int;  (** Requests per engine advance (0 = never advance). *)
+  batch_minutes : float;  (** Simulated minutes per batch advance. *)
+}
+
+val default_config : config
+(** Default scenario sizes (seed 42, 320 prefixes, 40 PoPs). *)
+
+val small_config : config
+(** Test sizes (seed 7, 60 prefixes, 12 PoPs) — used by [--small],
+    [make verify] and the test suite. *)
+
+type t
+
+val build : config -> t
+(** Construct the provider scenario from the seed and start tracking. *)
+
+val of_snapshot : config -> Snapshot.t -> (t, string) result
+(** Resume from a loaded snapshot: restore the engine (base topology,
+    failed links, clock), install the stored routing tables without
+    repropagating, re-schedule the pending timeline and re-apply the
+    congestion overlays.  [Error] if a stored table is inconsistent
+    with the stored topology. *)
+
+val snapshot : t -> Snapshot.t
+(** The persistable view of the current serving state. *)
+
+(** {1 Queries} *)
+
+val handle : t -> Protocol.request -> (string, string) result
+(** Answer one request (no framing, no counters).  Total: unknown
+    prefixes, PoPs and origins come back as [Error]. *)
+
+val handle_line : t -> string -> string * bool
+(** Parse, count, answer and frame one request line; advances the
+    churn timeline on batch boundaries.  Returns the framed wire
+    response and [false] when the session should end (QUIT). *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve until EOF or QUIT.  Never raises on malformed input — every
+    error is framed as an [ERR] response. *)
+
+val listen : t -> port:int -> unit
+(** Accept loop on localhost:[port], one connection at a time; QUIT
+    also stops the accept loop (clean shutdown for harnesses). *)
+
+(** {1 Introspection (tests, CLI)} *)
+
+val provider : t -> int
+val pops : t -> int list
+val prefixes : t -> Netsim_traffic.Prefix.t array
+val engine : t -> Netsim_dynamics.Engine.t
+val queries : t -> int
+(** Requests received so far (including malformed ones). *)

@@ -1,0 +1,394 @@
+module Topology = Netsim_topo.Topology
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Prefix = Netsim_traffic.Prefix
+module Event = Netsim_dynamics.Event
+
+type rib = {
+  rib_origin : int;
+  rib_active : bool;
+  rib_cust : int array;
+  rib_peer : int array;
+  rib_prov : int array;
+}
+
+type t = {
+  git_sha : string;
+  created_gen : int;
+  seed : int;
+  now_min : float;
+  base : Topology.t;
+  down_links : int list;
+  asid : int;
+  pops : int list;
+  prefixes : Prefix.t array;
+  ribs : rib list;
+  pending : (float * Event.t) list;
+  overlays : (int * float) list;
+}
+
+let magic = "BBGPSNAP"
+let schema_version = 1
+
+(* ---- writer ----------------------------------------------------------- *)
+
+let w_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+let w_i32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let w_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+let w_f64 buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let w_str buf s =
+  w_i32 buf (String.length s);
+  Buffer.add_string buf s
+
+let klass_code = function
+  | Asn.Tier1 -> 0
+  | Asn.Transit -> 1
+  | Asn.Eyeball -> 2
+  | Asn.Stub -> 3
+  | Asn.Content -> 4
+  | Asn.Cloud -> 5
+
+let kind_code = function
+  | Relation.C2p -> 0
+  | Relation.Peer_private -> 1
+  | Relation.Peer_public -> 2
+
+let w_event buf = function
+  | Event.Link_down l ->
+      w_u8 buf 0;
+      w_i32 buf l
+  | Event.Link_up l ->
+      w_u8 buf 1;
+      w_i32 buf l
+  | Event.Link_flap { link_id; down_minutes } ->
+      w_u8 buf 2;
+      w_i32 buf link_id;
+      w_f64 buf down_minutes
+  | Event.Site_down { asid; metro } ->
+      w_u8 buf 3;
+      w_i32 buf asid;
+      w_i32 buf metro
+  | Event.Site_up { asid; metro } ->
+      w_u8 buf 4;
+      w_i32 buf asid;
+      w_i32 buf metro
+  | Event.Congestion_onset { link_id; extra_ms; duration_min } ->
+      w_u8 buf 5;
+      w_i32 buf link_id;
+      w_f64 buf extra_ms;
+      w_f64 buf duration_min
+  | Event.Congestion_decay { link_id; extra_ms } ->
+      w_u8 buf 6;
+      w_i32 buf link_id;
+      w_f64 buf extra_ms
+  | Event.Withdraw_prefix { origin } ->
+      w_u8 buf 7;
+      w_i32 buf origin
+  | Event.Reannounce_prefix { origin } ->
+      w_u8 buf 8;
+      w_i32 buf origin
+  | Event.Measurement_tick { controller } ->
+      w_u8 buf 9;
+      w_i32 buf controller
+  | Event.Mark s ->
+      w_u8 buf 10;
+      w_str buf s
+
+let w_int_array buf (a : int array) =
+  w_i32 buf (Array.length a);
+  Array.iter (fun v -> w_i64 buf v) a
+
+let to_bytes t =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_i32 buf schema_version;
+  w_str buf t.git_sha;
+  w_i64 buf t.created_gen;
+  w_i64 buf t.seed;
+  w_f64 buf t.now_min;
+  (* Topology: AS records, link records (with ids), packed adjacency.
+     The packed rows make loading a validation pass over immediates
+     instead of an adjacency rebuild. *)
+  let ases = Topology.ases t.base in
+  w_i32 buf (Array.length ases);
+  Array.iter
+    (fun (a : Asn.t) ->
+      w_u8 buf (klass_code a.Asn.klass);
+      w_str buf a.Asn.name;
+      w_i32 buf (Array.length a.Asn.footprint);
+      Array.iter (fun m -> w_i32 buf m) a.Asn.footprint)
+    ases;
+  let links = Topology.links t.base in
+  w_i32 buf (Array.length links);
+  Array.iter
+    (fun (l : Relation.link) ->
+      w_i32 buf l.Relation.id;
+      w_i32 buf l.Relation.a;
+      w_i32 buf l.Relation.b;
+      w_u8 buf (kind_code l.Relation.kind);
+      w_i32 buf l.Relation.metro;
+      w_f64 buf l.Relation.capacity_gbps)
+    links;
+  Array.iteri
+    (fun x _ -> w_int_array buf (Topology.packed_neighbors t.base x))
+    ases;
+  (* Dynamics state. *)
+  w_i32 buf (List.length t.down_links);
+  List.iter (fun l -> w_i32 buf l) t.down_links;
+  (* Deployment metadata. *)
+  w_i32 buf t.asid;
+  w_i32 buf (List.length t.pops);
+  List.iter (fun m -> w_i32 buf m) t.pops;
+  w_i32 buf (Array.length t.prefixes);
+  Array.iter
+    (fun (p : Prefix.t) ->
+      w_i32 buf p.Prefix.id;
+      w_i32 buf p.Prefix.asid;
+      w_i32 buf p.Prefix.city;
+      w_f64 buf p.Prefix.weight)
+    t.prefixes;
+  (* Flat RIBs of the tracked prefixes. *)
+  w_i32 buf (List.length t.ribs);
+  List.iter
+    (fun r ->
+      w_i32 buf r.rib_origin;
+      w_u8 buf (if r.rib_active then 1 else 0);
+      w_int_array buf r.rib_cust;
+      w_int_array buf r.rib_peer;
+      w_int_array buf r.rib_prov)
+    t.ribs;
+  (* Pending timeline and congestion overlays. *)
+  w_i32 buf (List.length t.pending);
+  List.iter
+    (fun (at, ev) ->
+      w_f64 buf at;
+      w_event buf ev)
+    t.pending;
+  w_i32 buf (List.length t.overlays);
+  List.iter
+    (fun (l, ms) ->
+      w_i32 buf l;
+      w_f64 buf ms)
+    t.overlays;
+  Buffer.contents buf
+
+(* ---- reader ----------------------------------------------------------- *)
+
+exception Corrupt of string
+
+type reader = { data : string; mutable pos : int }
+
+let need r n what =
+  if r.pos + n > String.length r.data then
+    raise (Corrupt (Printf.sprintf "truncated while reading %s" what))
+
+let r_u8 r what =
+  need r 1 what;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_i32 r what =
+  need r 4 what;
+  let v = Int32.to_int (String.get_int32_le r.data r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let r_i64 r what =
+  need r 8 what;
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_f64 r what =
+  need r 8 what;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_count r what =
+  let n = r_i32 r what in
+  if n < 0 || n > String.length r.data then
+    raise (Corrupt (Printf.sprintf "implausible %s count %d" what n));
+  n
+
+let r_str r what =
+  let n = r_count r (what ^ " length") in
+  need r n what;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let klass_of_code what = function
+  | 0 -> Asn.Tier1
+  | 1 -> Asn.Transit
+  | 2 -> Asn.Eyeball
+  | 3 -> Asn.Stub
+  | 4 -> Asn.Content
+  | 5 -> Asn.Cloud
+  | c -> raise (Corrupt (Printf.sprintf "%s: unknown AS class code %d" what c))
+
+let kind_of_code what = function
+  | 0 -> Relation.C2p
+  | 1 -> Relation.Peer_private
+  | 2 -> Relation.Peer_public
+  | c -> raise (Corrupt (Printf.sprintf "%s: unknown link kind code %d" what c))
+
+let r_event r =
+  match r_u8 r "event tag" with
+  | 0 -> Event.Link_down (r_i32 r "event link")
+  | 1 -> Event.Link_up (r_i32 r "event link")
+  | 2 ->
+      let link_id = r_i32 r "event link" in
+      let down_minutes = r_f64 r "event down-minutes" in
+      Event.Link_flap { link_id; down_minutes }
+  | 3 ->
+      let asid = r_i32 r "event asid" in
+      let metro = r_i32 r "event metro" in
+      Event.Site_down { asid; metro }
+  | 4 ->
+      let asid = r_i32 r "event asid" in
+      let metro = r_i32 r "event metro" in
+      Event.Site_up { asid; metro }
+  | 5 ->
+      let link_id = r_i32 r "event link" in
+      let extra_ms = r_f64 r "event extra-ms" in
+      let duration_min = r_f64 r "event duration" in
+      Event.Congestion_onset { link_id; extra_ms; duration_min }
+  | 6 ->
+      let link_id = r_i32 r "event link" in
+      let extra_ms = r_f64 r "event extra-ms" in
+      Event.Congestion_decay { link_id; extra_ms }
+  | 7 -> Event.Withdraw_prefix { origin = r_i32 r "event origin" }
+  | 8 -> Event.Reannounce_prefix { origin = r_i32 r "event origin" }
+  | 9 -> Event.Measurement_tick { controller = r_i32 r "event controller" }
+  | 10 -> Event.Mark (r_str r "event mark")
+  | tag -> raise (Corrupt (Printf.sprintf "unknown event tag %d" tag))
+
+let r_int_array r what =
+  let n = r_count r what in
+  Array.init n (fun _ -> r_i64 r what)
+
+let of_bytes data =
+  let r = { data; pos = 0 } in
+  try
+    need r (String.length magic) "magic";
+    let m = String.sub data 0 (String.length magic) in
+    if m <> magic then
+      raise
+        (Corrupt
+           (Printf.sprintf "bad magic %S (not a beatbgp snapshot, expected %S)"
+              m magic));
+    r.pos <- String.length magic;
+    let version = r_i32 r "schema version" in
+    if version <> schema_version then
+      raise
+        (Corrupt
+           (Printf.sprintf
+              "unsupported snapshot schema version %d (this build reads \
+               version %d)"
+              version schema_version));
+    let git_sha = r_str r "git sha" in
+    let created_gen = r_i64 r "generation stamp" in
+    let seed = r_i64 r "seed" in
+    let now_min = r_f64 r "clock" in
+    let n_ases = r_count r "AS" in
+    let ases =
+      Array.init n_ases (fun id ->
+          let klass = klass_of_code "AS record" (r_u8 r "AS class") in
+          let name = r_str r "AS name" in
+          let n_fp = r_count r "footprint" in
+          let footprint = Array.init n_fp (fun _ -> r_i32 r "footprint metro") in
+          { Asn.id; klass; name; footprint })
+    in
+    let n_links = r_count r "link" in
+    let links =
+      Array.init n_links (fun _ ->
+          let id = r_i32 r "link id" in
+          let a = r_i32 r "link endpoint" in
+          let b = r_i32 r "link endpoint" in
+          let kind = kind_of_code "link record" (r_u8 r "link kind") in
+          let metro = r_i32 r "link metro" in
+          let capacity_gbps = r_f64 r "link capacity" in
+          { Relation.id; a; b; kind; metro; capacity_gbps })
+    in
+    let padj = Array.init n_ases (fun _ -> r_int_array r "adjacency row") in
+    let base =
+      try Topology.of_packed ~ases ~links ~padj
+      with Invalid_argument msg -> raise (Corrupt msg)
+    in
+    let n_down = r_count r "down link" in
+    let down_links = List.init n_down (fun _ -> r_i32 r "down link id") in
+    let asid = r_i32 r "provider asid" in
+    let n_pops = r_count r "PoP" in
+    let pops = List.init n_pops (fun _ -> r_i32 r "PoP metro") in
+    let n_prefixes = r_count r "prefix" in
+    let prefixes =
+      Array.init n_prefixes (fun _ ->
+          let id = r_i32 r "prefix id" in
+          let asid = r_i32 r "prefix asid" in
+          let city = r_i32 r "prefix city" in
+          let weight = r_f64 r "prefix weight" in
+          { Prefix.id; asid; city; weight })
+    in
+    let n_ribs = r_count r "RIB" in
+    let ribs =
+      List.init n_ribs (fun _ ->
+          let rib_origin = r_i32 r "RIB origin" in
+          let rib_active = r_u8 r "RIB active flag" <> 0 in
+          let rib_cust = r_int_array r "customer table" in
+          let rib_peer = r_int_array r "peer table" in
+          let rib_prov = r_int_array r "provider table" in
+          { rib_origin; rib_active; rib_cust; rib_peer; rib_prov })
+    in
+    let n_pending = r_count r "pending event" in
+    let pending =
+      List.init n_pending (fun _ ->
+          let at = r_f64 r "event time" in
+          let ev = r_event r in
+          (at, ev))
+    in
+    let n_overlays = r_count r "congestion overlay" in
+    let overlays =
+      List.init n_overlays (fun _ ->
+          let l = r_i32 r "overlay link" in
+          let ms = r_f64 r "overlay ms" in
+          (l, ms))
+    in
+    if r.pos <> String.length data then
+      raise
+        (Corrupt
+           (Printf.sprintf "%d trailing byte(s) after snapshot payload"
+              (String.length data - r.pos)));
+    Ok
+      {
+        git_sha;
+        created_gen;
+        seed;
+        now_min;
+        base;
+        down_links;
+        asid;
+        pops;
+        prefixes;
+        ribs;
+        pending;
+        overlays;
+      }
+  with Corrupt msg -> Error ("snapshot: " ^ msg)
+
+let save t ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_bytes t))
+
+let load ~path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))
+  end

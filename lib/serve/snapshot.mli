@@ -1,0 +1,63 @@
+(** Versioned binary snapshot of a warm serving state.
+
+    A snapshot captures everything the {!Server} needs to resume
+    answering queries without re-propagating: the base topology
+    (packed adjacency included, so loading is a validation pass rather
+    than an adjacency rebuild), the currently-failed links, the flat
+    per-class RIB arrays of every tracked prefix, the client-prefix
+    population, the pending dynamics timeline and the active
+    congestion overlays.  The header carries a magic string, a schema
+    version and the git sha of the build that wrote the file, so
+    snapshot files are attributable and version skew fails loudly.
+
+    The encoding is deterministic: [to_bytes] of a loaded snapshot is
+    byte-identical to the file it came from (the round-trip property
+    [make verify] and the test suite check).  Everything is
+    little-endian; see doc/serving.md for the exact layout. *)
+
+type rib = {
+  rib_origin : int;  (** Origin AS of the tracked (default) announcement. *)
+  rib_active : bool;  (** False while the prefix is withdrawn. *)
+  rib_cust : int array;
+  rib_peer : int array;
+  rib_prov : int array;
+      (** Bit-packed per-class routing tables, indexed by AS id — the
+          arrays {!Netsim_bgp.Propagate.rib_arrays} exposes. *)
+}
+
+type t = {
+  git_sha : string;  (** Build that wrote the snapshot. *)
+  created_gen : int;
+      (** Generation stamp the snapshotted base topology had in the
+          writing process.  Informational: a loaded topology gets a
+          fresh stamp (stamps are process-local identities). *)
+  seed : int;  (** Scenario seed (congestion and churn substreams). *)
+  now_min : float;  (** Engine clock at snapshot time. *)
+  base : Netsim_topo.Topology.t;  (** Base (pre-failure) topology. *)
+  down_links : int list;  (** Currently-failed link ids, ascending. *)
+  asid : int;  (** The serving provider's AS id. *)
+  pops : int list;  (** Provider PoP metros. *)
+  prefixes : Netsim_traffic.Prefix.t array;
+  ribs : rib list;  (** Tracked prefixes, engine insertion order. *)
+  pending : (float * Netsim_dynamics.Event.t) list;
+      (** Unprocessed timeline events, pop order. *)
+  overlays : (int * float) list;
+      (** Active congestion event overlays: (link id, extra ms). *)
+}
+
+val magic : string
+(** 8-byte file magic (["BBGPSNAP"]). *)
+
+val schema_version : int
+
+val to_bytes : t -> string
+
+val of_bytes : string -> (t, string) result
+(** Decode and validate.  Wrong magic, unsupported schema version,
+    truncation and any structural inconsistency (bad link references,
+    table lengths, ...) produce a clear [Error], never an exception. *)
+
+val save : t -> path:string -> unit
+(** @raise Sys_error on an unwritable path. *)
+
+val load : path:string -> (t, string) result

@@ -1,0 +1,17 @@
+let memo = ref None
+
+let resolve () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic ->
+      let sha = try String.trim (input_line ic) with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      if status = Unix.WEXITED 0 && sha <> "" then sha else "unknown"
+
+let git_sha () =
+  match !memo with
+  | Some sha -> sha
+  | None ->
+      let sha = resolve () in
+      memo := Some sha;
+      sha

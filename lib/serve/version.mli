@@ -1,0 +1,5 @@
+(** Build attribution for daemon deployments and snapshot files. *)
+
+val git_sha : unit -> string
+(** Short git sha of the working tree, resolved once per process;
+    ["unknown"] outside a git checkout. *)

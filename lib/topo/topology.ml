@@ -87,6 +87,59 @@ let make ases link_list =
   let adj = build_adjacency n links in
   { gen = next_gen (); ases; links; adj; padj = padj_of_adj adj }
 
+let of_packed ~ases ~links ~padj =
+  let n = Array.length ases in
+  Array.iteri
+    (fun i (a : Asn.t) ->
+      if a.id <> i then invalid_arg "Topology.of_packed: AS ids must be dense";
+      if Array.length a.footprint = 0 then
+        invalid_arg "Topology.of_packed: AS with empty footprint")
+    ases;
+  check_packing_limits n links;
+  if Array.length padj <> n then
+    invalid_arg "Topology.of_packed: adjacency row count <> AS count";
+  let max_id =
+    Array.fold_left
+      (fun m (l : Relation.link) -> Stdlib.max m l.Relation.id)
+      (-1) links
+  in
+  let by_id = Array.make (max_id + 1) None in
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a = l.b then
+        invalid_arg "Topology.of_packed: link endpoint out of range";
+      if by_id.(l.Relation.id) <> None then
+        invalid_arg "Topology.of_packed: duplicate link id";
+      by_id.(l.Relation.id) <- Some l)
+    links;
+  let adj =
+    Array.mapi
+      (fun x row ->
+        List.map
+          (fun pn ->
+            let id = pn_link pn and peer = pn_peer pn and rel = pn_rel pn in
+            let link =
+              if id > max_id then None else by_id.(id)
+            in
+            match link with
+            | None -> invalid_arg "Topology.of_packed: unknown link id"
+            | Some l ->
+                if not ((l.Relation.a = x && l.Relation.b = peer)
+                        || (l.Relation.b = x && l.Relation.a = peer))
+                then
+                  invalid_arg
+                    "Topology.of_packed: packed neighbor disagrees with link \
+                     record";
+                if Relation.rel_of l x <> rel then
+                  invalid_arg
+                    "Topology.of_packed: packed relation disagrees with link \
+                     kind";
+                { peer; rel; link = l })
+          (Array.to_list row))
+      padj
+  in
+  { gen = next_gen (); ases; links; adj; padj = padj_of_adj adj }
+
 let as_count t = Array.length t.ases
 let link_count t = Array.length t.links
 let generation t = t.gen

@@ -52,6 +52,18 @@ val pn_link : int -> int
 
 val pn_rel : int -> Relation.rel
 
+val of_packed :
+  ases:Asn.t array -> links:Relation.link array -> padj:int array array -> t
+(** Reconstruct a topology from its serialized parts: the AS records,
+    the link records ({e with their ids}, which are preserved verbatim
+    — unlike {!make}, which reassigns ids by list position) and the
+    packed adjacency rows as returned by {!packed_neighbors}.  This is
+    the snapshot-load path: a topology saved as
+    [(ases, links, packed rows)] round-trips exactly, including
+    topologies whose link ids are sparse because {!remove_links} ran.
+    Every packed word is validated against the link records.
+    @raise Invalid_argument on any inconsistency. *)
+
 val customers : t -> int -> int list
 val providers : t -> int -> int list
 val peers : t -> int -> int list

@@ -20,5 +20,7 @@ let () =
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);
       ("dynamics", Test_dynamics.suite);
+      ("serve", Test_serve.suite);
+      ("bench-trend", Test_trend.suite);
       ("paper-claims", Test_claims.suite);
     ]

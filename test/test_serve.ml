@@ -1,0 +1,301 @@
+(* The serve subsystem: protocol totality (malformed queries, unknown
+   ids, oversized lines and EOF mid-request become framed protocol
+   errors, never exceptions), snapshot codec round-trips and rejection
+   of corrupt input, and the load-path equivalence property — a
+   snapshot-loaded server answers a request stream byte-identically to
+   the seed-built server it was saved from, churn included. *)
+
+module Protocol = Netsim_serve.Protocol
+module Snapshot = Netsim_serve.Snapshot
+module Server = Netsim_serve.Server
+module Topology = Netsim_topo.Topology
+module Rib_cache = Netsim_bgp.Rib_cache
+module Engine = Netsim_dynamics.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* One shared small server for the query tests (building is the
+   expensive part; queries don't mutate routing unless time advances). *)
+let server =
+  lazy (Server.build { Server.small_config with Server.n_prefixes = 30 })
+
+(* ---- protocol --------------------------------------------------------- *)
+
+let test_parse_ok () =
+  let cases =
+    [
+      ("CATCHMENT 3", Protocol.Catchment "3");
+      ("catchment 3", Protocol.Catchment "3");
+      ("  EGRESS   94  ", Protocol.Egress 94);
+      ("RTT 2 anycast", Protocol.Rtt ("2", "anycast"));
+      ("STATS", Protocol.Stats);
+      ("SNAPSHOT /tmp/x.bin", Protocol.Snapshot_to "/tmp/x.bin");
+      ("PROM", Protocol.Prom);
+      ("ADVANCE 12.5", Protocol.Advance 12.5);
+      ("QUIT", Protocol.Quit);
+      ("QUIT\r", Protocol.Quit);
+    ]
+  in
+  List.iter
+    (fun (line, want) ->
+      match Protocol.parse line with
+      | Ok got -> check line true (got = want)
+      | Error e -> Alcotest.failf "%s: unexpected parse error %s" line e)
+    cases
+
+let test_parse_errors () =
+  let cases =
+    [
+      "";
+      "   ";
+      "BOGUS";
+      "CATCHMENT";
+      "CATCHMENT 1 2";
+      "EGRESS notanumber";
+      "RTT 1";
+      "RTT";
+      "ADVANCE nan";
+      "ADVANCE -5";
+      "ADVANCE";
+      "STATS now";
+      "QUIT please";
+      String.make (Protocol.max_line + 1) 'A';
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S: expected a parse error" line)
+    cases
+
+let test_frame () =
+  check_str "ok frame" "OK 5\nhello\n" (Protocol.frame ~ok:true "hello");
+  check_str "err frame" "ERR 3\nbad\n" (Protocol.frame ~ok:false "bad");
+  check_str "empty body" "OK 0\n\n" (Protocol.frame ~ok:true "")
+
+(* ---- query totality --------------------------------------------------- *)
+
+let framed_err s = String.length s > 4 && String.sub s 0 4 = "ERR "
+let framed_ok s = String.length s > 3 && String.sub s 0 3 = "OK "
+
+let test_unknown_ids () =
+  let t = Lazy.force server in
+  let errs =
+    [
+      "CATCHMENT 99999";
+      "CATCHMENT -1";
+      "CATCHMENT notanumber";
+      "EGRESS 100000";
+      "RTT 99999 anycast";
+      "RTT 0 notanumber";
+      "SNAPSHOT /nonexistent-dir/deep/x.bin";
+    ]
+  in
+  List.iter
+    (fun line ->
+      let resp, cont = Server.handle_line t line in
+      check (line ^ " keeps serving") true cont;
+      check (line ^ " is a framed error") true (framed_err resp))
+    errs;
+  (* And the server still answers real queries afterwards. *)
+  let resp, cont = Server.handle_line t "CATCHMENT 0" in
+  check "still alive" true (cont && framed_ok resp)
+
+let test_untracked_origin () =
+  let t = Lazy.force server in
+  (* AS 0 is a Tier-1 in every generated Internet: a valid AS id, but
+     never a tracked origin — must be a clean error, not a crash. *)
+  let resp, _ = Server.handle_line t "RTT 0 0" in
+  check "untracked origin is a framed error" true (framed_err resp)
+
+let test_never_raises () =
+  let t = Lazy.force server in
+  let junk =
+    [
+      "\000\001\002";
+      "CATCHMENT \xff\xfe";
+      String.make Protocol.max_line 'Z';
+      "EGRESS 9223372036854775807";
+      "ADVANCE 1e308";
+      "RTT -1 -1";
+    ]
+  in
+  List.iter
+    (fun line ->
+      let resp, cont = Server.handle_line t line in
+      check "framed" true (framed_ok resp || framed_err resp);
+      check "keeps serving" true cont)
+    junk
+
+let test_eof_mid_request () =
+  (* A client that dies mid-line: the partial line arrives without a
+     newline, must be answered as a protocol error, and the loop must
+     end cleanly on EOF. *)
+  let t = Lazy.force server in
+  let in_path = Filename.temp_file "serve_in" ".txt" in
+  let out_path = Filename.temp_file "serve_out" ".txt" in
+  let oc = open_out in_path in
+  output_string oc "STATS\nCATCH";
+  close_out oc;
+  let ic = open_in in_path and oc = open_out out_path in
+  Server.serve_channels t ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let out = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  check "first response ok" true (framed_ok out);
+  let has_err =
+    let re = "\nERR " in
+    let n = String.length out and m = String.length re in
+    let rec scan i = i + m <= n && (String.sub out i m = re || scan (i + 1)) in
+    scan 0
+  in
+  check "partial line answered as protocol error" true has_err;
+  check "response stream newline-terminated" true
+    (String.length out > 0 && out.[String.length out - 1] = '\n')
+
+(* ---- snapshot codec --------------------------------------------------- *)
+
+let small_snapshot =
+  lazy
+    (let cfg = { Server.small_config with Server.n_prefixes = 30; churn = true } in
+     Server.snapshot (Server.build cfg))
+
+let test_roundtrip_bytes () =
+  let snap = Lazy.force small_snapshot in
+  let bytes = Snapshot.to_bytes snap in
+  match Snapshot.of_bytes bytes with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok snap2 ->
+      check_str "re-encode is byte-identical" bytes (Snapshot.to_bytes snap2);
+      check_int "as count survives"
+        (Topology.as_count snap.Snapshot.base)
+        (Topology.as_count snap2.Snapshot.base);
+      check_int "link count survives"
+        (Topology.link_count snap.Snapshot.base)
+        (Topology.link_count snap2.Snapshot.base);
+      check "pending timeline survives" true
+        (snap.Snapshot.pending = snap2.Snapshot.pending);
+      check "prefixes survive" true
+        (snap.Snapshot.prefixes = snap2.Snapshot.prefixes)
+
+let test_roundtrip_file () =
+  let snap = Lazy.force small_snapshot in
+  let path = Filename.temp_file "snap" ".bin" in
+  Snapshot.save snap ~path;
+  (match Snapshot.load ~path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok snap2 ->
+      check_str "file round-trip byte-identical" (Snapshot.to_bytes snap)
+        (Snapshot.to_bytes snap2));
+  Sys.remove path;
+  match Snapshot.load ~path with
+  | Error e -> check "missing file is a clear error" true (e <> "")
+  | Ok _ -> Alcotest.fail "loading a deleted file succeeded"
+
+let expect_error what = function
+  | Error msg -> check (what ^ " mentions snapshot") true (msg <> "")
+  | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
+
+let contains ~needle hay =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
+let test_rejects_corrupt () =
+  let bytes = Snapshot.to_bytes (Lazy.force small_snapshot) in
+  (* Wrong magic. *)
+  (match
+     Snapshot.of_bytes ("XXXXXXXX" ^ String.sub bytes 8 (String.length bytes - 8))
+   with
+  | Error msg -> check "magic named in error" true (contains ~needle:"magic" msg)
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  (* Unsupported schema version. *)
+  let v99 = Bytes.of_string bytes in
+  Bytes.set_int32_le v99 8 99l;
+  (match Snapshot.of_bytes (Bytes.to_string v99) with
+  | Error msg ->
+      check "version named in error" true (contains ~needle:"version" msg)
+  | Ok _ -> Alcotest.fail "future schema version accepted");
+  (* Trailing garbage. *)
+  (match Snapshot.of_bytes (bytes ^ "zz") with
+  | Error msg ->
+      check "trailing bytes named in error" true
+        (contains ~needle:"trailing" msg)
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (* Truncation anywhere must be an Error, never an exception. *)
+  let n = String.length bytes in
+  let cuts = List.init 16 (fun i -> i) @ List.init (n / 512) (fun i -> i * 512) in
+  List.iter
+    (fun cut ->
+      if cut < n then
+        expect_error
+          (Printf.sprintf "truncated at %d" cut)
+          (Snapshot.of_bytes (String.sub bytes 0 cut)))
+    cuts
+
+(* ---- load-path equivalence ------------------------------------------- *)
+
+(* Each server runs its queries against a private RIB-cache shard so
+   the two in-process servers cannot warm each other's cache — STATS
+   reports per-shard hit/miss counters and must match too. *)
+let drive server queries =
+  Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+      List.map (fun q -> fst (Server.handle_line server q)) queries)
+
+let equivalence_queries pop =
+  [
+    "STATS";
+    "CATCHMENT 0";
+    "CATCHMENT 11";
+    Printf.sprintf "EGRESS %d" pop;
+    "RTT 2 anycast";
+    "ADVANCE 360";
+    "CATCHMENT 11";
+    Printf.sprintf "EGRESS %d" pop;
+    "RTT 2 anycast";
+    "STATS";
+  ]
+
+let prop_loaded_equals_fresh =
+  QCheck.Test.make ~name:"snapshot-loaded server answers like seed-built"
+    ~count:4 (QCheck.int_range 0 200) (fun seed ->
+      let cfg =
+        {
+          Server.small_config with
+          Server.seed;
+          n_prefixes = 24;
+          track = 2;
+          churn = true;
+        }
+      in
+      let fresh = Server.build cfg in
+      let snap = Server.snapshot fresh in
+      match Server.of_snapshot cfg snap with
+      | Error e -> QCheck.Test.fail_reportf "of_snapshot: %s" e
+      | Ok loaded ->
+          let queries = equivalence_queries (List.hd (Server.pops fresh)) in
+          drive fresh queries = drive loaded queries)
+
+let suite =
+  [
+    Alcotest.test_case "protocol: accepted forms" `Quick test_parse_ok;
+    Alcotest.test_case "protocol: malformed input" `Quick test_parse_errors;
+    Alcotest.test_case "protocol: response framing" `Quick test_frame;
+    Alcotest.test_case "queries: unknown ids are clean errors" `Quick
+      test_unknown_ids;
+    Alcotest.test_case "queries: untracked origin" `Quick test_untracked_origin;
+    Alcotest.test_case "queries: junk never raises" `Quick test_never_raises;
+    Alcotest.test_case "loop: EOF mid-request" `Quick test_eof_mid_request;
+    Alcotest.test_case "snapshot: byte round-trip" `Quick test_roundtrip_bytes;
+    Alcotest.test_case "snapshot: file round-trip" `Quick test_roundtrip_file;
+    Alcotest.test_case "snapshot: rejects corrupt input" `Quick
+      test_rejects_corrupt;
+    QCheck_alcotest.to_alcotest prop_loaded_equals_fresh;
+  ]

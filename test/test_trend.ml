@@ -1,0 +1,60 @@
+(* Bench-history robustness: a truncated or corrupt JSONL line (a run
+   killed mid-append, a manual edit) is skipped with a warning instead
+   of poisoning the gate, and the surviving records still feed the
+   median. *)
+
+module Trend = Bench_support.Trend
+
+let check = Alcotest.(check bool)
+
+let with_history f =
+  let history = Filename.temp_file "trend" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove history) (fun () -> f history)
+
+let append_raw history s =
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 history in
+  output_string oc s;
+  close_out oc
+
+let test_truncated_last_line () =
+  with_history @@ fun history ->
+  Trend.append ~history ~bench:"t" [ Trend.metric "m" 1.0 ];
+  Trend.append ~history ~bench:"t" [ Trend.metric "m" 2.0 ];
+  (* A run killed mid-append leaves a partial JSON object with no
+     closing braces and no newline. *)
+  append_raw history "{\"schema_version\":1,\"bench\":\"t\",\"metrics\":{\"m\":3";
+  Alcotest.(check (list (float 1e-9)))
+    "corrupt tail skipped, valid records kept" [ 1.0; 2.0 ]
+    (Trend.metric_values ~history ~bench:"t" "m")
+
+let test_corrupt_middle_line () =
+  with_history @@ fun history ->
+  Trend.append ~history ~bench:"t" [ Trend.metric "m" 1.0 ];
+  append_raw history "not json at all\n";
+  append_raw history "{\"bench\":\"t\" 12 oops}\n";
+  Trend.append ~history ~bench:"t" [ Trend.metric "m" 2.0 ];
+  Alcotest.(check int)
+    "both valid records survive" 2
+    (List.length (Trend.records ~history ~bench:"t"))
+
+let test_gate_survives_corruption () =
+  with_history @@ fun history ->
+  List.iter
+    (fun v -> Trend.append ~history ~bench:"t" [ Trend.metric "m" v ])
+    [ 10.0; 10.0; 10.0 ];
+  append_raw history "{\"truncated";
+  (* Within tolerance of the median of the surviving records. *)
+  check "gate passes on clean value" true
+    (Trend.gate ~history ~bench:"t" ~label:"test" [ Trend.metric "m" 10.5 ]);
+  check "gate still fails a real regression" false
+    (Trend.gate ~history ~bench:"t" ~label:"test" [ Trend.metric "m" 20.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "truncated last line is skipped" `Quick
+      test_truncated_last_line;
+    Alcotest.test_case "corrupt middle lines are skipped" `Quick
+      test_corrupt_middle_line;
+    Alcotest.test_case "gate works over a corrupted history" `Quick
+      test_gate_survives_corruption;
+  ]
