@@ -69,7 +69,17 @@ verify: build test
 	cmp /tmp/beatbgp_serve_a.snap /tmp/beatbgp_serve_b.snap
 	dune exec bin/beatbgp_cli.exe -- serve --small --churn --snapshot /tmp/beatbgp_serve_a.snap < test/golden/serve_smoke_queries.txt > /tmp/beatbgp_serve_loaded.out
 	diff -u /tmp/beatbgp_serve_smoke.out /tmp/beatbgp_serve_loaded.out
+	# Provenance smoke: `beatbgp explain` prints the golden decision
+	# chain, the JSONL dump is schema-tagged, and an EXPLAIN bumps the
+	# provenance counters visible in a wire-protocol PROM scrape.
+	dune exec bin/beatbgp_cli.exe -- explain --small --prefix anycast --as 39 --provenance-out /tmp/beatbgp_prov.jsonl > /tmp/beatbgp_explain.out
+	diff -u test/golden/explain_small.txt /tmp/beatbgp_explain.out
+	head -1 /tmp/beatbgp_prov.jsonl | grep -q '"schema":"beatbgp.provenance/1"'
+	printf 'EXPLAIN anycast 39\nPROM\nQUIT\n' | dune exec bin/beatbgp_cli.exe -- serve --small > /tmp/beatbgp_serve_explain_prom.out
+	grep -q '# TYPE netsim_provenance_decisions_peer_total counter' /tmp/beatbgp_serve_explain_prom.out
+	grep -q 'netsim_provenance_tiebreak_stable_id_total' /tmp/beatbgp_serve_explain_prom.out
 	dune exec bin/beatbgp_cli.exe -- --version | grep -q 'snapshot BBGPSNAP/1'
+	dune exec bin/beatbgp_cli.exe -- --version | grep -q 'beatbgp.provenance/1'
 	@echo "verify: OK"
 
 clean:

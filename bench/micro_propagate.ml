@@ -63,13 +63,31 @@ let () =
     List.hd (Topology.by_klass topo Netsim_topo.Asn.Eyeball)
   in
   let config = Announce.default ~origin:dest in
-  (* The two cores must agree before their timings mean anything. *)
+  (* The two cores must agree before their timings mean anything, and
+     the provenance-instrumented run must select identical routes. *)
   if not (Propagate.equal (Propagate.run topo config) (Propagate.run_reference topo config))
   then begin
     print_string "FAIL: optimized and reference propagation disagree\n";
     exit 1
   end;
-  let opt_ns = time_ns (fun () -> ignore (Propagate.run topo config)) iters in
+  if
+    not
+      (Propagate.equal
+         (Propagate.run ~provenance:true topo config)
+         (Propagate.run ~provenance:false topo config))
+  then begin
+    print_string "FAIL: provenance-instrumented propagation changes routes\n";
+    exit 1
+  end;
+  (* optimized_ns runs with provenance off (the default), so the
+     existing --gate-overhead bound doubles as the "provenance is free
+     when disabled" check. *)
+  let opt_ns =
+    time_ns (fun () -> ignore (Propagate.run ~provenance:false topo config)) iters
+  in
+  let prov_ns =
+    time_ns (fun () -> ignore (Propagate.run ~provenance:true topo config)) iters
+  in
   let ref_ns =
     time_ns (fun () -> ignore (Propagate.run_reference topo config)) iters
   in
@@ -101,14 +119,18 @@ let () =
   Printf.printf
     "propagate: %d iters  optimized %.0f ns/run  reference %.0f ns/run  \
      speedup %.2fx\n\
+     provenance: %.0f ns/run instrumented (%+.1f%% over disabled)\n\
      rib-cache: figure-shaped workload  hit rate %.2f  %.0f ns/lookup\n"
-    iters opt_ns ref_ns speedup hit_rate cached_ns;
+    iters opt_ns ref_ns speedup prov_ns
+    (100. *. ((prov_ns /. opt_ns) -. 1.))
+    hit_rate cached_ns;
   Bench_support.Bench_out.write ~out ~bench:"core"
     [
       ("iters", Jsonx.Int iters);
       ("as_count", Jsonx.Int (Topology.as_count topo));
       ("link_count", Jsonx.Int (Topology.link_count topo));
       ("optimized_ns", Jsonx.Float opt_ns);
+      ("provenance_ns", Jsonx.Float prov_ns);
       ("reference_ns", Jsonx.Float ref_ns);
       ("speedup", Jsonx.Float speedup);
       ("cache_hit_rate", Jsonx.Float hit_rate);
@@ -118,6 +140,7 @@ let () =
     Bench_support.Trend.
       [
         metric "optimized_ns" opt_ns;
+        metric "provenance_ns" prov_ns;
         metric "cache_ns_per_lookup" cached_ns;
         metric ~lower_better:false "cache_hit_rate" hit_rate;
       ]

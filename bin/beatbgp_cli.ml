@@ -515,8 +515,8 @@ let serve_cmd =
     [
       `S Manpage.s_description;
       `P
-        "Answers CATCHMENT, EGRESS, RTT, STATS, SNAPSHOT, PROM, ADVANCE and \
-         QUIT queries over a length-delimited line protocol (see \
+        "Answers CATCHMENT, EGRESS, RTT, EXPLAIN, STATS, SNAPSHOT, PROM, \
+         ADVANCE and QUIT queries over a length-delimited line protocol (see \
          doc/serving.md) from continuously-converged BGP routing state.  \
          State comes from the seed or from a binary snapshot; with \
          $(b,--churn), a dynamics timeline is applied incrementally between \
@@ -529,6 +529,100 @@ let serve_cmd =
       const run_serve $ small_t $ seed_t $ prefixes_t $ pops_t $ track_t
       $ snapshot_t $ save_snapshot_t $ listen_t $ churn_t $ churn_days_t
       $ batch_t $ batch_min_t $ event_log_t)
+
+(* ---- route provenance ---- *)
+
+let run_explain small seed prefixes pops track prefix asid provenance_out =
+  let module Server = Netsim_serve.Server in
+  let base = if small then Server.small_config else Server.default_config in
+  let pick v default = match v with Some v -> v | None -> default in
+  let cfg =
+    {
+      base with
+      Server.seed = pick seed base.Server.seed;
+      n_prefixes = pick prefixes base.Server.n_prefixes;
+      pop_count = pick pops base.Server.pop_count;
+      track = pick track base.Server.track;
+    }
+  in
+  let die msg =
+    Printf.eprintf "beatbgp explain: %s\n" msg;
+    exit 1
+  in
+  (* Same scenario construction and the same answering function as the
+     serve daemon, so the CLI prints exactly the EXPLAIN body a daemon
+     would frame for the same arguments. *)
+  let server = Server.build cfg in
+  (match Server.explain server prefix asid with
+  | Ok body -> print_endline body
+  | Error e -> die e);
+  match provenance_out with
+  | None -> ()
+  | Some path -> (
+      let origin =
+        if String.lowercase_ascii prefix = "anycast" then Server.provider server
+        else
+          match int_of_string_opt prefix with
+          | Some id when id >= 0 && id < Array.length (Server.prefixes server) ->
+              (Server.prefixes server).(id).Netsim_traffic.Prefix.asid
+          | _ -> die ("not a prefix: " ^ prefix)
+      in
+      try
+        Netsim_obs.Report.write_text path
+          (Server.provenance_jsonl server ~origin)
+      with Failure msg | Sys_error msg ->
+        die ("cannot write provenance file: " ^ msg))
+
+let explain_cmd =
+  let opt_int names doc = Arg.(value & opt (some int) None & info names ~doc) in
+  let seed_t = opt_int [ "seed" ] "Scenario seed (default: 42, or 7 with $(b,--small))." in
+  let prefixes_t = opt_int [ "prefixes" ] "Number of client prefixes." in
+  let pops_t = opt_int [ "pops" ] "Number of provider PoP metros." in
+  let track_t =
+    opt_int [ "track" ] "Client-AS prefixes kept warm (matches serve)."
+  in
+  let prefix_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "prefix" ] ~docv:"PREFIX"
+          ~doc:"Destination: $(b,anycast) for the provider's prefix, or a \
+                client prefix id.")
+  in
+  let as_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "as" ] ~docv:"AS"
+          ~doc:"The AS whose routing decision to explain.")
+  in
+  let provenance_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "provenance-out" ] ~docv:"FILE"
+          ~doc:"Also dump the full provenance table toward the destination \
+                as schema-tagged JSONL ($(b,beatbgp.provenance/1)) to \
+                $(docv).")
+  in
+  let doc = "Explain why an AS selected its route" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Prints the decision chain behind an AS's selected route toward a \
+         destination prefix: the Gao-Rexford phase that admitted it, the \
+         candidate set considered, the tie-break rule that discriminated, \
+         the rejected runner-up, and the latency-optimal counterfactual \
+         with its delta.  Output is byte-identical to the serve protocol's \
+         EXPLAIN verb on the same scenario (see doc/observability.md).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc ~man)
+    Term.(
+      const run_explain $ small_t $ seed_t $ prefixes_t $ pops_t $ track_t
+      $ prefix_t $ as_t $ provenance_out_t)
 
 let cmd name doc f =
   Cmd.v
@@ -543,10 +637,11 @@ let cmd name doc f =
    snapshots, event logs and bench JSON alike. *)
 let version_string =
   Printf.sprintf
-    "%s (events %s, snapshot %s/%d, bench schema %d)"
+    "%s (events %s, snapshot %s/%d, provenance %s, bench schema %d)"
     (Netsim_serve.Version.git_sha ())
     Netsim_obs.Recorder.schema Netsim_serve.Snapshot.magic
-    Netsim_serve.Snapshot.schema_version Bench_support.Bench_out.schema_version
+    Netsim_serve.Snapshot.schema_version Netsim_obs.Provenance.schema
+    Bench_support.Bench_out.schema_version
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in
@@ -576,6 +671,7 @@ let main =
       cmd "compare" "Unified scheme comparison: BGP vs oracles vs redirection" run_compare;
       cmd "all" "Run every figure and analysis" run_all;
       serve_cmd;
+      explain_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -33,6 +33,26 @@ let compare_routes policy a b =
     end
   end
 
+(* Which step of the decision order separates two routes — the
+   explain layer's "what would the chosen route have needed to beat
+   the alternative" answer. *)
+type discriminator = By_rank | By_path_len | By_next_hop | By_link_id | Tied
+
+let discriminator policy a b =
+  if policy.rank a <> policy.rank b then By_rank
+  else if a.Route.path_len <> b.Route.path_len then By_path_len
+  else if a.Route.next_hop <> b.Route.next_hop then By_next_hop
+  else if a.Route.via_link.Relation.id <> b.Route.via_link.Relation.id then
+    By_link_id
+  else Tied
+
+let discriminator_to_string = function
+  | By_rank -> "relationship-class"
+  | By_path_len -> "path-length"
+  | By_next_hop -> "next-hop"
+  | By_link_id -> "link-id"
+  | Tied -> "tied"
+
 let sort policy routes = List.sort (compare_routes policy) routes
 
 let best policy routes =

@@ -24,6 +24,17 @@ val compare_routes : policy -> Route.t -> Route.t -> int
 (** Full decision order: policy rank, then effective path length, then
     lowest next-hop AS id, then lowest session (link) id. *)
 
+(** The first step of the decision order on which two routes differ —
+    what the provenance/explain layer reports as separating the chosen
+    route from a counterfactual. *)
+type discriminator = By_rank | By_path_len | By_next_hop | By_link_id | Tied
+
+val discriminator : policy -> Route.t -> Route.t -> discriminator
+
+val discriminator_to_string : discriminator -> string
+(** Stable wire names: ["relationship-class"], ["path-length"],
+    ["next-hop"], ["link-id"], ["tied"]. *)
+
 val sort : policy -> Route.t list -> Route.t list
 (** Most preferred first. *)
 

@@ -1,5 +1,6 @@
 module Topology = Netsim_topo.Topology
 module Relation = Netsim_topo.Relation
+module Provenance = Netsim_obs.Provenance
 
 type entry = {
   len : int;
@@ -44,6 +45,9 @@ type state = {
   cust : int array;
   peer : int array;
   prov : int array;
+  pv : Provenance.arena option;
+      (** Decision evidence per (class, AS), present when the state was
+          computed with provenance on. *)
 }
 
 let topology s = s.topo
@@ -249,13 +253,60 @@ let record_run_stats ~tracing n (cust : int array) peer prov =
     Netsim_obs.Metrics.add c_visited !visited
   end
 
-let run topo config =
+(* Which tie-break rule discriminated the winner of class [cls] at AS
+   [x] from the overall runner-up.  A same-class runner-up loses on
+   path length or the stable (parent, link) pair; otherwise the best
+   entry of the next non-empty class lost on relationship class alone;
+   otherwise the winner was the only candidate anywhere. *)
+let pv_rule pva ~cust:(_ : int array) ~peer ~prov ~cls ~winner x =
+  let same = Provenance.runner_up pva ~cls x in
+  if same >= 0 then
+    if e_len same <> e_len winner then Provenance.Path_length
+    else Provenance.Stable_id
+  else if cls = 0 && peer.(x) >= 0 then Provenance.Phase
+  else if cls <= 1 && prov.(x) >= 0 then Provenance.Phase
+  else Provenance.Only_candidate
+
+(* Per-run counter tally: decisions by winning phase and a histogram
+   of discriminating rules.  Only from full runs (reconverge rebuilds
+   its arena through [run]). *)
+let record_provenance_stats ~tracing n ~origin pva cust peer prov =
+  if tracing then
+    for x = 0 to n - 1 do
+      if x <> origin then begin
+        let cls =
+          if cust.(x) >= 0 then 0
+          else if peer.(x) >= 0 then 1
+          else if prov.(x) >= 0 then 2
+          else -1
+        in
+        if cls >= 0 then begin
+          let winner =
+            match cls with 0 -> cust.(x) | 1 -> peer.(x) | _ -> prov.(x)
+          in
+          Provenance.bump_decision cls;
+          Provenance.bump_rule (pv_rule pva ~cust ~peer ~prov ~cls ~winner x)
+        end
+      end
+    done
+
+(* Shared placeholder for provenance-off runs: never written, so the
+   hot loops can hold an unconditional arena local and guard each
+   record with the [pv_on] immutable bool (load + branch, the flight
+   recorder's disabled-cost discipline). *)
+let no_arena = Provenance.create 0
+
+let run ?provenance topo config =
   Netsim_obs.Span.with_ ~name:"bgp.propagate" @@ fun () ->
   (* One flag read per run: record sites below are guarded by this
      immutable local so the disabled-mode cost in the hot loops is a
      single well-predicted branch. *)
   let tracing = Netsim_obs.Metrics.enabled () in
+  let pv_on =
+    match provenance with Some b -> b | None -> Provenance.enabled ()
+  in
   let n = Topology.as_count topo in
+  let pva = if pv_on then Provenance.create n else no_arena in
   let origin = config.Announce.origin in
   let cust = Array.make n (-1) in
   let peer = Array.make n (-1) in
@@ -267,37 +318,57 @@ let run topo config =
     dial_push q ~len (q_pack ~parent:origin ~link:link.Relation.id ~target ~ne)
   in
   List.iter push_seed (seeds topo config ~klass:Route.Customer);
+  (* Provenance in the drains: the queue is monotone, so the first pop
+     for a target is the winning candidate and every later pop a loser
+     — count each arrival, offer losers as runner-ups. *)
   dial_drain q (fun ~len v ->
       let target = q_target v in
-      if target <> origin && cust.(target) < 0 then begin
-        cust.(target) <-
-          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
-        (* target exports its best customer route to its providers —
-           unless the announcement was scoped with NO_EXPORT. *)
-        if not (q_ne v) then begin
-          let pns = Topology.packed_neighbors topo target in
-          for i = 0 to Array.length pns - 1 do
-            let pn = pns.(i) in
-            match Topology.pn_rel pn with
-            | Relation.To_provider ->
-                let up = Topology.pn_peer pn in
-                if up <> origin then begin
-                  if tracing then Netsim_obs.Metrics.incr c_exported;
-                  dial_push q ~len:(len + 1)
-                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
-                       ~target:up ~ne:false)
-                end
-            | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer ->
-                ()
-          done
+      if target <> origin then
+        if cust.(target) < 0 then begin
+          if pv_on then Provenance.count pva ~cls:0 target;
+          cust.(target) <-
+            e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+          (* target exports its best customer route to its providers —
+             unless the announcement was scoped with NO_EXPORT. *)
+          if not (q_ne v) then begin
+            let pns = Topology.packed_neighbors topo target in
+            for i = 0 to Array.length pns - 1 do
+              let pn = pns.(i) in
+              match Topology.pn_rel pn with
+              | Relation.To_provider ->
+                  let up = Topology.pn_peer pn in
+                  if up <> origin then begin
+                    if tracing then Netsim_obs.Metrics.incr c_exported;
+                    dial_push q ~len:(len + 1)
+                      (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                         ~target:up ~ne:false)
+                  end
+              | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer
+                ->
+                  ()
+            done
+          end
         end
-      end);
-  (* ---- Phase 2: peer-learned routes (single lateral step). ---- *)
+        else if pv_on then begin
+          Provenance.count pva ~cls:0 target;
+          Provenance.offer pva ~cls:0 target
+            (e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v))
+        end);
+  (* ---- Phase 2: peer-learned routes (single lateral step). ----
+     Provenance here is the classic two-minima update: when a new best
+     displaces the current entry, the displaced entry is offered as
+     runner-up (it beat every earlier loser); otherwise the candidate
+     itself lost.  Order-independent either way. *)
   List.iter
     (fun (target, len, (_ : int), (link : Relation.link), ne) ->
       if target <> origin then begin
         let cand = e_pack ~len ~parent:origin ~link:link.Relation.id ~ne in
         let cur = peer.(target) in
+        if pv_on then begin
+          Provenance.count pva ~cls:1 target;
+          if cur >= 0 then
+            Provenance.offer pva ~cls:1 target (if cand < cur then cur else cand)
+        end;
         if cur < 0 || cand < cur then peer.(target) <- cand
       end)
     (seeds topo config ~klass:Route.Peer);
@@ -316,6 +387,12 @@ let run topo config =
                 e_pack ~len:len1 ~parent:x ~link:(Topology.pn_link pn) ~ne:false
               in
               let cur = peer.(lateral) in
+              if pv_on then begin
+                Provenance.count pva ~cls:1 lateral;
+                if cur >= 0 then
+                  Provenance.offer pva ~cls:1 lateral
+                    (if cand < cur then cur else cand)
+              end;
               if cur < 0 || cand < cur then peer.(lateral) <- cand
             end
         | Relation.To_customer | Relation.To_provider -> ()
@@ -353,31 +430,41 @@ let run topo config =
   done;
   dial_drain q (fun ~len v ->
       let target = q_target v in
-      if target <> origin && prov.(target) < 0 then begin
-        prov.(target) <-
-          e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
-        (* If the provider route is the target's selected best, it now
-           exports that route to its customers. *)
-        if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
-          let pns = Topology.packed_neighbors topo target in
-          for i = 0 to Array.length pns - 1 do
-            let pn = pns.(i) in
-            match Topology.pn_rel pn with
-            | Relation.To_customer ->
-                let down = Topology.pn_peer pn in
-                if down <> origin then begin
-                  if tracing then Netsim_obs.Metrics.incr c_exported;
-                  dial_push q ~len:(len + 1)
-                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
-                       ~target:down ~ne:false)
-                end
-            | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer ->
-                ()
-          done
+      if target <> origin then
+        if prov.(target) < 0 then begin
+          if pv_on then Provenance.count pva ~cls:2 target;
+          prov.(target) <-
+            e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
+          (* If the provider route is the target's selected best, it now
+             exports that route to its customers. *)
+          if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
+            let pns = Topology.packed_neighbors topo target in
+            for i = 0 to Array.length pns - 1 do
+              let pn = pns.(i) in
+              match Topology.pn_rel pn with
+              | Relation.To_customer ->
+                  let down = Topology.pn_peer pn in
+                  if down <> origin then begin
+                    if tracing then Netsim_obs.Metrics.incr c_exported;
+                    dial_push q ~len:(len + 1)
+                      (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                         ~target:down ~ne:false)
+                  end
+              | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer
+                ->
+                  ()
+            done
+          end
         end
-      end);
+        else if pv_on then begin
+          Provenance.count pva ~cls:2 target;
+          Provenance.offer pva ~cls:2 target
+            (e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v))
+        end);
   record_run_stats ~tracing n cust peer prov;
-  { topo; config; link_by_id = link_index topo; cust; peer; prov }
+  if pv_on then record_provenance_stats ~tracing n ~origin pva cust peer prov;
+  { topo; config; link_by_id = link_index topo; cust; peer; prov;
+    pv = (if pv_on then Some pva else None) }
 
 (* ---- reference implementation ---------------------------------------- *)
 
@@ -510,7 +597,9 @@ let run_reference topo config =
   and peer = Array.map pack_opt peer
   and prov = Array.map pack_opt prov in
   record_run_stats ~tracing n cust peer prov;
-  { topo; config; link_by_id = link_index topo; cust; peer; prov }
+  (* The reference stays provenance-free: it is the entry oracle, and
+     the provenance property tests compare optimized runs instead. *)
+  { topo; config; link_by_id = link_index topo; cust; peer; prov; pv = None }
 
 let equal a b =
   a.config.Announce.origin = b.config.Announce.origin
@@ -553,6 +642,8 @@ let of_rib_arrays ~topo ~config ~cust ~peer ~prov =
   check_table "customer" cust;
   check_table "peer" peer;
   check_table "provider" prov;
+  (* Snapshots persist only the routing tables; provenance is rebuilt
+     deterministically on demand (see Rib_cache.run ~provenance). *)
   {
     topo;
     config;
@@ -560,6 +651,7 @@ let of_rib_arrays ~topo ~config ~cust ~peer ~prov =
     cust = Array.copy cust;
     peer = Array.copy peer;
     prov = Array.copy prov;
+    pv = None;
   }
 
 (* ---- Incremental reconvergence ------------------------------------ *)
@@ -599,8 +691,18 @@ let c_reconverge_dirty = Netsim_obs.Metrics.counter "bgp.reconverge_dirty_ases"
      selection between route classes, which changes the length of the
      route [p] exports downhill in either direction — so every
      customer neighbor of a dirty AS joins the provider-class dirty
-     set. *)
-let reconverge s ~topo delta =
+     set.
+
+   Provenance: the dirty closure bounds where {e entries} change, not
+   where candidate {e arrival sets} change (removing a link deletes an
+   arrival at an AS whose selected route never used it, leaving the AS
+   clean but its candidate count stale), so the arena cannot be
+   patched per dirty slot.  When provenance is requested — explicitly,
+   because the input state carries it, or via the global flag — the
+   incremental entries are kept and the arena is rebuilt by one full
+   instrumented sweep.  With provenance off (the default) the
+   incremental path is unchanged. *)
+let reconverge ?provenance s ~topo delta =
   Netsim_obs.Span.with_ ~name:"bgp.reconverge" @@ fun () ->
   let t0 =
     if Netsim_obs.Recorder.(enabled () && timing ()) then Unix.gettimeofday ()
@@ -882,7 +984,13 @@ let reconverge s ~topo delta =
     in
     record ~kind:"bgp.reconverge" fields
   end;
-  ({ topo; config; link_by_id = link_index topo; cust; peer; prov }, stats)
+  let pv_on =
+    match provenance with
+    | Some b -> b
+    | None -> s.pv <> None || Provenance.enabled ()
+  in
+  let pv = if pv_on then (run ~provenance:true topo config).pv else None in
+  ({ topo; config; link_by_id = link_index topo; cust; peer; prov; pv }, stats)
 
 let selected_entry s x =
   if x = origin s then None
@@ -998,3 +1106,91 @@ let received_at_metro s x ~metro =
   List.filter
     (fun (r : Route.t) -> r.via_link.Relation.metro = metro)
     (received s x)
+
+(* ---- decision provenance --------------------------------------------- *)
+
+let has_provenance s = s.pv <> None
+
+let provenance_equal a b =
+  match (a.pv, b.pv) with
+  | None, None -> true
+  | Some pa, Some pb -> Provenance.equal pa pb
+  | Some _, None | None, Some _ -> false
+
+type runner = {
+  r_klass : Route.klass;
+  r_path_len : int;
+  r_next_hop : int;
+  r_link_id : int;
+}
+
+type decision = {
+  d_klass : Route.klass;
+  d_path_len : int;
+  d_next_hop : int;
+  d_link_id : int;
+  d_cand_cust : int;
+  d_cand_peer : int;
+  d_cand_prov : int;
+  d_rule : Provenance.rule;
+  d_runner : runner option;
+}
+
+let klass_of_cls = function
+  | 0 -> Route.Customer
+  | 1 -> Route.Peer
+  | _ -> Route.Provider
+
+let runner_of_packed klass v =
+  { r_klass = klass; r_path_len = e_len v; r_next_hop = e_parent v;
+    r_link_id = e_link v }
+
+let decision s x =
+  match s.pv with
+  | None ->
+      invalid_arg
+        "Propagate.decision: state carries no provenance (recompute with \
+         ~provenance:true)"
+  | Some pva ->
+      if x = origin s || x < 0 || x >= Provenance.length pva then None
+      else begin
+        let cls =
+          if s.cust.(x) >= 0 then 0
+          else if s.peer.(x) >= 0 then 1
+          else if s.prov.(x) >= 0 then 2
+          else -1
+        in
+        if cls < 0 then None
+        else begin
+          let winner =
+            match cls with 0 -> s.cust.(x) | 1 -> s.peer.(x) | _ -> s.prov.(x)
+          in
+          let klass = klass_of_cls cls in
+          (* Overall runner-up: the same-class second-best if the class
+             had one (same class outranks anything below), else the
+             best entry of the next non-empty class. *)
+          let runner =
+            let same = Provenance.runner_up pva ~cls x in
+            if same >= 0 then Some (runner_of_packed klass same)
+            else if cls = 0 && s.peer.(x) >= 0 then
+              Some (runner_of_packed Route.Peer s.peer.(x))
+            else if cls <= 1 && s.prov.(x) >= 0 then
+              Some (runner_of_packed Route.Provider s.prov.(x))
+            else None
+          in
+          Some
+            {
+              d_klass = klass;
+              d_path_len = e_len winner;
+              d_next_hop = e_parent winner;
+              d_link_id = e_link winner;
+              d_cand_cust = Provenance.candidates pva ~cls:0 x;
+              d_cand_peer = Provenance.candidates pva ~cls:1 x;
+              d_cand_prov = Provenance.candidates pva ~cls:2 x;
+              d_rule =
+                pv_rule pva ~cust:s.cust ~peer:s.peer ~prov:s.prov ~cls ~winner
+                  x;
+              d_runner = runner;
+            }
+        end
+      end

@@ -14,10 +14,16 @@
 
 type state
 
-val run : Netsim_topo.Topology.t -> Announce.t -> state
+val run : ?provenance:bool -> Netsim_topo.Topology.t -> Announce.t -> state
 (** Compute routes from every AS to the configured origin.  The core
     runs on a monotone bucket (Dial) queue over bit-packed flat
-    arrays; see doc/performance.md. *)
+    arrays; see doc/performance.md.
+
+    With [~provenance:true] (default:
+    [Netsim_obs.Provenance.enabled ()]) the run additionally records,
+    per (route class, AS), the candidate count and the runner-up into
+    a {!Netsim_obs.Provenance} arena, queryable via {!decision}.  The
+    disabled path costs one load + branch per record site. *)
 
 val run_reference : Netsim_topo.Topology.t -> Announce.t -> state
 (** The original [Set]-based implementation, kept as the oracle for
@@ -59,11 +65,23 @@ val rs_dirty : reconverge_stats -> int
 (** Total dirty entries across the three classes. *)
 
 val reconverge :
-  state -> topo:Netsim_topo.Topology.t -> delta -> state * reconverge_stats
+  ?provenance:bool ->
+  state ->
+  topo:Netsim_topo.Topology.t ->
+  delta ->
+  state * reconverge_stats
 (** [reconverge s ~topo delta] is the routing state on [topo], where
     [topo] differs from [s]'s topology by exactly [delta].  The input
     state is not modified.  @raise Invalid_argument if the AS count
-    changed or an added link id is absent from [topo]. *)
+    changed or an added link id is absent from [topo].
+
+    Provenance (requested explicitly, inherited from [s], or via the
+    global flag) is rebuilt by one full instrumented sweep: a link
+    delta changes candidate arrival sets beyond the entry dirty
+    closure, so the arena cannot be patched incrementally.  The
+    routing entries still come from the incremental algorithm, and the
+    result's provenance equals a full [run ~provenance:true] on
+    [topo]. *)
 
 val topology : state -> Netsim_topo.Topology.t
 val config : state -> Announce.t
@@ -116,3 +134,46 @@ val received : state -> int -> Route.t list
 val received_at_metro : state -> int -> metro:int -> Route.t list
 (** Announcements arriving on sessions at a given metro — the routes
     available to a specific PoP of a multi-site AS. *)
+
+(** {1 Decision provenance}
+
+    Why each AS's winning route won: the Gao-Rexford phase that
+    admitted it, the candidate set considered at decision time, the
+    exact tie-break rule that discriminated, and the rejected
+    runner-up.  Available on states computed with provenance on
+    ([run ~provenance:true] or [NETSIM_PROVENANCE=1]); surfaced by
+    [beatbgp explain] and the serve protocol's [EXPLAIN] verb. *)
+
+val has_provenance : state -> bool
+
+val provenance_equal : state -> state -> bool
+(** Both states carry no provenance, or both carry structurally equal
+    arenas — the determinism invariant (run-to-run, cache on/off, any
+    domain count) checked by the test suite. *)
+
+(** The rejected runner-up: the most preferred candidate that lost. *)
+type runner = {
+  r_klass : Route.klass;
+  r_path_len : int;
+  r_next_hop : int;
+  r_link_id : int;
+}
+
+type decision = {
+  d_klass : Route.klass;  (** Winning route class (= Gao-Rexford phase). *)
+  d_path_len : int;
+  d_next_hop : int;
+  d_link_id : int;
+  d_cand_cust : int;  (** Candidate announcements considered, per class. *)
+  d_cand_peer : int;
+  d_cand_prov : int;
+  d_rule : Netsim_obs.Provenance.rule;
+      (** What discriminated the winner from the runner-up. *)
+  d_runner : runner option;  (** [None] iff the winner was the only
+                                 candidate. *)
+}
+
+val decision : state -> int -> decision option
+(** The decision chain behind an AS's selected route; [None] for the
+    origin and for unreachable ASes.  @raise Invalid_argument if the
+    state carries no provenance. *)

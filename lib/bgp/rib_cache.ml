@@ -149,13 +149,30 @@ let absorb task_shard =
 let c_hits = Metrics.counter "bgp.rib_cache.hits"
 let c_misses = Metrics.counter "bgp.rib_cache.misses"
 
-let run topo config =
-  if not !enabled_ref then Propagate.run topo config
+let run ?provenance topo config =
+  (* Resolve the provenance request here so the cached and uncached
+     paths agree on what NETSIM_PROVENANCE means. *)
+  let want =
+    match provenance with
+    | Some b -> b
+    | None -> Netsim_obs.Provenance.enabled ()
+  in
+  if not !enabled_ref then Propagate.run ~provenance:want topo config
   else begin
     let shard = current_shard () in
     let key = key_of topo config in
+    let miss () =
+      let st = Propagate.run ~provenance:want topo config in
+      shard.s_misses <- shard.s_misses + 1;
+      if Metrics.enabled () then Metrics.incr c_misses;
+      if Recorder.enabled () then
+        Recorder.record ~kind:"bgp.rib_cache.miss"
+          [ Recorder.I ("origin", key.k_origin) ];
+      insert shard key st;
+      st
+    in
     match Hashtbl.find_opt shard.tbl key with
-    | Some node ->
+    | Some node when (not want) || Propagate.has_provenance node.n_state ->
         shard.tick <- shard.tick + 1;
         node.n_used <- shard.tick;
         shard.s_hits <- shard.s_hits + 1;
@@ -164,15 +181,12 @@ let run topo config =
           Recorder.record ~kind:"bgp.rib_cache.hit"
             [ Recorder.I ("origin", key.k_origin) ];
         node.n_state
-    | None ->
-        let st = Propagate.run topo config in
-        shard.s_misses <- shard.s_misses + 1;
-        if Metrics.enabled () then Metrics.incr c_misses;
-        if Recorder.enabled () then
-          Recorder.record ~kind:"bgp.rib_cache.miss"
-            [ Recorder.I ("origin", key.k_origin) ];
-        insert shard key st;
-        st
+    | Some _ ->
+        (* The cached state lacks the provenance the caller needs:
+           regenerate (counted as a miss) and upgrade the entry, so
+           subsequent explains of the same problem hit. *)
+        miss ()
+    | None -> miss ()
   end
 
 (* ---- introspection (tests, bench) ------------------------------------ *)

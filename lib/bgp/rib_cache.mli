@@ -22,11 +22,20 @@
     [NETSIM_RIB_CACHE_SIZE] (entries per shard, default 64) and the
     CLI's [--no-rib-cache] flag.  See doc/performance.md. *)
 
-val run : Netsim_topo.Topology.t -> Announce.t -> Propagate.state
+val run :
+  ?provenance:bool -> Netsim_topo.Topology.t -> Announce.t -> Propagate.state
 (** Memoized {!Propagate.run}: returns the cached state on a key hit,
     otherwise computes, caches (evicting the least-recently-used entry
     at the capacity bound) and returns.  Falls through to
-    {!Propagate.run} when disabled. *)
+    {!Propagate.run} when disabled.
+
+    [~provenance:true] (default: [Netsim_obs.Provenance.enabled ()])
+    guarantees the returned state carries a provenance arena: a hit
+    on an entry cached without one regenerates it with provenance
+    (counted as a miss) and upgrades the cached entry in place, so
+    repeated explains of the same problem hit.  States cached with
+    provenance satisfy plain lookups unchanged — the routing entries
+    are bit-identical either way. *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit

@@ -59,16 +59,25 @@ let to_string () =
       let pname = sanitize name in
       help_line buf pname "histogram" (Printf.sprintf "Histogram %s." name);
       (* Cumulative buckets; skip empty inner deltas but always emit
-         the +Inf bucket, whose count must equal _count. *)
+         the +Inf bucket, whose count must equal _count.  A histogram
+         with zero observations (or a bucket list without an explicit
+         +Inf upper bound) must still produce the +Inf/_sum/_count
+         triple, or the exposition fails to parse. *)
       let cum = ref 0 in
+      let inf_emitted = ref false in
       List.iter
         (fun (upper, n) ->
           cum := !cum + n;
-          if n > 0 || upper = infinity then
+          if n > 0 || upper = infinity then begin
+            if upper = infinity then inf_emitted := true;
             Buffer.add_string buf
               (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pname (num upper)
-                 !cum))
+                 !cum)
+          end)
         buckets;
+      if not !inf_emitted then
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname !cum);
       Buffer.add_string buf
         (Printf.sprintf "%s_sum %s\n" pname
            (num (Netsim_stats.Summary.total summary)));

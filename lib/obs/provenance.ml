@@ -1,0 +1,102 @@
+(* Route-provenance arena: per (class, AS) decision evidence recorded
+   by the propagation core when enabled.
+
+   The propagation phases already visit every candidate announcement
+   exactly once (queue pops in phases 1/3, min-updates in phase 2), so
+   provenance is two packed-int side tables — how many candidates each
+   AS considered per route class, and the best {e losing} candidate
+   (the runner-up) — maintained with order-independent min/count
+   updates.  No per-entry allocation, and when disabled every record
+   site costs one load + branch, the same discipline as the flight
+   recorder.
+
+   The arena stores the core's packed route entries verbatim (this
+   layer never interprets them); class indices are 0 = customer,
+   1 = peer, 2 = provider — [Route.klass_rank] order. *)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "NETSIM_PROVENANCE" with
+    | Some ("1" | "true" | "on") -> true
+    | None | Some _ -> false)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let schema = "beatbgp.provenance/1"
+
+type rule = Phase | Path_length | Stable_id | Only_candidate
+
+let rule_to_string = function
+  | Phase -> "relationship-class"
+  | Path_length -> "path-length"
+  | Stable_id -> "stable-id"
+  | Only_candidate -> "only-candidate"
+
+let classes = 3
+
+type arena = {
+  pa_n : int;
+  ncand : int array array;  (** [class][as]: candidates considered. *)
+  cand2 : int array array;
+      (** [class][as]: packed runner-up entry, -1 when the class had at
+          most one candidate. *)
+}
+
+let create n =
+  {
+    pa_n = n;
+    ncand = Array.init classes (fun _ -> Array.make n 0);
+    cand2 = Array.init classes (fun _ -> Array.make n (-1));
+  }
+
+let length a = a.pa_n
+
+let copy a =
+  { pa_n = a.pa_n; ncand = Array.map Array.copy a.ncand;
+    cand2 = Array.map Array.copy a.cand2 }
+
+let clear_slot a ~cls x =
+  a.ncand.(cls).(x) <- 0;
+  a.cand2.(cls).(x) <- -1
+
+let count a ~cls x = a.ncand.(cls).(x) <- a.ncand.(cls).(x) + 1
+
+(* Offer a non-winning candidate for the runner-up slot.  Packed
+   entries compare as route preference, so keeping the minimum yields
+   the true second-best whatever order candidates arrive in. *)
+let offer a ~cls x cand =
+  let cur = a.cand2.(cls).(x) in
+  if cur < 0 || cand < cur then a.cand2.(cls).(x) <- cand
+
+let candidates a ~cls x = a.ncand.(cls).(x)
+let runner_up a ~cls x = a.cand2.(cls).(x)
+
+let equal a b = a.pa_n = b.pa_n && a.ncand = b.ncand && a.cand2 = b.cand2
+
+(* ---- registry counters ------------------------------------------------ *)
+
+(* Exported by Export_prom as netsim_provenance_*: decisions by the
+   Gao-Rexford phase that won, and a histogram of which tie-break rule
+   discriminated.  Callers (the propagation core) only tally when the
+   metrics registry is enabled. *)
+
+let c_decisions =
+  [|
+    Metrics.counter "provenance.decisions.customer";
+    Metrics.counter "provenance.decisions.peer";
+    Metrics.counter "provenance.decisions.provider";
+  |]
+
+let c_rule_phase = Metrics.counter "provenance.tiebreak.relationship_class"
+let c_rule_len = Metrics.counter "provenance.tiebreak.path_length"
+let c_rule_id = Metrics.counter "provenance.tiebreak.stable_id"
+let c_rule_only = Metrics.counter "provenance.tiebreak.only_candidate"
+
+let bump_decision cls = Metrics.incr c_decisions.(cls)
+
+let bump_rule = function
+  | Phase -> Metrics.incr c_rule_phase
+  | Path_length -> Metrics.incr c_rule_len
+  | Stable_id -> Metrics.incr c_rule_id
+  | Only_candidate -> Metrics.incr c_rule_only

@@ -1,0 +1,77 @@
+(** Route-provenance arena: decision evidence behind every routing
+    outcome.
+
+    When enabled, the propagation core records — per (route class, AS)
+    — how many candidate announcements the AS considered and the best
+    {e losing} candidate (the runner-up), into flat packed-int arrays
+    with no per-entry allocation.  Disabled record sites cost a single
+    load + branch, mirroring the flight recorder's discipline.  The
+    interpretation of packed entries belongs to the core
+    ([Netsim_bgp.Propagate]); this module only stores and compares
+    them.
+
+    Enable with [NETSIM_PROVENANCE=1], [Propagate.run ~provenance:true]
+    or {!set_enabled}.  Surfaced by [beatbgp explain], the serve
+    protocol's [EXPLAIN] verb and the [beatbgp.provenance/1] JSONL
+    export. *)
+
+val enabled : unit -> bool
+(** Whether new propagation runs record provenance by default
+    ([NETSIM_PROVENANCE]). *)
+
+val set_enabled : bool -> unit
+
+val schema : string
+(** The JSONL export schema tag (["beatbgp.provenance/1"]), also
+    reported by [beatbgp --version]. *)
+
+(** The tie-break rule that discriminated the winner from the
+    runner-up, in Gao-Rexford preference order: relationship class
+    beats path length beats the stable (parent AS, link id) pair;
+    [Only_candidate] when there was nothing to beat. *)
+type rule = Phase | Path_length | Stable_id | Only_candidate
+
+val rule_to_string : rule -> string
+(** Stable wire names: ["relationship-class"], ["path-length"],
+    ["stable-id"], ["only-candidate"]. *)
+
+(** {1 The arena} *)
+
+type arena
+
+val create : int -> arena
+(** [create n] is an empty arena for [n] ASes. *)
+
+val length : arena -> int
+val copy : arena -> arena
+
+val clear_slot : arena -> cls:int -> int -> unit
+(** Reset one (class, AS) slot to the empty state. *)
+
+val count : arena -> cls:int -> int -> unit
+(** Record that the AS considered one more candidate in the class. *)
+
+val offer : arena -> cls:int -> int -> int -> unit
+(** Offer a non-winning packed candidate for the runner-up slot; the
+    minimum (most preferred) offer wins, so the result is independent
+    of arrival order. *)
+
+val candidates : arena -> cls:int -> int -> int
+val runner_up : arena -> cls:int -> int -> int
+(** The packed runner-up entry, or [-1] when the class saw at most one
+    candidate. *)
+
+val equal : arena -> arena -> bool
+(** Structural equality — the provenance-determinism invariant checked
+    by the test suite. *)
+
+(** {1 Registry counters}
+
+    [netsim_provenance_*] in the Prometheus exposition.  Callers tally
+    once per run, only when {!Metrics.enabled}. *)
+
+val bump_decision : int -> unit
+(** Count one decided AS by winning class (0 customer / 1 peer /
+    2 provider). *)
+
+val bump_rule : rule -> unit

@@ -2,6 +2,7 @@ type request =
   | Catchment of string
   | Egress of int
   | Rtt of string * string
+  | Explain of string * string
   | Stats
   | Snapshot_to of string
   | Prom
@@ -14,6 +15,7 @@ let verb = function
   | Catchment _ -> "catchment"
   | Egress _ -> "egress"
   | Rtt _ -> "rtt"
+  | Explain _ -> "explain"
   | Stats -> "stats"
   | Snapshot_to _ -> "snapshot"
   | Prom -> "prom"
@@ -47,6 +49,8 @@ let parse line =
         | "EGRESS", _ -> Error "usage: EGRESS <pop>"
         | "RTT", [ client; prefix ] -> Ok (Rtt (client, prefix))
         | "RTT", _ -> Error "usage: RTT <client> <prefix>"
+        | "EXPLAIN", [ prefix; asn ] -> Ok (Explain (prefix, asn))
+        | "EXPLAIN", _ -> Error "usage: EXPLAIN <prefix> <as>"
         | "STATS", [] -> Ok Stats
         | "STATS", _ -> Error "usage: STATS"
         | "SNAPSHOT", [ path ] -> Ok (Snapshot_to path)

@@ -21,6 +21,14 @@ type request =
   | Rtt of string * string
       (** [RTT <client> <prefix>]: deterministic RTT floor plus the
           current churn overlay for a client/prefix pair. *)
+  | Explain of string * string
+      (** [EXPLAIN <prefix> <as>]: the decision chain behind the AS's
+          selected route toward the prefix's origin — winning
+          Gao-Rexford phase, candidate set, tie-break rule, runner-up
+          — plus the latency-optimal counterfactual and its delta.
+          Provenance is recomputed deterministically on the current
+          topology, so seed-built and snapshot-loaded daemons answer
+          byte-identically. *)
   | Stats  (** [STATS]: deterministic daemon counters. *)
   | Snapshot_to of string  (** [SNAPSHOT <path>]: write a binary snapshot. *)
   | Prom  (** [PROM]: Prometheus text exposition of the registry. *)

@@ -54,6 +54,7 @@ type counts = {
   mutable q_catchment : int;
   mutable q_egress : int;
   mutable q_rtt : int;
+  mutable q_explain : int;
   mutable q_stats : int;
   mutable q_snapshot : int;
   mutable q_prom : int;
@@ -67,6 +68,7 @@ let zero_counts () =
     q_catchment = 0;
     q_egress = 0;
     q_rtt = 0;
+    q_explain = 0;
     q_stats = 0;
     q_snapshot = 0;
     q_prom = 0;
@@ -414,6 +416,170 @@ let rtt t client arg =
                       rtt_ms=%.3f"
                      p.Prefix.id origin floor churn (floor +. churn))))
 
+(* ---- EXPLAIN: the decision chain behind a routing outcome ------------- *)
+
+module Decision = Netsim_bgp.Decision
+
+(* Provenance state toward an origin.  Always recomputed on the
+   current topology (via the RIB cache, which upgrades plain cached
+   entries in place): warm engine states loaded from a snapshot carry
+   no arena, and recomputation is what makes seed-built and
+   snapshot-loaded daemons answer EXPLAIN byte-identically. *)
+let pv_state t ~origin =
+  Rib_cache.run ~provenance:true (Engine.topology t.engine)
+    (Announce.default ~origin)
+
+(* The prefix argument names the destination: "anycast" for the
+   provider's prefix, or a client prefix id for its origin AS. *)
+let explain_origin t arg =
+  match String.lowercase_ascii arg with
+  | "anycast" -> Ok (t.asid, "anycast")
+  | _ ->
+      Result.bind (prefix_of t arg) (fun (p : Prefix.t) ->
+          Ok (p.Prefix.asid, string_of_int p.Prefix.id))
+
+let phase_name = function
+  | Route.Customer -> "customer (Gao-Rexford phase 1)"
+  | Route.Peer -> "peer (Gao-Rexford phase 2)"
+  | Route.Provider -> "provider (Gao-Rexford phase 3)"
+
+let floor_of_walk t w =
+  let flow = Rtt.make_flow ~terminal:Propagation.At_entry w in
+  Rtt.floor_ms (Congestion.params t.cong) (Engine.topology t.engine) t.cong
+    flow
+
+(* The latency-optimal counterfactual (the paper's Fig. 1 gap, per
+   AS): rate every received announcement by its deterministic RTT
+   floor over the same walk model, and report what separates BGP's
+   choice from the fastest alternative. *)
+let counterfactual t st a (d : Propagate.decision) =
+  let rated =
+    List.filter_map
+      (fun (r : Route.t) ->
+        match Walk.of_route st ~src:a ~route:r with
+        | None -> None
+        | Some w -> Some (r, floor_of_walk t w))
+      (Propagate.received st a)
+  in
+  let chosen =
+    List.find_opt
+      (fun ((r : Route.t), _) ->
+        r.Route.klass = d.Propagate.d_klass
+        && r.Route.next_hop = d.Propagate.d_next_hop
+        && r.Route.via_link.Relation.id = d.Propagate.d_link_id)
+      rated
+  in
+  match chosen with
+  | None -> "counterfactual: unavailable (chosen route has no walk)"
+  | Some ((chosen_r, chosen_ms) as c) ->
+      let best =
+        List.fold_left
+          (fun ((_, bms) as b) ((_, ms) as cand) ->
+            if ms < bms then cand else b)
+          c rated
+      in
+      let best_r, best_ms = best in
+      if best_r == chosen_r then
+        Printf.sprintf
+          "counterfactual: chosen route is latency-optimal \
+           (floor_ms=%.3f, %d alternatives)"
+          chosen_ms
+          (List.length rated - 1)
+      else
+        Printf.sprintf
+          "counterfactual: chosen_ms=%.3f best_ms=%.3f delta_ms=%.3f \
+           best_class=%s best_next_hop=%d best_link=%d separated_by=%s"
+          chosen_ms best_ms (chosen_ms -. best_ms)
+          (Route.klass_to_string best_r.Route.klass)
+          best_r.Route.next_hop best_r.Route.via_link.Relation.id
+          (Decision.discriminator_to_string
+             (Decision.discriminator Decision.gao_rexford chosen_r best_r))
+
+let explain_text t ~origin ~plabel a =
+  let st = pv_state t ~origin in
+  let header = Printf.sprintf "explain prefix=%s origin_as=%d as=%d" plabel origin a in
+  match Propagate.decision st a with
+  | None -> header ^ "\nselected: unreachable (no candidate routes)"
+  | Some d ->
+      let path =
+        Propagate.as_path st a |> List.map string_of_int |> String.concat " "
+      in
+      let runner =
+        match d.Propagate.d_runner with
+        | None -> "runner-up: none (only candidate)"
+        | Some r ->
+            Printf.sprintf "runner-up: class=%s next_hop=%d link=%d len=%d"
+              (Route.klass_to_string r.Propagate.r_klass)
+              r.Propagate.r_next_hop r.Propagate.r_link_id r.Propagate.r_path_len
+      in
+      String.concat "\n"
+        [
+          header;
+          Printf.sprintf "selected: class=%s next_hop=%d link=%d len=%d path=[%s]"
+            (Route.klass_to_string d.Propagate.d_klass)
+            d.Propagate.d_next_hop d.Propagate.d_link_id d.Propagate.d_path_len
+            path;
+          "phase: " ^ phase_name d.Propagate.d_klass;
+          Printf.sprintf "candidates: customer=%d peer=%d provider=%d total=%d"
+            d.Propagate.d_cand_cust d.Propagate.d_cand_peer
+            d.Propagate.d_cand_prov
+            (d.Propagate.d_cand_cust + d.Propagate.d_cand_peer
+           + d.Propagate.d_cand_prov);
+          "tie-break: "
+          ^ Netsim_obs.Provenance.rule_to_string d.Propagate.d_rule;
+          runner;
+          counterfactual t st a d;
+        ]
+
+let explain t parg aarg =
+  Result.bind (explain_origin t parg) (fun (origin, plabel) ->
+      let n = Topology.as_count (Engine.topology t.engine) in
+      match int_of_string_opt aarg with
+      | None -> Error ("not an AS id: " ^ aarg)
+      | Some a when a < 0 || a >= n ->
+          Error (Printf.sprintf "AS %d out of range (0..%d)" a (n - 1))
+      | Some a when a = origin ->
+          Error (Printf.sprintf "AS %d is the origin itself" a)
+      | Some a -> Ok (explain_text t ~origin ~plabel a))
+
+(* Schema-tagged JSONL dump of the whole provenance table toward one
+   origin: a header line, then one object per decided AS. *)
+let provenance_jsonl t ~origin =
+  let st = pv_state t ~origin in
+  let n = Topology.as_count (Engine.topology t.engine) in
+  let b = Buffer.create (n * 96) in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%S,\"origin_as\":%d,\"as_count\":%d}\n"
+       Netsim_obs.Provenance.schema origin n);
+  for x = 0 to n - 1 do
+    match Propagate.decision st x with
+    | None -> ()
+    | Some d ->
+        let runner =
+          match d.Propagate.d_runner with
+          | None -> "null"
+          | Some r ->
+              Printf.sprintf
+                "{\"class\":%S,\"next_hop\":%d,\"link\":%d,\"len\":%d}"
+                (Route.klass_to_string r.Propagate.r_klass)
+                r.Propagate.r_next_hop r.Propagate.r_link_id
+                r.Propagate.r_path_len
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"as\":%d,\"class\":%S,\"next_hop\":%d,\"link\":%d,\"len\":%d,\
+              \"cand_cust\":%d,\"cand_peer\":%d,\"cand_prov\":%d,\
+              \"rule\":%S,\"runner\":%s}\n"
+             x
+             (Route.klass_to_string d.Propagate.d_klass)
+             d.Propagate.d_next_hop d.Propagate.d_link_id
+             d.Propagate.d_path_len d.Propagate.d_cand_cust
+             d.Propagate.d_cand_peer d.Propagate.d_cand_prov
+             (Netsim_obs.Provenance.rule_to_string d.Propagate.d_rule)
+             runner)
+  done;
+  Buffer.contents b
+
 (* Only fields that are a deterministic function of (seed, request
    sequence) — so a seed-built and a snapshot-loaded server answer
    STATS byte-identically to the same request stream. *)
@@ -435,19 +601,47 @@ let stats t =
          Printf.sprintf "population prefixes=%d pops=%d"
            (Array.length t.prefixes) (List.length t.pops);
          Printf.sprintf
-           "queries total=%d catchment=%d egress=%d rtt=%d stats=%d \
-            snapshot=%d prom=%d advance=%d quit=%d invalid=%d"
-           t.queries c.q_catchment c.q_egress c.q_rtt c.q_stats c.q_snapshot
-           c.q_prom c.q_advance c.q_quit c.q_invalid;
+           "queries total=%d catchment=%d egress=%d rtt=%d explain=%d \
+            stats=%d snapshot=%d prom=%d advance=%d quit=%d invalid=%d"
+           t.queries c.q_catchment c.q_egress c.q_rtt c.q_explain c.q_stats
+           c.q_snapshot c.q_prom c.q_advance c.q_quit c.q_invalid;
          Printf.sprintf "rib_cache hits=%d misses=%d size=%d" (Rib_cache.hits ())
            (Rib_cache.misses ()) (Rib_cache.size ());
        ])
+
+(* Step the churn engine and leave a flight-recorder trace: ADVANCE
+   was the one verb whose state change produced no recorder event, so
+   a trace could not distinguish "no churn scheduled" from "never
+   advanced".  Wall-clock ns only under the timing gate, mirroring the
+   bgp.reconverge site, so default traces stay deterministic. *)
+let advance t minutes =
+  let before = Engine.events_processed t.engine in
+  let t0 = if Recorder.timing () then Unix.gettimeofday () else 0. in
+  Engine.run t.engine ~until:(Engine.now t.engine +. minutes);
+  if Recorder.enabled () then begin
+    let fields =
+      Recorder.
+        [
+          I ("events", Engine.events_processed t.engine - before);
+          F ("minutes", minutes);
+          F ("t_min", Engine.now t.engine);
+        ]
+    in
+    let fields =
+      if Recorder.timing () then
+        fields
+        @ [ Recorder.I ("ns", int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)) ]
+      else fields
+    in
+    Recorder.record ~kind:"serve.advance" fields
+  end
 
 let handle t (req : Protocol.request) =
   match req with
   | Protocol.Catchment arg -> catchment t arg
   | Protocol.Egress pop -> egress t pop
   | Protocol.Rtt (client, origin) -> rtt t client origin
+  | Protocol.Explain (prefix, asn) -> explain t prefix asn
   | Protocol.Stats -> stats t
   | Protocol.Snapshot_to path -> (
       try
@@ -456,7 +650,7 @@ let handle t (req : Protocol.request) =
       with Sys_error e -> Error e)
   | Protocol.Prom -> Ok (Netsim_obs.Export_prom.to_string ())
   | Protocol.Advance minutes ->
-      Engine.run t.engine ~until:(Engine.now t.engine +. minutes);
+      advance t minutes;
       Ok (Printf.sprintf "now_min=%.3f" (Engine.now t.engine))
   | Protocol.Quit -> Ok "bye"
 
@@ -466,6 +660,7 @@ let count_verb c = function
   | "catchment" -> c.q_catchment <- c.q_catchment + 1
   | "egress" -> c.q_egress <- c.q_egress + 1
   | "rtt" -> c.q_rtt <- c.q_rtt + 1
+  | "explain" -> c.q_explain <- c.q_explain + 1
   | "stats" -> c.q_stats <- c.q_stats + 1
   | "snapshot" -> c.q_snapshot <- c.q_snapshot + 1
   | "prom" -> c.q_prom <- c.q_prom + 1
@@ -525,7 +720,7 @@ let handle_line t line =
   (* Churn advances on request-count boundaries, never wall clock, so
      the response stream is a pure function of the request stream. *)
   if t.cfg.batch > 0 && t.queries mod t.cfg.batch = 0 then
-    Engine.run t.engine ~until:(Engine.now t.engine +. t.cfg.batch_minutes);
+    advance t t.cfg.batch_minutes;
   if not cont then t.stopped <- true;
   (framed, cont)
 

@@ -56,6 +56,23 @@ val handle : t -> Protocol.request -> (string, string) result
 (** Answer one request (no framing, no counters).  Total: unknown
     prefixes, PoPs and origins come back as [Error]. *)
 
+val explain : t -> string -> string -> (string, string) result
+(** The [EXPLAIN <prefix> <as>] body: the decision chain behind the
+    AS's selected route toward the prefix's origin ("anycast" or a
+    client prefix id), plus the latency-optimal counterfactual.
+    Provenance is recomputed deterministically on the current topology
+    (through the RIB cache), never read from warm engine state — which
+    is what makes seed-built and snapshot-loaded daemons answer
+    byte-identically.  Shared by the serve verb and [beatbgp explain],
+    so CLI and daemon output are the same bytes. *)
+
+val provenance_jsonl : t -> origin:int -> string
+(** JSONL dump of the full provenance table toward [origin]: a header
+    line tagged [Netsim_obs.Provenance.schema], then one object per
+    decided AS (class, next hop, link, path length, per-class
+    candidate counts, tie-break rule, runner-up).  Written by
+    [beatbgp explain --provenance-out]. *)
+
 val handle_line : t -> string -> string * bool
 (** Parse, count, answer and frame one request line; advances the
     churn timeline on batch boundaries.  Returns the framed wire

@@ -9,6 +9,7 @@ let () =
       ("topo", Test_topo.suite);
       ("bgp", Test_bgp.suite);
       ("rib-cache", Test_rib_cache.suite);
+      ("provenance", Test_provenance.suite);
       ("latency", Test_latency.suite);
       ("traffic", Test_traffic.suite);
       ("measure", Test_measure.suite);

@@ -371,6 +371,37 @@ let test_prom_format_valid () =
   Alcotest.(check bool) "+Inf bucket line present" true
     (Test_util.contains text (prefix ^ "_bucket{le=\"+Inf\"} 5"))
 
+let test_prom_empty_histogram () =
+  (* A histogram that was registered but never observed must still
+     render the full parse-valid triple — the +Inf bucket, _sum and
+     _count, all zero.  A scrape that hits the daemon before the first
+     observation would otherwise fail exposition parsing. *)
+  let _ = Metrics.histogram "t.prom.empty" in
+  let text = Export_prom.to_string () in
+  let prefix = Export_prom.sanitize "t.prom.empty" in
+  Alcotest.(check bool) "+Inf bucket at zero" true
+    (Test_util.contains text (prefix ^ "_bucket{le=\"+Inf\"} 0"));
+  Alcotest.(check bool) "_sum at zero" true
+    (Test_util.contains text (prefix ^ "_sum 0"));
+  Alcotest.(check bool) "_count at zero" true
+    (Test_util.contains text (prefix ^ "_count 0"));
+  (* And the cumulative invariant holds: no bucket line of this family
+     reports a non-zero count. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if
+           String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+           && Test_util.contains line "_bucket{"
+         then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               Alcotest.(check string)
+                 ("zero count in " ^ line)
+                 "0"
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | None -> Alcotest.failf "malformed bucket line %S" line)
+
 let test_prom_sanitize () =
   Alcotest.(check string) "dots to underscores" "netsim_a_b_c"
     (Export_prom.sanitize "a.b-c");
@@ -596,6 +627,8 @@ let suite =
       (with_clean test_write_text_roundtrip);
     Alcotest.test_case "prometheus format valid" `Quick
       (with_clean test_prom_format_valid);
+    Alcotest.test_case "prometheus empty histogram stays parse-valid" `Quick
+      (with_clean test_prom_empty_histogram);
     Alcotest.test_case "prometheus name sanitization" `Quick
       (with_clean test_prom_sanitize);
     Alcotest.test_case "perfetto spans nest" `Quick

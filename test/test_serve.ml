@@ -30,6 +30,8 @@ let test_parse_ok () =
       ("catchment 3", Protocol.Catchment "3");
       ("  EGRESS   94  ", Protocol.Egress 94);
       ("RTT 2 anycast", Protocol.Rtt ("2", "anycast"));
+      ("EXPLAIN anycast 39", Protocol.Explain ("anycast", "39"));
+      ("explain 0 50", Protocol.Explain ("0", "50"));
       ("STATS", Protocol.Stats);
       ("SNAPSHOT /tmp/x.bin", Protocol.Snapshot_to "/tmp/x.bin");
       ("PROM", Protocol.Prom);
@@ -56,6 +58,9 @@ let test_parse_errors () =
       "EGRESS notanumber";
       "RTT 1";
       "RTT";
+      "EXPLAIN";
+      "EXPLAIN anycast";
+      "EXPLAIN anycast 1 2";
       "ADVANCE nan";
       "ADVANCE -5";
       "ADVANCE";
@@ -81,6 +86,11 @@ let test_frame () =
 let framed_err s = String.length s > 4 && String.sub s 0 4 = "ERR "
 let framed_ok s = String.length s > 3 && String.sub s 0 3 = "OK "
 
+let contains ~needle hay =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
 let test_unknown_ids () =
   let t = Lazy.force server in
   let errs =
@@ -91,6 +101,9 @@ let test_unknown_ids () =
       "EGRESS 100000";
       "RTT 99999 anycast";
       "RTT 0 notanumber";
+      "EXPLAIN anycast 99999";
+      "EXPLAIN anycast notanumber";
+      "EXPLAIN 99999 3";
       "SNAPSHOT /nonexistent-dir/deep/x.bin";
     ]
   in
@@ -110,6 +123,47 @@ let test_untracked_origin () =
      never a tracked origin — must be a clean error, not a crash. *)
   let resp, _ = Server.handle_line t "RTT 0 0" in
   check "untracked origin is a framed error" true (framed_err resp)
+
+let test_explain () =
+  let t = Lazy.force server in
+  (* A well-formed EXPLAIN answers OK with the full decision chain. *)
+  let resp, cont = Server.handle_line t "EXPLAIN anycast 39" in
+  check "explain keeps serving" true cont;
+  check "explain is framed ok" true (framed_ok resp);
+  List.iter
+    (fun needle ->
+      check ("body mentions " ^ needle) true (contains ~needle resp))
+    [
+      "explain prefix=anycast"; "selected:"; "phase:"; "candidates:";
+      "tie-break:"; "runner-up:"; "counterfactual:";
+    ];
+  (* A client-prefix destination works too, and Server.explain (the
+     function the CLI calls) returns exactly the framed body. *)
+  (match Server.explain t "0" "50" with
+  | Error e -> Alcotest.failf "explain 0 50: %s" e
+  | Ok body ->
+      let resp2, _ = Server.handle_line t "EXPLAIN 0 50" in
+      check_str "CLI body equals serve body" (Protocol.frame ~ok:true body)
+        resp2);
+  (* The origin cannot explain a route to itself. *)
+  let provider = string_of_int (Server.provider t) in
+  let resp3, _ = Server.handle_line t ("EXPLAIN anycast " ^ provider) in
+  check "origin itself is a framed error" true (framed_err resp3)
+
+let test_provenance_jsonl () =
+  let t = Lazy.force server in
+  let out = Server.provenance_jsonl t ~origin:(Server.provider t) in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  (match lines with
+  | header :: _ ->
+      check "header carries the schema" true
+        (contains ~needle:Netsim_obs.Provenance.schema header)
+  | [] -> Alcotest.fail "empty provenance dump");
+  (* One record per non-origin AS (the small Internet is connected). *)
+  let n =
+    Topology.as_count (Engine.topology (Server.engine t))
+  in
+  check_int "one record per decided AS" n (List.length lines)
 
 let test_never_raises () =
   let t = Lazy.force server in
@@ -203,11 +257,6 @@ let expect_error what = function
   | Error msg -> check (what ^ " mentions snapshot") true (msg <> "")
   | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
 
-let contains ~needle hay =
-  let n = String.length hay and m = String.length needle in
-  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
-  scan 0
-
 let test_rejects_corrupt () =
   let bytes = Snapshot.to_bytes (Lazy.force small_snapshot) in
   (* Wrong magic. *)
@@ -256,10 +305,13 @@ let equivalence_queries pop =
     "CATCHMENT 11";
     Printf.sprintf "EGRESS %d" pop;
     "RTT 2 anycast";
+    "EXPLAIN anycast 11";
     "ADVANCE 360";
     "CATCHMENT 11";
     Printf.sprintf "EGRESS %d" pop;
     "RTT 2 anycast";
+    "EXPLAIN anycast 11";
+    "EXPLAIN 0 11";
     "STATS";
   ]
 
@@ -291,6 +343,9 @@ let suite =
     Alcotest.test_case "queries: unknown ids are clean errors" `Quick
       test_unknown_ids;
     Alcotest.test_case "queries: untracked origin" `Quick test_untracked_origin;
+    Alcotest.test_case "queries: EXPLAIN decision chain" `Quick test_explain;
+    Alcotest.test_case "queries: provenance JSONL dump" `Quick
+      test_provenance_jsonl;
     Alcotest.test_case "queries: junk never raises" `Quick test_never_raises;
     Alcotest.test_case "loop: EOF mid-request" `Quick test_eof_mid_request;
     Alcotest.test_case "snapshot: byte round-trip" `Quick test_roundtrip_bytes;
