@@ -38,6 +38,17 @@ verify: build test
 	diff -u /tmp/beatbgp_all_d1.out /tmp/beatbgp_all_d4.out
 	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- all --small --no-rib-cache > /tmp/beatbgp_all_d4_nocache.out
 	diff -u /tmp/beatbgp_all_d1.out /tmp/beatbgp_all_d4_nocache.out
+	# Internet-scale batching: the scale sweep (with its differential
+	# batched-vs-sequential check on) must match the golden transcript
+	# byte-for-byte across cache on/off and 1 vs 4 domains.
+	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- scale --small --check > /tmp/beatbgp_scale_d1.out
+	diff -u test/golden/scale_small.txt /tmp/beatbgp_scale_d1.out
+	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- scale --small --check --no-rib-cache > /tmp/beatbgp_scale_d1_nocache.out
+	diff -u test/golden/scale_small.txt /tmp/beatbgp_scale_d1_nocache.out
+	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- scale --small --check > /tmp/beatbgp_scale_d4.out
+	diff -u test/golden/scale_small.txt /tmp/beatbgp_scale_d4.out
+	NETSIM_DOMAINS=4 dune exec bin/beatbgp_cli.exe -- scale --small --check --no-rib-cache > /tmp/beatbgp_scale_d4_nocache.out
+	diff -u test/golden/scale_small.txt /tmp/beatbgp_scale_d4_nocache.out
 	# Flight-recorder determinism: the event log must be byte-identical
 	# run-to-run and across domain counts.
 	NETSIM_DOMAINS=1 dune exec bin/beatbgp_cli.exe -- dynamics --small --event-log /tmp/beatbgp_events_a.jsonl > /dev/null

@@ -173,17 +173,30 @@ let num = function
   | Jsonx.Float f -> Some f
   | _ -> None
 
-(* Records for [bench], oldest first.  Unreadable or foreign lines are
-   skipped with a warning on stderr: the history file survives schema
-   evolution, manual edits and a truncated last line (a run killed
-   mid-append), and never takes the gate down with it. *)
-let records ~history ~bench =
+(* Records for [bench] (and, when given, [variant]), oldest first.
+   Several benches share one history file and one bench may gate
+   several workload variants, so a record is selected only when BOTH
+   discriminators match: the "bench" member must equal [bench], and
+   the "variant" member must equal [variant] — absent matching absent.
+   Without the variant check, a bench writing two workloads under one
+   name would gate each against the other's medians (the cross-gate
+   bug pinned down in test/test_trend.ml).  Unreadable or foreign
+   lines are skipped with a warning on stderr: the history file
+   survives schema evolution, manual edits and a truncated last line
+   (a run killed mid-append), and never takes the gate down with it. *)
+let records ?variant ~history ~bench () =
   if not (Sys.file_exists history) then []
   else begin
     let ic = open_in history in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
+        let variant_matches doc =
+          match (variant, Jsonx.member "variant" doc) with
+          | None, None -> true
+          | Some v, Some (Jsonx.String v') -> v = v'
+          | _ -> false
+        in
         let out = ref [] and corrupt = ref 0 in
         (try
            while true do
@@ -192,8 +205,10 @@ let records ~history ~bench =
                match parse line with
                | exception Bad_record -> incr corrupt
                | doc ->
-                   if Jsonx.member "bench" doc = Some (Jsonx.String bench) then
-                     out := doc :: !out
+                   if
+                     Jsonx.member "bench" doc = Some (Jsonx.String bench)
+                     && variant_matches doc
+                   then out := doc :: !out
            done
          with End_of_file -> ());
         if !corrupt > 0 then
@@ -203,13 +218,13 @@ let records ~history ~bench =
         List.rev !out)
   end
 
-let metric_values ~history ~bench name =
+let metric_values ?variant ~history ~bench name =
   List.filter_map
     (fun doc ->
       match Jsonx.member "metrics" doc with
       | Some m -> Option.bind (Jsonx.member name m) num
       | None -> None)
-    (records ~history ~bench)
+    (records ?variant ~history ~bench ())
 
 let median l =
   match List.sort compare l with
@@ -223,12 +238,17 @@ let last k l =
   let n = List.length l in
   if n <= k then l else List.filteri (fun i _ -> i >= n - k) l
 
-let append ?(history = default_history) ~bench metrics =
+let append ?(history = default_history) ?variant ~bench metrics =
   let doc =
     Jsonx.Obj
-      [
-        ("schema_version", Jsonx.Int schema_version);
-        ("bench", Jsonx.String bench);
+      ([
+         ("schema_version", Jsonx.Int schema_version);
+         ("bench", Jsonx.String bench);
+       ]
+      @ (match variant with
+        | Some v -> [ ("variant", Jsonx.String v) ]
+        | None -> [])
+      @ [
         ("git_sha", Jsonx.String (Bench_out.git_sha ()));
         ("unix_time", Jsonx.Int (int_of_float (Unix.time ())));
         ( "metrics",
@@ -238,7 +258,7 @@ let append ?(history = default_history) ~bench metrics =
           Jsonx.Obj
             (List.map (fun m -> (m.m_name, Jsonx.Bool m.m_lower_better)) metrics)
         );
-      ]
+      ])
   in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history
@@ -253,12 +273,14 @@ let append ?(history = default_history) ~bench metrics =
    median of its last [window] history values.  Metrics with fewer
    than [min_records] prior values are reported as skipped rather than
    failed, so fresh checkouts don't trip the gate. *)
-let gate ?(history = default_history) ?(tolerance = 0.15) ~bench ~label metrics
-    =
+let gate ?(history = default_history) ?(tolerance = 0.15) ?variant ~bench
+    ~label metrics =
   let ok = ref true in
   List.iter
     (fun m ->
-      let values = last window (metric_values ~history ~bench m.m_name) in
+      let values =
+        last window (metric_values ?variant ~history ~bench m.m_name)
+      in
       if List.length values < min_records then
         Printf.printf
           "%s: %s/%s skipped (%d history record(s), need %d)\n" label bench

@@ -306,6 +306,9 @@ let run ?provenance topo config =
     match provenance with Some b -> b | None -> Provenance.enabled ()
   in
   let n = Topology.as_count topo in
+  (* CSR adjacency arena: AS x's packed neighbor words are
+     wrd.(off.(x)) .. wrd.(off.(x+1)-1).  Hoisted once per run. *)
+  let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
   let pva = if pv_on then Provenance.create n else no_arena in
   let origin = config.Announce.origin in
   let cust = Array.make n (-1) in
@@ -330,10 +333,9 @@ let run ?provenance topo config =
             e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
           (* target exports its best customer route to its providers —
              unless the announcement was scoped with NO_EXPORT. *)
-          if not (q_ne v) then begin
-            let pns = Topology.packed_neighbors topo target in
-            for i = 0 to Array.length pns - 1 do
-              let pn = pns.(i) in
+          if not (q_ne v) then
+            for i = off.(target) to off.(target + 1) - 1 do
+              let pn = wrd.(i) in
               match Topology.pn_rel pn with
               | Relation.To_provider ->
                   let up = Topology.pn_peer pn in
@@ -347,7 +349,6 @@ let run ?provenance topo config =
                 ->
                   ()
             done
-          end
         end
         else if pv_on then begin
           Provenance.count pva ~cls:0 target;
@@ -376,9 +377,8 @@ let run ?provenance topo config =
     let ex = cust.(x) in
     if ex >= 0 && not (e_ne ex) then begin
       let len1 = e_len ex + 1 in
-      let pns = Topology.packed_neighbors topo x in
-      for i = 0 to Array.length pns - 1 do
-        let pn = pns.(i) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let pn = wrd.(i) in
         match Topology.pn_rel pn with
         | Relation.Priv_peer | Relation.Pub_peer ->
             let lateral = Topology.pn_peer pn in
@@ -412,9 +412,8 @@ let run ?provenance topo config =
     let ex = if cust.(x) >= 0 then cust.(x) else peer.(x) in
     if ex >= 0 && not (e_ne ex) then begin
       let len1 = e_len ex + 1 in
-      let pns = Topology.packed_neighbors topo x in
-      for i = 0 to Array.length pns - 1 do
-        let pn = pns.(i) in
+      for i = off.(x) to off.(x + 1) - 1 do
+        let pn = wrd.(i) in
         match Topology.pn_rel pn with
         | Relation.To_customer ->
             let down = Topology.pn_peer pn in
@@ -437,10 +436,9 @@ let run ?provenance topo config =
             e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
           (* If the provider route is the target's selected best, it now
              exports that route to its customers. *)
-          if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
-            let pns = Topology.packed_neighbors topo target in
-            for i = 0 to Array.length pns - 1 do
-              let pn = pns.(i) in
+          if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then
+            for i = off.(target) to off.(target + 1) - 1 do
+              let pn = wrd.(i) in
               match Topology.pn_rel pn with
               | Relation.To_customer ->
                   let down = Topology.pn_peer pn in
@@ -454,7 +452,6 @@ let run ?provenance topo config =
                 ->
                   ()
             done
-          end
         end
         else if pv_on then begin
           Provenance.count pva ~cls:2 target;
@@ -465,6 +462,420 @@ let run ?provenance topo config =
   if pv_on then record_provenance_stats ~tracing n ~origin pva cust peer prov;
   { topo; config; link_by_id = link_index topo; cust; peer; prov;
     pv = (if pv_on then Some pva else None) }
+
+(* ---- batched multi-origin propagation -------------------------------- *)
+
+(* [run_batch] sweeps many origins through the topology in one pass.
+   Per origin it performs exactly the pushes of [run]: queue entries of
+   different origins never interact, and within a level each target's
+   winner is the minimum candidate by (parent, link, ne) — the same
+   entry [run]'s sorted first-pop selects — so every returned state is
+   entry-identical to an independent [run] (the differential property
+   in test/test_scale.ml).  What batching buys over k independent
+   runs:
+
+   - the level drains settle by minimum instead of by sorted pop
+     order, so the per-bucket sort — a large share of [run]'s queue
+     cost — disappears entirely;
+   - [link_index] and the class-partitioned adjacency are built once
+     per batch instead of once per run;
+   - the phase-2 lateral and phase-3 boundary sweeps walk each CSR row
+     once, with the origins in the inner loop;
+   - export scans in the drains iterate only the edges of the relevant
+     relation class (the partitioned arena) instead of decoding every
+     word of a full row per origin.
+
+   Entry state lives in stride-k flat arrays (class.(x * k + o)) so
+   the inner origin loops stay on adjacent words. *)
+
+let c_batches = Netsim_obs.Metrics.counter "bgp.propagate_batches"
+let c_batch_origins = Netsim_obs.Metrics.counter "bgp.propagate_batch_origins"
+
+(* The dial queue generalized to per-(length, origin) sub-buckets.  A
+   packed queue word has no spare bits for the origin, so the origin
+   index selects a sub-bucket instead.  Buckets stay unsorted — level
+   drains settle each target by minimum candidate, which coincides
+   with [run]'s sorted pop order (see the drain comment in
+   [run_batch]) — and cross-origin interleaving is unobservable
+   because an origin's entries only touch its own slots. *)
+type bdial = {
+  bk : int;
+  mutable bbuckets : int array array array;  (* [len].(org) packed words *)
+  mutable bsizes : int array array;  (* [len].(org) fill count *)
+  mutable blevel : int array;  (* pending words per length *)
+  mutable bcur : int;
+  mutable bpending : int;
+}
+
+let bdial_create k =
+  {
+    bk = k;
+    bbuckets = Array.make 16 [||];
+    bsizes = Array.make 16 [||];
+    blevel = Array.make 16 0;
+    bcur = 0;
+    bpending = 0;
+  }
+
+let bdial_push q ~len ~org packed =
+  if len < 0 || len > max_path_len then
+    invalid_arg "Propagate: path length out of packed range";
+  if len < q.bcur then invalid_arg "Propagate: non-monotone queue push";
+  let cap = Array.length q.bbuckets in
+  if len >= cap then begin
+    let ncap = Stdlib.max (len + 1) (2 * cap) in
+    let nb = Array.make ncap [||]
+    and ns = Array.make ncap [||]
+    and nl = Array.make ncap 0 in
+    Array.blit q.bbuckets 0 nb 0 cap;
+    Array.blit q.bsizes 0 ns 0 cap;
+    Array.blit q.blevel 0 nl 0 cap;
+    q.bbuckets <- nb;
+    q.bsizes <- ns;
+    q.blevel <- nl
+  end;
+  if Array.length q.bsizes.(len) = 0 then begin
+    q.bbuckets.(len) <- Array.make q.bk [||];
+    q.bsizes.(len) <- Array.make q.bk 0
+  end;
+  let row = q.bbuckets.(len) and szs = q.bsizes.(len) in
+  let b = row.(org) and sz = szs.(org) in
+  let b =
+    if sz = Array.length b then begin
+      let nb = Array.make (Stdlib.max 8 (2 * sz)) 0 in
+      Array.blit b 0 nb 0 sz;
+      row.(org) <- nb;
+      nb
+    end
+    else b
+  in
+  b.(sz) <- packed;
+  szs.(org) <- sz + 1;
+  q.blevel.(len) <- q.blevel.(len) + 1;
+  q.bpending <- q.bpending + 1
+
+(* Open the next non-empty level for draining: returns the length, the
+   per-origin buckets and fills, and marks the level consumed (pops at
+   [len] only push to [len + 1], so these buckets are final — same
+   argument as [dial_drain], per origin). *)
+let bdial_next_level q =
+  while q.blevel.(q.bcur) = 0 do
+    q.bcur <- q.bcur + 1
+  done;
+  let len = q.bcur in
+  q.bpending <- q.bpending - q.blevel.(len);
+  q.blevel.(len) <- 0;
+  q.bcur <- len + 1;
+  (len, q.bbuckets.(len), q.bsizes.(len))
+
+(* Class-partitioned copy of the CSR arena: per AS, only its
+   To_provider / peer / To_customer words, in row order.  One O(n+m)
+   pass; lets the batch drains skip the per-word relation decode. *)
+let partition_csr n (off : int array) (wrd : int array) =
+  let up_off = Array.make (n + 1) 0
+  and lat_off = Array.make (n + 1) 0
+  and down_off = Array.make (n + 1) 0 in
+  for x = 0 to n - 1 do
+    for i = off.(x) to off.(x + 1) - 1 do
+      match Topology.pn_rel wrd.(i) with
+      | Relation.To_provider -> up_off.(x + 1) <- up_off.(x + 1) + 1
+      | Relation.Priv_peer | Relation.Pub_peer ->
+          lat_off.(x + 1) <- lat_off.(x + 1) + 1
+      | Relation.To_customer -> down_off.(x + 1) <- down_off.(x + 1) + 1
+    done
+  done;
+  for x = 0 to n - 1 do
+    up_off.(x + 1) <- up_off.(x + 1) + up_off.(x);
+    lat_off.(x + 1) <- lat_off.(x + 1) + lat_off.(x);
+    down_off.(x + 1) <- down_off.(x + 1) + down_off.(x)
+  done;
+  let up_w = Array.make up_off.(n) 0
+  and lat_w = Array.make lat_off.(n) 0
+  and down_w = Array.make down_off.(n) 0 in
+  let ui = Array.copy up_off
+  and li = Array.copy lat_off
+  and di = Array.copy down_off in
+  for x = 0 to n - 1 do
+    for i = off.(x) to off.(x + 1) - 1 do
+      let pn = wrd.(i) in
+      match Topology.pn_rel pn with
+      | Relation.To_provider ->
+          up_w.(ui.(x)) <- pn;
+          ui.(x) <- ui.(x) + 1
+      | Relation.Priv_peer | Relation.Pub_peer ->
+          lat_w.(li.(x)) <- pn;
+          li.(x) <- li.(x) + 1
+      | Relation.To_customer ->
+          down_w.(di.(x)) <- pn;
+          di.(x) <- di.(x) + 1
+    done
+  done;
+  (up_off, up_w, lat_off, lat_w, down_off, down_w)
+
+let run_batch ?provenance topo configs =
+  let k = Array.length configs in
+  if k = 0 then [||]
+  else
+    Netsim_obs.Span.with_ ~name:"bgp.propagate_batch" @@ fun () ->
+    let tracing = Netsim_obs.Metrics.enabled () in
+    if tracing then begin
+      Netsim_obs.Metrics.incr c_batches;
+      Netsim_obs.Metrics.add c_batch_origins k
+    end;
+    let pv_on =
+      match provenance with Some b -> b | None -> Provenance.enabled ()
+    in
+    let n = Topology.as_count topo in
+    let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
+    let up_off, up_w, lat_off, lat_w, down_off, down_w =
+      partition_csr n off wrd
+    in
+    let origins = Array.map (fun c -> c.Announce.origin) configs in
+    let pvas =
+      if pv_on then Array.init k (fun _ -> Provenance.create n) else [||]
+    in
+    let bc = Array.make (n * k) (-1)
+    and bp = Array.make (n * k) (-1)
+    and bv = Array.make (n * k) (-1) in
+    (* ---- Phase 1: customer-learned routes, all origins. ---- *)
+    let q = bdial_create k in
+    for o = 0 to k - 1 do
+      List.iter
+        (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+          if tracing then Netsim_obs.Metrics.incr c_exported;
+          bdial_push q ~len ~org:o
+            (q_pack ~parent:origins.(o) ~link:link.Relation.id ~target ~ne))
+        (seeds topo configs.(o) ~klass:Route.Customer)
+    done;
+    (* Drain level by level, buckets unsorted: within a level, [run]'s
+       sorted first-pop winner for a target is the minimum candidate by
+       (parent, link, ne) — exactly [e_pack] order at equal length — so
+       a two-minima settle pass picks the identical winner (and, with
+       provenance on, offers the identical loser multiset: every
+       comparison permanently discards one candidate, so the offers are
+       all candidates but the min, just as [run]'s post-settle pops
+       are).  An export pass then pushes the newly settled ASes'
+       provider exports at [len + 1]; exports only depend on the final
+       winner, which is already known.  Skipping the per-bucket sort is
+       most of [run_batch]'s speedup at scale.  The bucket array
+       doubles as the newly-settled worklist: settled targets are
+       written back into its prefix during the settle pass. *)
+    while q.bpending > 0 do
+      let len, row, szs = bdial_next_level q in
+      for org = 0 to k - 1 do
+        let sz = szs.(org) in
+        if sz > 0 then begin
+          let b = row.(org) in
+          szs.(org) <- 0;
+          let origin = origins.(org) in
+          let settled = ref 0 in
+          for i = 0 to sz - 1 do
+            let v = b.(i) in
+            let target = q_target v in
+            if target <> origin then begin
+              let idx = (target * k) + org in
+              let cand =
+                e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v)
+              in
+              let cur = bc.(idx) in
+              if pv_on then Provenance.count pvas.(org) ~cls:0 target;
+              if cur < 0 then begin
+                bc.(idx) <- cand;
+                b.(!settled) <- target;
+                incr settled
+              end
+              else begin
+                if cand < cur then bc.(idx) <- cand;
+                if pv_on then
+                  Provenance.offer pvas.(org) ~cls:0 target
+                    (if cand < cur then cur else cand)
+              end
+            end
+          done;
+          for i = 0 to !settled - 1 do
+            let target = b.(i) in
+            if not (e_ne bc.((target * k) + org)) then
+              for j = up_off.(target) to up_off.(target + 1) - 1 do
+                let pn = up_w.(j) in
+                let up = Topology.pn_peer pn in
+                if up <> origin then begin
+                  if tracing then Netsim_obs.Metrics.incr c_exported;
+                  bdial_push q ~len:(len + 1) ~org
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:up ~ne:false)
+                end
+              done
+          done
+        end
+      done
+    done;
+    (* ---- Phase 2: peer-learned routes. ---- *)
+    for o = 0 to k - 1 do
+      let origin = origins.(o) in
+      List.iter
+        (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+          if target <> origin then begin
+            let idx = (target * k) + o in
+            let cand = e_pack ~len ~parent:origin ~link:link.Relation.id ~ne in
+            let cur = bp.(idx) in
+            if pv_on then begin
+              Provenance.count pvas.(o) ~cls:1 target;
+              if cur >= 0 then
+                Provenance.offer pvas.(o) ~cls:1 target
+                  (if cand < cur then cur else cand)
+            end;
+            if cur < 0 || cand < cur then bp.(idx) <- cand
+          end)
+        (seeds topo configs.(o) ~klass:Route.Peer)
+    done;
+    (* Lateral sweep: one walk over each AS's peer words; origins in
+       the inner loop.  For a fixed origin the candidate order is
+       [run]'s (x ascending, row order) and the two-minima update is
+       order-independent anyway. *)
+    for x = 0 to n - 1 do
+      if lat_off.(x + 1) > lat_off.(x) then begin
+        let base = x * k in
+        for o = 0 to k - 1 do
+          let ex = bc.(base + o) in
+          if ex >= 0 && not (e_ne ex) then begin
+            let len1 = e_len ex + 1 in
+            let origin = origins.(o) in
+            for i = lat_off.(x) to lat_off.(x + 1) - 1 do
+              let pn = lat_w.(i) in
+              let lateral = Topology.pn_peer pn in
+              if lateral <> origin then begin
+                let idx = (lateral * k) + o in
+                let cand =
+                  e_pack ~len:len1 ~parent:x ~link:(Topology.pn_link pn)
+                    ~ne:false
+                in
+                let cur = bp.(idx) in
+                if pv_on then begin
+                  Provenance.count pvas.(o) ~cls:1 lateral;
+                  if cur >= 0 then
+                    Provenance.offer pvas.(o) ~cls:1 lateral
+                      (if cand < cur then cur else cand)
+                end;
+                if cur < 0 || cand < cur then bp.(idx) <- cand
+              end
+            done
+          end
+        done
+      end
+    done;
+    (* ---- Phase 3: provider-learned routes. ---- *)
+    let q = bdial_create k in
+    for o = 0 to k - 1 do
+      List.iter
+        (fun (target, len, (_ : int), (link : Relation.link), ne) ->
+          if tracing then Netsim_obs.Metrics.incr c_exported;
+          bdial_push q ~len ~org:o
+            (q_pack ~parent:origins.(o) ~link:link.Relation.id ~target ~ne))
+        (seeds topo configs.(o) ~klass:Route.Provider)
+    done;
+    (* Boundary sweep: each AS row walked once, origins inner. *)
+    for x = 0 to n - 1 do
+      if down_off.(x + 1) > down_off.(x) then begin
+        let base = x * k in
+        for o = 0 to k - 1 do
+          let c = bc.(base + o) in
+          let ex = if c >= 0 then c else bp.(base + o) in
+          if ex >= 0 && not (e_ne ex) then begin
+            let len1 = e_len ex + 1 in
+            let origin = origins.(o) in
+            for i = down_off.(x) to down_off.(x + 1) - 1 do
+              let pn = down_w.(i) in
+              let down = Topology.pn_peer pn in
+              if down <> origin then begin
+                if tracing then Netsim_obs.Metrics.incr c_exported;
+                bdial_push q ~len:len1 ~org:o
+                  (q_pack ~parent:x ~link:(Topology.pn_link pn) ~target:down
+                     ~ne:false)
+              end
+            done
+          end
+        done
+      end
+    done;
+    (* Same unsorted level drain as phase 1 (see the comment there);
+       the export condition — the provider route is the target's
+       selected best — reads [bc]/[bp], which are final by now, and
+       the winner's NO_EXPORT flag. *)
+    while q.bpending > 0 do
+      let len, row, szs = bdial_next_level q in
+      for org = 0 to k - 1 do
+        let sz = szs.(org) in
+        if sz > 0 then begin
+          let b = row.(org) in
+          szs.(org) <- 0;
+          let origin = origins.(org) in
+          let settled = ref 0 in
+          for i = 0 to sz - 1 do
+            let v = b.(i) in
+            let target = q_target v in
+            if target <> origin then begin
+              let idx = (target * k) + org in
+              let cand =
+                e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v)
+              in
+              let cur = bv.(idx) in
+              if pv_on then Provenance.count pvas.(org) ~cls:2 target;
+              if cur < 0 then begin
+                bv.(idx) <- cand;
+                b.(!settled) <- target;
+                incr settled
+              end
+              else begin
+                if cand < cur then bv.(idx) <- cand;
+                if pv_on then
+                  Provenance.offer pvas.(org) ~cls:2 target
+                    (if cand < cur then cur else cand)
+              end
+            end
+          done;
+          for i = 0 to !settled - 1 do
+            let target = b.(i) in
+            let idx = (target * k) + org in
+            if bc.(idx) < 0 && bp.(idx) < 0 && not (e_ne bv.(idx)) then
+              for j = down_off.(target) to down_off.(target + 1) - 1 do
+                let pn = down_w.(j) in
+                let down = Topology.pn_peer pn in
+                if down <> origin then begin
+                  if tracing then Netsim_obs.Metrics.incr c_exported;
+                  bdial_push q ~len:(len + 1) ~org
+                    (q_pack ~parent:target ~link:(Topology.pn_link pn)
+                       ~target:down ~ne:false)
+                end
+              done
+          done
+        end
+      done
+    done;
+    (* ---- Slice the strided arrays into per-origin states. ---- *)
+    let link_by_id = link_index topo in
+    Array.init k (fun o ->
+        let cust = Array.make n (-1)
+        and peer = Array.make n (-1)
+        and prov = Array.make n (-1) in
+        for x = 0 to n - 1 do
+          let idx = (x * k) + o in
+          cust.(x) <- bc.(idx);
+          peer.(x) <- bp.(idx);
+          prov.(x) <- bv.(idx)
+        done;
+        record_run_stats ~tracing n cust peer prov;
+        if pv_on then
+          record_provenance_stats ~tracing n ~origin:origins.(o) pvas.(o) cust
+            peer prov;
+        {
+          topo;
+          config = configs.(o);
+          link_by_id;
+          cust;
+          peer;
+          prov;
+          pv = (if pv_on then Some pvas.(o) else None);
+        })
 
 (* ---- reference implementation ---------------------------------------- *)
 
@@ -711,6 +1122,7 @@ let reconverge ?provenance s ~topo delta =
   let n = Topology.as_count topo in
   if n <> Topology.as_count s.topo then
     invalid_arg "Propagate.reconverge: AS count changed";
+  let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
   let origin = s.config.Announce.origin in
   let config = s.config in
   let dc = Array.make n false
@@ -772,26 +1184,23 @@ let reconverge ?provenance s ~topo delta =
     let packed = Queue.pop queue in
     let tag = packed land 3 and p = packed lsr 2 in
     if tag = 0 then
-      if improving then begin
-        let pns = Topology.packed_neighbors topo p in
-        for i = 0 to Array.length pns - 1 do
-          let pn = pns.(i) in
+      if improving then
+        for i = off.(p) to off.(p + 1) - 1 do
+          let pn = wrd.(i) in
           match Topology.pn_rel pn with
           | Relation.To_provider -> mark_c (Topology.pn_peer pn)
           | Relation.Priv_peer | Relation.Pub_peer ->
               mark_p (Topology.pn_peer pn)
           | Relation.To_customer -> ()
         done
-      end
       else begin
         List.iter mark_c cust_children.(p);
         List.iter mark_p peer_children.(p)
       end;
     (* Any dirty class can flip p's selection, changing what it
        exports to its customers. *)
-    let pns = Topology.packed_neighbors topo p in
-    for i = 0 to Array.length pns - 1 do
-      let pn = pns.(i) in
+    for i = off.(p) to off.(p + 1) - 1 do
+      let pn = wrd.(i) in
       match Topology.pn_rel pn with
       | Relation.To_customer -> mark_v (Topology.pn_peer pn)
       | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer -> ()
@@ -827,9 +1236,8 @@ let reconverge ?provenance s ~topo delta =
     (seeds topo config ~klass:Route.Customer);
   for t = 0 to n - 1 do
     if dc.(t) then begin
-      let pns = Topology.packed_neighbors topo t in
-      for i = 0 to Array.length pns - 1 do
-        let pn = pns.(i) in
+      for i = off.(t) to off.(t + 1) - 1 do
+        let pn = wrd.(i) in
         match Topology.pn_rel pn with
         | Relation.To_customer ->
             let y = Topology.pn_peer pn in
@@ -849,10 +1257,9 @@ let reconverge ?provenance s ~topo delta =
       if target <> origin && dc.(target) && cust.(target) < 0 then begin
         cust.(target) <-
           e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
-        if not (q_ne v) then begin
-          let pns = Topology.packed_neighbors topo target in
-          for i = 0 to Array.length pns - 1 do
-            let pn = pns.(i) in
+        if not (q_ne v) then
+          for i = off.(target) to off.(target + 1) - 1 do
+            let pn = wrd.(i) in
             match Topology.pn_rel pn with
             | Relation.To_provider ->
                 let up = Topology.pn_peer pn in
@@ -863,7 +1270,6 @@ let reconverge ?provenance s ~topo delta =
             | Relation.To_customer | Relation.Priv_peer | Relation.Pub_peer ->
                 ()
           done
-        end
       end);
   (* ---- Phase 2 (restricted): peer-learned routes, pulled per dirty
      target over its full lateral candidate set. ---- *)
@@ -878,9 +1284,8 @@ let reconverge ?provenance s ~topo delta =
             if cand < !best then best := cand
           end)
         peer_seeds;
-      let pns = Topology.packed_neighbors topo t in
-      for i = 0 to Array.length pns - 1 do
-        let pn = pns.(i) in
+      for i = off.(t) to off.(t + 1) - 1 do
+        let pn = wrd.(i) in
         match Topology.pn_rel pn with
         | Relation.Priv_peer | Relation.Pub_peer ->
             let y = Topology.pn_peer pn in
@@ -907,9 +1312,8 @@ let reconverge ?provenance s ~topo delta =
     (seeds topo config ~klass:Route.Provider);
   for t = 0 to n - 1 do
     if dv.(t) then begin
-      let pns = Topology.packed_neighbors topo t in
-      for i = 0 to Array.length pns - 1 do
-        let pn = pns.(i) in
+      for i = off.(t) to off.(t + 1) - 1 do
+        let pn = wrd.(i) in
         match Topology.pn_rel pn with
         | Relation.To_provider ->
             let y = Topology.pn_peer pn in
@@ -936,10 +1340,9 @@ let reconverge ?provenance s ~topo delta =
       if target <> origin && dv.(target) && prov.(target) < 0 then begin
         prov.(target) <-
           e_pack ~len ~parent:(q_parent v) ~link:(q_link v) ~ne:(q_ne v);
-        if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then begin
-          let pns = Topology.packed_neighbors topo target in
-          for i = 0 to Array.length pns - 1 do
-            let pn = pns.(i) in
+        if cust.(target) < 0 && peer.(target) < 0 && not (q_ne v) then
+          for i = off.(target) to off.(target + 1) - 1 do
+            let pn = wrd.(i) in
             match Topology.pn_rel pn with
             | Relation.To_customer ->
                 let down = Topology.pn_peer pn in
@@ -950,7 +1353,6 @@ let reconverge ?provenance s ~topo delta =
             | Relation.To_provider | Relation.Priv_peer | Relation.Pub_peer ->
                 ()
           done
-        end
       end);
   let stats =
     {

@@ -25,6 +25,18 @@ val run : ?provenance:bool -> Netsim_topo.Topology.t -> Announce.t -> state
     a {!Netsim_obs.Provenance} arena, queryable via {!decision}.  The
     disabled path costs one load + branch per record site. *)
 
+val run_batch :
+  ?provenance:bool -> Netsim_topo.Topology.t -> Announce.t array -> state array
+(** [run_batch topo configs] propagates every config's prefix in one
+    shared frontier sweep and returns one state per config, in order.
+    Each state is {!equal} (and, with provenance on, arena-equal) to
+    an independent {!run} of its config — the differential property in
+    [test/test_scale.ml] — but the topology scans, the link index and
+    the class-partitioned adjacency are amortized across the batch, so
+    at Internet scale a batch of origins runs several times faster
+    than the same origins run one by one (see [bench/micro_scale.ml]).
+    Duplicate origins are allowed and computed independently. *)
+
 val run_reference : Netsim_topo.Topology.t -> Announce.t -> state
 (** The original [Set]-based implementation, kept as the oracle for
     the differential property tests and benchmarks.  Produces results

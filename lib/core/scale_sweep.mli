@@ -1,0 +1,34 @@
+(** Internet-scale batched propagation experiment ([beatbgp scale]).
+
+    Generates a {!Netsim_topo.Generator.generate_scale} topology,
+    propagates a spread of stub-origin prefixes through
+    {!Netsim_bgp.Rib_cache.run_batch} (fanned out over the domain pool
+    in contiguous chunks via {!Netsim_par.Pool.map_batches}), and
+    reports aggregate routing statistics.  All output derives from the
+    routing states alone, so it is byte-identical for any
+    [NETSIM_DOMAINS] value and RIB-cache setting — the property the
+    [make verify] golden matrix pins down.
+
+    With [sp_check] every batched state is additionally compared
+    ({!Netsim_bgp.Propagate.equal}) against an independent
+    {!Netsim_bgp.Propagate.run} of the same config — the differential
+    guarantee, end to end through cache and pool. *)
+
+type params = {
+  sp_scale : Netsim_topo.Generator.scale_params;
+  sp_origins : int;  (** Stub prefixes to propagate (clamped to stubs). *)
+  sp_batch : int;  (** Origins per {!Netsim_bgp.Rib_cache.run_batch} call. *)
+  sp_check : bool;  (** Differentially verify batched against sequential. *)
+}
+
+val default_params : params
+(** {!Netsim_topo.Generator.scale_params} (≈74.5k ASes), 64 origins,
+    batch 16, no check. *)
+
+val small_params : params
+(** Same, over {!Netsim_topo.Generator.small_scale_params} (≈600
+    ASes). *)
+
+val run : params -> (string, string) result
+(** The rendered report, or an error (cap violation from the
+    generator, or a differential-check failure naming the origins). *)

@@ -265,3 +265,30 @@ let mapi f arr =
   map (fun (i, x) -> f i x) idx
 
 let map_list f l = Array.to_list (map f (Array.of_list l))
+
+(* Batched fan-out: contiguous chunks of [batch] items become the pool
+   tasks, so a per-chunk batched computation (Rib_cache.run_batch)
+   runs under [map]'s usual per-task shard + capture/absorb
+   discipline.  Chunking is deterministic in the input order alone, so
+   results are byte-identical at any domain count. *)
+let map_batches (type a b) ~batch (f : a array -> b array) (arr : a array) :
+    b array =
+  if batch <= 0 then invalid_arg "Pool.map_batches: batch must be positive";
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let chunks =
+      Array.init
+        ((n + batch - 1) / batch)
+        (fun c ->
+          let lo = c * batch in
+          Array.sub arr lo (Stdlib.min batch (n - lo)))
+    in
+    let results = map f chunks in
+    Array.iteri
+      (fun c r ->
+        if Array.length r <> Array.length chunks.(c) then
+          invalid_arg "Pool.map_batches: chunk result length mismatch")
+      results;
+    Array.concat (Array.to_list results)
+  end

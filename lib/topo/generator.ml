@@ -411,3 +411,376 @@ let generate p =
   Netsim_obs.Metrics.add c_ases (Topology.as_count topo);
   Netsim_obs.Metrics.add c_links (Topology.link_count topo);
   topo
+
+(* ---- Internet scale -------------------------------------------------- *)
+
+(* [generate] above draws peerings by testing every pair (O(n^2)) —
+   fine at hundreds of ASes, unusable at 75k.  [generate_scale] keeps
+   the same hierarchy (Tier-1 clique / continental transits /
+   per-country eyeballs / single-homed stubs) but replaces the pair
+   loops with per-node partner sampling out of metro and continent
+   buckets, so the whole build is O(n + m).  Total construction, in
+   and out of cap, is part of the contract: every failure mode is an
+   [Error], never an exception (fuzzed in test/test_scale.ml). *)
+
+type scale_params = {
+  sc_seed : int;
+  sc_tier1 : int;
+  sc_transit : int;
+  sc_eyeball : int;
+  sc_stub : int;
+  sc_transit_providers : int * int;
+  sc_transit_peer_degree : int;
+  sc_eyeball_providers : int * int;
+  sc_eyeball_peer_degree : int;
+  sc_sessions : int;
+}
+
+let scale_params =
+  {
+    sc_seed = 42;
+    sc_tier1 = 16;
+    sc_transit = 2500;
+    sc_eyeball = 12000;
+    sc_stub = 60000;
+    sc_transit_providers = (2, 4);
+    sc_transit_peer_degree = 16;
+    sc_eyeball_providers = (2, 3);
+    sc_eyeball_peer_degree = 60;
+    sc_sessions = 4;
+  }
+
+let small_scale_params =
+  {
+    scale_params with
+    sc_tier1 = 4;
+    sc_transit = 40;
+    sc_eyeball = 160;
+    sc_stub = 400;
+    sc_transit_peer_degree = 6;
+    sc_eyeball_peer_degree = 8;
+    sc_sessions = 2;
+  }
+
+let generate_scale p =
+  let n_total = p.sc_tier1 + p.sc_transit + p.sc_eyeball + p.sc_stub in
+  if p.sc_tier1 < 1 then Error "generate_scale: need at least one Tier-1"
+  else if p.sc_transit < 0 || p.sc_eyeball < 0 || p.sc_stub < 0 then
+    Error "generate_scale: negative AS count"
+  else if p.sc_sessions < 1 then Error "generate_scale: sc_sessions < 1"
+  else if n_total > Topology.max_as_count then
+    Error
+      (Printf.sprintf
+         "generate_scale: %d ASes exceeds the packed cap of %d (2^20)" n_total
+         Topology.max_as_count)
+  else begin
+    try
+      Netsim_obs.Span.with_ ~name:"topo.generate_scale" @@ fun () ->
+      let rng = Sm.create p.sc_seed in
+      let b = new_builder () in
+      let n_cities = Array.length World.cities in
+      (* 1. Tier-1 clique, global footprints. *)
+      let t1_rng = Sm.of_label rng "tier1" in
+      let tier1s =
+        Array.init p.sc_tier1 (fun i ->
+            push_as b ~klass:Asn.Tier1
+              ~name:(Printf.sprintf "T1-%d" i)
+              ~footprint:(tier1_footprint t1_rng))
+      in
+      let fp = Array.make n_total [||] in
+      Array.iter (fun (a : Asn.t) -> fp.(a.Asn.id) <- a.Asn.footprint)
+        (Array.of_list b.ases_rev);
+      let remember id = fp.(id) <- (List.hd b.ases_rev).Asn.footprint in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j bb ->
+              if j > i then begin
+                let metros =
+                  match
+                    common_metros t1_rng ~k:p.sc_sessions fp.(a) fp.(bb)
+                  with
+                  | [] -> [ fp.(a).(0) ]
+                  | l -> l
+                in
+                List.iter
+                  (fun metro ->
+                    push_link b a bb Relation.Peer_private metro 1000.)
+                  metros
+              end)
+            tier1s)
+        tier1s;
+      (* 2. Continental transit providers. *)
+      let tr_rng = Sm.of_label rng "transit" in
+      let continents = Array.of_list Region.all_continents in
+      let continent_weights =
+        Array.map
+          (fun c -> float_of_int (List.length (city_ids_of_continent c)))
+          continents
+      in
+      let n_cont = Array.length continents in
+      let cont_index c =
+        let rec go i = if continents.(i) = c then i else go (i + 1) in
+        go 0
+      in
+      let transit_cont = Array.make p.sc_transit 0 in
+      let transits =
+        Array.init p.sc_transit (fun i ->
+            let ci = Dist.categorical continent_weights tr_rng in
+            let id =
+              push_as b ~klass:Asn.Transit
+                ~name:(Printf.sprintf "TR-%d" i)
+                ~footprint:(transit_footprint tr_rng continents.(ci))
+            in
+            remember id;
+            transit_cont.(i) <- ci;
+            id)
+      in
+      (* Continent buckets of transits, for provider/peer sampling. *)
+      let transit_by_cont = Array.make n_cont [] in
+      Array.iteri
+        (fun i tid ->
+          transit_by_cont.(transit_cont.(i)) <-
+            tid :: transit_by_cont.(transit_cont.(i)))
+        transits;
+      let transit_by_cont =
+        Array.map (fun l -> Array.of_list (List.rev l)) transit_by_cont
+      in
+      (* Transit -> Tier-1 providers. *)
+      Array.iter
+        (fun tid ->
+          let k = range_int tr_rng p.sc_transit_providers in
+          let chosen = Dist.sample_without_replacement tr_rng k tier1s in
+          Array.iter
+            (fun t1 ->
+              let metros =
+                match
+                  random_metros tr_rng ~k:p.sc_sessions fp.(tid) fp.(t1)
+                with
+                | [] -> [ fp.(tid).(0) ]
+                | l -> l
+              in
+              List.iter
+                (fun metro -> push_link b tid t1 Relation.C2p metro 400.)
+                metros)
+            chosen)
+        transits;
+      (* Transit peering: per-node partner sampling within the
+         continent (pairs deduped), instead of the O(n^2) pair walk. *)
+      let pair_seen = Hashtbl.create 4096 in
+      let fresh_pair a bb =
+        let key =
+          if a < bb then (a * Topology.max_as_count) + bb
+          else (bb * Topology.max_as_count) + a
+        in
+        if Hashtbl.mem pair_seen key then false
+        else begin
+          Hashtbl.add pair_seen key ();
+          true
+        end
+      in
+      Array.iteri
+        (fun i tid ->
+          let bucket = transit_by_cont.(transit_cont.(i)) in
+          let nb = Array.length bucket in
+          if nb > 1 then
+            for _ = 1 to p.sc_transit_peer_degree do
+              let other = bucket.(Sm.next_int tr_rng nb) in
+              if other <> tid && fresh_pair tid other then
+                List.iter
+                  (fun metro ->
+                    push_link b tid other Relation.Peer_private metro 400.)
+                  (random_metros tr_rng ~k:2 fp.(tid) fp.(other))
+            done)
+        transits;
+      (* 3. Eyeball ISPs: country by population, providers from the
+         continent's transit bucket, IXP peering within the home
+         metro's bucket. *)
+      let eb_rng = Sm.of_label rng "eyeball" in
+      let countries = Array.of_list World.countries in
+      let country_pop country =
+        World.by_country country
+        |> List.fold_left (fun acc (c : City.t) -> acc +. c.population_m) 0.
+      in
+      let country_weights = Array.map country_pop countries in
+      let eyeballs_at = Array.make n_cities [] in
+      let transit_at = Array.make n_cities [] in
+      Array.iter
+        (fun tid ->
+          Array.iter
+            (fun c -> transit_at.(c) <- tid :: transit_at.(c))
+            fp.(tid))
+        transits;
+      let transit_at = Array.map (fun l -> Array.of_list (List.rev l)) transit_at in
+      let eyeballs =
+        Array.init p.sc_eyeball (fun i ->
+            let country = countries.(Dist.categorical country_weights eb_rng) in
+            let id =
+              push_as b ~klass:Asn.Eyeball
+                ~name:(Printf.sprintf "EB-%d" i)
+                ~footprint:(eyeball_footprint eb_rng country)
+            in
+            remember id;
+            let home = fp.(id).(0) in
+            eyeballs_at.(home) <- id :: eyeballs_at.(home);
+            id)
+      in
+      let eyeballs_at =
+        Array.map (fun l -> Array.of_list (List.rev l)) eyeballs_at
+      in
+      Array.iter
+        (fun eid ->
+            let home = fp.(eid).(0) in
+            let cont = World.cities.(home).City.continent in
+            let bucket = transit_by_cont.(cont_index cont) in
+            let candidates = if Array.length bucket = 0 then tier1s else bucket in
+            let k =
+              Stdlib.max 1
+                (Stdlib.min (Array.length candidates)
+                   (range_int eb_rng p.sc_eyeball_providers))
+            in
+            let chosen = Dist.sample_without_replacement eb_rng k candidates in
+            Array.iter
+              (fun tid ->
+                let metros =
+                  match
+                    random_metros eb_rng ~k:p.sc_sessions fp.(eid) fp.(tid)
+                  with
+                  | [] -> [ home ]
+                  | l -> l
+                in
+                List.iter
+                  (fun metro -> push_link b eid tid Relation.C2p metro 200.)
+                  metros)
+              chosen;
+            (* Direct Tier-1 transit for the bigger eyeballs. *)
+            if Dist.bernoulli eb_rng ~p:0.6 then begin
+              let t1 = tier1s.(Sm.next_int eb_rng (Array.length tier1s)) in
+              let metros =
+                match random_metros eb_rng ~k:p.sc_sessions fp.(eid) fp.(t1) with
+                | [] -> [ home ]
+                | l -> l
+              in
+              List.iter
+                (fun metro -> push_link b eid t1 Relation.C2p metro 200.)
+                metros
+            end;
+            (* IXP peering with other eyeballs homed at the same metro. *)
+            let ix = eyeballs_at.(home) in
+            let nix = Array.length ix in
+            if nix > 1 then
+              for _ = 1 to p.sc_eyeball_peer_degree do
+                let other = ix.(Sm.next_int eb_rng nix) in
+                if other <> eid && fresh_pair eid other then
+                  push_link b eid other Relation.Peer_public home 20.
+              done)
+        eyeballs;
+      (* 4. Stubs: single-homed (possibly dual sessions) to an AS
+         present at their metro. *)
+      let st_rng = Sm.of_label rng "stub" in
+      for i = 0 to p.sc_stub - 1 do
+        let city = Dist.categorical World.population_weights st_rng in
+        let sid =
+          push_as b ~klass:Asn.Stub
+            ~name:(Printf.sprintf "ST-%d" i)
+            ~footprint:[| city |]
+        in
+        let upstream =
+          let ebs = eyeballs_at.(city) in
+          if Array.length ebs > 0 then ebs.(Sm.next_int st_rng (Array.length ebs))
+          else begin
+            let trs = transit_at.(city) in
+            if Array.length trs > 0 then
+              trs.(Sm.next_int st_rng (Array.length trs))
+            else tier1s.(Sm.next_int st_rng (Array.length tier1s))
+          end
+        in
+        let sessions = if p.sc_sessions >= 2 then 2 else 1 in
+        for _ = 1 to sessions do
+          push_link b sid upstream Relation.C2p city 10.
+        done
+      done;
+      let n_links = List.length b.links_rev in
+      if n_links > Topology.max_link_count then
+        Error
+          (Printf.sprintf
+             "generate_scale: %d links exceeds the packed cap of %d (2^21)"
+             n_links Topology.max_link_count)
+      else begin
+        let links =
+          List.rev_map
+            (fun (a, bb, kind, metro, cap) ->
+              { Relation.id = 0; a; b = bb; kind; metro; capacity_gbps = cap })
+            b.links_rev
+        in
+        let topo = Topology.make (Array.of_list (List.rev b.ases_rev)) links in
+        Netsim_obs.Metrics.add c_ases (Topology.as_count topo);
+        Netsim_obs.Metrics.add c_links (Topology.link_count topo);
+        Ok topo
+      end
+    with Invalid_argument msg -> Error msg
+  end
+
+(* ---- degenerate shapes ----------------------------------------------- *)
+
+(* Total constructors for the fuzz/totality property: pathological
+   graphs (no ASes beside one, a max-degree hub, a provider chain as
+   long as the cap allows) must build valid CSR arenas, and anything
+   over the packed caps must come back as [Error] without raising. *)
+
+type shape = Single | Star of int | Chain of int
+
+let shape_footprint = [| 0 |]
+
+let generate_shape shape =
+  let mk ases links =
+    try Ok (Topology.make ases links) with Invalid_argument msg -> Error msg
+  in
+  match shape with
+  | Single ->
+      mk
+        [| { Asn.id = 0; klass = Asn.Tier1; name = "S0";
+             footprint = shape_footprint } |]
+        []
+  | Star spokes ->
+      if spokes < 0 then Error "generate_shape: negative spoke count"
+      else if spokes + 1 > Topology.max_as_count then
+        Error "generate_shape: star exceeds the 2^20 AS cap"
+      else begin
+        let ases =
+          Array.init (spokes + 1) (fun i ->
+              if i = 0 then
+                { Asn.id = 0; klass = Asn.Tier1; name = "hub";
+                  footprint = shape_footprint }
+              else
+                { Asn.id = i; klass = Asn.Stub; name = "s";
+                  footprint = shape_footprint })
+        in
+        let links =
+          List.init spokes (fun i ->
+              { Relation.id = 0; a = i + 1; b = 0; kind = Relation.C2p;
+                metro = 0; capacity_gbps = 10. })
+        in
+        mk ases links
+      end
+  | Chain length ->
+      if length < 1 then Error "generate_shape: chain needs at least one AS"
+      else if length > Topology.max_as_count then
+        Error "generate_shape: chain exceeds the 2^20 AS cap"
+      else begin
+        let ases =
+          Array.init length (fun i ->
+              let klass =
+                if i = 0 then Asn.Tier1
+                else if i = length - 1 then Asn.Stub
+                else Asn.Transit
+              in
+              { Asn.id = i; klass; name = "c"; footprint = shape_footprint })
+        in
+        let links =
+          List.init (length - 1) (fun i ->
+              { Relation.id = 0; a = i + 1; b = i; kind = Relation.C2p;
+                metro = 0; capacity_gbps = 10. })
+        in
+        mk ases links
+      end

@@ -43,3 +43,53 @@ val common_metro :
 val common_metros :
   Netsim_prng.Splitmix.t -> k:int -> int array -> int array -> int list
 (** Up to [k] distinct shared metros ([] if disjoint). *)
+
+(** {2 Internet scale}
+
+    {!generate} draws peerings by testing every AS pair, which is
+    O(n²) and unusable beyond a few thousand ASes.  {!generate_scale}
+    builds the same hierarchy with per-node partner sampling out of
+    metro and continent buckets — O(n + m) — so ~75k-AS,
+    million-link topologies assemble in seconds while staying inside
+    the packed-word caps ({!Topology.max_as_count},
+    {!Topology.max_link_count}). *)
+
+type scale_params = {
+  sc_seed : int;
+  sc_tier1 : int;
+  sc_transit : int;
+  sc_eyeball : int;
+  sc_stub : int;
+  sc_transit_providers : int * int;  (** Min/max Tier-1 providers per transit. *)
+  sc_transit_peer_degree : int;
+      (** Peering partners drawn per transit from its continent bucket. *)
+  sc_eyeball_providers : int * int;  (** Min/max transit providers per eyeball. *)
+  sc_eyeball_peer_degree : int;
+      (** IXP partners drawn per eyeball from its home-metro bucket. *)
+  sc_sessions : int;  (** Sessions (distinct metros) per interconnect. *)
+}
+
+val scale_params : scale_params
+(** [seed = 42]; 16 Tier-1s, 2 500 transits, 12 000 eyeballs, 60 000
+    stubs — ≈74.5k ASes, ≈1M links. *)
+
+val small_scale_params : scale_params
+(** ≈600 ASes with reduced degrees, for goldens and unit tests. *)
+
+val generate_scale : scale_params -> (Topology.t, string) result
+(** Build an Internet-scale topology.  Deterministic in
+    [p.sc_seed]; total — parameter sets that violate the packed caps
+    (or any constructor invariant) return [Error], never raise. *)
+
+(** {2 Degenerate shapes}
+
+    Minimal pathological graphs for the CSR/totality fuzz tests:
+    [Single] is one isolated Tier-1; [Star n] is a Tier-1 hub with [n]
+    stub customers (a max-degree row — [Star (Topology.max_as_count - 1)]
+    is the largest valid star); [Chain n] is a provider chain of [n]
+    ASes (Tier-1 head, Transit middle, Stub tail). *)
+
+type shape = Single | Star of int | Chain of int
+
+val generate_shape : shape -> (Topology.t, string) result
+(** Total: out-of-cap or negative sizes return [Error], never raise. *)

@@ -5,7 +5,12 @@ type t = {
   ases : Asn.t array;
   links : Relation.link array;
   adj : neighbor list array;
-  padj : int array array;
+  (* CSR adjacency arena: AS [x]'s packed neighbor words live at
+     [csr_words.(csr_off.(x)) .. csr_words.(csr_off.(x+1) - 1)].  Two
+     flat arrays instead of per-node rows keeps the hot propagation
+     loops on one contiguous allocation that domains share read-only. *)
+  csr_off : int array;
+  csr_words : int array;
 }
 
 (* Every constructed topology gets a unique generation stamp, so a
@@ -43,7 +48,22 @@ let pack_neighbor ~rel ~peer ~link_id =
 let pack_of_nb (nb : neighbor) =
   pack_neighbor ~rel:nb.rel ~peer:nb.peer ~link_id:nb.link.Relation.id
 
-let padj_of_adj adj = Array.map (fun l -> Array.of_list (List.map pack_of_nb l)) adj
+let csr_of_adj adj =
+  let n = Array.length adj in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + List.length adj.(i)
+  done;
+  let words = Array.make off.(n) 0 in
+  for i = 0 to n - 1 do
+    let j = ref off.(i) in
+    List.iter
+      (fun nb ->
+        words.(!j) <- pack_of_nb nb;
+        incr j)
+      adj.(i)
+  done;
+  (off, words)
 
 let build_adjacency n links =
   let adj = Array.make n [] in
@@ -85,7 +105,8 @@ let make ases link_list =
     links;
   check_packing_limits n links;
   let adj = build_adjacency n links in
-  { gen = next_gen (); ases; links; adj; padj = padj_of_adj adj }
+  let csr_off, csr_words = csr_of_adj adj in
+  { gen = next_gen (); ases; links; adj; csr_off; csr_words }
 
 let of_packed ~ases ~links ~padj =
   let n = Array.length ases in
@@ -138,7 +159,8 @@ let of_packed ~ases ~links ~padj =
           (Array.to_list row))
       padj
   in
-  { gen = next_gen (); ases; links; adj; padj = padj_of_adj adj }
+  let csr_off, csr_words = csr_of_adj adj in
+  { gen = next_gen (); ases; links; adj; csr_off; csr_words }
 
 let as_count t = Array.length t.ases
 let link_count t = Array.length t.links
@@ -147,7 +169,11 @@ let asn t i = t.ases.(i)
 let ases t = t.ases
 let links t = t.links
 let neighbors t i = t.adj.(i)
-let packed_neighbors t i = t.padj.(i)
+let csr_offsets t = t.csr_off
+let csr_words t = t.csr_words
+
+let packed_neighbors t i =
+  Array.sub t.csr_words t.csr_off.(i) (t.csr_off.(i + 1) - t.csr_off.(i))
 
 let filter_rel t i want =
   List.filter_map
@@ -183,7 +209,10 @@ let add_as t ~klass ~name ~footprint =
       ases;
       links = t.links;
       adj = Array.append t.adj [| [] |];
-      padj = Array.append t.padj [| [||] |];
+      (* The new AS has no neighbors: one more (equal) offset, same
+         word arena. *)
+      csr_off = Array.append t.csr_off [| t.csr_off.(Array.length t.csr_off - 1) |];
+      csr_words = t.csr_words;
     },
     id )
 
@@ -204,7 +233,8 @@ let add_links t specs =
     links;
   check_packing_limits n links;
   let adj = build_adjacency n links in
-  { t with gen = next_gen (); links; adj; padj = padj_of_adj adj }
+  let csr_off, csr_words = csr_of_adj adj in
+  { t with gen = next_gen (); links; adj; csr_off; csr_words }
 
 let remove_links t ids =
   let module S = Set.Make (Int) in
@@ -221,13 +251,13 @@ let remove_links t ids =
       S.empty t.links
   in
   let adj = Array.copy t.adj in
-  let padj = Array.copy t.padj in
   S.iter
-    (fun x ->
-      adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x);
-      padj.(x) <- Array.of_list (List.map pack_of_nb adj.(x)))
+    (fun x -> adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x))
     touched;
-  { t with gen = next_gen (); links; adj; padj }
+  (* The CSR arena is contiguous, so it is rebuilt wholesale — O(n+m),
+     the same order as the links-array filter above. *)
+  let csr_off, csr_words = csr_of_adj adj in
+  { t with gen = next_gen (); links; adj; csr_off; csr_words }
 
 let remove_links_of_as t asid =
   let ids =

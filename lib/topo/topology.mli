@@ -34,16 +34,37 @@ val ases : t -> Asn.t array
 val links : t -> Relation.link array
 val neighbors : t -> int -> neighbor list
 
-(** {2 Packed adjacency}
+(** {2 Packed CSR adjacency}
 
     Allocation-free mirror of {!neighbors} for hot loops: each
     neighbor is one immediate int with the link id in bits 0-20, the
     peer AS id in bits 21-40 and the relation in bits 41-42, decoded
     with the [pn_*] accessors.  AS count is capped at 2^20 and link
-    ids at 2^21 by the constructors to keep the packing valid. *)
+    ids at 2^21 by the constructors to keep the packing valid.
+
+    The words live in a compressed-sparse-row arena: AS [x]'s
+    neighbors are [csr_words.(csr_offsets.(x))
+    .. csr_words.(csr_offsets.(x+1) - 1)].  Both arrays are built once
+    per topology and shared {e read-only} across pool domains — never
+    mutate them. *)
+
+val max_as_count : int
+(** 2^20 — the AS-count cap the packed word layout supports. *)
+
+val max_link_count : int
+(** 2^21 — the exclusive upper bound on link ids. *)
+
+val csr_offsets : t -> int array
+(** Row offsets, length [as_count t + 1]; [csr_offsets t .(as_count t)]
+    is the total directed-edge count (2 × {!link_count}). *)
+
+val csr_words : t -> int array
+(** The packed neighbor word arena indexed by {!csr_offsets}. *)
 
 val packed_neighbors : t -> int -> int array
-(** Same sessions as {!neighbors} (same order); do not mutate. *)
+(** Same sessions as {!neighbors} (same order), copied out of the CSR
+    arena into a fresh row.  Cold-path convenience (snapshots, tests);
+    hot loops should index {!csr_words} directly. *)
 
 val pn_peer : int -> int
 val pn_link : int -> int

@@ -19,6 +19,7 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("scheme", Test_scheme.suite);
       ("properties", Test_properties.suite);
+      ("scale", Test_scale.suite);
       ("extensions", Test_extensions.suite);
       ("dynamics", Test_dynamics.suite);
       ("serve", Test_serve.suite);

@@ -120,6 +120,132 @@ let test_absorb_merges () =
   check "parent hits the task's entry" true (s_task == s_parent);
   check_int "hit recorded" 1 (Rib_cache.hits ())
 
+(* ---- batched lookups --------------------------------------------------- *)
+
+(* [Rib_cache.run_batch] promises to be observationally byte-identical
+   to a sequential loop of [Rib_cache.run]: same states, same hit/miss
+   totals, same recency and eviction order — at any domain count. *)
+
+module Pool = Netsim_par.Pool
+
+let with_domains d f =
+  let saved = Pool.domain_count () in
+  Pool.set_domain_count d;
+  Fun.protect ~finally:(fun () -> Pool.set_domain_count saved) f
+
+let cfg origin = Announce.default ~origin
+
+let test_batch_dedups_misses () =
+  let topo = Fixture.topo () in
+  let workload =
+    [| cfg Fixture.cp; cfg Fixture.eb; cfg Fixture.cp; cfg Fixture.cp;
+       cfg Fixture.eb |]
+  in
+  (* Baseline: the sequential loop's counters and states. *)
+  let seq_states, seq_hits, seq_misses =
+    isolated @@ fun () ->
+    let sts = Array.map (fun c -> Rib_cache.run topo c) workload in
+    (sts, Rib_cache.hits (), Rib_cache.misses ())
+  in
+  isolated @@ fun () ->
+  let sts = Rib_cache.run_batch topo workload in
+  check_int "two misses for two distinct keys" 2 (Rib_cache.misses ());
+  check_int "duplicates hit, not double-miss" 3 (Rib_cache.hits ());
+  check_int "misses equal the sequential loop" seq_misses (Rib_cache.misses ());
+  check_int "hits equal the sequential loop" seq_hits (Rib_cache.hits ());
+  check "duplicate keys share one cached state" true
+    (sts.(0) == sts.(2) && sts.(2) == sts.(3) && sts.(1) == sts.(4));
+  Array.iteri
+    (fun i st ->
+      check
+        (Printf.sprintf "state %d equals sequential" i)
+        true
+        (Propagate.equal st seq_states.(i)))
+    sts
+
+let test_batch_provenance_upgrade () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let config = cfg Fixture.cp in
+  let _ = Rib_cache.run_batch ~provenance:false topo [| config |] in
+  check_int "plain entry cached" 1 (Rib_cache.misses ());
+  (* A provenance request against a plain entry regenerates — counted
+     as a miss, never served stale without an arena. *)
+  let s1 = Rib_cache.run_batch ~provenance:true topo [| config |] in
+  check_int "upgrade counted as a miss" 2 (Rib_cache.misses ());
+  check_int "upgrade is not a hit" 0 (Rib_cache.hits ());
+  (* The upgraded entry satisfies further provenance batches. *)
+  let s2 = Rib_cache.run_batch ~provenance:true topo [| config |] in
+  check_int "upgraded entry hits" 1 (Rib_cache.hits ());
+  check "hit returns the upgraded state" true (s1.(0) == s2.(0));
+  check "provenance arena matches a fresh run" true
+    (Propagate.provenance_equal s2.(0) (Propagate.run ~provenance:true topo config))
+
+let test_batch_generation_invalidates () =
+  isolated @@ fun () ->
+  let topo = Fixture.topo () in
+  let workload = [| cfg Fixture.cp; cfg Fixture.eb; cfg Fixture.st |] in
+  let _ = Rib_cache.run_batch topo workload in
+  let _ = Rib_cache.run_batch topo workload in
+  check_int "warm batch all hits" 3 (Rib_cache.hits ());
+  (* One generation bump must invalidate every origin of the batch. *)
+  let failed = Topology.remove_links topo [ Fixture.l_t1_peer ] in
+  let sts = Rib_cache.run_batch failed workload in
+  check_int "all origins miss after the bump" 6 (Rib_cache.misses ());
+  check_int "no stale hits" 3 (Rib_cache.hits ());
+  Array.iteri
+    (fun i st ->
+      check
+        (Printf.sprintf "post-bump state %d is fresh and correct" i)
+        true
+        (Propagate.equal st (Propagate.run failed workload.(i))))
+    sts;
+  (* The original topology value's entries were not disturbed. *)
+  let _ = Rib_cache.run_batch topo workload in
+  check_int "original batch still hits" 6 (Rib_cache.hits ())
+
+(* Drive a capacity-bounded workload through the pool and read back
+   every observable of the shard: counters, size, and the eviction
+   order (probed as the hit/miss pattern of a fixed key sequence,
+   which is itself LRU-mutating — so it only matches if the full
+   recency order matched to begin with). *)
+let lru_observables ~domains topo =
+  with_domains domains @@ fun () ->
+  isolated ~capacity:3 @@ fun () ->
+  let workload =
+    Array.map cfg
+      [| Fixture.cp; Fixture.eb; Fixture.st; Fixture.cp; Fixture.tr;
+         Fixture.t1a; Fixture.cp; Fixture.eb |]
+  in
+  let _ =
+    Pool.map_batches ~batch:2
+      (fun chunk -> Rib_cache.run_batch topo chunk)
+      workload
+  in
+  let hits = Rib_cache.hits ()
+  and misses = Rib_cache.misses ()
+  and size = Rib_cache.size () in
+  let probe =
+    List.map
+      (fun o ->
+        let h = Rib_cache.hits () in
+        ignore (Rib_cache.run topo (cfg o));
+        Rib_cache.hits () > h)
+      [ Fixture.cp; Fixture.eb; Fixture.st; Fixture.tr; Fixture.t1a;
+        Fixture.st ]
+  in
+  (hits, misses, size, probe)
+
+let test_batch_lru_domain_independent () =
+  let topo = Fixture.topo () in
+  let h1, m1, s1, p1 = lru_observables ~domains:1 topo in
+  let h4, m4, s4, p4 = lru_observables ~domains:4 topo in
+  check_int "hits identical at domains 1 and 4" h1 h4;
+  check_int "misses identical at domains 1 and 4" m1 m4;
+  check_int "shard size identical at domains 1 and 4" s1 s4;
+  Alcotest.(check (list bool))
+    "eviction order identical at domains 1 and 4" p1 p4
+
 let suite =
   [
     Alcotest.test_case "hit on repeated (topo, config)" `Quick
@@ -131,4 +257,12 @@ let suite =
     Alcotest.test_case "LRU eviction at the bound" `Quick test_lru_eviction;
     Alcotest.test_case "disabled cache bypasses" `Quick test_disabled_bypasses;
     Alcotest.test_case "absorb merges task shards" `Quick test_absorb_merges;
+    Alcotest.test_case "batch dedups repeated keys like the loop" `Quick
+      test_batch_dedups_misses;
+    Alcotest.test_case "batch provenance upgrade counts as a miss" `Quick
+      test_batch_provenance_upgrade;
+    Alcotest.test_case "generation bump invalidates a whole batch" `Quick
+      test_batch_generation_invalidates;
+    Alcotest.test_case "batch LRU order identical at domains 1 vs 4" `Quick
+      test_batch_lru_domain_independent;
   ]

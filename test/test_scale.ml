@@ -1,0 +1,287 @@
+(* The internet-scale batching contract, differentially tested:
+
+   1. [Propagate.run_batch] must be entry-for-entry equal to N
+      independent [Propagate.run] calls — for random hierarchies,
+      origin sets (duplicates included), domain counts, RIB cache
+      on/off and provenance on/off, end to end through
+      [Rib_cache.run_batch] and [Pool.map_batches].
+
+   2. The scale/shape topology constructors are total: degenerate
+      shapes (single AS, max-degree star, provider chain, AS count at
+      the 2^20 packed cap) build valid CSR arenas and never raise;
+      out-of-cap inputs return [Error]. *)
+
+module Sm = Netsim_prng.Splitmix
+module Asn = Netsim_topo.Asn
+module Relation = Netsim_topo.Relation
+module Topology = Netsim_topo.Topology
+module Generator = Netsim_topo.Generator
+module Invariants = Netsim_topo.Invariants
+module Announce = Netsim_bgp.Announce
+module Propagate = Netsim_bgp.Propagate
+module Rib_cache = Netsim_bgp.Rib_cache
+module Pool = Netsim_par.Pool
+
+let check = Alcotest.(check bool)
+
+(* Randomized small Internets, as in test_properties. *)
+let random_topo seed =
+  let params =
+    {
+      Generator.small_params with
+      Generator.seed;
+      n_tier1 = 2 + (seed mod 3);
+      n_transit = 4 + (seed mod 5);
+      n_eyeball = 8 + (seed mod 10);
+      n_stub = 6 + (seed mod 8);
+    }
+  in
+  Generator.generate params
+
+(* [k] origins spread over all ASes; deliberately allows duplicates
+   (a batch must compute duplicated configs independently, and the
+   cache must hit on them). *)
+let pick_origins topo seed k =
+  let n = Topology.as_count topo in
+  Array.init k (fun j -> ((seed * 7) + (j * 13)) mod n)
+
+let with_domains d f =
+  let saved = Pool.domain_count () in
+  Pool.set_domain_count d;
+  Fun.protect ~finally:(fun () -> Pool.set_domain_count saved) f
+
+let with_cache on f =
+  let saved = Rib_cache.enabled () in
+  Rib_cache.set_enabled on;
+  Rib_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rib_cache.clear ();
+      Rib_cache.set_enabled saved)
+    f
+
+(* Per-origin equality of a batched state against an independent run:
+   routing entries, provenance arenas, and the queryable decision
+   chain of every AS. *)
+let state_equals_solo topo config ~pv st =
+  let solo = Propagate.run ~provenance:pv topo config in
+  Propagate.equal st solo
+  && Propagate.provenance_equal st solo
+  &&
+  if not pv then true
+  else begin
+    let n = Topology.as_count topo in
+    let ok = ref true in
+    for x = 0 to n - 1 do
+      if Propagate.decision st x <> Propagate.decision solo x then ok := false
+    done;
+    !ok
+  end
+
+let seed_gen = QCheck.int_range 0 500
+
+let prop_batch_equals_sequential =
+  QCheck.Test.make
+    ~name:"run_batch == N independent runs (origins 1-16, provenance on/off)"
+    ~count:25
+    QCheck.(pair seed_gen (int_range 1 16))
+    (fun (seed, k) ->
+      let topo = random_topo seed in
+      let origins = pick_origins topo seed k in
+      let configs = Array.map (fun origin -> Announce.default ~origin) origins in
+      List.for_all
+        (fun pv ->
+          let batched = Propagate.run_batch ~provenance:pv topo configs in
+          Array.length batched = k
+          && Array.for_all Fun.id
+               (Array.mapi
+                  (fun i st -> state_equals_solo topo configs.(i) ~pv st)
+                  batched))
+        [ false; true ])
+
+let prop_batch_through_cache_and_pool =
+  QCheck.Test.make
+    ~name:
+      "map_batches(Rib_cache.run_batch) == independent runs (domains 1/4, \
+       cache on/off)"
+    ~count:12
+    QCheck.(quad seed_gen (int_range 1 16) (int_range 1 4) bool)
+    (fun (seed, k, domains, cache_on) ->
+      let topo = random_topo seed in
+      let origins = pick_origins topo seed k in
+      let configs = Array.map (fun origin -> Announce.default ~origin) origins in
+      let batch = 1 + (seed mod 8) in
+      with_domains domains @@ fun () ->
+      with_cache cache_on @@ fun () ->
+      let states =
+        Pool.map_batches ~batch
+          (fun chunk -> Rib_cache.run_batch topo chunk)
+          configs
+      in
+      Array.length states = k
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun i st ->
+                Propagate.equal st (Propagate.run topo configs.(i)))
+              states))
+
+let prop_batch_provenance_through_cache =
+  QCheck.Test.make
+    ~name:"Rib_cache.run_batch ~provenance preserves decision chains"
+    ~count:10
+    QCheck.(pair seed_gen (int_range 1 8))
+    (fun (seed, k) ->
+      let topo = random_topo seed in
+      let origins = pick_origins topo seed k in
+      let configs = Array.map (fun origin -> Announce.default ~origin) origins in
+      with_cache true @@ fun () ->
+      let states = Rib_cache.run_batch ~provenance:true topo configs in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i st -> state_equals_solo topo configs.(i) ~pv:true st)
+           states))
+
+(* ---- topology generator totality -------------------------------------- *)
+
+(* The CSR arena must agree with the list-based adjacency in content
+   and order, with offsets that tile the word array exactly. *)
+let csr_consistent topo =
+  let n = Topology.as_count topo in
+  let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
+  Array.length off = n + 1
+  && off.(0) = 0
+  && off.(n) = Array.length wrd
+  && off.(n) = 2 * Topology.link_count topo
+  &&
+  let ok = ref true in
+  for x = 0 to n - 1 do
+    if off.(x) > off.(x + 1) then ok := false;
+    let nbs = Topology.neighbors topo x in
+    if List.length nbs <> off.(x + 1) - off.(x) then ok := false
+    else
+      List.iteri
+        (fun i (nb : Topology.neighbor) ->
+          let pn = wrd.(off.(x) + i) in
+          if
+            Topology.pn_peer pn <> nb.peer
+            || Topology.pn_rel pn <> nb.rel
+            || Topology.pn_link pn <> nb.link.Relation.id
+          then ok := false)
+        nbs
+  done;
+  !ok
+
+let test_shapes_total () =
+  let ok_and_valid shape label =
+    match Generator.generate_shape shape with
+    | Error e -> Alcotest.failf "%s: unexpected error: %s" label e
+    | Ok topo -> check (label ^ " CSR valid") true (csr_consistent topo)
+  in
+  ok_and_valid Generator.Single "single AS";
+  ok_and_valid (Generator.Star 0) "star with no spokes";
+  ok_and_valid (Generator.Star 1) "star with one spoke";
+  ok_and_valid (Generator.Star 1000) "star 1000";
+  ok_and_valid (Generator.Chain 1) "chain of one";
+  ok_and_valid (Generator.Chain 2) "chain of two";
+  ok_and_valid (Generator.Chain 500) "chain 500";
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check "negative star is an Error" true
+    (is_error (Generator.generate_shape (Generator.Star (-1))));
+  check "zero chain is an Error" true
+    (is_error (Generator.generate_shape (Generator.Chain 0)));
+  check "star over the AS cap is an Error" true
+    (is_error (Generator.generate_shape (Generator.Star Topology.max_as_count)));
+  check "chain over the AS cap is an Error" true
+    (is_error
+       (Generator.generate_shape (Generator.Chain (Topology.max_as_count + 1))))
+
+(* The largest valid star: hub AS 0 with 2^20 - 1 stub customers — AS
+   ids hit the packed cap exactly and one CSR row holds ~10^6 words. *)
+let test_star_at_cap () =
+  match Generator.generate_shape (Generator.Star (Topology.max_as_count - 1)) with
+  | Error e -> Alcotest.failf "star at cap: unexpected error: %s" e
+  | Ok topo ->
+      Alcotest.(check int)
+        "AS count at cap" Topology.max_as_count (Topology.as_count topo);
+      let off = Topology.csr_offsets topo in
+      Alcotest.(check int)
+        "hub degree" (Topology.max_as_count - 1)
+        (off.(1) - off.(0));
+      (* Spot-check words rather than run the O(n) full consistency
+         scan against the list adjacency (the row is a million wide). *)
+      let wrd = Topology.csr_words topo in
+      check "hub row words decode to customers" true
+        (Topology.pn_rel wrd.(off.(0)) = Relation.To_customer);
+      check "spoke row decodes to the hub" true
+        (Topology.pn_peer wrd.(off.(Topology.max_as_count - 1)) = 0)
+
+let prop_random_shapes_never_raise =
+  QCheck.Test.make ~name:"generate_shape is total on random sizes" ~count:50
+    (QCheck.int_range (-3) 3000)
+    (fun n ->
+      let shapes = [ Generator.Star n; Generator.Chain n ] in
+      List.for_all
+        (fun s ->
+          match Generator.generate_shape s with
+          | Ok topo -> csr_consistent topo
+          | Error _ -> true)
+        shapes)
+
+let test_generate_scale_caps () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check "over the AS cap is an Error" true
+    (is_error
+       (Generator.generate_scale
+          { Generator.scale_params with Generator.sc_stub = Topology.max_as_count }));
+  check "negative counts are an Error" true
+    (is_error
+       (Generator.generate_scale
+          { Generator.scale_params with Generator.sc_eyeball = -1 }));
+  check "no Tier-1 is an Error" true
+    (is_error
+       (Generator.generate_scale
+          { Generator.scale_params with Generator.sc_tier1 = 0 }))
+
+let test_small_scale_topology () =
+  match Generator.generate_scale Generator.small_scale_params with
+  | Error e -> Alcotest.failf "small_scale_params: %s" e
+  | Ok topo ->
+      check "CSR arena consistent" true (csr_consistent topo);
+      Alcotest.(check (list Alcotest.string))
+        "structural invariants hold" [] (Invariants.check topo);
+      (* Deterministic in the seed: a second build is identical. *)
+      (match Generator.generate_scale Generator.small_scale_params with
+      | Error e -> Alcotest.failf "second build failed: %s" e
+      | Ok topo2 ->
+          Alcotest.(check int)
+            "deterministic link count" (Topology.link_count topo)
+            (Topology.link_count topo2));
+      (* And batched propagation over it matches sequential. *)
+      let origins = pick_origins topo 3 8 in
+      let configs = Array.map (fun origin -> Announce.default ~origin) origins in
+      let batched = Propagate.run_batch topo configs in
+      Array.iteri
+        (fun i st ->
+          check
+            (Printf.sprintf "scale origin %d batched == solo" origins.(i))
+            true
+            (Propagate.equal st (Propagate.run topo configs.(i))))
+        batched
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_batch_equals_sequential;
+      prop_batch_through_cache_and_pool;
+      prop_batch_provenance_through_cache;
+      prop_random_shapes_never_raise;
+    ]
+  @ [
+      Alcotest.test_case "degenerate shapes build valid CSR arenas" `Quick
+        test_shapes_total;
+      Alcotest.test_case "star at the 2^20 AS cap" `Slow test_star_at_cap;
+      Alcotest.test_case "generate_scale rejects out-of-cap params" `Quick
+        test_generate_scale_caps;
+      Alcotest.test_case "small scale topology: invariants, CSR, batching"
+        `Quick test_small_scale_topology;
+    ]

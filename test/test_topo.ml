@@ -336,6 +336,67 @@ let test_invariants_detect_missing_clique () =
        (fun v -> Test_util.contains v "not interconnected")
        (Invariants.check t))
 
+(* ---- CSR arena consistency across constructors ---- *)
+
+(* Every constructor must leave the shared CSR arena in lockstep with
+   the list adjacency: offsets tile the word array, rows decode to the
+   same sessions in the same order. *)
+let check_csr_matches_lists topo =
+  let n = Topology.as_count topo in
+  let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
+  Alcotest.(check int) "offsets length" (n + 1) (Array.length off);
+  Alcotest.(check int) "words = 2 * links" (2 * Topology.link_count topo)
+    (Array.length wrd);
+  Alcotest.(check int) "last offset tiles the arena" (Array.length wrd) off.(n);
+  for x = 0 to n - 1 do
+    let row = Topology.packed_neighbors topo x in
+    Alcotest.(check int)
+      (Printf.sprintf "row %d width" x)
+      (List.length (Topology.neighbors topo x))
+      (Array.length row);
+    Array.iteri
+      (fun i pn ->
+        Alcotest.(check int)
+          (Printf.sprintf "row %d word %d in arena" x i)
+          wrd.(off.(x) + i) pn)
+      row;
+    List.iteri
+      (fun i (nb : Topology.neighbor) ->
+        Alcotest.(check int) "peer" nb.peer (Topology.pn_peer row.(i));
+        Alcotest.(check int) "link id" nb.link.Relation.id
+          (Topology.pn_link row.(i));
+        Alcotest.(check bool) "rel" true (Topology.pn_rel row.(i) = nb.rel))
+      (Topology.neighbors topo x)
+  done
+
+let test_csr_fixture () = check_csr_matches_lists (Fixture.topo ())
+
+let test_csr_after_remove_links () =
+  let topo = Fixture.topo () in
+  let failed = Topology.remove_links topo [ Fixture.l_t1_peer; Fixture.l_eb_tr ] in
+  check_csr_matches_lists failed;
+  (* The surviving link ids are stable, only the arena shrank. *)
+  Alcotest.(check int) "two links gone"
+    (Topology.link_count topo - 2)
+    (Topology.link_count failed)
+
+let test_csr_after_add_as () =
+  let topo = Fixture.topo () in
+  let grown, id =
+    Topology.add_as topo ~klass:Asn.Content ~name:"CDN"
+      ~footprint:[| Fixture.ny |]
+  in
+  (* A fresh AS has an empty row: one extra offset, no extra words. *)
+  Alcotest.(check int) "new id is dense" (Topology.as_count topo) id;
+  let off = Topology.csr_offsets grown in
+  Alcotest.(check int) "empty new row" off.(id) off.(id + 1);
+  check_csr_matches_lists grown;
+  let linked =
+    Topology.add_links grown
+      [ (id, Fixture.t1a, Relation.C2p, Fixture.ny, 100.) ]
+  in
+  check_csr_matches_lists linked
+
 let suite =
   [
     Alcotest.test_case "asn home/present" `Quick test_asn_home;
@@ -374,4 +435,7 @@ let suite =
     Alcotest.test_case "provider depth" `Quick test_provider_depth;
     Alcotest.test_case "detect orphan" `Quick test_invariants_detect_orphan;
     Alcotest.test_case "detect missing clique" `Quick test_invariants_detect_missing_clique;
+    Alcotest.test_case "CSR matches list adjacency" `Quick test_csr_fixture;
+    Alcotest.test_case "CSR rebuilt by remove_links" `Quick test_csr_after_remove_links;
+    Alcotest.test_case "CSR extended by add_as/add_links" `Quick test_csr_after_add_as;
   ]

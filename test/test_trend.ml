@@ -35,7 +35,7 @@ let test_corrupt_middle_line () =
   Trend.append ~history ~bench:"t" [ Trend.metric "m" 2.0 ];
   Alcotest.(check int)
     "both valid records survive" 2
-    (List.length (Trend.records ~history ~bench:"t"))
+    (List.length (Trend.records ~history ~bench:"t" ()))
 
 let test_gate_survives_corruption () =
   with_history @@ fun history ->
@@ -49,6 +49,57 @@ let test_gate_survives_corruption () =
   check "gate still fails a real regression" false
     (Trend.gate ~history ~bench:"t" ~label:"test" [ Trend.metric "m" 20.0 ])
 
+(* Two benches share one history file (the repo convention: every
+   micro_* appends to BENCH_history.jsonl).  Bench "slow"'s records
+   must never feed bench "fast"'s median: if they did, fast's 10 ns
+   metric would "regress" against slow's 1000 ns baseline — or worse,
+   a real regression in fast would hide under slow's records. *)
+let test_no_cross_bench_gating () =
+  with_history @@ fun history ->
+  List.iter
+    (fun v -> Trend.append ~history ~bench:"slow" [ Trend.metric "m" v ])
+    [ 1000.0; 1000.0; 1000.0 ];
+  List.iter
+    (fun v -> Trend.append ~history ~bench:"fast" [ Trend.metric "m" v ])
+    [ 10.0; 10.0; 10.0 ];
+  Alcotest.(check (list (float 1e-9)))
+    "fast reads only its own records" [ 10.0; 10.0; 10.0 ]
+    (Trend.metric_values ~history ~bench:"fast" "m");
+  check "fast gates against fast's median" true
+    (Trend.gate ~history ~bench:"fast" ~label:"test" [ Trend.metric "m" 10.5 ]);
+  check "a real regression in fast is not hidden by slow's baseline" false
+    (Trend.gate ~history ~bench:"fast" ~label:"test" [ Trend.metric "m" 20.0 ])
+
+(* One bench, two workload variants in the same file (micro_scale's
+   per-size records).  A variant-tagged gate must see only its
+   variant's records, and an untagged gate only untagged records. *)
+let test_no_cross_variant_gating () =
+  with_history @@ fun history ->
+  List.iter
+    (fun v ->
+      Trend.append ~history ~bench:"t" ~variant:"big" [ Trend.metric "m" v ])
+    [ 1000.0; 1000.0; 1000.0 ];
+  List.iter
+    (fun v ->
+      Trend.append ~history ~bench:"t" ~variant:"small" [ Trend.metric "m" v ])
+    [ 10.0; 10.0; 10.0 ];
+  Trend.append ~history ~bench:"t" [ Trend.metric "m" 500.0 ];
+  Alcotest.(check (list (float 1e-9)))
+    "variant-tagged reads are isolated" [ 10.0; 10.0; 10.0 ]
+    (Trend.metric_values ~history ~bench:"t" ~variant:"small" "m");
+  Alcotest.(check (list (float 1e-9)))
+    "untagged reads see only untagged records" [ 500.0 ]
+    (Trend.metric_values ~history ~bench:"t" "m");
+  check "small variant gates against its own median" true
+    (Trend.gate ~history ~bench:"t" ~variant:"small" ~label:"test"
+       [ Trend.metric "m" 10.5 ]);
+  check "a regression within a variant still fails" false
+    (Trend.gate ~history ~bench:"t" ~variant:"small" ~label:"test"
+       [ Trend.metric "m" 20.0 ]);
+  check "big variant is undisturbed by small's records" true
+    (Trend.gate ~history ~bench:"t" ~variant:"big" ~label:"test"
+       [ Trend.metric "m" 1001.0 ])
+
 let suite =
   [
     Alcotest.test_case "truncated last line is skipped" `Quick
@@ -57,4 +108,8 @@ let suite =
       test_corrupt_middle_line;
     Alcotest.test_case "gate works over a corrupted history" `Quick
       test_gate_survives_corruption;
+    Alcotest.test_case "benches sharing a history do not cross-gate" `Quick
+      test_no_cross_bench_gating;
+    Alcotest.test_case "variants sharing a bench do not cross-gate" `Quick
+      test_no_cross_variant_gating;
   ]
