@@ -403,8 +403,9 @@ let run_topo ~sizes ~csv =
 
 (* ---- the query daemon ---- *)
 
-let run_serve small seed prefixes pops track snapshot save_snapshot listen_port
-    churn churn_days batch batch_min event_log =
+let run_serve small seed prefixes pops track snapshot save_snapshot
+    snapshot_version streams listen_port churn churn_days batch batch_min
+    event_log =
   let module Server = Netsim_serve.Server in
   let module Snapshot = Netsim_serve.Snapshot in
   (* The daemon always meters itself: PROM answers come from the
@@ -444,12 +445,43 @@ let run_serve small seed prefixes pops track snapshot save_snapshot listen_port
   in
   (match save_snapshot with
   | Some path -> (
-      try Snapshot.save (Server.snapshot server) ~path
-      with Sys_error e -> die e)
+      try Snapshot.save ?version:snapshot_version (Server.snapshot server) ~path
+      with
+      | Sys_error e -> die e
+      | Invalid_argument e -> die e)
   | None -> ());
-  (match listen_port with
-  | Some port -> Server.listen server ~port
-  | None -> Server.serve_channels server stdin stdout);
+  (match (streams, listen_port) with
+  | Some spec, _ ->
+      (* Concurrent-clients mode: each FILE is one client's request
+         stream; all streams are served through the round executor and
+         the framed responses are printed per client — the transcript
+         `make verify` diffs against the same streams served alone. *)
+      let read_lines path =
+        let ic = try open_in path with Sys_error e -> die e in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | exception End_of_file -> List.rev acc
+              | l -> go (l :: acc)
+            in
+            go [])
+      in
+      let stream_files =
+        String.split_on_char ',' spec |> List.filter (fun s -> s <> "")
+      in
+      let responses =
+        Server.serve_streams server
+          (Array.of_list (List.map read_lines stream_files))
+      in
+      Array.iteri
+        (fun i resp ->
+          Printf.printf "=== client %d ===\n" i;
+          List.iter print_string resp)
+        responses
+  | None, Some port -> Server.listen server ~port
+  | None, None -> Server.serve_channels server stdin stdout);
   match event_log with
   | Some path -> (
       try Netsim_obs.Report.write_text path (Netsim_obs.Recorder.to_jsonl ())
@@ -483,13 +515,33 @@ let serve_cmd =
           ~doc:"Write a binary snapshot of the serving state at startup, \
                 then serve.")
   in
+  let snapshot_version_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-version" ] ~docv:"N"
+          ~doc:"Schema version for $(b,--save-snapshot): 1 (heap-decoded \
+                stream) or 2 (mmap-able arena, the default).")
+  in
+  let streams_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "streams" ] ~docv:"FILE,FILE,..."
+          ~doc:"Serve the request streams in the given files as concurrent \
+                clients (read-only verbs fan out over the domain pool) and \
+                print each client's framed responses under a '=== client N \
+                ===' header.  Responses per client are byte-identical to \
+                serving that client alone.")
+  in
   let listen_t =
     Arg.(
       value
       & opt (some int) None
       & info [ "listen" ] ~docv:"PORT"
           ~doc:"Serve the line protocol on localhost:$(docv) instead of \
-                stdin/stdout.")
+                stdin/stdout (concurrent connections; read-only queries \
+                execute in parallel over the domain pool).")
   in
   let churn_t =
     Arg.(
@@ -527,8 +579,9 @@ let serve_cmd =
     (Cmd.info "serve" ~doc ~man)
     Term.(
       const run_serve $ small_t $ seed_t $ prefixes_t $ pops_t $ track_t
-      $ snapshot_t $ save_snapshot_t $ listen_t $ churn_t $ churn_days_t
-      $ batch_t $ batch_min_t $ event_log_t)
+      $ snapshot_t $ save_snapshot_t $ snapshot_version_t $ streams_t
+      $ listen_t $ churn_t $ churn_days_t $ batch_t $ batch_min_t
+      $ event_log_t)
 
 (* ---- internet scale ---- *)
 
@@ -715,11 +768,11 @@ let cmd name doc f =
    snapshots, event logs and bench JSON alike. *)
 let version_string =
   Printf.sprintf
-    "%s (events %s, snapshot %s/%d, provenance %s, bench schema %d)"
+    "%s (events %s, snapshot %s/%d-%d, provenance %s, bench schema %d)"
     (Netsim_serve.Version.git_sha ())
     Netsim_obs.Recorder.schema Netsim_serve.Snapshot.magic
-    Netsim_serve.Snapshot.schema_version Netsim_obs.Provenance.schema
-    Bench_support.Bench_out.schema_version
+    Netsim_serve.Snapshot.schema_version Netsim_serve.Snapshot.schema_version_v2
+    Netsim_obs.Provenance.schema Bench_support.Bench_out.schema_version
 
 let main =
   let doc = "Reproduction of 'Beating BGP is Harder than we Thought' (HotNets '19)" in

@@ -125,6 +125,13 @@ let events_processed t = t.processed
 let event_log t = List.rev t.log
 let convergence_log t = List.rev t.convergence
 
+(* Shard reconvergence across the domain pool only when there is
+   enough work to amortize the fan-out: tracked prefixes are
+   independent (each repairs its own state against the shared new
+   topology), but a single-prefix engine — the dynamics benchmarks —
+   must not pay pool overhead. *)
+let reconverge_min_shard = 4
+
 (* Apply one link delta: update the down set and topology, then
    incrementally reconverge every active tracked prefix.  Returns the
    dirty-entry total (0 if the delta was a no-op). *)
@@ -147,20 +154,29 @@ let apply_link_delta t dir l =
       | `Down -> Propagate.Link_removed l
       | `Up -> Propagate.Link_added l
     in
+    let tracked = Array.of_list t.tracked in
+    let step tr =
+      if tr.t_active then begin
+        let state, stats = Propagate.reconverge tr.t_state ~topo:t.topo delta in
+        (state, Propagate.rs_dirty stats, true)
+      end
+      else
+        (* A withdrawn prefix has no routes to repair; just rebase
+           its empty state onto the new topology. *)
+        (Propagate.run t.topo tr.t_withdrawn, 0, false)
+    in
+    let results =
+      if Array.length tracked >= reconverge_min_shard then
+        Netsim_par.Pool.map step tracked
+      else Array.map step tracked
+    in
     let dirty = ref 0 and states = ref 0 in
-    List.iter
-      (fun tr ->
-        if tr.t_active then begin
-          let state, stats = Propagate.reconverge tr.t_state ~topo:t.topo delta in
-          tr.t_state <- state;
-          dirty := !dirty + Propagate.rs_dirty stats;
-          incr states
-        end
-        else
-          (* A withdrawn prefix has no routes to repair; just rebase
-             its empty state onto the new topology. *)
-          tr.t_state <- Propagate.run t.topo tr.t_withdrawn)
-      t.tracked;
+    Array.iteri
+      (fun i (state, d, active) ->
+        tracked.(i).t_state <- state;
+        dirty := !dirty + d;
+        if active then incr states)
+      results;
     if Netsim_obs.Metrics.enabled () then
       Netsim_obs.Metrics.observe h_dirty (float_of_int !dirty);
     Some (!dirty, !states)

@@ -117,12 +117,22 @@ let () =
 let c_jobs = Metrics.counter "par.jobs"
 let c_tasks = Metrics.counter "par.tasks"
 
+(* The single job slot above means only one domain may run the
+   parallel path at a time.  Historically [map] was only entered from
+   the main domain, but the serve daemon's listener runs in its own
+   domain — so the slot is claimed by CAS, and a caller that loses the
+   race (two non-worker domains mapping at once) degrades to the
+   sequential path instead of corrupting [current]. *)
+let job_slot = Atomic.make false
+
 let map (type a b) (f : a -> b) (arr : a array) : b array =
   let n = Array.length arr in
   let d = Stdlib.min (domain_count ()) n in
   Metrics.incr c_jobs;
   Metrics.incr ~by:n c_tasks;
-  if d <= 1 || in_worker () then
+  if d <= 1 || in_worker ()
+     || not (Atomic.compare_and_set job_slot false true)
+  then
     (* Sequential, but with the same per-task RIB-cache shard
        discipline as the parallel path, so cache hit/miss behaviour —
        and therefore traced metrics — is byte-identical for any domain
@@ -135,6 +145,7 @@ let map (type a b) (f : a -> b) (arr : a array) : b array =
         r)
       arr
   else begin
+    Fun.protect ~finally:(fun () -> Atomic.set job_slot false) @@ fun () ->
     let tracing = Metrics.enabled () in
     let recording = Recorder.enabled () in
     let results : b option array = Array.make n None in

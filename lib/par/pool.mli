@@ -25,7 +25,11 @@
     with no capture overhead.  Nested [map] calls from inside a worker
     run sequentially rather than re-entering the pool, so composed
     layers (a figure fan-out whose figures shard their own
-    propagations) cannot oversubscribe or deadlock.
+    propagations) cannot oversubscribe or deadlock.  Likewise, if two
+    non-worker domains call [map] at the same time (the serve daemon's
+    listener domain vs the main domain), one claims the pool and the
+    other degrades to the sequential path — results are identical
+    either way, only the scheduling differs.
 
     Worker domains are spawned lazily on first parallel use, reused
     across calls, and joined via [at_exit]. *)

@@ -22,6 +22,12 @@ let verb = function
   | Advance _ -> "advance"
   | Quit -> "quit"
 
+(* SNAPSHOT mutates nothing but reads the whole engine state, so it
+   is serialized at the write barrier with the true mutators. *)
+let read_only = function
+  | Catchment _ | Egress _ | Rtt _ | Explain _ | Stats | Prom -> true
+  | Snapshot_to _ | Advance _ | Quit -> false
+
 let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line

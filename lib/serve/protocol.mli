@@ -43,6 +43,14 @@ val verb : request -> string
 (** Lower-case verb tag, e.g. ["catchment"] — used for per-query-type
     metrics and recorder events. *)
 
+val read_only : request -> bool
+(** True for query verbs that never change server state (CATCHMENT,
+    EGRESS, RTT, EXPLAIN, STATS, PROM) — the concurrent executor fans
+    these out across the domain pool.  False for the write-barrier
+    verbs: ADVANCE and QUIT mutate the session/engine, and SNAPSHOT,
+    while logically a read, walks the entire engine state and so is
+    serialized with the mutators. *)
+
 val parse : string -> (request, string) result
 
 val frame : ok:bool -> string -> string

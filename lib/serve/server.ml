@@ -20,6 +20,7 @@ module Engine = Netsim_dynamics.Engine
 module Script = Netsim_dynamics.Script
 module Metrics = Netsim_obs.Metrics
 module Recorder = Netsim_obs.Recorder
+module Pool = Netsim_par.Pool
 module Scenario = Beatbgp.Scenario
 
 type config = {
@@ -77,6 +78,18 @@ let zero_counts () =
     q_invalid = 0;
   }
 
+(* One client's view of the daemon: its own query counters and stop
+   flag.  STATS reports the session's numbers, so a client served
+   concurrently sees exactly the counters it would see served alone. *)
+type session = {
+  s_counts : counts;
+  mutable s_queries : int;
+  mutable s_stopped : bool;
+}
+
+let fresh_session () =
+  { s_counts = zero_counts (); s_queries = 0; s_stopped = false }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -84,8 +97,9 @@ type t = {
   asid : int;
   pops : int list;
   prefixes : Prefix.t array;
-  counts : counts;
-  mutable queries : int;
+  session0 : session;  (** the stdin / [handle_line] session *)
+  mutable pop_index : (int, Prefix.t list) Hashtbl.t option;
+  mutable queries : int;  (** across all sessions *)
   mutable stopped : bool;
 }
 
@@ -146,7 +160,8 @@ let build cfg =
     asid = deployment.Deployment.asid;
     pops = deployment.Deployment.pops;
     prefixes;
-    counts = zero_counts ();
+    session0 = fresh_session ();
+    pop_index = None;
     queries = 0;
     stopped = false;
   }
@@ -209,7 +224,8 @@ let of_snapshot cfg (snap : Snapshot.t) =
         asid = snap.Snapshot.asid;
         pops = snap.Snapshot.pops;
         prefixes = snap.Snapshot.prefixes;
-        counts = zero_counts ();
+        session0 = fresh_session ();
+        pop_index = None;
         queries = 0;
         stopped = false;
       }
@@ -248,7 +264,21 @@ let snapshot t =
     overlays;
   }
 
-(* ---- query answering -------------------------------------------------- *)
+(* ---- query answering --------------------------------------------------
+
+   Every read-only verb is split into a PLAN step and a pure RUN
+   thunk.  Planning runs on the coordinating domain in request order:
+   it parses arguments and touches every piece of shared mutable
+   state — the RIB cache via [state_for] / [pv_state], the
+   lazily-built PoP index, the counters — capturing the resolved
+   routing states in the thunk's closure.  The returned thunk only
+   reads immutable data (walks, scans, formatting), so the concurrent
+   executor can run it on any pool domain.  Because all cache traffic
+   happens at plan time in request order, cache hit/miss counters and
+   response bytes are identical at any domain count, and identical to
+   the sequential loop. *)
+
+let const r () = r
 
 (* Warm state toward an origin: the engine's continuously-reconverged
    state for tracked origins, the RIB cache (exact memoized
@@ -288,22 +318,29 @@ let nearest_pop t ~city =
         rest;
       !best
 
-let catchment t arg =
-  Result.bind (prefix_of t arg) (fun (p : Prefix.t) ->
+let plan_catchment t arg =
+  match prefix_of t arg with
+  | Error e -> const (Error e)
+  | Ok (p : Prefix.t) ->
       if p.Prefix.asid = t.asid then
-        Error (Printf.sprintf "prefix %d sits in the provider AS" p.Prefix.id)
-      else
+        const
+          (Error (Printf.sprintf "prefix %d sits in the provider AS" p.Prefix.id))
+      else begin
         let st = state_for t ~origin:t.asid in
-        match Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city with
-        | None ->
-            Ok
-              (Printf.sprintf "prefix=%d client_as=%d site=unreachable"
-                 p.Prefix.id p.Prefix.asid)
-        | Some w ->
-            let m = Walk.entry_metro w in
-            Ok
-              (Printf.sprintf "prefix=%d client_as=%d site=%d site_city=%s"
-                 p.Prefix.id p.Prefix.asid m (city_name m)))
+        fun () ->
+          match
+            Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city
+          with
+          | None ->
+              Ok
+                (Printf.sprintf "prefix=%d client_as=%d site=unreachable"
+                   p.Prefix.id p.Prefix.asid)
+          | Some w ->
+              let m = Walk.entry_metro w in
+              Ok
+                (Printf.sprintf "prefix=%d client_as=%d site=%d site_city=%s"
+                   p.Prefix.id p.Prefix.asid m (city_name m))
+      end
 
 (* Private peering beats public peering beats transit — the provider
    egress-preference order used throughout the paper. *)
@@ -327,21 +364,54 @@ let best_received routes =
   | [] -> None
   | r :: _ -> Some r
 
-let egress t pop =
+(* The client prefixes a PoP fronts (nearest-PoP assignment, in prefix
+   table order).  A pure function of the immutable PoP list and prefix
+   table, so it is computed once and memoized — EGRESS planning then
+   touches exactly the prefixes it needs instead of re-scanning the
+   whole population against every PoP. *)
+let pop_prefixes t pop =
+  let idx =
+    match t.pop_index with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 64 in
+        Array.iter
+          (fun (p : Prefix.t) ->
+            if p.Prefix.asid <> t.asid then begin
+              let m = nearest_pop t ~city:p.Prefix.city in
+              let cur =
+                match Hashtbl.find_opt h m with Some l -> l | None -> []
+              in
+              Hashtbl.replace h m (p :: cur)
+            end)
+          t.prefixes;
+        let ms = Hashtbl.fold (fun m _ acc -> m :: acc) h [] in
+        List.iter (fun m -> Hashtbl.replace h m (List.rev (Hashtbl.find h m))) ms;
+        t.pop_index <- Some h;
+        h
+  in
+  match Hashtbl.find_opt idx pop with Some l -> l | None -> []
+
+let plan_egress t pop =
   if not (List.mem pop t.pops) then
-    Error (Printf.sprintf "unknown pop %d (not a provider PoP metro)" pop)
+    const (Error (Printf.sprintf "unknown pop %d (not a provider PoP metro)" pop))
   else begin
-    let total = ref 0
-    and priv = ref 0
-    and pub = ref 0
-    and transit = ref 0
-    and unreachable = ref 0 in
-    Array.iter
-      (fun (p : Prefix.t) ->
-        if p.Prefix.asid <> t.asid && nearest_pop t ~city:p.Prefix.city = pop
-        then begin
+    (* Resolve the per-prefix states now, in prefix order — the same
+       cache access order the pre-index scan performed. *)
+    let states =
+      List.map
+        (fun (p : Prefix.t) -> state_for t ~origin:p.Prefix.asid)
+        (pop_prefixes t pop)
+    in
+    fun () ->
+      let total = ref 0
+      and priv = ref 0
+      and pub = ref 0
+      and transit = ref 0
+      and unreachable = ref 0 in
+      List.iter
+        (fun st ->
           incr total;
-          let st = state_for t ~origin:p.Prefix.asid in
           match best_received (Propagate.received_at_metro st t.asid ~metro:pop)
           with
           | None -> incr unreachable
@@ -349,14 +419,13 @@ let egress t pop =
               match r.Route.via_link.Relation.kind with
               | Relation.Peer_private -> incr priv
               | Relation.Peer_public -> incr pub
-              | Relation.C2p -> incr transit)
-        end)
-      t.prefixes;
-    Ok
-      (Printf.sprintf
-         "pop=%d city=%s prefixes=%d private=%d public=%d transit=%d \
-          unreachable=%d"
-         pop (city_name pop) !total !priv !pub !transit !unreachable)
+              | Relation.C2p -> incr transit))
+        states;
+      Ok
+        (Printf.sprintf
+           "pop=%d city=%s prefixes=%d private=%d public=%d transit=%d \
+            unreachable=%d"
+           pop (city_name pop) !total !priv !pub !transit !unreachable)
   end
 
 let origin_of t arg =
@@ -376,45 +445,52 @@ let origin_of t arg =
                o)
       | None -> Error ("not an origin: " ^ arg))
 
-let rtt t client arg =
-  Result.bind (prefix_of t client) (fun (p : Prefix.t) ->
-      Result.bind (origin_of t arg) (fun origin ->
+let plan_rtt t client arg =
+  match prefix_of t client with
+  | Error e -> const (Error e)
+  | Ok (p : Prefix.t) -> (
+      match origin_of t arg with
+      | Error e -> const (Error e)
+      | Ok origin ->
           if p.Prefix.asid = origin then
-            Error
-              (Printf.sprintf "client prefix %d sits in origin AS %d"
-                 p.Prefix.id origin)
-          else
+            const
+              (Error
+                 (Printf.sprintf "client prefix %d sits in origin AS %d"
+                    p.Prefix.id origin))
+          else begin
             let st = state_for t ~origin in
-            match
-              Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city
-            with
-            | None ->
-                Ok
-                  (Printf.sprintf "client=%d origin=%d rtt=unreachable"
-                     p.Prefix.id origin)
-            | Some w ->
-                let flow =
-                  Rtt.make_flow
-                    ~access:(Congestion.Access p.Prefix.id)
-                    ~terminal:Propagation.At_entry w
-                in
-                let floor =
-                  Rtt.floor_ms (Congestion.params t.cong)
-                    (Engine.topology t.engine) t.cong flow
-                in
-                let churn =
-                  List.fold_left
-                    (fun acc (h : Walk.hop) ->
-                      acc
-                      +. Congestion.event_delay_ms t.cong
-                           ~link_id:h.Walk.link.Relation.id)
-                    0. w.Walk.hops
-                in
-                Ok
-                  (Printf.sprintf
-                     "client=%d origin=%d floor_ms=%.3f churn_ms=%.3f \
-                      rtt_ms=%.3f"
-                     p.Prefix.id origin floor churn (floor +. churn))))
+            fun () ->
+              match
+                Walk.from_metro st ~src:p.Prefix.asid ~start_metro:p.Prefix.city
+              with
+              | None ->
+                  Ok
+                    (Printf.sprintf "client=%d origin=%d rtt=unreachable"
+                       p.Prefix.id origin)
+              | Some w ->
+                  let flow =
+                    Rtt.make_flow
+                      ~access:(Congestion.Access p.Prefix.id)
+                      ~terminal:Propagation.At_entry w
+                  in
+                  let floor =
+                    Rtt.floor_ms (Congestion.params t.cong)
+                      (Engine.topology t.engine) t.cong flow
+                  in
+                  let churn =
+                    List.fold_left
+                      (fun acc (h : Walk.hop) ->
+                        acc
+                        +. Congestion.event_delay_ms t.cong
+                             ~link_id:h.Walk.link.Relation.id)
+                      0. w.Walk.hops
+                  in
+                  Ok
+                    (Printf.sprintf
+                       "client=%d origin=%d floor_ms=%.3f churn_ms=%.3f \
+                        rtt_ms=%.3f"
+                       p.Prefix.id origin floor churn (floor +. churn))
+          end)
 
 (* ---- EXPLAIN: the decision chain behind a routing outcome ------------- *)
 
@@ -495,8 +571,7 @@ let counterfactual t st a (d : Propagate.decision) =
           (Decision.discriminator_to_string
              (Decision.discriminator Decision.gao_rexford chosen_r best_r))
 
-let explain_text t ~origin ~plabel a =
-  let st = pv_state t ~origin in
+let explain_text t st ~origin ~plabel a =
   let header = Printf.sprintf "explain prefix=%s origin_as=%d as=%d" plabel origin a in
   match Propagate.decision st a with
   | None -> header ^ "\nselected: unreachable (no candidate routes)"
@@ -531,16 +606,22 @@ let explain_text t ~origin ~plabel a =
           counterfactual t st a d;
         ]
 
-let explain t parg aarg =
-  Result.bind (explain_origin t parg) (fun (origin, plabel) ->
+let plan_explain t parg aarg =
+  match explain_origin t parg with
+  | Error e -> const (Error e)
+  | Ok (origin, plabel) -> (
       let n = Topology.as_count (Engine.topology t.engine) in
       match int_of_string_opt aarg with
-      | None -> Error ("not an AS id: " ^ aarg)
+      | None -> const (Error ("not an AS id: " ^ aarg))
       | Some a when a < 0 || a >= n ->
-          Error (Printf.sprintf "AS %d out of range (0..%d)" a (n - 1))
+          const (Error (Printf.sprintf "AS %d out of range (0..%d)" a (n - 1)))
       | Some a when a = origin ->
-          Error (Printf.sprintf "AS %d is the origin itself" a)
-      | Some a -> Ok (explain_text t ~origin ~plabel a))
+          const (Error (Printf.sprintf "AS %d is the origin itself" a))
+      | Some a ->
+          let st = pv_state t ~origin in
+          fun () -> Ok (explain_text t st ~origin ~plabel a))
+
+let explain t parg aarg = plan_explain t parg aarg ()
 
 (* Schema-tagged JSONL dump of the whole provenance table toward one
    origin: a header line, then one object per decided AS. *)
@@ -582,10 +663,12 @@ let provenance_jsonl t ~origin =
 
 (* Only fields that are a deterministic function of (seed, request
    sequence) — so a seed-built and a snapshot-loaded server answer
-   STATS byte-identically to the same request stream. *)
-let stats t =
+   STATS byte-identically to the same request stream.  Query counters
+   are the session's own: a concurrently-served client reads the same
+   STATS it would read served alone. *)
+let stats t (s : session) =
   let topo = Engine.topology t.engine in
-  let c = t.counts in
+  let c = s.s_counts in
   Ok
     (String.concat "\n"
        [
@@ -603,7 +686,7 @@ let stats t =
          Printf.sprintf
            "queries total=%d catchment=%d egress=%d rtt=%d explain=%d \
             stats=%d snapshot=%d prom=%d advance=%d quit=%d invalid=%d"
-           t.queries c.q_catchment c.q_egress c.q_rtt c.q_explain c.q_stats
+           s.s_queries c.q_catchment c.q_egress c.q_rtt c.q_explain c.q_stats
            c.q_snapshot c.q_prom c.q_advance c.q_quit c.q_invalid;
          Printf.sprintf "rib_cache hits=%d misses=%d size=%d" (Rib_cache.hits ())
            (Rib_cache.misses ()) (Rib_cache.size ());
@@ -636,23 +719,40 @@ let advance t minutes =
     Recorder.record ~kind:"serve.advance" fields
   end
 
-let handle t (req : Protocol.request) =
+(* Write-barrier verbs: executed on the coordinating domain, never
+   with reads in flight. *)
+let exec_mutation t (req : Protocol.request) =
   match req with
-  | Protocol.Catchment arg -> catchment t arg
-  | Protocol.Egress pop -> egress t pop
-  | Protocol.Rtt (client, origin) -> rtt t client origin
-  | Protocol.Explain (prefix, asn) -> explain t prefix asn
-  | Protocol.Stats -> stats t
   | Protocol.Snapshot_to path -> (
       try
         Snapshot.save (snapshot t) ~path;
         Ok ("snapshot written to " ^ path)
       with Sys_error e -> Error e)
-  | Protocol.Prom -> Ok (Netsim_obs.Export_prom.to_string ())
   | Protocol.Advance minutes ->
       advance t minutes;
       Ok (Printf.sprintf "now_min=%.3f" (Engine.now t.engine))
   | Protocol.Quit -> Ok "bye"
+  | Protocol.Catchment _ | Protocol.Egress _ | Protocol.Rtt _
+  | Protocol.Explain _ | Protocol.Stats | Protocol.Prom ->
+      assert false
+
+let plan_read t (s : session) (req : Protocol.request) =
+  match req with
+  | Protocol.Catchment arg -> plan_catchment t arg
+  | Protocol.Egress pop -> plan_egress t pop
+  | Protocol.Rtt (client, origin) -> plan_rtt t client origin
+  | Protocol.Explain (prefix, asn) -> plan_explain t prefix asn
+  | Protocol.Stats -> const (stats t s)
+  | Protocol.Prom ->
+      (* The Prometheus exposition reads the whole registry, which
+         pool workers may not touch concurrently — so it is rendered
+         at plan time on the coordinating domain. *)
+      const (Ok (Netsim_obs.Export_prom.to_string ()))
+  | Protocol.Snapshot_to _ | Protocol.Advance _ | Protocol.Quit -> assert false
+
+let handle t (req : Protocol.request) =
+  if Protocol.read_only req then plan_read t t.session0 req ()
+  else exec_mutation t req
 
 (* ---- the request loop ------------------------------------------------- *)
 
@@ -670,59 +770,114 @@ let count_verb c = function
 
 let c_requests = Metrics.counter "serve.requests"
 let c_errors = Metrics.counter "serve.errors"
+let c_sessions = Metrics.counter "serve.sessions"
+let c_rounds = Metrics.counter "serve.rounds"
+let h_round_reads = Metrics.histogram "serve.round.reads"
 
-let record_query t ~verb ~ok =
+let new_session () =
+  Metrics.incr c_sessions;
+  fresh_session ()
+
+let record_query t ~q ~verb ~ok =
   if Recorder.enabled () then
     Recorder.(
       record ~kind:"serve.query"
         [
-          I ("q", t.queries);
+          I ("q", q);
           S ("verb", verb);
           S ("status", (if ok then "ok" else "err"));
           F ("t_min", Engine.now t.engine);
         ])
 
-let handle_line t line =
+(* A planned request: everything needed to execute, frame and meter it
+   away from the shared state. *)
+type work = {
+  w_q : int;  (** global query number, assigned at plan time *)
+  w_verb : string;
+  w_timed : bool;  (** false only for unparseable lines *)
+  w_run : unit -> (string, string) result;
+}
+
+type ingested =
+  | Read of work  (** safe on any pool domain *)
+  | Barrier of work
+      (** must run on the coordinating domain with no reads in flight *)
+
+(* Parse, count and plan one line for a session. *)
+let ingest t (s : session) line =
   t.queries <- t.queries + 1;
+  s.s_queries <- s.s_queries + 1;
   Metrics.incr c_requests;
-  let framed, cont =
-    match Protocol.parse line with
-    | Error e ->
-        t.counts.q_invalid <- t.counts.q_invalid + 1;
-        Metrics.incr c_errors;
-        record_query t ~verb:"invalid" ~ok:false;
-        (Protocol.frame ~ok:false e, true)
-    | Ok req ->
-        let verb = Protocol.verb req in
-        count_verb t.counts verb;
-        let t0 = Unix.gettimeofday () in
-        let result =
-          try handle t req
+  let q = t.queries in
+  match Protocol.parse line with
+  | Error e ->
+      s.s_counts.q_invalid <- s.s_counts.q_invalid + 1;
+      Read { w_q = q; w_verb = "invalid"; w_timed = false; w_run = const (Error e) }
+  | Ok req ->
+      let verb = Protocol.verb req in
+      count_verb s.s_counts verb;
+      if Protocol.read_only req then
+        let run =
+          try plan_read t s req
           with exn ->
-            Error (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+            const
+              (Error
+                 (Printf.sprintf "internal error: %s" (Printexc.to_string exn)))
         in
-        if Metrics.enabled () then begin
-          Metrics.incr (Metrics.counter ("serve.query." ^ verb));
-          Metrics.observe
-            (Metrics.histogram ("serve." ^ verb ^ ".us"))
-            ((Unix.gettimeofday () -. t0) *. 1e6)
+        Read { w_q = q; w_verb = verb; w_timed = true; w_run = run }
+      else
+        Barrier
+          {
+            w_q = q;
+            w_verb = verb;
+            w_timed = true;
+            w_run = (fun () -> exec_mutation t req);
+          }
+
+(* Execute a planned work item, then meter, record and frame.  Returns
+   the framed response and the wall-clock microseconds. *)
+let run_work t (w : work) =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try w.w_run ()
+    with exn ->
+      Error (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+  in
+  let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  if w.w_timed && Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter ("serve.query." ^ w.w_verb));
+    Metrics.observe (Metrics.histogram ("serve." ^ w.w_verb ^ ".us")) us
+  end;
+  match result with
+  | Ok body ->
+      record_query t ~q:w.w_q ~verb:w.w_verb ~ok:true;
+      (Protocol.frame ~ok:true body, us)
+  | Error e ->
+      Metrics.incr c_errors;
+      record_query t ~q:w.w_q ~verb:w.w_verb ~ok:false;
+      (Protocol.frame ~ok:false e, us)
+
+(* Sequential path: plan and run immediately.  Byte-for-byte the
+   behaviour of the pre-concurrency request loop. *)
+let session_line t (s : session) line =
+  let framed =
+    match ingest t s line with
+    | Read w -> fst (run_work t w)
+    | Barrier w ->
+        let framed, _ = run_work t w in
+        if w.w_verb = "quit" then begin
+          s.s_stopped <- true;
+          t.stopped <- true
         end;
-        let cont = req <> Protocol.Quit in
-        (match result with
-        | Ok body ->
-            record_query t ~verb ~ok:true;
-            (Protocol.frame ~ok:true body, cont)
-        | Error e ->
-            Metrics.incr c_errors;
-            record_query t ~verb ~ok:false;
-            (Protocol.frame ~ok:false e, cont))
+        framed
   in
   (* Churn advances on request-count boundaries, never wall clock, so
      the response stream is a pure function of the request stream. *)
-  if t.cfg.batch > 0 && t.queries mod t.cfg.batch = 0 then
+  if t.cfg.batch > 0 && s.s_queries mod t.cfg.batch = 0 then
     advance t t.cfg.batch_minutes;
-  if not cont then t.stopped <- true;
-  (framed, cont)
+  (framed, not s.s_stopped)
+
+let handle_line t line = session_line t t.session0 line
 
 let serve_channels t ic oc =
   let rec loop () =
@@ -736,21 +891,286 @@ let serve_channels t ic oc =
   in
   loop ()
 
-let listen t ~port =
+(* ---- the concurrent executor ------------------------------------------
+
+   [run_round] executes one scheduling round over a set of client
+   sessions.  PLAN: each session's pending lines are ingested in
+   session order, stopping at a write-barrier verb (ADVANCE, SNAPSHOT,
+   QUIT), at a churn batch boundary, or at the chunk cap.  EXECUTE:
+   all planned reads of the round are fanned out over the domain pool
+   in one [Pool.map] — plan order is submission order, so per-task
+   metrics and recorder events absorb in plan order and the registry
+   is byte-identical at any domain count.  BARRIER: each session's
+   pending mutation (and batch-boundary advance) then runs on the
+   coordinating domain, in session order, with no reads in flight.
+
+   The produced interleaving is serializable as "[all round reads]
+   [mutations in session order]": reads of a round see the
+   pre-mutation state, exactly as if their session had been served
+   alone up to that point.  Responses per session are therefore
+   byte-identical to the sequential loop — the property the QCheck
+   suite and `make verify` enforce across domain counts. *)
+
+let max_round_chunk = 32
+
+let run_round ?on_latency t (sessions : session array) ~pull ~deliver =
+  let n = Array.length sessions in
+  let reads = ref [] and n_reads = ref 0 in
+  let barriers = Array.make n None in
+  let boundary = Array.make n false in
+  let progressed = ref false in
+  for i = 0 to n - 1 do
+    let s = sessions.(i) in
+    let stop = ref s.s_stopped in
+    let chunk = ref 0 in
+    while not !stop do
+      if !chunk >= max_round_chunk then stop := true
+      else
+        match pull i with
+        | None -> stop := true
+        | Some line ->
+            progressed := true;
+            incr chunk;
+            (match ingest t s line with
+            | Read w ->
+                reads := (i, w) :: !reads;
+                incr n_reads
+            | Barrier w ->
+                barriers.(i) <- Some w;
+                stop := true);
+            if t.cfg.batch > 0 && s.s_queries mod t.cfg.batch = 0 then begin
+              boundary.(i) <- true;
+              stop := true
+            end
+    done
+  done;
+  if !progressed then begin
+    Metrics.incr c_rounds;
+    if Metrics.enabled () then
+      Metrics.observe h_round_reads (float_of_int !n_reads)
+  end;
+  let reads = Array.of_list (List.rev !reads) in
+  let results = Pool.map (fun ((_, w) : int * work) -> run_work t w) reads in
+  Array.iteri
+    (fun k ((i, _) : int * work) ->
+      let framed, us = results.(k) in
+      (match on_latency with Some f -> f i us | None -> ());
+      deliver i framed)
+    reads;
+  for i = 0 to n - 1 do
+    (match barriers.(i) with
+    | Some w ->
+        let framed, us = run_work t w in
+        (match on_latency with Some f -> f i us | None -> ());
+        deliver i framed;
+        if w.w_verb = "quit" then begin
+          sessions.(i).s_stopped <- true;
+          t.stopped <- true
+        end
+    | None -> ());
+    if boundary.(i) then advance t t.cfg.batch_minutes
+  done;
+  !progressed
+
+let serve_streams ?on_latency t streams =
+  let n = Array.length streams in
+  let sessions = Array.init n (fun _ -> new_session ()) in
+  let remaining = Array.map (fun l -> ref l) streams in
+  let out = Array.make n [] in
+  let pull i =
+    match !(remaining.(i)) with
+    | [] -> None
+    | line :: rest ->
+        remaining.(i) := rest;
+        Some line
+  in
+  let deliver i framed = out.(i) <- framed :: out.(i) in
+  while run_round ?on_latency t sessions ~pull ~deliver do
+    ()
+  done;
+  Array.map List.rev out
+
+(* ---- TCP listener ----------------------------------------------------- *)
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(* Per-connection state: raw bytes in, complete request lines queued,
+   framed responses out (written incrementally under O_NONBLOCK so one
+   stalled client cannot wedge the daemon). *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_session : session;
+  c_rbuf : Buffer.t;
+  c_lines : string Queue.t;
+  c_outq : string Queue.t;
+  mutable c_out_off : int;
+      (** bytes of [Queue.peek c_outq] already written *)
+  mutable c_eof : bool;
+  mutable c_dead : bool;
+}
+
+(* A peer that sends this much without a newline is not speaking the
+   protocol; drop it rather than buffer unboundedly. *)
+let max_buffered_input = 1 lsl 20
+
+let conn_of_fd fd =
+  Unix.set_nonblock fd;
+  {
+    c_fd = fd;
+    c_session = new_session ();
+    c_rbuf = Buffer.create 256;
+    c_lines = Queue.create ();
+    c_outq = Queue.create ();
+    c_out_off = 0;
+    c_eof = false;
+    c_dead = false;
+  }
+
+let split_lines c =
+  let data = Buffer.contents c.c_rbuf in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from data !start '\n' in
+       Queue.push (String.sub data !start (i - !start)) c.c_lines;
+       start := i + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear c.c_rbuf;
+    Buffer.add_substring c.c_rbuf data !start (n - !start)
+  end;
+  if Buffer.length c.c_rbuf > max_buffered_input then c.c_dead <- true
+
+let read_conn c =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+  | 0 -> c.c_eof <- true
+  | n ->
+      Buffer.add_subbytes c.c_rbuf buf 0 n;
+      split_lines c
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error _ -> c.c_dead <- true
+
+let rec flush_conn c =
+  if (not c.c_dead) && not (Queue.is_empty c.c_outq) then begin
+    let s = Queue.peek c.c_outq in
+    match
+      Unix.single_write_substring c.c_fd s c.c_out_off
+        (String.length s - c.c_out_off)
+    with
+    | written ->
+        if c.c_out_off + written = String.length s then begin
+          ignore (Queue.pop c.c_outq);
+          c.c_out_off <- 0;
+          flush_conn c
+        end
+        else c.c_out_off <- c.c_out_off + written
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn c
+    | exception Unix.Unix_error _ ->
+        (* EPIPE, ECONNRESET, ...: the peer is gone. *)
+        c.c_dead <- true
+  end
+
+(* Finished: beyond help, or owed nothing more (a stopped session
+   discards any input queued after its QUIT). *)
+let conn_finished c =
+  c.c_dead
+  || (c.c_session.s_stopped && Queue.is_empty c.c_outq)
+  || (c.c_eof && Queue.is_empty c.c_lines && Queue.is_empty c.c_outq)
+
+let listen ?port_ready t ~port =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 8;
+  Unix.listen sock 16;
+  (match port_ready with
+  | Some f -> (
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> f p
+      | Unix.ADDR_UNIX _ -> ())
+  | None -> ());
+  let conns = ref [] in
+  let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> () in
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      close_fd sock;
+      List.iter (fun c -> close_fd c.c_fd) !conns)
     (fun () ->
-      while not t.stopped do
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd
-        and oc = Unix.out_channel_of_descr fd in
-        (try serve_channels t ic oc with Sys_error _ | Unix.Unix_error _ -> ());
-        (try flush oc with Sys_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ()
+      (* QUIT stops accepting; the daemon exits once the remaining
+         connections have drained. *)
+      while not (t.stopped && !conns = []) do
+        let accepting = not t.stopped in
+        let rset =
+          (if accepting then [ sock ] else [])
+          @ List.filter_map
+              (fun c ->
+                if c.c_dead || c.c_eof || c.c_session.s_stopped then None
+                else Some c.c_fd)
+              !conns
+        in
+        let wset =
+          List.filter_map
+            (fun c ->
+              if (not c.c_dead) && not (Queue.is_empty c.c_outq) then
+                Some c.c_fd
+              else None)
+            !conns
+        in
+        (* Lines already queued (chunk cap, or a just-passed barrier)
+           must be served without waiting for new IO. *)
+        let backlog =
+          List.exists
+            (fun c ->
+              (not c.c_dead)
+              && (not c.c_session.s_stopped)
+              && not (Queue.is_empty c.c_lines))
+            !conns
+        in
+        let r, _, _ =
+          if rset = [] && wset = [] && not backlog then ([], [], [])
+          else
+            retry_eintr (fun () ->
+                Unix.select rset wset [] (if backlog then 0. else -1.))
+        in
+        (if List.mem sock r then
+           match retry_eintr (fun () -> Unix.accept sock) with
+           | fd, _ -> conns := !conns @ [ conn_of_fd fd ]
+           | exception Unix.Unix_error _ -> ());
+        List.iter (fun c -> if List.mem c.c_fd r then read_conn c) !conns;
+        (* One scheduling round over the live connections, accept
+           order. *)
+        let cs = Array.of_list !conns in
+        let sessions = Array.map (fun c -> c.c_session) cs in
+        let pull i =
+          let c = cs.(i) in
+          if c.c_dead || Queue.is_empty c.c_lines then None
+          else Some (Queue.pop c.c_lines)
+        in
+        let deliver i framed =
+          let c = cs.(i) in
+          if not c.c_dead then Queue.push framed c.c_outq
+        in
+        ignore (run_round t sessions ~pull ~deliver : bool);
+        if t.stopped then
+          List.iter (fun c -> c.c_session.s_stopped <- true) !conns;
+        List.iter flush_conn !conns;
+        conns :=
+          List.filter
+            (fun c ->
+              if conn_finished c then begin
+                close_fd c.c_fd;
+                false
+              end
+              else true)
+            !conns;
+        Metrics.set_runtime "serve.clients.active"
+          (float_of_int (List.length !conns))
       done)
 
 let provider t = t.asid

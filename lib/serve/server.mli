@@ -14,7 +14,23 @@
     Both produce byte-identical responses to the same request stream:
     the snapshot stores the exact routing tables, pending timeline and
     congestion overlays, and everything else (congestion model,
-    batching) is rebuilt deterministically from the stored seed. *)
+    batching) is rebuilt deterministically from the stored seed.
+
+    {2 Concurrency model}
+
+    The server executes many client sessions at once without giving up
+    determinism.  Each request is split into a {e plan} step — runs on
+    the coordinating domain, in request order, and performs all shared
+    mutable-state traffic (parsing, counters, RIB-cache lookups) — and
+    a pure {e run} thunk.  A scheduling round ingests pending lines
+    from every session, fans the planned read-only thunks over the
+    {!Netsim_par.Pool} domains in one batch, then executes
+    write-barrier verbs (ADVANCE, SNAPSHOT, QUIT) and churn
+    batch-boundary advances on the coordinating domain with no reads
+    in flight.  Per-session query counters live in the session, so
+    every client observes exactly the responses it would observe
+    served alone — byte-for-byte, at any domain count.  See
+    doc/serving.md. *)
 
 type config = {
   seed : int;
@@ -74,17 +90,44 @@ val provenance_jsonl : t -> origin:int -> string
     [beatbgp explain --provenance-out]. *)
 
 val handle_line : t -> string -> string * bool
-(** Parse, count, answer and frame one request line; advances the
-    churn timeline on batch boundaries.  Returns the framed wire
-    response and [false] when the session should end (QUIT). *)
+(** Parse, count, answer and frame one request line on the default
+    session; advances the churn timeline on batch boundaries.  Returns
+    the framed wire response and [false] when the session should end
+    (QUIT). *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve until EOF or QUIT.  Never raises on malformed input — every
     error is framed as an [ERR] response. *)
 
-val listen : t -> port:int -> unit
-(** Accept loop on localhost:[port], one connection at a time; QUIT
-    also stops the accept loop (clean shutdown for harnesses). *)
+val serve_streams :
+  ?on_latency:(int -> float -> unit) ->
+  t ->
+  string list array ->
+  string list array
+(** Serve [n] client request streams concurrently through the round
+    executor, each in its own session, and return the framed responses
+    per stream in order.  Read-only verbs are fanned over the domain
+    pool; responses per stream are byte-identical to serving that
+    stream alone (and to any domain count).  [on_latency i us] is
+    called once per answered request with the stream index and the
+    handler wall-clock microseconds — the hook the parallel benchmark
+    uses for per-client latency histograms.  A QUIT on any stream
+    stops the server; later lines of other streams go unanswered. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run [f], retrying while it raises [Unix.EINTR] — wraps every
+    blocking syscall of the listener so a signal (profiler tick,
+    SIGCHLD, window resize) cannot kill the daemon. *)
+
+val listen : ?port_ready:(int -> unit) -> t -> port:int -> unit
+(** Multi-connection accept loop on localhost:[port] (non-blocking
+    sockets and [select], one scheduling round per wakeup).  Each
+    connection gets its own session; read-only queries from all
+    connections execute concurrently over the domain pool, and
+    write-barrier verbs serialize.  [port_ready] is called with the
+    actual bound port once listening (useful with [port = 0]).  QUIT
+    stops accepting; the daemon exits once remaining connections have
+    drained. *)
 
 (** {1 Introspection (tests, CLI)} *)
 

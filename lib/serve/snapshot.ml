@@ -29,6 +29,7 @@ type t = {
 
 let magic = "BBGPSNAP"
 let schema_version = 1
+let schema_version_v2 = 2
 
 (* ---- writer ----------------------------------------------------------- *)
 
@@ -99,18 +100,16 @@ let w_int_array buf (a : int array) =
   w_i32 buf (Array.length a);
   Array.iter (fun v -> w_i64 buf v) a
 
-let to_bytes t =
-  let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf magic;
-  w_i32 buf schema_version;
+(* Metadata pieces shared verbatim between the v1 stream layout and
+   the v2 trailing metadata block. *)
+
+let w_meta_prefix buf t =
   w_str buf t.git_sha;
   w_i64 buf t.created_gen;
   w_i64 buf t.seed;
-  w_f64 buf t.now_min;
-  (* Topology: AS records, link records (with ids), packed adjacency.
-     The packed rows make loading a validation pass over immediates
-     instead of an adjacency rebuild. *)
-  let ases = Topology.ases t.base in
+  w_f64 buf t.now_min
+
+let w_as_records buf (ases : Asn.t array) =
   w_i32 buf (Array.length ases);
   Array.iter
     (fun (a : Asn.t) ->
@@ -118,21 +117,9 @@ let to_bytes t =
       w_str buf a.Asn.name;
       w_i32 buf (Array.length a.Asn.footprint);
       Array.iter (fun m -> w_i32 buf m) a.Asn.footprint)
-    ases;
-  let links = Topology.links t.base in
-  w_i32 buf (Array.length links);
-  Array.iter
-    (fun (l : Relation.link) ->
-      w_i32 buf l.Relation.id;
-      w_i32 buf l.Relation.a;
-      w_i32 buf l.Relation.b;
-      w_u8 buf (kind_code l.Relation.kind);
-      w_i32 buf l.Relation.metro;
-      w_f64 buf l.Relation.capacity_gbps)
-    links;
-  Array.iteri
-    (fun x _ -> w_int_array buf (Topology.packed_neighbors t.base x))
-    ases;
+    ases
+
+let w_down_deploy buf t =
   (* Dynamics state. *)
   w_i32 buf (List.length t.down_links);
   List.iter (fun l -> w_i32 buf l) t.down_links;
@@ -147,17 +134,9 @@ let to_bytes t =
       w_i32 buf p.Prefix.asid;
       w_i32 buf p.Prefix.city;
       w_f64 buf p.Prefix.weight)
-    t.prefixes;
-  (* Flat RIBs of the tracked prefixes. *)
-  w_i32 buf (List.length t.ribs);
-  List.iter
-    (fun r ->
-      w_i32 buf r.rib_origin;
-      w_u8 buf (if r.rib_active then 1 else 0);
-      w_int_array buf r.rib_cust;
-      w_int_array buf r.rib_peer;
-      w_int_array buf r.rib_prov)
-    t.ribs;
+    t.prefixes
+
+let w_pending_overlays buf t =
   (* Pending timeline and congestion overlays. *)
   w_i32 buf (List.length t.pending);
   List.iter
@@ -170,7 +149,135 @@ let to_bytes t =
     (fun (l, ms) ->
       w_i32 buf l;
       w_f64 buf ms)
-    t.overlays;
+    t.overlays
+
+let to_bytes t =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_i32 buf schema_version;
+  w_meta_prefix buf t;
+  (* Topology: AS records, link records (with ids), packed adjacency.
+     The packed rows make loading a validation pass over immediates
+     instead of an adjacency rebuild. *)
+  let ases = Topology.ases t.base in
+  w_as_records buf ases;
+  let links = Topology.links t.base in
+  w_i32 buf (Array.length links);
+  Array.iter
+    (fun (l : Relation.link) ->
+      w_i32 buf l.Relation.id;
+      w_i32 buf l.Relation.a;
+      w_i32 buf l.Relation.b;
+      w_u8 buf (kind_code l.Relation.kind);
+      w_i32 buf l.Relation.metro;
+      w_f64 buf l.Relation.capacity_gbps)
+    links;
+  Array.iteri
+    (fun x _ -> w_int_array buf (Topology.packed_neighbors t.base x))
+    ases;
+  w_down_deploy buf t;
+  (* Flat RIBs of the tracked prefixes. *)
+  w_i32 buf (List.length t.ribs);
+  List.iter
+    (fun r ->
+      w_i32 buf r.rib_origin;
+      w_u8 buf (if r.rib_active then 1 else 0);
+      w_int_array buf r.rib_cust;
+      w_int_array buf r.rib_peer;
+      w_int_array buf r.rib_prov)
+    t.ribs;
+  w_pending_overlays buf t;
+  Buffer.contents buf
+
+(* ---- v2 writer -------------------------------------------------------- *)
+
+(* Schema v2 puts every large flat array in an 8-aligned little-endian
+   int64 "arena" directly addressable through Bigarray views, so
+   [load] can [Unix.map_file] the sections instead of decoding a byte
+   stream:
+
+     header   magic | i32 version=2 | i64 meta_off | i32 n_sections
+              | n_sections x (i64 byte_off, i64 elem_count)
+     arena    consecutive 8-byte-element sections, in fixed order:
+              csr_off (n+1) | csr_words | link_word | link_meta |
+              link_cap | per tracked RIB: cust, peer, prov (n each)
+     meta     at meta_off: git_sha, created_gen, seed, now_min, AS
+              records, down links, asid, pops, prefixes, RIB
+              directory (origin, active), pending timeline, overlays.
+              The file ends exactly at the end of this block.
+
+   link_word packs id | a<<21 | b<<41 (the same field widths as the
+   CSR neighbor words); link_meta packs kind | metro<<2; link_cap is
+   the float bits.  The header is 24 + 16*n_sections bytes, a
+   multiple of 8, and every section holds 8-byte elements, so all
+   sections stay 8-aligned with no padding. *)
+
+let arena_counts t =
+  let links = Topology.links t.base in
+  let nl = Array.length links in
+  [
+    Array.length (Topology.csr_offsets t.base);
+    Array.length (Topology.csr_words t.base);
+    nl;
+    nl;
+    nl;
+  ]
+  @ List.concat_map
+      (fun r ->
+        [
+          Array.length r.rib_cust; Array.length r.rib_peer;
+          Array.length r.rib_prov;
+        ])
+      t.ribs
+
+let to_bytes_v2 t =
+  let links = Topology.links t.base in
+  let counts = arena_counts t in
+  let k = List.length counts in
+  let header_len = 24 + (16 * k) in
+  let meta_off = header_len + (8 * List.fold_left ( + ) 0 counts) in
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  w_i32 buf schema_version_v2;
+  w_i64 buf meta_off;
+  w_i32 buf k;
+  let off = ref header_len in
+  List.iter
+    (fun c ->
+      w_i64 buf !off;
+      w_i64 buf c;
+      off := !off + (8 * c))
+    counts;
+  (* Arena. *)
+  Array.iter (fun v -> w_i64 buf v) (Topology.csr_offsets t.base);
+  Array.iter (fun v -> w_i64 buf v) (Topology.csr_words t.base);
+  Array.iter
+    (fun (l : Relation.link) ->
+      w_i64 buf (l.Relation.id lor (l.Relation.a lsl 21) lor (l.Relation.b lsl 41)))
+    links;
+  Array.iter
+    (fun (l : Relation.link) ->
+      w_i64 buf (kind_code l.Relation.kind lor (l.Relation.metro lsl 2)))
+    links;
+  Array.iter (fun (l : Relation.link) -> w_f64 buf l.Relation.capacity_gbps) links;
+  List.iter
+    (fun r ->
+      Array.iter (fun v -> w_i64 buf v) r.rib_cust;
+      Array.iter (fun v -> w_i64 buf v) r.rib_peer;
+      Array.iter (fun v -> w_i64 buf v) r.rib_prov)
+    t.ribs;
+  assert (Buffer.length buf = meta_off);
+  (* Metadata block. *)
+  w_meta_prefix buf t;
+  w_as_records buf (Topology.ases t.base);
+  w_down_deploy buf t;
+  w_i32 buf (List.length t.ribs);
+  List.iter
+    (fun r ->
+      w_i32 buf r.rib_origin;
+      w_u8 buf (if r.rib_active then 1 else 0))
+    t.ribs;
+  w_pending_overlays buf t;
   Buffer.contents buf
 
 (* ---- reader ----------------------------------------------------------- *)
@@ -180,7 +287,7 @@ exception Corrupt of string
 type reader = { data : string; mutable pos : int }
 
 let need r n what =
-  if r.pos + n > String.length r.data then
+  if n < 0 || r.pos + n > String.length r.data then
     raise (Corrupt (Printf.sprintf "truncated while reading %s" what))
 
 let r_u8 r what =
@@ -270,6 +377,358 @@ let r_int_array r what =
   let n = r_count r what in
   Array.init n (fun _ -> r_i64 r what)
 
+(* Metadata pieces shared between the v1 stream and the v2 metadata
+   block — exact mirrors of the w_* helpers above. *)
+
+let r_meta_prefix r =
+  let git_sha = r_str r "git sha" in
+  let created_gen = r_i64 r "generation stamp" in
+  let seed = r_i64 r "seed" in
+  let now_min = r_f64 r "clock" in
+  (git_sha, created_gen, seed, now_min)
+
+let r_as_records r =
+  let n_ases = r_count r "AS" in
+  Array.init n_ases (fun id ->
+      let klass = klass_of_code "AS record" (r_u8 r "AS class") in
+      let name = r_str r "AS name" in
+      let n_fp = r_count r "footprint" in
+      let footprint = Array.init n_fp (fun _ -> r_i32 r "footprint metro") in
+      { Asn.id; klass; name; footprint })
+
+let r_down_deploy r =
+  let n_down = r_count r "down link" in
+  let down_links = List.init n_down (fun _ -> r_i32 r "down link id") in
+  let asid = r_i32 r "provider asid" in
+  let n_pops = r_count r "PoP" in
+  let pops = List.init n_pops (fun _ -> r_i32 r "PoP metro") in
+  let n_prefixes = r_count r "prefix" in
+  let prefixes =
+    Array.init n_prefixes (fun _ ->
+        let id = r_i32 r "prefix id" in
+        let asid = r_i32 r "prefix asid" in
+        let city = r_i32 r "prefix city" in
+        let weight = r_f64 r "prefix weight" in
+        { Prefix.id; asid; city; weight })
+  in
+  (down_links, asid, pops, prefixes)
+
+let r_pending_overlays r =
+  let n_pending = r_count r "pending event" in
+  let pending =
+    List.init n_pending (fun _ ->
+        let at = r_f64 r "event time" in
+        let ev = r_event r in
+        (at, ev))
+  in
+  let n_overlays = r_count r "congestion overlay" in
+  let overlays =
+    List.init n_overlays (fun _ ->
+        let l = r_i32 r "overlay link" in
+        let ms = r_f64 r "overlay ms" in
+        (l, ms))
+  in
+  (pending, overlays)
+
+let check_no_trailing r what =
+  if r.pos <> String.length r.data then
+    raise
+      (Corrupt
+         (Printf.sprintf "%d trailing byte(s) after %s"
+            (String.length r.data - r.pos)
+            what))
+
+(* v1: decode the whole stream from the heap.  [r.pos] is past the
+   magic and version. *)
+let decode_v1 r =
+  let git_sha, created_gen, seed, now_min = r_meta_prefix r in
+  let ases = r_as_records r in
+  let n_links = r_count r "link" in
+  let links =
+    Array.init n_links (fun _ ->
+        let id = r_i32 r "link id" in
+        let a = r_i32 r "link endpoint" in
+        let b = r_i32 r "link endpoint" in
+        let kind = kind_of_code "link record" (r_u8 r "link kind") in
+        let metro = r_i32 r "link metro" in
+        let capacity_gbps = r_f64 r "link capacity" in
+        { Relation.id; a; b; kind; metro; capacity_gbps })
+  in
+  let padj =
+    Array.init (Array.length ases) (fun _ -> r_int_array r "adjacency row")
+  in
+  let base =
+    try Topology.of_packed ~ases ~links ~padj
+    with Invalid_argument msg -> raise (Corrupt msg)
+  in
+  let down_links, asid, pops, prefixes = r_down_deploy r in
+  let n_ribs = r_count r "RIB" in
+  let ribs =
+    List.init n_ribs (fun _ ->
+        let rib_origin = r_i32 r "RIB origin" in
+        let rib_active = r_u8 r "RIB active flag" <> 0 in
+        let rib_cust = r_int_array r "customer table" in
+        let rib_peer = r_int_array r "peer table" in
+        let rib_prov = r_int_array r "provider table" in
+        { rib_origin; rib_active; rib_cust; rib_peer; rib_prov })
+  in
+  let pending, overlays = r_pending_overlays r in
+  check_no_trailing r "snapshot payload";
+  {
+    git_sha;
+    created_gen;
+    seed;
+    now_min;
+    base;
+    down_links;
+    asid;
+    pops;
+    prefixes;
+    ribs;
+    pending;
+    overlays;
+  }
+
+(* ---- v2 reader -------------------------------------------------------- *)
+
+(* A v2 decode source: random access into the file, either over an
+   in-memory string (of_bytes, and the corrupt-rejection tests) or
+   over an open fd whose arena sections are pulled through
+   [Unix.map_file] Bigarray views (the fast [load] path).  Every
+   accessor bounds-checks and raises [Corrupt] — never a signal or an
+   uncaught [Unix_error]. *)
+type v2_source = {
+  src_len : int;
+  src_sub : pos:int -> len:int -> what:string -> string;
+  src_ints : pos:int -> count:int -> what:string -> int array;
+  src_floats : pos:int -> count:int -> what:string -> float array;
+}
+
+let string_source data =
+  let len = String.length data in
+  let check ~pos ~bytes ~what =
+    if pos < 0 || bytes < 0 || pos + bytes > len then
+      raise (Corrupt (Printf.sprintf "truncated while reading %s" what))
+  in
+  {
+    src_len = len;
+    src_sub =
+      (fun ~pos ~len:l ~what ->
+        check ~pos ~bytes:l ~what;
+        String.sub data pos l);
+    src_ints =
+      (fun ~pos ~count ~what ->
+        check ~pos ~bytes:(8 * count) ~what;
+        Array.init count (fun i ->
+            Int64.to_int (String.get_int64_le data (pos + (8 * i)))));
+    src_floats =
+      (fun ~pos ~count ~what ->
+        check ~pos ~bytes:(8 * count) ~what;
+        Array.init count (fun i ->
+            Int64.float_of_bits (String.get_int64_le data (pos + (8 * i)))));
+  }
+
+let really_pread fd ~pos ~len ~what =
+  match Unix.lseek fd pos Unix.SEEK_SET with
+  | exception Unix.Unix_error _ ->
+      raise (Corrupt (Printf.sprintf "truncated while reading %s" what))
+  | _ ->
+      let b = Bytes.create len in
+      let rec go off =
+        if off < len then
+          match Unix.read fd b off (len - off) with
+          | 0 ->
+              raise
+                (Corrupt (Printf.sprintf "truncated while reading %s" what))
+          | n -> go (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      in
+      go 0;
+      Bytes.unsafe_to_string b
+
+let fd_source fd len =
+  let check ~pos ~bytes ~what =
+    if pos < 0 || bytes < 0 || pos + bytes > len then
+      raise (Corrupt (Printf.sprintf "truncated while reading %s" what))
+  in
+  let map kind ~pos ~count ~what =
+    check ~pos ~bytes:(8 * count) ~what;
+    try
+      Unix.map_file fd ~pos:(Int64.of_int pos) kind Bigarray.c_layout false
+        [| count |]
+      |> Bigarray.array1_of_genarray
+    with Unix.Unix_error _ | Sys_error _ ->
+      raise (Corrupt (Printf.sprintf "cannot map %s" what))
+  in
+  {
+    src_len = len;
+    src_sub =
+      (fun ~pos ~len:l ~what ->
+        check ~pos ~bytes:l ~what;
+        really_pread fd ~pos ~len:l ~what);
+    src_ints =
+      (fun ~pos ~count ~what ->
+        if count = 0 then [||]
+        else begin
+          let view = map Bigarray.int64 ~pos ~count ~what in
+          let a = Array.make count 0 in
+          for i = 0 to count - 1 do
+            a.(i) <- Int64.to_int (Bigarray.Array1.unsafe_get view i)
+          done;
+          a
+        end);
+    src_floats =
+      (fun ~pos ~count ~what ->
+        if count = 0 then [||]
+        else begin
+          let view = map Bigarray.float64 ~pos ~count ~what in
+          let a = Array.make count 0. in
+          for i = 0 to count - 1 do
+            a.(i) <- Bigarray.Array1.unsafe_get view i
+          done;
+          a
+        end);
+  }
+
+(* Field widths of the packed v2 link words (mirroring the CSR
+   neighbor word layout). *)
+let lw_id w = w land 0x1F_FFFF
+let lw_a w = (w lsr 21) land 0xF_FFFF
+let lw_b w = (w lsr 41) land 0xF_FFFF
+
+let decode_v2 src =
+  (* Header: magic and version were checked by the dispatcher. *)
+  let hdr = src.src_sub ~pos:0 ~len:24 ~what:"v2 header" in
+  let r = { data = hdr; pos = String.length magic + 4 } in
+  let meta_off = r_i64 r "metadata offset" in
+  let n_sections = r_i32 r "section count" in
+  if n_sections < 5 || (n_sections - 5) mod 3 <> 0 then
+    raise (Corrupt (Printf.sprintf "implausible section count %d" n_sections));
+  let header_end = 24 + (16 * n_sections) in
+  if meta_off < header_end || meta_off > src.src_len then
+    raise (Corrupt "metadata offset out of range");
+  let tr =
+    { data = src.src_sub ~pos:24 ~len:(16 * n_sections) ~what:"section table";
+      pos = 0 }
+  in
+  let sections =
+    Array.init n_sections (fun _ ->
+        let off = r_i64 tr "section offset" in
+        let count = r_i64 tr "section length" in
+        (off, count))
+  in
+  (* The sections must tile [header_end, meta_off) exactly, in order —
+     anything else is corruption, and the bound also rules out
+     overflowing Bigarray dimensions below. *)
+  let expect = ref header_end in
+  Array.iter
+    (fun (off, count) ->
+      if count < 0 || count > src.src_len then
+        raise (Corrupt (Printf.sprintf "implausible section length %d" count));
+      if off <> !expect || off + (8 * count) > meta_off then
+        raise (Corrupt "section table does not tile the arena");
+      expect := off + (8 * count))
+    sections;
+  if !expect <> meta_off then
+    raise (Corrupt "arena does not end at the metadata offset");
+  (* Metadata block: everything small lives here, decoded from the
+     heap exactly like v1. *)
+  let r =
+    {
+      data =
+        src.src_sub ~pos:meta_off ~len:(src.src_len - meta_off)
+          ~what:"metadata block";
+      pos = 0;
+    }
+  in
+  let git_sha, created_gen, seed, now_min = r_meta_prefix r in
+  let ases = r_as_records r in
+  let down_links, asid, pops, prefixes = r_down_deploy r in
+  let n_ribs = r_count r "RIB" in
+  if n_ribs <> (n_sections - 5) / 3 then
+    raise (Corrupt "RIB directory disagrees with the section table");
+  let rib_dir =
+    List.init n_ribs (fun _ ->
+        let origin = r_i32 r "RIB origin" in
+        let active = r_u8 r "RIB active flag" <> 0 in
+        (origin, active))
+  in
+  let pending, overlays = r_pending_overlays r in
+  check_no_trailing r "snapshot metadata";
+  (* Arena sections. *)
+  let ints i what =
+    let off, count = sections.(i) in
+    src.src_ints ~pos:off ~count ~what
+  in
+  let floats i what =
+    let off, count = sections.(i) in
+    src.src_floats ~pos:off ~count ~what
+  in
+  let csr_off = ints 0 "CSR offsets" in
+  let csr_words = ints 1 "CSR words" in
+  let link_word = ints 2 "link words" in
+  let link_meta = ints 3 "link metadata" in
+  let link_cap = floats 4 "link capacities" in
+  let n_links = Array.length link_word in
+  if Array.length link_meta <> n_links || Array.length link_cap <> n_links
+  then raise (Corrupt "link section lengths disagree");
+  let links =
+    Array.init n_links (fun i ->
+        let w = link_word.(i) and m = link_meta.(i) in
+        if w < 0 || w lsr 61 <> 0 then
+          raise (Corrupt "link word out of range");
+        if m < 0 then raise (Corrupt "link metadata out of range");
+        let kind = kind_of_code "link record" (m land 3) in
+        {
+          Relation.id = lw_id w;
+          a = lw_a w;
+          b = lw_b w;
+          kind;
+          metro = m lsr 2;
+          capacity_gbps = link_cap.(i);
+        })
+  in
+  let base =
+    try Topology.of_csr ~ases ~links ~csr_off ~csr_words
+    with Invalid_argument msg -> raise (Corrupt msg)
+  in
+  let n = Array.length ases in
+  let ribs =
+    List.mapi
+      (fun i (rib_origin, rib_active) ->
+        let rib_cust = ints (5 + (3 * i)) "customer table" in
+        let rib_peer = ints (6 + (3 * i)) "peer table" in
+        let rib_prov = ints (7 + (3 * i)) "provider table" in
+        if
+          Array.length rib_cust <> n
+          || Array.length rib_peer <> n
+          || Array.length rib_prov <> n
+        then raise (Corrupt "RIB table length <> AS count");
+        { rib_origin; rib_active; rib_cust; rib_peer; rib_prov })
+      rib_dir
+  in
+  {
+    git_sha;
+    created_gen;
+    seed;
+    now_min;
+    base;
+    down_links;
+    asid;
+    pops;
+    prefixes;
+    ribs;
+    pending;
+    overlays;
+  }
+
+let unsupported_version v =
+  Corrupt
+    (Printf.sprintf
+       "unsupported snapshot schema version %d (this build reads versions %d \
+        and %d)"
+       v schema_version schema_version_v2)
+
 let of_bytes data =
   let r = { data; pos = 0 } in
   try
@@ -282,113 +741,59 @@ let of_bytes data =
               m magic));
     r.pos <- String.length magic;
     let version = r_i32 r "schema version" in
-    if version <> schema_version then
-      raise
-        (Corrupt
-           (Printf.sprintf
-              "unsupported snapshot schema version %d (this build reads \
-               version %d)"
-              version schema_version));
-    let git_sha = r_str r "git sha" in
-    let created_gen = r_i64 r "generation stamp" in
-    let seed = r_i64 r "seed" in
-    let now_min = r_f64 r "clock" in
-    let n_ases = r_count r "AS" in
-    let ases =
-      Array.init n_ases (fun id ->
-          let klass = klass_of_code "AS record" (r_u8 r "AS class") in
-          let name = r_str r "AS name" in
-          let n_fp = r_count r "footprint" in
-          let footprint = Array.init n_fp (fun _ -> r_i32 r "footprint metro") in
-          { Asn.id; klass; name; footprint })
+    let t =
+      match version with
+      | 1 -> decode_v1 r
+      | 2 -> decode_v2 (string_source data)
+      | v -> raise (unsupported_version v)
     in
-    let n_links = r_count r "link" in
-    let links =
-      Array.init n_links (fun _ ->
-          let id = r_i32 r "link id" in
-          let a = r_i32 r "link endpoint" in
-          let b = r_i32 r "link endpoint" in
-          let kind = kind_of_code "link record" (r_u8 r "link kind") in
-          let metro = r_i32 r "link metro" in
-          let capacity_gbps = r_f64 r "link capacity" in
-          { Relation.id; a; b; kind; metro; capacity_gbps })
-    in
-    let padj = Array.init n_ases (fun _ -> r_int_array r "adjacency row") in
-    let base =
-      try Topology.of_packed ~ases ~links ~padj
-      with Invalid_argument msg -> raise (Corrupt msg)
-    in
-    let n_down = r_count r "down link" in
-    let down_links = List.init n_down (fun _ -> r_i32 r "down link id") in
-    let asid = r_i32 r "provider asid" in
-    let n_pops = r_count r "PoP" in
-    let pops = List.init n_pops (fun _ -> r_i32 r "PoP metro") in
-    let n_prefixes = r_count r "prefix" in
-    let prefixes =
-      Array.init n_prefixes (fun _ ->
-          let id = r_i32 r "prefix id" in
-          let asid = r_i32 r "prefix asid" in
-          let city = r_i32 r "prefix city" in
-          let weight = r_f64 r "prefix weight" in
-          { Prefix.id; asid; city; weight })
-    in
-    let n_ribs = r_count r "RIB" in
-    let ribs =
-      List.init n_ribs (fun _ ->
-          let rib_origin = r_i32 r "RIB origin" in
-          let rib_active = r_u8 r "RIB active flag" <> 0 in
-          let rib_cust = r_int_array r "customer table" in
-          let rib_peer = r_int_array r "peer table" in
-          let rib_prov = r_int_array r "provider table" in
-          { rib_origin; rib_active; rib_cust; rib_peer; rib_prov })
-    in
-    let n_pending = r_count r "pending event" in
-    let pending =
-      List.init n_pending (fun _ ->
-          let at = r_f64 r "event time" in
-          let ev = r_event r in
-          (at, ev))
-    in
-    let n_overlays = r_count r "congestion overlay" in
-    let overlays =
-      List.init n_overlays (fun _ ->
-          let l = r_i32 r "overlay link" in
-          let ms = r_f64 r "overlay ms" in
-          (l, ms))
-    in
-    if r.pos <> String.length data then
-      raise
-        (Corrupt
-           (Printf.sprintf "%d trailing byte(s) after snapshot payload"
-              (String.length data - r.pos)));
-    Ok
-      {
-        git_sha;
-        created_gen;
-        seed;
-        now_min;
-        base;
-        down_links;
-        asid;
-        pops;
-        prefixes;
-        ribs;
-        pending;
-        overlays;
-      }
+    Ok t
   with Corrupt msg -> Error ("snapshot: " ^ msg)
 
-let save t ~path =
+let save ?(version = schema_version_v2) t ~path =
+  let data =
+    if version = schema_version then to_bytes t
+    else if version = schema_version_v2 then to_bytes_v2 t
+    else
+      invalid_arg
+        (Printf.sprintf "Snapshot.save: unknown schema version %d" version)
+  in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_bytes t))
+    (fun () -> output_string oc data)
 
 let load ~path =
   if not (Sys.file_exists path) then Error (path ^ ": no such file")
   else begin
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> of_bytes (really_input_string ic (in_channel_length ic)))
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (path ^ ": " ^ Unix.error_message e)
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let len = (Unix.fstat fd).Unix.st_size in
+            let version =
+              if len < String.length magic + 4 then None
+              else begin
+                try
+                  let hdr = really_pread fd ~pos:0 ~len:12 ~what:"header" in
+                  if String.sub hdr 0 (String.length magic) <> magic then None
+                  else Some (Int32.to_int (String.get_int32_le hdr 8))
+                with Corrupt _ -> None
+              end
+            in
+            match version with
+            | Some v when v = schema_version_v2 ->
+                (* Zero-copy path: arena sections are mmapped in place
+                   and bulk-blitted; only the small metadata block is
+                   byte-decoded. *)
+                (try Ok (decode_v2 (fd_source fd len))
+                 with Corrupt msg -> Error ("snapshot: " ^ msg))
+            | _ -> (
+                (* v1, unknown versions and non-snapshots all take the
+                   total heap decoder for its precise errors. *)
+                try of_bytes (really_pread fd ~pos:0 ~len ~what:"snapshot file")
+                with Corrupt msg -> Error ("snapshot: " ^ msg)))
   end

@@ -1,10 +1,23 @@
 type neighbor = { peer : int; rel : Relation.rel; link : Relation.link }
 
+(* Neighbor records are a cold-path convenience view of the CSR arena
+   below.  Constructors that materialise them anyway store them
+   eagerly; [of_csr] — the mmap snapshot-load path — defers building
+   the boxed rows until first use, so a query daemon that only runs
+   the packed hot loops never pays the allocation.  The memo is a CAS
+   cell rather than [Lazy.t] because lazy forcing is not domain-safe
+   under OCaml 5: [build] is pure, so when two domains race both
+   compute the same rows and the CAS loser adopts the winner's. *)
+type adj_cell = {
+  memo : neighbor list array option Atomic.t;
+  build : unit -> neighbor list array;
+}
+
 type t = {
   gen : int;
   ases : Asn.t array;
   links : Relation.link array;
-  adj : neighbor list array;
+  adj : adj_cell;
   (* CSR adjacency arena: AS [x]'s packed neighbor words live at
      [csr_words.(csr_off.(x)) .. csr_words.(csr_off.(x+1) - 1)].  Two
      flat arrays instead of per-node rows keeps the hot propagation
@@ -12,6 +25,17 @@ type t = {
   csr_off : int array;
   csr_words : int array;
 }
+
+let eager_adj adj = { memo = Atomic.make (Some adj); build = (fun () -> adj) }
+
+let force_adj t =
+  match Atomic.get t.adj.memo with
+  | Some a -> a
+  | None ->
+      let a = t.adj.build () in
+      if Atomic.compare_and_set t.adj.memo None (Some a) then a
+      else (
+        match Atomic.get t.adj.memo with Some winner -> winner | None -> a)
 
 (* Every constructed topology gets a unique generation stamp, so a
    value derived by [remove_links] (the dynamics engine's reconverge
@@ -85,14 +109,64 @@ let check_packing_limits n links =
         invalid_arg "Topology: link id exceeds packed-adjacency limit (2^21)")
     links
 
-let make ases link_list =
-  let n = Array.length ases in
+let check_dense_ases what ases =
   Array.iteri
     (fun i (a : Asn.t) ->
-      if a.id <> i then invalid_arg "Topology.make: AS ids must be dense";
+      if a.id <> i then
+        invalid_arg (Printf.sprintf "Topology.%s: AS ids must be dense" what);
       if Array.length a.footprint = 0 then
-        invalid_arg "Topology.make: AS with empty footprint")
-    ases;
+        invalid_arg
+          (Printf.sprintf "Topology.%s: AS with empty footprint" what))
+    ases
+
+(* Index serialized link records by id, validating endpoints and
+   uniqueness — shared by the two deserializing constructors. *)
+let index_links what ~n (links : Relation.link array) =
+  let max_id =
+    Array.fold_left
+      (fun m (l : Relation.link) -> Stdlib.max m l.Relation.id)
+      (-1) links
+  in
+  let by_id = Array.make (max_id + 1) None in
+  Array.iter
+    (fun (l : Relation.link) ->
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a = l.b then
+        invalid_arg
+          (Printf.sprintf "Topology.%s: link endpoint out of range" what);
+      if by_id.(l.Relation.id) <> None then
+        invalid_arg (Printf.sprintf "Topology.%s: duplicate link id" what);
+      by_id.(l.Relation.id) <- Some l)
+    links;
+  by_id
+
+(* Validate one packed neighbor word of AS [x] against the link
+   records and return its link record. *)
+let check_word what by_id x pn =
+  if pn < 0 || pn lsr 43 <> 0 then
+    invalid_arg
+      (Printf.sprintf "Topology.%s: packed word out of range" what);
+  let id = pn_link pn and peer = pn_peer pn and rel = pn_rel pn in
+  let link = if id >= Array.length by_id then None else by_id.(id) in
+  match link with
+  | None -> invalid_arg (Printf.sprintf "Topology.%s: unknown link id" what)
+  | Some l ->
+      if
+        not
+          ((l.Relation.a = x && l.Relation.b = peer)
+          || (l.Relation.b = x && l.Relation.a = peer))
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Topology.%s: packed neighbor disagrees with link record" what);
+      if Relation.rel_of l x <> rel then
+        invalid_arg
+          (Printf.sprintf
+             "Topology.%s: packed relation disagrees with link kind" what);
+      l
+
+let make ases link_list =
+  let n = Array.length ases in
+  check_dense_ases "make" ases;
   let links =
     Array.of_list
       (List.mapi (fun i (l : Relation.link) -> { l with Relation.id = i }) link_list)
@@ -106,61 +180,68 @@ let make ases link_list =
   check_packing_limits n links;
   let adj = build_adjacency n links in
   let csr_off, csr_words = csr_of_adj adj in
-  { gen = next_gen (); ases; links; adj; csr_off; csr_words }
+  { gen = next_gen (); ases; links; adj = eager_adj adj; csr_off; csr_words }
 
 let of_packed ~ases ~links ~padj =
   let n = Array.length ases in
-  Array.iteri
-    (fun i (a : Asn.t) ->
-      if a.id <> i then invalid_arg "Topology.of_packed: AS ids must be dense";
-      if Array.length a.footprint = 0 then
-        invalid_arg "Topology.of_packed: AS with empty footprint")
-    ases;
+  check_dense_ases "of_packed" ases;
   check_packing_limits n links;
   if Array.length padj <> n then
     invalid_arg "Topology.of_packed: adjacency row count <> AS count";
-  let max_id =
-    Array.fold_left
-      (fun m (l : Relation.link) -> Stdlib.max m l.Relation.id)
-      (-1) links
-  in
-  let by_id = Array.make (max_id + 1) None in
-  Array.iter
-    (fun (l : Relation.link) ->
-      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a = l.b then
-        invalid_arg "Topology.of_packed: link endpoint out of range";
-      if by_id.(l.Relation.id) <> None then
-        invalid_arg "Topology.of_packed: duplicate link id";
-      by_id.(l.Relation.id) <- Some l)
-    links;
+  let by_id = index_links "of_packed" ~n links in
   let adj =
     Array.mapi
       (fun x row ->
         List.map
           (fun pn ->
-            let id = pn_link pn and peer = pn_peer pn and rel = pn_rel pn in
-            let link =
-              if id > max_id then None else by_id.(id)
-            in
-            match link with
-            | None -> invalid_arg "Topology.of_packed: unknown link id"
-            | Some l ->
-                if not ((l.Relation.a = x && l.Relation.b = peer)
-                        || (l.Relation.b = x && l.Relation.a = peer))
-                then
-                  invalid_arg
-                    "Topology.of_packed: packed neighbor disagrees with link \
-                     record";
-                if Relation.rel_of l x <> rel then
-                  invalid_arg
-                    "Topology.of_packed: packed relation disagrees with link \
-                     kind";
-                { peer; rel; link = l })
+            let l = check_word "of_packed" by_id x pn in
+            { peer = pn_peer pn; rel = pn_rel pn; link = l })
           (Array.to_list row))
       padj
   in
   let csr_off, csr_words = csr_of_adj adj in
-  { gen = next_gen (); ases; links; adj; csr_off; csr_words }
+  { gen = next_gen (); ases; links; adj = eager_adj adj; csr_off; csr_words }
+
+let of_csr ~ases ~links ~csr_off ~csr_words =
+  let n = Array.length ases in
+  check_dense_ases "of_csr" ases;
+  check_packing_limits n links;
+  if Array.length csr_off <> n + 1 then
+    invalid_arg "Topology.of_csr: offset array length <> AS count + 1";
+  if csr_off.(0) <> 0 then
+    invalid_arg "Topology.of_csr: offsets must start at 0";
+  for x = 0 to n - 1 do
+    if csr_off.(x + 1) < csr_off.(x) then
+      invalid_arg "Topology.of_csr: offsets must be monotone"
+  done;
+  if csr_off.(n) <> Array.length csr_words then
+    invalid_arg "Topology.of_csr: word arena length <> final offset";
+  let by_id = index_links "of_csr" ~n links in
+  for x = 0 to n - 1 do
+    for j = csr_off.(x) to csr_off.(x + 1) - 1 do
+      ignore (check_word "of_csr" by_id x csr_words.(j))
+    done
+  done;
+  (* Words are validated above, so the deferred row build can decode
+     them without re-checking. *)
+  let build () =
+    Array.init n (fun x ->
+        List.init
+          (csr_off.(x + 1) - csr_off.(x))
+          (fun k ->
+            let pn = csr_words.(csr_off.(x) + k) in
+            match by_id.(pn_link pn) with
+            | Some l -> { peer = pn_peer pn; rel = pn_rel pn; link = l }
+            | None -> assert false))
+  in
+  {
+    gen = next_gen ();
+    ases;
+    links;
+    adj = { memo = Atomic.make None; build };
+    csr_off;
+    csr_words;
+  }
 
 let as_count t = Array.length t.ases
 let link_count t = Array.length t.links
@@ -168,7 +249,7 @@ let generation t = t.gen
 let asn t i = t.ases.(i)
 let ases t = t.ases
 let links t = t.links
-let neighbors t i = t.adj.(i)
+let neighbors t i = (force_adj t).(i)
 let csr_offsets t = t.csr_off
 let csr_words t = t.csr_words
 
@@ -178,7 +259,7 @@ let packed_neighbors t i =
 let filter_rel t i want =
   List.filter_map
     (fun nb -> if want nb.rel then Some nb.peer else None)
-    t.adj.(i)
+    (neighbors t i)
   |> List.sort_uniq compare
 
 let customers t i = filter_rel t i (fun r -> r = Relation.To_customer)
@@ -190,12 +271,12 @@ let peers t i =
       | Relation.Priv_peer | Relation.Pub_peer -> true
       | Relation.To_customer | Relation.To_provider -> false)
 
-let degree t i = List.length t.adj.(i)
+let degree t i = List.length (neighbors t i)
 
 let links_between t x y =
   List.filter_map
     (fun nb -> if nb.peer = y then Some nb.link else None)
-    t.adj.(x)
+    (neighbors t x)
 
 let add_as t ~klass ~name ~footprint =
   if Array.length footprint = 0 then
@@ -208,7 +289,7 @@ let add_as t ~klass ~name ~footprint =
       gen = next_gen ();
       ases;
       links = t.links;
-      adj = Array.append t.adj [| [] |];
+      adj = eager_adj (Array.append (force_adj t) [| [] |]);
       (* The new AS has no neighbors: one more (equal) offset, same
          word arena. *)
       csr_off = Array.append t.csr_off [| t.csr_off.(Array.length t.csr_off - 1) |];
@@ -234,7 +315,7 @@ let add_links t specs =
   check_packing_limits n links;
   let adj = build_adjacency n links in
   let csr_off, csr_words = csr_of_adj adj in
-  { t with gen = next_gen (); links; adj; csr_off; csr_words }
+  { t with gen = next_gen (); links; adj = eager_adj adj; csr_off; csr_words }
 
 let remove_links t ids =
   let module S = Set.Make (Int) in
@@ -250,18 +331,18 @@ let remove_links t ids =
         if keep l then acc else S.add l.Relation.a (S.add l.Relation.b acc))
       S.empty t.links
   in
-  let adj = Array.copy t.adj in
+  let adj = Array.copy (force_adj t) in
   S.iter
     (fun x -> adj.(x) <- List.filter (fun nb -> keep nb.link) adj.(x))
     touched;
   (* The CSR arena is contiguous, so it is rebuilt wholesale — O(n+m),
      the same order as the links-array filter above. *)
   let csr_off, csr_words = csr_of_adj adj in
-  { t with gen = next_gen (); links; adj; csr_off; csr_words }
+  { t with gen = next_gen (); links; adj = eager_adj adj; csr_off; csr_words }
 
 let remove_links_of_as t asid =
   let ids =
-    List.map (fun (nb : neighbor) -> nb.link.Relation.id) t.adj.(asid)
+    List.map (fun (nb : neighbor) -> nb.link.Relation.id) (neighbors t asid)
   in
   remove_links t ids
 

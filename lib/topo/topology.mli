@@ -85,6 +85,23 @@ val of_packed :
     Every packed word is validated against the link records.
     @raise Invalid_argument on any inconsistency. *)
 
+val of_csr :
+  ases:Asn.t array ->
+  links:Relation.link array ->
+  csr_off:int array ->
+  csr_words:int array ->
+  t
+(** Reconstruct a topology directly from its CSR arena, as stored by
+    snapshot schema v2: [csr_off] must have length [n + 1], start at
+    0, be monotone and end at [Array.length csr_words]; every packed
+    word is validated against the link records exactly like
+    {!of_packed}.  The arrays become owned by the topology — callers
+    must not mutate them afterwards.  Unlike the other constructors
+    the boxed {!neighbors} rows are built lazily (domain-safe memo),
+    so a loader that only runs the packed hot loops never allocates
+    them.
+    @raise Invalid_argument on any inconsistency. *)
+
 val customers : t -> int -> int list
 val providers : t -> int -> int list
 val peers : t -> int -> int list

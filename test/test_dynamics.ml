@@ -244,6 +244,38 @@ let test_script_generators_deterministic () =
       Alcotest.(check bool) "within horizon" true (at >= 0. && at < 1440.))
     (gen ())
 
+(* Reconvergence over >= 4 tracked prefixes shards across the domain
+   pool; the sharded path must produce exactly the sequential states,
+   counters and convergence log at any domain count. *)
+let test_sharded_reconverge_domains () =
+  let origins = [ cp; eb; st; t1a ] in
+  let storm eng =
+    Engine.schedule eng ~at:1.
+      (Event.Link_flap { link_id = l_cp_t1a_ny; down_minutes = 5. });
+    Engine.schedule eng ~at:2. (Event.Link_down l_st_eb);
+    Engine.schedule eng ~at:8. (Event.Link_up l_st_eb);
+    Engine.run eng ~until:20.
+  in
+  let run domains =
+    Netsim_par.Pool.set_domain_count domains;
+    let t = topo () in
+    let eng = Engine.create t in
+    List.iter (fun o -> Engine.track eng (Announce.default ~origin:o)) origins;
+    storm eng;
+    ( List.map (fun o -> digest t (Engine.routing eng ~origin:o)) origins,
+      Engine.events_processed eng,
+      List.length (Engine.convergence_log eng) )
+  in
+  let saved = Netsim_par.Pool.domain_count () in
+  Fun.protect
+    ~finally:(fun () -> Netsim_par.Pool.set_domain_count saved)
+    (fun () ->
+      let d1, e1, c1 = run 1 in
+      let d4, e4, c4 = run 4 in
+      Alcotest.(check (list string)) "tracked states identical" d1 d4;
+      Alcotest.(check int) "events processed identical" e1 e4;
+      Alcotest.(check int) "convergence records identical" c1 c4)
+
 let suite =
   [
     Alcotest.test_case "timeline: time order, FIFO ties" `Quick
@@ -269,6 +301,8 @@ let suite =
       test_determinism_traced;
     Alcotest.test_case "property: incremental == full on 50 random failures"
       `Quick test_incremental_equals_full;
+    Alcotest.test_case "engine: sharded reconvergence matches at domains 1/4"
+      `Quick test_sharded_reconverge_domains;
     Alcotest.test_case "script: generators deterministic" `Quick
       test_script_generators_deterministic;
   ]

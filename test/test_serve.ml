@@ -257,6 +257,56 @@ let expect_error what = function
   | Error msg -> check (what ^ " mentions snapshot") true (msg <> "")
   | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
 
+let test_roundtrip_bytes_v2 () =
+  let snap = Lazy.force small_snapshot in
+  let bytes = Snapshot.to_bytes_v2 snap in
+  match Snapshot.of_bytes bytes with
+  | Error e -> Alcotest.failf "v2 round-trip failed: %s" e
+  | Ok snap2 ->
+      check_str "v2 re-encode is byte-identical" bytes
+        (Snapshot.to_bytes_v2 snap2);
+      check_str "v1 encodings of both agree" (Snapshot.to_bytes snap)
+        (Snapshot.to_bytes snap2)
+
+let test_roundtrip_file_v2 () =
+  let snap = Lazy.force small_snapshot in
+  let path = Filename.temp_file "snap_v2" ".bin" in
+  Snapshot.save ~version:Snapshot.schema_version_v2 snap ~path;
+  (* The default save is v2. *)
+  let path_default = Filename.temp_file "snap_default" ".bin" in
+  Snapshot.save snap ~path:path_default;
+  let read_all p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_str "save defaults to v2" (read_all path) (read_all path_default);
+  Sys.remove path_default;
+  (match Snapshot.load ~path with
+  | Error e -> Alcotest.failf "v2 load failed: %s" e
+  | Ok snap2 ->
+      check_str "v2 mmap load round-trips byte-identically"
+        (Snapshot.to_bytes_v2 snap)
+        (Snapshot.to_bytes_v2 snap2));
+  Sys.remove path
+
+let test_v1_files_still_load () =
+  (* Compatibility: a file written at schema v1 (what every earlier
+     build wrote) must keep loading through the heap-decode fallback. *)
+  let snap = Lazy.force small_snapshot in
+  let path = Filename.temp_file "snap_v1" ".bin" in
+  Snapshot.save ~version:Snapshot.schema_version snap ~path;
+  (match Snapshot.load ~path with
+  | Error e -> Alcotest.failf "v1 load failed: %s" e
+  | Ok snap2 ->
+      check_str "v1 file load round-trips byte-identically"
+        (Snapshot.to_bytes snap) (Snapshot.to_bytes snap2));
+  Sys.remove path;
+  match Snapshot.save ~version:99 snap ~path with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "save accepted an unknown schema version"
+
 let test_rejects_corrupt () =
   let bytes = Snapshot.to_bytes (Lazy.force small_snapshot) in
   (* Wrong magic. *)
@@ -288,6 +338,275 @@ let test_rejects_corrupt () =
           (Printf.sprintf "truncated at %d" cut)
           (Snapshot.of_bytes (String.sub bytes 0 cut)))
     cuts
+
+(* The same corruption sweep against the v2 arena layout, which has
+   its own failure surface: a section table that lies about offsets or
+   counts must be caught before any Bigarray mapping happens. *)
+let test_rejects_corrupt_v2 () =
+  let bytes = Snapshot.to_bytes_v2 (Lazy.force small_snapshot) in
+  let n = String.length bytes in
+  (* Truncation anywhere. *)
+  let cuts = List.init 32 (fun i -> i) @ List.init (n / 512) (fun i -> i * 512) in
+  List.iter
+    (fun cut ->
+      if cut < n then
+        expect_error
+          (Printf.sprintf "v2 truncated at %d" cut)
+          (Snapshot.of_bytes (String.sub bytes 0 cut)))
+    cuts;
+  (* Trailing garbage. *)
+  expect_error "v2 trailing bytes" (Snapshot.of_bytes (bytes ^ "zz"));
+  (* A corrupted metadata offset (bytes 12..19 of the header). *)
+  let flip off =
+    let b = Bytes.of_string bytes in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+    Bytes.to_string b
+  in
+  expect_error "v2 corrupt meta_off" (Snapshot.of_bytes (flip 12));
+  (* A corrupted section-table entry (first section offset / count). *)
+  expect_error "v2 corrupt section offset" (Snapshot.of_bytes (flip 24));
+  expect_error "v2 corrupt section count" (Snapshot.of_bytes (flip 32));
+  (* Corrupt files must also fail cleanly through the mmap load path
+     (a distinct decoder surface from of_bytes). *)
+  let write_file data =
+    let path = Filename.temp_file "snap_corrupt" ".bin" in
+    let oc = open_out_bin path in
+    output_string oc data;
+    close_out oc;
+    path
+  in
+  List.iter
+    (fun data ->
+      let path = write_file data in
+      (match Snapshot.load ~path with
+      | Error msg -> check "file load error is clear" true (msg <> "")
+      | Ok _ -> Alcotest.failf "corrupt file %s loaded" path);
+      Sys.remove path)
+    [
+      String.sub bytes 0 (n / 2);
+      String.sub bytes 0 30;
+      flip 12;
+      flip 24;
+      bytes ^ "zz";
+      "";
+    ]
+
+(* ---- concurrent executor ---------------------------------------------- *)
+
+let read_only_queries pop =
+  [|
+    (fun i -> Printf.sprintf "CATCHMENT %d" (i mod 30));
+    (fun i -> Printf.sprintf "RTT %d anycast" (i mod 30));
+    (fun _ -> Printf.sprintf "EGRESS %d" pop);
+    (fun i -> Printf.sprintf "EXPLAIN anycast %d" (11 + (i mod 7)));
+    (fun _ -> "BOGUS request");
+  |]
+
+let test_read_only () =
+  List.iter
+    (fun (line, want) ->
+      match Protocol.parse line with
+      | Ok req ->
+          Alcotest.(check bool) (line ^ " classification") want
+            (Protocol.read_only req)
+      | Error e -> Alcotest.failf "%s: %s" line e)
+    [
+      ("CATCHMENT 0", true);
+      ("EGRESS 94", true);
+      ("RTT 0 anycast", true);
+      ("EXPLAIN anycast 3", true);
+      ("STATS", true);
+      ("PROM", true);
+      ("SNAPSHOT /tmp/x.bin", false);
+      ("ADVANCE 15", false);
+      ("QUIT", false);
+    ]
+
+let private_server cfg = Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () -> Server.build cfg)
+
+let streams_cfg = { Server.small_config with Server.n_prefixes = 30 }
+
+(* Deterministic interleaving check: three fixed streams served
+   concurrently must answer exactly like each stream served alone on a
+   fresh server.  (STATS is excluded: its body reports shared RIB-cache
+   and clock counters, which other concurrent sessions legitimately
+   move.) *)
+let test_streams_vs_alone () =
+  let mk = read_only_queries 94 in
+  let stream k len =
+    List.init len (fun i -> mk.((i + k) mod Array.length mk) (i + k))
+  in
+  let streams = [| stream 0 10; stream 1 7; stream 2 12 |] in
+  let concurrent =
+    Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+        Server.serve_streams (private_server streams_cfg) streams)
+  in
+  Array.iteri
+    (fun i stream ->
+      let alone =
+        Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+            let t = private_server streams_cfg in
+            List.map (fun q -> fst (Server.handle_line t q)) stream)
+      in
+      check
+        (Printf.sprintf "stream %d: concurrent equals alone" i)
+        true
+        (concurrent.(i) = alone))
+    streams
+
+(* Randomized version of the same property, plus domain-count
+   independence: any interleaving of random read-only streams is
+   byte-identical at 1 and 4 domains and equal to each stream served
+   alone. *)
+let prop_streams_interleaving =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 2 4)
+        (list_size (int_range 1 12) (pair (int_range 0 4) (int_range 0 1000))))
+  in
+  QCheck.Test.make
+    ~name:"concurrent streams answer like streams served alone (domains 1 = 4)"
+    ~count:6
+    (QCheck.make gen)
+    (fun picks ->
+      let mk = read_only_queries 94 in
+      let streams =
+        Array.of_list
+          (List.map
+             (fun l -> List.map (fun (v, i) -> mk.(v) i) l)
+             picks)
+      in
+      let saved = Netsim_par.Pool.domain_count () in
+      Fun.protect
+        ~finally:(fun () -> Netsim_par.Pool.set_domain_count saved)
+        (fun () ->
+          let run domains =
+            Netsim_par.Pool.set_domain_count domains;
+            Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+                Server.serve_streams (private_server streams_cfg) streams)
+          in
+          let d1 = run 1 and d4 = run 4 in
+          if d1 <> d4 then
+            QCheck.Test.fail_report "domains 1 and 4 disagree";
+          Array.iteri
+            (fun i stream ->
+              let alone =
+                Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+                    let t = private_server streams_cfg in
+                    List.map (fun q -> fst (Server.handle_line t q)) stream)
+              in
+              if d1.(i) <> alone then
+                QCheck.Test.fail_reportf "stream %d differs from served-alone"
+                  i)
+            streams;
+          true))
+
+(* A write barrier mid-stream: reads after an ADVANCE must see the
+   post-advance state exactly as a sequential client would. *)
+let test_streams_with_barrier () =
+  let stream =
+    [
+      "CATCHMENT 0"; "RTT 2 anycast"; "ADVANCE 360"; "CATCHMENT 0";
+      "RTT 2 anycast"; "EXPLAIN anycast 11";
+    ]
+  in
+  let cfg = { streams_cfg with Server.churn = true } in
+  let concurrent =
+    Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+        Server.serve_streams (private_server cfg)
+          [| stream; [ "CATCHMENT 5"; "RTT 7 anycast" ] |])
+  in
+  let alone =
+    Rib_cache.capture (Rib_cache.fresh_shard ()) (fun () ->
+        let t = private_server cfg in
+        List.map (fun q -> fst (Server.handle_line t q)) stream)
+  in
+  check "barrier stream: concurrent equals alone" true (concurrent.(0) = alone)
+
+(* ---- TCP listener ----------------------------------------------------- *)
+
+let test_retry_eintr () =
+  let attempts = ref 0 in
+  let r =
+    Server.retry_eintr (fun () ->
+        incr attempts;
+        if !attempts < 3 then raise (Unix.Unix_error (Unix.EINTR, "accept", ""));
+        42)
+  in
+  check_int "returns after EINTR retries" 42 r;
+  check_int "retried exactly twice" 3 !attempts;
+  (* Other errors still propagate. *)
+  match Server.retry_eintr (fun () -> raise (Unix.Unix_error (Unix.EBADF, "x", ""))) with
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  | _ -> Alcotest.fail "EBADF swallowed"
+
+(* Read one framed response ("OK <n>\n<n bytes>\n") off a channel. *)
+let read_framed ic =
+  let header = input_line ic in
+  match String.split_on_char ' ' header with
+  | [ status; len ] ->
+      let n = int_of_string len in
+      let body = really_input_string ic (n + 1) in
+      (status, String.sub body 0 n)
+  | _ -> Alcotest.failf "bad frame header %S" header
+
+let test_listen_two_clients () =
+  let t = private_server streams_cfg in
+  let port = ref 0 in
+  let ready = Mutex.create () and cond = Condition.create () in
+  let listener =
+    Domain.spawn (fun () ->
+        Server.listen t ~port:0
+          ~port_ready:(fun p ->
+            Mutex.lock ready;
+            port := p;
+            Condition.signal cond;
+            Mutex.unlock ready))
+  in
+  Mutex.lock ready;
+  while !port = 0 do
+    Condition.wait cond ready
+  done;
+  let p = !port in
+  Mutex.unlock ready;
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let send oc line =
+    output_string oc (line ^ "\n");
+    flush oc
+  in
+  let fd1, ic1, oc1 = connect () in
+  let fd2, ic2, oc2 = connect () in
+  (* Interleave queries across the two live connections. *)
+  send oc1 "CATCHMENT 0";
+  send oc2 "RTT 2 anycast";
+  let s1, b1 = read_framed ic1 in
+  let s2, b2 = read_framed ic2 in
+  check_str "client 1 ok" "OK" s1;
+  check_str "client 2 ok" "OK" s2;
+  check "client 1 got a catchment" true (contains ~needle:"prefix=0" b1);
+  check "client 2 got an rtt" true (contains ~needle:"client=2" b2);
+  (* Both clients see their own session counters. *)
+  send oc1 "STATS";
+  let _, stats1 = read_framed ic1 in
+  check "client 1 session counts its own queries" true
+    (contains ~needle:"queries total=2 catchment=1" stats1);
+  send oc2 "BOGUS";
+  let s2e, _ = read_framed ic2 in
+  check_str "malformed input framed as error" "ERR" s2e;
+  (* QUIT from client 2 shuts the daemon down cleanly. *)
+  send oc2 "QUIT";
+  let s2q, b2q = read_framed ic2 in
+  check_str "quit ok" "OK" s2q;
+  check_str "quit body" "bye" b2q;
+  Domain.join listener;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ fd1; fd2 ];
+  ignore (ic1, ic2, oc1, oc2)
 
 (* ---- load-path equivalence ------------------------------------------- *)
 
@@ -350,7 +669,25 @@ let suite =
     Alcotest.test_case "loop: EOF mid-request" `Quick test_eof_mid_request;
     Alcotest.test_case "snapshot: byte round-trip" `Quick test_roundtrip_bytes;
     Alcotest.test_case "snapshot: file round-trip" `Quick test_roundtrip_file;
+    Alcotest.test_case "snapshot: v2 byte round-trip" `Quick
+      test_roundtrip_bytes_v2;
+    Alcotest.test_case "snapshot: v2 mmap file round-trip" `Quick
+      test_roundtrip_file_v2;
+    Alcotest.test_case "snapshot: v1 files still load" `Quick
+      test_v1_files_still_load;
     Alcotest.test_case "snapshot: rejects corrupt input" `Quick
       test_rejects_corrupt;
+    Alcotest.test_case "snapshot: rejects corrupt v2 input" `Quick
+      test_rejects_corrupt_v2;
+    Alcotest.test_case "executor: read-only verb classification" `Quick
+      test_read_only;
+    Alcotest.test_case "executor: concurrent streams equal served-alone" `Quick
+      test_streams_vs_alone;
+    Alcotest.test_case "executor: write barrier mid-stream" `Quick
+      test_streams_with_barrier;
+    QCheck_alcotest.to_alcotest prop_streams_interleaving;
+    Alcotest.test_case "listener: EINTR retry" `Quick test_retry_eintr;
+    Alcotest.test_case "listener: two concurrent TCP clients" `Quick
+      test_listen_two_clients;
     QCheck_alcotest.to_alcotest prop_loaded_equals_fresh;
   ]

@@ -397,6 +397,57 @@ let test_csr_after_add_as () =
   in
   check_csr_matches_lists linked
 
+(* of_csr: the zero-copy constructor the mmap snapshot loader uses.
+   Rebuilding a topology from its own CSR arena must reproduce the
+   boxed adjacency exactly (rows decode lazily), and inconsistent
+   arenas must be rejected. *)
+let test_of_csr_roundtrip () =
+  let topo = Fixture.topo () in
+  let rebuilt =
+    Topology.of_csr
+      ~ases:(Array.copy (Topology.ases topo))
+      ~links:(Array.copy (Topology.links topo))
+      ~csr_off:(Array.copy (Topology.csr_offsets topo))
+      ~csr_words:(Array.copy (Topology.csr_words topo))
+  in
+  check_csr_matches_lists rebuilt;
+  for x = 0 to Topology.as_count topo - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "row %d equal" x)
+      true
+      (Topology.neighbors rebuilt x = Topology.neighbors topo x)
+  done
+
+let test_of_csr_rejects_inconsistent () =
+  let topo = Fixture.topo () in
+  let ases = Topology.ases topo and links = Topology.links topo in
+  let off = Topology.csr_offsets topo and wrd = Topology.csr_words topo in
+  let expect_invalid what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: accepted" what
+  in
+  expect_invalid "offsets wrong length" (fun () ->
+      Topology.of_csr ~ases ~links
+        ~csr_off:(Array.sub off 0 (Array.length off - 1))
+        ~csr_words:wrd);
+  expect_invalid "offsets not ending at arena" (fun () ->
+      let bad = Array.copy off in
+      bad.(Array.length bad - 1) <- bad.(Array.length bad - 1) - 1;
+      Topology.of_csr ~ases ~links ~csr_off:bad ~csr_words:wrd);
+  expect_invalid "offsets not monotone" (fun () ->
+      let bad = Array.copy off in
+      bad.(1) <- bad.(1) + Array.length wrd;
+      Topology.of_csr ~ases ~links ~csr_off:bad ~csr_words:wrd);
+  expect_invalid "word references unknown link" (fun () ->
+      let bad = Array.copy wrd in
+      bad.(0) <- bad.(0) lxor 1;
+      Topology.of_csr ~ases ~links ~csr_off:off ~csr_words:bad);
+  expect_invalid "negative word" (fun () ->
+      let bad = Array.copy wrd in
+      bad.(0) <- -1;
+      Topology.of_csr ~ases ~links ~csr_off:off ~csr_words:bad)
+
 let suite =
   [
     Alcotest.test_case "asn home/present" `Quick test_asn_home;
@@ -436,6 +487,10 @@ let suite =
     Alcotest.test_case "detect orphan" `Quick test_invariants_detect_orphan;
     Alcotest.test_case "detect missing clique" `Quick test_invariants_detect_missing_clique;
     Alcotest.test_case "CSR matches list adjacency" `Quick test_csr_fixture;
+    Alcotest.test_case "of_csr round-trips the arena" `Quick
+      test_of_csr_roundtrip;
+    Alcotest.test_case "of_csr rejects inconsistent arenas" `Quick
+      test_of_csr_rejects_inconsistent;
     Alcotest.test_case "CSR rebuilt by remove_links" `Quick test_csr_after_remove_links;
     Alcotest.test_case "CSR extended by add_as/add_links" `Quick test_csr_after_add_as;
   ]
